@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: amortization (carbon depreciation) schedule. Fair-CO2
+ * first amortizes server embodied carbon into the accounting window
+ * (the paper uses uniform amortization); this bench quantifies how
+ * the alternative depreciation curves of Ji et al. shift a month's
+ * carbon across the server's life, and therefore scale every
+ * attribution downstream.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "carbon/amortization.hh"
+#include "carbon/server.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/table.hh"
+
+using namespace fairco2;
+using carbon::makeAmortization;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("Ablation: amortization schedule for embodied "
+                  "carbon");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const carbon::ServerCarbonModel server;
+    const double total = server.embodiedGrams();
+    const double lifetime = server.lifetimeSeconds();
+    const double month = 30.0 * 86400.0;
+    const double lifetime_months = lifetime / month;
+
+    const std::vector<std::string> schemes{
+        "uniform", "declining-balance", "sum-of-years"};
+
+    TextTable table("Monthly embodied share (kgCO2e) by server age "
+                    "and amortization scheme");
+    std::vector<std::string> header{"Age (months)"};
+    for (const auto &s : schemes)
+        header.push_back(s);
+    header.push_back("decl./unif. ratio");
+    table.setHeader(header);
+
+    CsvWriter csv(bench::csvPath("ablation_amortization"));
+    csv.writeRow({"age_months", "uniform_kg",
+                  "declining_balance_kg", "sum_of_years_kg"});
+
+    for (double age_month = 0.0;
+         age_month < lifetime_months - 0.5; age_month += 6.0) {
+        const double begin = age_month * month;
+        const double end = begin + month;
+        std::vector<double> row;
+        for (const auto &s : schemes) {
+            const auto schedule =
+                makeAmortization(s, total, lifetime);
+            row.push_back(schedule->windowGrams(begin, end) /
+                          1000.0);
+        }
+        std::vector<double> cells = row;
+        cells.push_back(row[1] / row[0]);
+        table.addRow(TextTable::fmt(age_month, 0), cells, 2);
+        csv.writeNumericRow({age_month, row[0], row[1], row[2]});
+    }
+    table.print();
+
+    std::printf(
+        "\nThe monthly pool every Temporal Shapley signal divides "
+        "is a pure scale\nfactor on the attribution, so the scheme "
+        "choice moves a workload's bill\nby up to the ratio column "
+        "— material for young fleets, a wash at\nmid-life. "
+        "Fair-CO2's fairness comparisons are invariant to it.\n");
+    std::printf("CSV written to %s\n",
+                bench::csvPath("ablation_amortization").c_str());
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablation: spatio-temporal shifting. Three regions with distinct
+ * grid mixes (CAISO-like solar, coal-heavy flat, hydro-clean flat)
+ * and their own live embodied intensity signals; a population of
+ * flexible batch jobs is placed carbon-optimally in space and time
+ * and compared against home-region, earliest-start execution —
+ * quantifying how much of the paper's "per-workload spatio-temporal
+ * shifting" opportunity the live signals unlock.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "carbon/server.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/temporal.hh"
+#include "optimize/spatial.hh"
+#include "trace/generators.hh"
+
+using namespace fairco2;
+using optimize::Region;
+using optimize::SpatialJob;
+
+namespace
+{
+
+/** Region with an Azure-like demand signal and a CI profile. */
+Region
+makeRegion(const std::string &name, double night_ci,
+           double midday_ci, double base_cores, double scarcity,
+           Rng &rng, const carbon::ServerCarbonModel &server)
+{
+    Region region;
+    region.name = name;
+
+    trace::GridCiGenerator::Config ci_config;
+    ci_config.days = 7.0;
+    ci_config.stepSeconds = 3600.0;
+    ci_config.nightGPerKwh = night_ci;
+    ci_config.middayGPerKwh = midday_ci;
+    region.gridCi = trace::GridCiGenerator(ci_config).generate(rng);
+
+    trace::AzureLikeGenerator::Config demand_config;
+    demand_config.days = 7.0;
+    demand_config.baseCores = base_cores;
+    const auto demand = trace::AzureLikeGenerator(demand_config)
+                            .generate(rng)
+                            .resampleMean(12);
+    // A capacity-constrained region amortizes more embodied carbon
+    // per used core-second (peakier demand, lower utilization).
+    const double pool = scarcity * server.coreRateGramsPerSecond() *
+        demand.mean() * 7.0 * 86400.0;
+    region.coreIntensity = core::TemporalShapley()
+                               .attribute(demand, pool, {7, 24})
+                               .intensity;
+    return region;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t num_jobs = 300;
+    std::int64_t seed = 5;
+    FlagSet flags("Ablation: spatio-temporal shifting across three "
+                  "regions");
+    flags.addInt("jobs", &num_jobs, "flexible batch jobs");
+    flags.addInt("seed", &seed, "RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const carbon::ServerCarbonModel server;
+
+    // Region mix: solar-dipped CAISO-like, coal-heavy flat, clean
+    // hydro with a busier (more embodied-expensive) fleet.
+    std::vector<Region> regions;
+    regions.push_back(makeRegion("caiso", 320.0, 90.0, 150000.0,
+                                  1.0, rng, server));
+    regions.push_back(makeRegion("coal", 720.0, 680.0, 150000.0,
+                                  1.0, rng, server));
+    regions.push_back(makeRegion("hydro", 45.0, 40.0, 60000.0,
+                                  5.0, rng, server));
+
+    const std::size_t horizon = regions[0].gridCi.size();
+    std::vector<SpatialJob> jobs;
+    for (std::int64_t k = 0; k < num_jobs; ++k) {
+        SpatialJob job;
+        job.cores = 8.0 * (1 + rng.index(12));
+        job.wattsPerCore = rng.uniform(1.5, 4.0);
+        job.durationSlices = 1 + rng.index(8);
+        const std::size_t latest_fit =
+            horizon - job.durationSlices;
+        job.earliestStart = rng.index(latest_fit + 1);
+        job.latestStart = std::min(job.earliestStart + 24,
+                                   latest_fit);
+        job.homeRegion = rng.index(regions.size());
+        jobs.push_back(job);
+    }
+
+    const optimize::SpatioTemporalPlacer placer;
+    const auto result = placer.place(jobs, regions);
+
+    std::vector<std::size_t> per_region(regions.size(), 0);
+    for (const auto &p : result.placements)
+        ++per_region[p.region];
+
+    TextTable table("Spatio-temporal shifting of " +
+                    std::to_string(num_jobs) +
+                    " flexible jobs (one week)");
+    table.setHeader({"Quantity", "Value"});
+    table.addRow({"baseline carbon (kg)",
+                  TextTable::fmt(result.baselineGrams / 1e3, 1)});
+    table.addRow({"optimized carbon (kg)",
+                  TextTable::fmt(result.optimizedGrams / 1e3, 1)});
+    table.addRow({"savings (%)",
+                  TextTable::fmt(result.savingsPercent, 1)});
+    table.addRow({"jobs moved across regions",
+                  std::to_string(result.jobsMoved)});
+    table.addRow({"jobs shifted in time",
+                  std::to_string(result.jobsShifted)});
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        table.addRow({"jobs landing in " + regions[r].name,
+                      std::to_string(per_region[r])});
+    }
+    table.print();
+
+    std::printf(
+        "\nSpatial freedom compounds temporal freedom: the clean "
+        "region absorbs\nenergy-heavy jobs until its (scarcer) "
+        "capacity makes embodied carbon\nbind, while solar dips "
+        "soak up the rest — both visible only through\nthe "
+        "per-region live intensity signals Fair-CO2 provides.\n");
+
+    CsvWriter csv(bench::csvPath("ablation_spatial_shifting"));
+    csv.writeRow({"job", "home", "chosen_region", "start",
+                  "baseline_g", "optimized_g"});
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const auto &p = result.placements[j];
+        csv.writeRow(
+            std::vector<std::string>{
+                std::to_string(j), regions[jobs[j].homeRegion].name,
+                regions[p.region].name},
+            {static_cast<double>(p.start), p.baselineGrams,
+             p.grams});
+    }
+    std::printf("CSV written to %s\n",
+                bench::csvPath("ablation_spatial_shifting")
+                    .c_str());
+    return 0;
+}

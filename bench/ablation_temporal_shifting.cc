@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Ablation: carbon-aware temporal shifting. The paper's intro
+ * argues that flexible batch workloads that smooth peak demand
+ * should be attributed less embodied carbon. This bench shifts a
+ * population of flexible batch jobs on top of an Azure-like fleet
+ * trace and measures (a) the peak-capacity (= fleet embodied)
+ * reduction and (b) the per-job bill change under the Temporal
+ * Shapley intensity signal — the incentive loop closing.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "carbon/server.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/baselines.hh"
+#include "core/temporal.hh"
+#include "optimize/shifting.hh"
+#include "trace/generators.hh"
+
+using namespace fairco2;
+using optimize::FlexibleJob;
+
+namespace
+{
+
+/** Per-job carbon bills under an intensity signal. */
+double
+billFor(const trace::TimeSeries &intensity, const FlexibleJob &job,
+        std::size_t start, std::size_t steps_per_slice)
+{
+    double grams = 0.0;
+    for (std::size_t slice = start;
+         slice < start + job.durationSlices; ++slice) {
+        for (std::size_t i = slice * steps_per_slice;
+             i < (slice + 1) * steps_per_slice; ++i) {
+            grams += intensity[i] * job.cores *
+                intensity.stepSeconds();
+        }
+    }
+    return grams;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t num_jobs = 200;
+    std::int64_t seed = 7;
+    double job_cores = 2000.0;
+    FlagSet flags("Ablation: temporal shifting of flexible batch "
+                  "jobs");
+    flags.addInt("jobs", &num_jobs, "flexible batch jobs");
+    flags.addDouble("job-cores", &job_cores, "cores per job");
+    flags.addInt("seed", &seed, "RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    // One week of fleet demand at hourly slices (aggregated from
+    // the 5-minute trace).
+    Rng rng(static_cast<std::uint64_t>(seed));
+    trace::AzureLikeGenerator::Config config;
+    config.days = 7.0;
+    const auto fine =
+        trace::AzureLikeGenerator(config).generate(rng);
+    const auto base = fine.resampleMean(12); // hourly
+    const std::size_t horizon = base.size();
+
+    // Flexible jobs: 2-8 hours long, each free to move within a
+    // 24-hour window.
+    std::vector<FlexibleJob> jobs;
+    for (std::int64_t j = 0; j < num_jobs; ++j) {
+        FlexibleJob job;
+        job.cores = job_cores;
+        job.durationSlices = 2 + rng.index(7);
+        const std::size_t latest_fit =
+            horizon - job.durationSlices;
+        job.earliestStart = rng.index(latest_fit + 1);
+        job.latestStart =
+            std::min(job.earliestStart + 24, latest_fit);
+        jobs.push_back(job);
+    }
+
+    const optimize::TemporalShifter shifter;
+    const auto shifted = shifter.shift(base, jobs);
+
+    // Embodied consequence: capacity follows the peak.
+    const carbon::ServerCarbonModel server;
+    const double week_grams_per_core =
+        server.coreRateGramsPerSecond() * 7.0 * 86400.0;
+
+    TextTable table("Temporal shifting of flexible batch jobs "
+                    "(one week, hourly slices)");
+    table.setHeader({"Quantity", "Unshifted", "Shifted"});
+    table.addRow("peak demand (cores)",
+                 {shifted.peakBefore, shifted.peakAfter}, 0);
+    table.addRow("fleet embodied for the week (kg)",
+                 {shifted.peakBefore * week_grams_per_core / 1e3,
+                  shifted.peakAfter * week_grams_per_core / 1e3},
+                 1);
+    table.addRow(
+        "coordinate-descent passes",
+        {static_cast<double>(shifted.iterations),
+         static_cast<double>(shifted.iterations)},
+        0);
+    table.print();
+    std::printf("\nPeak (and thus capacity/embodied) reduction: "
+                "%.1f%%\n",
+                shifted.peakReductionPercent);
+
+    // Bill change for the shifted jobs under the post-shift
+    // Temporal Shapley signal versus their bills at the naive
+    // earliest-start placement under its signal.
+    std::vector<double> unshifted_demand(base.values());
+    for (const auto &job : jobs) {
+        for (std::size_t t = job.earliestStart;
+             t < job.earliestStart + job.durationSlices; ++t) {
+            unshifted_demand[t] += job.cores;
+        }
+    }
+    const trace::TimeSeries before_demand(unshifted_demand,
+                                          base.stepSeconds());
+    const core::TemporalShapley engine;
+    const std::vector<std::size_t> splits{7, 24};
+    const double week_pool = week_grams_per_core *
+        before_demand.mean();
+    const auto before_signal =
+        engine.attribute(before_demand, week_pool, splits);
+    const auto after_signal =
+        engine.attribute(shifted.demand, week_pool, splits);
+
+    double before_bills = 0.0, after_bills = 0.0;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        before_bills += billFor(before_signal.intensity, jobs[j],
+                                jobs[j].earliestStart, 1);
+        after_bills += billFor(after_signal.intensity, jobs[j],
+                               shifted.starts[j], 1);
+    }
+    std::printf(
+        "Aggregate flexible-job bill: %.1f kg -> %.1f kg "
+        "(%.1f%% saved) under the\nlive Temporal Shapley signal — "
+        "jobs that flatten the peak are attributed\nless embodied "
+        "carbon, as the incentive intends.\n",
+        before_bills / 1e3, after_bills / 1e3,
+        100.0 * (before_bills - after_bills) / before_bills);
+
+    CsvWriter csv(bench::csvPath("ablation_temporal_shifting"));
+    csv.writeRow({"slice", "base", "unshifted", "shifted"});
+    for (std::size_t t = 0; t < horizon; ++t) {
+        csv.writeNumericRow({static_cast<double>(t), base[t],
+                             before_demand[t],
+                             shifted.demand[t]});
+    }
+    std::printf("CSV written to %s\n",
+                bench::csvPath("ablation_temporal_shifting")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: output CSV locations and a
+ * uniform "paper vs measured" footer.
+ */
+
+#ifndef FAIRCO2_BENCH_BENCH_UTIL_HH
+#define FAIRCO2_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace fairco2::bench
+{
+
+/** CSV path under ./bench_out for a given series name. */
+inline std::string
+csvPath(const std::string &name)
+{
+    return "bench_out/" + name + ".csv";
+}
+
+/** Print a "paper reported X, this run measured Y" line. */
+inline void
+paperVsMeasured(const char *what, double paper, double measured,
+                const char *unit)
+{
+    std::printf("  %-46s paper: %8.2f %-8s measured: %8.2f %s\n",
+                what, paper, unit, measured, unit);
+}
+
+} // namespace fairco2::bench
+
+#endif // FAIRCO2_BENCH_BENCH_UTIL_HH

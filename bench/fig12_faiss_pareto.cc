@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Figure 12: FAISS carbon-latency Pareto fronts at two grid carbon
+ * intensities (a Sweden-like clean grid and a CAISO-like average
+ * grid). The Pareto-optimal set of core allocation, batch size, and
+ * index choice shifts with the grid intensity; the carbon-optimal
+ * algorithm crosses from IVF to HNSW as intensity rises.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "carbon/server.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/table.hh"
+#include "optimize/sweep.hh"
+#include "workload/perfmodel.hh"
+
+using namespace fairco2;
+using optimize::CarbonObjective;
+using optimize::faissSweep;
+using optimize::paretoFront;
+using workload::FaissModel;
+
+namespace
+{
+
+constexpr double kOfferedQps = 500.0;
+
+/** Per-query carbon serving the offered load (or a huge sentinel
+ *  when the configuration cannot absorb it). */
+double
+perQueryGrams(const CarbonObjective &objective,
+              const FaissModel &model,
+              const optimize::FaissSweepPoint &p)
+{
+    if (model.throughputQps(p.config) < kOfferedQps)
+        return 1e300;
+    return objective
+               .faissServiceRate(model, p.config, kOfferedQps)
+               .totalGrams() /
+        kOfferedQps;
+}
+
+void
+reportFront(const carbon::ServerCarbonModel &server,
+            const FaissModel &model, double grid_ci,
+            const char *label, CsvWriter &csv)
+{
+    const CarbonObjective objective(server, grid_ci);
+    const auto points = faissSweep(model, objective);
+
+    std::vector<double> latency, carbon;
+    for (const auto &p : points) {
+        const double g = perQueryGrams(objective, model, p);
+        // Push configurations that cannot serve the load to the
+        // far corner so they never enter the front.
+        latency.push_back(g >= 1e300 ? 1e300
+                                     : p.tailLatencySeconds);
+        carbon.push_back(g);
+    }
+    const auto front = paretoFront(latency, carbon);
+
+    TextTable table(std::string("Figure 12: Pareto front at ") +
+                    label);
+    table.setHeader({"Index", "Cores", "Batch", "Tail latency (s)",
+                     "gCO2e per 1k queries"});
+    for (std::size_t idx : front) {
+        const auto &p = points[idx];
+        table.addRow(workload::faissIndexName(p.config.index),
+                     {p.config.cores, p.config.batch,
+                      p.tailLatencySeconds,
+                      carbon[idx] * 1000.0},
+                     3);
+    }
+    table.print();
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        if (carbon[i] >= 1e300)
+            continue; // cannot serve the offered load
+        const bool on_front =
+            std::find(front.begin(), front.end(), i) != front.end();
+        csv.writeRow(
+            std::vector<std::string>{
+                label, workload::faissIndexName(p.config.index)},
+            {grid_ci, p.config.cores, p.config.batch,
+             p.tailLatencySeconds, carbon[i],
+             on_front ? 1.0 : 0.0});
+    }
+
+    // Carbon-optimal point under the paper's 2 s SLO.
+    double best = 1e300;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].tailLatencySeconds > 2.0)
+            continue;
+        if (carbon[i] < best) {
+            best = carbon[i];
+            best_idx = i;
+        }
+    }
+    const auto &p = points[best_idx];
+    std::printf("  Carbon-optimal at %s under 2 s SLO: %s, %g "
+                "cores, batch %g\n\n",
+                label, workload::faissIndexName(p.config.index),
+                p.config.cores, p.config.batch);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double clean_ci = 30.0;  // Sweden-like grid
+    double dirty_ci = 250.0; // CAISO-like average
+    FlagSet flags("Figure 12: FAISS carbon-latency Pareto fronts");
+    flags.addDouble("clean-ci", &clean_ci,
+                    "low grid intensity (g/kWh)");
+    flags.addDouble("dirty-ci", &dirty_ci,
+                    "high grid intensity (g/kWh)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const carbon::ServerCarbonModel server;
+    const FaissModel model;
+
+    CsvWriter csv(bench::csvPath("fig12_faiss_pareto"));
+    csv.writeRow({"scenario", "index", "grid_ci", "cores", "batch",
+                  "tail_latency_s", "g_per_query", "on_front"});
+
+    reportFront(server, model, clean_ci, "Sweden-like grid", csv);
+    reportFront(server, model, dirty_ci, "CAISO-like grid", csv);
+
+    // Locate the IVF -> HNSW crossover (paper: ~90 g/kWh).
+    double crossover = -1.0;
+    for (double ci = 0.0; ci <= 400.0; ci += 5.0) {
+        const CarbonObjective objective(server, ci);
+        const auto points = faissSweep(model, objective);
+        double best = 1e300;
+        workload::FaissIndex index = workload::FaissIndex::IVF;
+        for (const auto &p : points) {
+            if (p.tailLatencySeconds > 2.0)
+                continue;
+            const double g = perQueryGrams(objective, model, p);
+            if (g < best) {
+                best = g;
+                index = p.config.index;
+            }
+        }
+        if (index == workload::FaissIndex::HNSW) {
+            crossover = ci;
+            break;
+        }
+    }
+    std::printf("Carbon-optimal index switches IVF -> HNSW at "
+                "~%.0f g/kWh ", crossover);
+    bench::paperVsMeasured("(paper crossover)", 90.0, crossover,
+                           "g/kWh");
+    std::printf("CSV written to %s\n",
+                bench::csvPath("fig12_faiss_pareto").c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 1: three very different demand curves with the same peak
+ * need the same minimum provisioned capacity — peak demand, not
+ * average utilization, drives embodied carbon.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "bench_util.hh"
+#include "carbon/server.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/table.hh"
+#include "trace/timeseries.hh"
+
+using namespace fairco2;
+
+namespace
+{
+
+/** Build the three demand scenarios over one day of hourly steps. */
+std::vector<std::pair<const char *, trace::TimeSeries>>
+scenarios()
+{
+    constexpr std::size_t kHours = 24;
+    constexpr double kPeak = 960.0; // cores
+
+    std::vector<double> steady(kHours, kPeak);
+
+    std::vector<double> diurnal(kHours);
+    for (std::size_t h = 0; h < kHours; ++h) {
+        const double phase =
+            2.0 * std::numbers::pi * (static_cast<double>(h) - 15.0) /
+            24.0;
+        diurnal[h] = kPeak * (0.65 + 0.35 * std::cos(phase));
+    }
+
+    std::vector<double> bursty(kHours, 0.25 * kPeak);
+    bursty[9] = kPeak; // a single morning burst hits the same peak
+
+    return {
+        {"steady", trace::TimeSeries(std::move(steady), 3600.0)},
+        {"diurnal", trace::TimeSeries(std::move(diurnal), 3600.0)},
+        {"bursty", trace::TimeSeries(std::move(bursty), 3600.0)},
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("Figure 1: peak demand sets minimum capacity");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const carbon::ServerCarbonModel server;
+    const double cores_per_node = server.config().totalCores();
+    const double node_embodied_kg =
+        server.embodied().totalKg();
+
+    TextTable table(
+        "Figure 1: minimum required capacity per demand scenario");
+    table.setHeader({"Scenario", "Mean demand (cores)",
+                     "Peak demand (cores)", "Nodes needed",
+                     "Fleet embodied (kgCO2e)"});
+
+    CsvWriter csv(bench::csvPath("fig1_peak_capacity"));
+    csv.writeRow({"scenario", "hour", "demand_cores"});
+
+    for (const auto &[name, demand] : scenarios()) {
+        const double peak = demand.peak();
+        const double nodes = std::ceil(peak / cores_per_node);
+        table.addRow(name,
+                     {demand.mean(), peak, nodes,
+                      nodes * node_embodied_kg},
+                     1);
+        for (std::size_t h = 0; h < demand.size(); ++h)
+            csv.writeRow(name, {static_cast<double>(h), demand[h]});
+    }
+    table.print();
+
+    std::printf(
+        "\nAll three scenarios provision identical capacity (same\n"
+        "peak), so they carry identical embodied carbon despite\n"
+        "mean demand differing by ~3x — the gap utilization-\n"
+        "proportional attribution cannot see.\n");
+    std::printf("CSV written to %s\n",
+                bench::csvPath("fig1_peak_capacity").c_str());
+    return 0;
+}

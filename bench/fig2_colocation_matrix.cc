@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 2: pairwise colocation characterization. (a) runtime
+ * increase of each workload against each colocation partner;
+ * (b) change in RUP-attributed dynamic energy versus running in
+ * isolation. Full matrices go to CSV; the text output summarizes
+ * per-workload sensitivity (row averages) and inflicted pressure
+ * (column averages) plus the paper's NBODY/CH callout.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/table.hh"
+#include "workload/interference.hh"
+#include "workload/suite.hh"
+
+using namespace fairco2;
+using workload::Suite;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("Figure 2: pairwise colocation matrix");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const Suite suite;
+    const workload::InterferenceModel model;
+    const std::size_t n = suite.size();
+
+    // runtime_pct[i][j]: runtime increase of i when colocated with
+    // j. energy_pct[i][j]: change in i's RUP-attributed dynamic
+    // energy under that pairing versus isolation.
+    std::vector<std::vector<double>> runtime_pct(
+        n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> energy_pct(
+        n, std::vector<double>(n, 0.0));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &wi = suite.at(i);
+        const auto iso_i = model.isolated(wi);
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto &wj = suite.at(j);
+            const auto [mi, mj] = model.colocatedPair(wi, wj);
+            runtime_pct[i][j] =
+                (mi.runtimeSeconds / iso_i.runtimeSeconds - 1.0) *
+                100.0;
+
+            // RUP attributes the node's dynamic energy by CPU-
+            // utilization-time share.
+            const double node_energy = mi.dynamicEnergyJoules +
+                mj.dynamicEnergyJoules;
+            const double ui = mi.cpuUtilization * mi.runtimeSeconds;
+            const double uj = mj.cpuUtilization * mj.runtimeSeconds;
+            const double attributed =
+                node_energy * ui / (ui + uj);
+            energy_pct[i][j] =
+                (attributed / iso_i.dynamicEnergyJoules - 1.0) *
+                100.0;
+        }
+    }
+
+    // Full matrices to CSV.
+    CsvWriter csv(bench::csvPath("fig2_colocation_matrix"));
+    {
+        std::vector<std::string> header{"metric", "workload"};
+        for (std::size_t j = 0; j < n; ++j)
+            header.push_back(suite.at(j).name);
+        csv.writeRow(header);
+        for (std::size_t i = 0; i < n; ++i) {
+            csv.writeRow(std::vector<std::string>{
+                             "runtime_increase_pct",
+                             suite.at(i).name},
+                         runtime_pct[i]);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            csv.writeRow(std::vector<std::string>{
+                             "energy_attr_change_pct",
+                             suite.at(i).name},
+                         energy_pct[i]);
+        }
+    }
+
+    TextTable table("Figure 2 summary: interference suffered and "
+                    "inflicted (percent)");
+    table.setHeader({"Workload", "Avg runtime +%", "Max runtime +%",
+                     "Avg inflicted +%", "Avg energy-attr +%"});
+    for (std::size_t i = 0; i < n; ++i) {
+        double suffered = 0.0, inflicted = 0.0, energy = 0.0;
+        double worst = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            suffered += runtime_pct[i][j];
+            inflicted += runtime_pct[j][i];
+            energy += energy_pct[i][j];
+            worst = std::max(worst, runtime_pct[i][j]);
+        }
+        const double denom = static_cast<double>(n - 1);
+        table.addRow(suite.at(i).name,
+                     {suffered / denom, worst, inflicted / denom,
+                      energy / denom},
+                     1);
+    }
+    table.print();
+
+    const auto nbody =
+        static_cast<std::size_t>(workload::WorkloadId::NBODY);
+    const auto ch =
+        static_cast<std::size_t>(workload::WorkloadId::CH);
+    std::printf("\nHeadline pairing (paper: NBODY +87%%, CH "
+                "+39%%):\n");
+    bench::paperVsMeasured("NBODY runtime increase next to CH", 87.0,
+                           runtime_pct[nbody][ch], "%");
+    bench::paperVsMeasured("CH runtime increase next to NBODY", 39.0,
+                           runtime_pct[ch][nbody], "%");
+    std::printf("CSV written to %s\n",
+                bench::csvPath("fig2_colocation_matrix").c_str());
+    return 0;
+}

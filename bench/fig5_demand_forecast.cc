@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 5: forecast data-center CPU demand with 21 days of history
+ * and a 9-day horizon, Prophet-style (trend + Fourier seasonality).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "forecast/forecaster.hh"
+#include "trace/generators.hh"
+
+using namespace fairco2;
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t seed = 42;
+    std::int64_t history_days = 21;
+    std::int64_t horizon_days = 9;
+    FlagSet flags("Figure 5: demand forecasting");
+    flags.addInt("seed", &seed, "trace RNG seed");
+    flags.addInt("history-days", &history_days,
+                 "days of history to fit");
+    flags.addInt("horizon-days", &horizon_days,
+                 "days to forecast");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    trace::AzureLikeGenerator::Config config;
+    config.days =
+        static_cast<double>(history_days + horizon_days);
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const auto truth =
+        trace::AzureLikeGenerator(config).generate(rng);
+
+    const auto steps_per_day = static_cast<std::size_t>(
+        86400.0 / truth.stepSeconds());
+    const std::size_t split = history_days * steps_per_day;
+
+    forecast::SeasonalForecaster forecaster;
+    forecaster.fit(truth.slice(0, split));
+    const auto horizon = forecaster.forecast(truth.size() - split);
+
+    TextTable table("Figure 5: per-day forecast error (MAPE, %)");
+    table.setHeader({"Forecast day", "MAPE (%)",
+                     "Actual mean (cores)",
+                     "Forecast mean (cores)"});
+    for (std::int64_t d = 0; d < horizon_days; ++d) {
+        std::vector<double> actual, predicted;
+        for (std::size_t i = d * steps_per_day;
+             i < (d + 1) * steps_per_day &&
+             split + i < truth.size();
+             ++i) {
+            actual.push_back(truth[split + i]);
+            predicted.push_back(horizon[i]);
+        }
+        OnlineStats a, p;
+        for (double v : actual)
+            a.add(v);
+        for (double v : predicted)
+            p.add(v);
+        table.addRow("+" + std::to_string(d + 1),
+                     {meanAbsolutePercentageError(actual, predicted),
+                      a.mean(), p.mean()},
+                     2);
+    }
+    table.print();
+
+    std::vector<double> actual(truth.values().begin() + split,
+                               truth.values().end());
+    const double overall =
+        meanAbsolutePercentageError(actual, horizon.values());
+    std::printf("\nOverall %lld-day demand-forecast MAPE: %.2f%%\n",
+                static_cast<long long>(horizon_days), overall);
+
+    CsvWriter csv(bench::csvPath("fig5_demand_forecast"));
+    csv.writeRow({"step", "time_s", "actual_cores",
+                  "forecast_cores"});
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        const double predicted =
+            i < split ? truth[i] : horizon[i - split];
+        csv.writeNumericRow({static_cast<double>(i),
+                             i * truth.stepSeconds(), truth[i],
+                             predicted});
+    }
+    std::printf("CSV written to %s\n",
+                bench::csvPath("fig5_demand_forecast").c_str());
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Figure 8: Monte Carlo evaluation of interference-aware attribution
+ * fairness over random colocation scenarios: overall, by historical
+ * sampling rate, by workload count, and by grid carbon intensity.
+ *
+ * Defaults run in seconds; the paper's full scale is
+ * --trials 10000.
+ */
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "montecarlo/colocmc.hh"
+
+using namespace fairco2;
+
+namespace
+{
+
+using Agg = std::array<OnlineStats, 4>; // rup avg/worst, fair
+                                        // avg/worst
+
+void
+accumulate(Agg &agg, const montecarlo::ColocTrialResult &r)
+{
+    agg[0].add(r.avgRup);
+    agg[1].add(r.worstRup);
+    agg[2].add(r.avgFairCo2);
+    agg[3].add(r.worstFairCo2);
+}
+
+void
+addAggRow(TextTable &table, const std::string &label,
+          const Agg &agg)
+{
+    table.addRow(label,
+                 {agg[0].mean(), agg[1].mean(), agg[2].mean(),
+                  agg[3].mean()},
+                 2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t trials = 10000;
+    std::int64_t min_workloads = 4;
+    std::int64_t max_workloads = 100;
+    double min_ci = 0.0;
+    double max_ci = 1000.0;
+    std::int64_t seed = 1;
+    FlagSet flags("Figure 8: colocation Monte Carlo "
+                  "(paper scale: --trials 10000)");
+    flags.addInt("trials", &trials, "number of random scenarios");
+    flags.addInt("min-workloads", &min_workloads,
+                 "fewest workloads per scenario");
+    flags.addInt("max-workloads", &max_workloads,
+                 "most workloads per scenario");
+    flags.addDouble("min-grid-ci", &min_ci,
+                    "lowest grid intensity (g/kWh)");
+    flags.addDouble("max-grid-ci", &max_ci,
+                    "highest grid intensity (g/kWh)");
+    flags.addInt("seed", &seed, "RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    montecarlo::ColocMcConfig config;
+    config.trials = static_cast<std::size_t>(trials);
+    config.minWorkloads = static_cast<std::size_t>(min_workloads);
+    config.maxWorkloads = static_cast<std::size_t>(max_workloads);
+    config.minGridCi = min_ci;
+    config.maxGridCi = max_ci;
+
+    const montecarlo::ColocationMonteCarlo mc;
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const auto out = mc.run(config, rng);
+
+    // ---- Overall (panels a, e). ----
+    Agg overall{};
+    for (const auto &r : out.trials)
+        accumulate(overall, r);
+
+    TextTable table_a("Figure 8(a,e): deviation from ground truth "
+                      "across all colocation scenarios (%)");
+    table_a.setHeader({"Slice", "RUP avg", "RUP worst", "Fair avg",
+                       "Fair worst"});
+    addAggRow(table_a, "all scenarios", overall);
+    table_a.print();
+
+    std::printf("\nPaper reference (10k scenarios):\n");
+    bench::paperVsMeasured("RUP average deviation", 9.7,
+                           overall[0].mean(), "%");
+    bench::paperVsMeasured("Fair-CO2 average deviation", 1.72,
+                           overall[2].mean(), "%");
+    bench::paperVsMeasured("RUP worst-case deviation", 31.7,
+                           overall[1].mean(), "%");
+    bench::paperVsMeasured("Fair-CO2 worst-case deviation", 5.0,
+                           overall[3].mean(), "%");
+
+    // ---- By historical sampling rate (panels b, f). ----
+    std::map<int, Agg> by_rate;
+    for (const auto &r : out.trials) {
+        const int samples = static_cast<int>(
+            r.samplingRate * 15.0 + 0.5);
+        accumulate(by_rate[samples], r);
+    }
+    TextTable table_b("Figure 8(b,f): deviation by historical "
+                      "sampling (of 15 possible partners, %)");
+    table_b.setHeader({"Samples", "RUP avg", "RUP worst",
+                       "Fair avg", "Fair worst"});
+    for (const auto &[samples, agg] : by_rate)
+        addAggRow(table_b, std::to_string(samples), agg);
+    table_b.print();
+
+    // ---- By workload count (panels c, g). ----
+    std::map<int, Agg> by_count;
+    for (const auto &r : out.trials) {
+        const int bin =
+            static_cast<int>((r.numWorkloads + 10) / 20 * 20);
+        accumulate(by_count[bin], r);
+    }
+    TextTable table_c("Figure 8(c,g): deviation by workload count "
+                      "(binned, %)");
+    table_c.setHeader({"~Workloads", "RUP avg", "RUP worst",
+                       "Fair avg", "Fair worst"});
+    for (const auto &[bin, agg] : by_count)
+        addAggRow(table_c, std::to_string(bin), agg);
+    table_c.print();
+
+    // ---- By grid carbon intensity (panels d, h). ----
+    std::map<int, Agg> by_ci;
+    for (const auto &r : out.trials) {
+        const int bin =
+            static_cast<int>((r.gridCi + 100.0) / 200.0) * 200;
+        accumulate(by_ci[bin], r);
+    }
+    TextTable table_d("Figure 8(d,h): deviation by grid carbon "
+                      "intensity (binned, g/kWh -> %)");
+    table_d.setHeader({"~Grid CI", "RUP avg", "RUP worst",
+                       "Fair avg", "Fair worst"});
+    for (const auto &[bin, agg] : by_ci)
+        addAggRow(table_d, std::to_string(bin), agg);
+    table_d.print();
+
+    CsvWriter csv(bench::csvPath("fig8_colocation_mc"));
+    csv.writeRow({"trial", "workloads", "grid_ci",
+                  "sampling_rate", "avg_rup", "worst_rup",
+                  "avg_fair", "worst_fair"});
+    for (std::size_t i = 0; i < out.trials.size(); ++i) {
+        const auto &r = out.trials[i];
+        csv.writeNumericRow(
+            {static_cast<double>(i),
+             static_cast<double>(r.numWorkloads), r.gridCi,
+             r.samplingRate, r.avgRup, r.worstRup, r.avgFairCo2,
+             r.worstFairCo2});
+    }
+    std::printf("\nCSV written to %s\n",
+                bench::csvPath("fig8_colocation_mc").c_str());
+    return 0;
+}

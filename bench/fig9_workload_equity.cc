@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 9: attribution equity across workload types. Top panels:
+ * the distribution of each workload's own deviation from the ground
+ * truth under RUP and Fair-CO2. Bottom panels: the distribution of
+ * each workload's *partners'* deviations — does sitting next to a
+ * given workload make your bill unfair?
+ */
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "montecarlo/colocmc.hh"
+
+using namespace fairco2;
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t trials = 2000;
+    std::int64_t seed = 1;
+    FlagSet flags("Figure 9: per-workload attribution equity "
+                  "(paper scale: --trials 10000)");
+    flags.addInt("trials", &trials, "number of random scenarios");
+    flags.addInt("seed", &seed, "RNG seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    montecarlo::ColocMcConfig config;
+    config.trials = static_cast<std::size_t>(trials);
+    config.minWorkloads = 4;
+    config.maxWorkloads = 40;
+    config.collectRecords = true;
+
+    const montecarlo::ColocationMonteCarlo mc;
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const auto out = mc.run(config, rng);
+
+    const auto &suite = mc.suite();
+    const std::size_t n = suite.size();
+
+    // own[i]: deviations of workload type i itself.
+    // partner[i]: deviations of whoever was paired with type i.
+    std::vector<std::vector<double>> own_rup(n), own_fair(n);
+    std::vector<std::vector<double>> partner_rup(n),
+        partner_fair(n);
+    std::vector<std::size_t> isolated_count(n, 0);
+
+    // Records are emitted per scenario in member order; partner
+    // linkage is by suite id of the realized partner.
+    for (const auto &rec : out.records) {
+        own_rup[rec.suiteId].push_back(rec.devRup);
+        own_fair[rec.suiteId].push_back(rec.devFairCo2);
+        if (rec.partnerSuiteId == static_cast<std::size_t>(-1)) {
+            ++isolated_count[rec.suiteId];
+            continue;
+        }
+        partner_rup[rec.partnerSuiteId].push_back(rec.devRup);
+        partner_fair[rec.partnerSuiteId].push_back(rec.devFairCo2);
+    }
+
+    TextTable own("Figure 9 (top): own deviation distribution by "
+                  "workload (%)");
+    own.setHeader({"Workload", "RUP mean", "RUP p95", "Fair mean",
+                   "Fair p95", "Samples"});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (own_rup[i].empty())
+            continue;
+        const auto r = Summary::of(own_rup[i]);
+        const auto f = Summary::of(own_fair[i]);
+        own.addRow(suite.at(i).name,
+                   {r.mean, r.p95, f.mean, f.p95,
+                    static_cast<double>(r.count)},
+                   2);
+    }
+    own.print();
+
+    TextTable partners("Figure 9 (bottom): partner deviation "
+                       "distribution by workload (%)");
+    partners.setHeader({"Next to", "RUP mean", "RUP p95",
+                        "Fair mean", "Fair p95", "Samples"});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (partner_rup[i].empty())
+            continue;
+        const auto r = Summary::of(partner_rup[i]);
+        const auto f = Summary::of(partner_fair[i]);
+        partners.addRow(suite.at(i).name,
+                        {r.mean, r.p95, f.mean, f.p95,
+                         static_cast<double>(r.count)},
+                        2);
+    }
+    partners.print();
+
+    // Cross-workload equity: spread of per-type mean deviations.
+    std::vector<double> rup_means, fair_means;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (own_rup[i].empty())
+            continue;
+        rup_means.push_back(Summary::of(own_rup[i]).mean);
+        fair_means.push_back(Summary::of(own_fair[i]).mean);
+    }
+    const auto rup_spread = Summary::of(rup_means);
+    const auto fair_spread = Summary::of(fair_means);
+    std::printf(
+        "\nEquity across workload types (spread of per-type mean "
+        "deviation):\n"
+        "  RUP      : min %.2f%%  max %.2f%%  stddev %.2f%%\n"
+        "  Fair-CO2 : min %.2f%%  max %.2f%%  stddev %.2f%%\n",
+        rup_spread.min, rup_spread.max, rup_spread.stddev,
+        fair_spread.min, fair_spread.max, fair_spread.stddev);
+
+    CsvWriter csv(bench::csvPath("fig9_workload_equity"));
+    csv.writeRow({"workload", "partner", "dev_rup", "dev_fair"});
+    for (const auto &rec : out.records) {
+        const std::string partner =
+            rec.partnerSuiteId == static_cast<std::size_t>(-1)
+                ? "(isolated)"
+                : suite.at(rec.partnerSuiteId).name;
+        csv.writeRow(
+            std::vector<std::string>{suite.at(rec.suiteId).name,
+                                     partner},
+            {rec.devRup, rec.devFairCo2});
+    }
+    std::printf("CSV written to %s\n",
+                bench::csvPath("fig9_workload_equity").c_str());
+    return 0;
+}

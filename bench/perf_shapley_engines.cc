@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Microbenchmarks for the Shapley engines: the exponential exact
+ * solver versus the polynomial peak-game closed form and the full
+ * hierarchical Temporal Shapley pass — the computational-efficiency
+ * story of Section 5.1.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/temporal.hh"
+#include "shapley/exact.hh"
+#include "shapley/peak.hh"
+#include "shapley/sampling.hh"
+#include "trace/generators.hh"
+
+using namespace fairco2;
+
+namespace
+{
+
+std::vector<double>
+randomPeaks(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> peaks(n);
+    for (auto &p : peaks)
+        p = rng.uniform(0.0, 1000.0);
+    return peaks;
+}
+
+void
+BM_ExactShapleyPeakGame(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const shapley::PeakGame game(randomPeaks(n, 7));
+    for (auto _ : state) {
+        auto phi = shapley::exactShapley(game);
+        benchmark::DoNotOptimize(phi);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_ClosedFormPeakShapley(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto peaks = randomPeaks(n, 7);
+    for (auto _ : state) {
+        auto phi = shapley::peakGameShapley(peaks);
+        benchmark::DoNotOptimize(phi);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_SampledShapley(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const shapley::PeakGame game(randomPeaks(n, 7));
+    Rng rng(11);
+    for (auto _ : state) {
+        auto phi = shapley::sampledShapley(game, rng, 100);
+        benchmark::DoNotOptimize(phi);
+    }
+}
+
+void
+BM_AntitheticSampledShapley(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const shapley::PeakGame game(randomPeaks(n, 7));
+    Rng rng(12);
+    for (auto _ : state) {
+        auto phi = shapley::antitheticSampledShapley(game, rng, 50);
+        benchmark::DoNotOptimize(phi);
+    }
+}
+
+void
+BM_StratifiedSampledShapley(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const shapley::PeakGame game(randomPeaks(n, 7));
+    Rng rng(13);
+    for (auto _ : state) {
+        auto phi = shapley::stratifiedSampledShapley(game, rng, 8);
+        benchmark::DoNotOptimize(phi);
+    }
+}
+
+void
+BM_TemporalShapleyMonth(benchmark::State &state)
+{
+    trace::AzureLikeGenerator::Config config;
+    config.days = 30.0;
+    Rng rng(42);
+    const auto demand =
+        trace::AzureLikeGenerator(config).generate(rng);
+    const core::TemporalShapley engine;
+    const std::vector<std::size_t> splits{10, 9, 8, 12};
+    for (auto _ : state) {
+        auto result = engine.attribute(demand, 1e6, splits);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+} // namespace
+
+// Exact enumeration doubles in cost per added player.
+BENCHMARK(BM_ExactShapleyPeakGame)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(18)
+    ->Complexity();
+
+// The closed form handles five orders of magnitude more players.
+BENCHMARK(BM_ClosedFormPeakShapley)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(131072)
+    ->Complexity(benchmark::oNLogN);
+
+BENCHMARK(BM_SampledShapley)->Arg(16)->Arg(64);
+BENCHMARK(BM_AntitheticSampledShapley)->Arg(16)->Arg(64);
+BENCHMARK(BM_StratifiedSampledShapley)->Arg(16)->Arg(32);
+
+BENCHMARK(BM_TemporalShapleyMonth);
+
+BENCHMARK_MAIN();

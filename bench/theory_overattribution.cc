@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Theory check (Section 5.1, "Theoretical limits of Temporal
+ * Shapley"): in the stylized K-short / (N-K)-long scenario the
+ * paper derives a closed-form over-attribution of long-running
+ * workloads. This bench (1) validates the closed form against the
+ * real attribution pipeline, (2) shows the bias against the exact
+ * workload-level Shapley ground truth, and (3) demonstrates the
+ * span discount the paper proposes as future work.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "common/table.hh"
+#include "core/discount.hh"
+
+using namespace fairco2;
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t n = 12;
+    std::int64_t k = 9;
+    std::int64_t m = 6;
+    double p = 0.3;
+    FlagSet flags("Theory: unit resource-time over-attribution of "
+                  "long-running workloads");
+    flags.addInt("n", &n, "total workloads");
+    flags.addInt("k", &k, "short-lived workloads (k < n)");
+    flags.addInt("m", &m, "attribution periods");
+    flags.addDouble("p", &p, "off-peak demand fraction (0, 1)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const double total = 1000.0;
+    const auto analysis = core::unitResourceTimeAnalysis(
+        static_cast<std::size_t>(n), static_cast<std::size_t>(k),
+        static_cast<std::size_t>(m), p, total);
+
+    const auto schedule = core::stylizedLongShortSchedule(
+        static_cast<std::size_t>(n), static_cast<std::size_t>(k),
+        static_cast<std::size_t>(m), p);
+    const auto result = core::attributeSchedule(schedule, total);
+
+    const double short_sim = result.fairCo2[0];
+    const double long_sim =
+        result.fairCo2[static_cast<std::size_t>(k)];
+    const double short_truth = result.groundTruth[0];
+    const double long_truth =
+        result.groundTruth[static_cast<std::size_t>(k)];
+
+    TextTable table("Per-workload attribution in the stylized "
+                    "scenario (grams)");
+    table.setHeader({"Quantity", "Short workload",
+                     "Long workload"});
+    table.addRow("closed-form analysis (Sec 5.1)",
+                 {analysis.shortWorkloadGrams,
+                  analysis.longWorkloadGrams},
+                 2);
+    table.addRow("Temporal Shapley (pipeline)",
+                 {short_sim, long_sim}, 2);
+    table.addRow("exact workload Shapley",
+                 {short_truth, long_truth}, 2);
+    table.print();
+
+    std::printf(
+        "\nPredicted per-long-workload bias: %.2f g; pipeline bias "
+        "vs ground truth: %.2f g\n"
+        "(The closed form assumes every workload holds 1/N of the "
+        "first period's\ndemand; the single-reservation schedule "
+        "splits that demand differently,\nso magnitudes shift while "
+        "the direction and structure of the bias hold.)\n",
+        analysis.overattributionGrams, long_sim - long_truth);
+
+    // Span-discount sweep.
+    std::vector<std::size_t> spans;
+    for (const auto &w : schedule.workloads())
+        spans.push_back(w.durationSlices);
+
+    TextTable sweep("Span-discount sweep: total |deviation| from "
+                    "the exact ground truth (grams)");
+    sweep.setHeader({"kappa", "Total abs deviation",
+                     "Long-workload bias"});
+    CsvWriter csv(bench::csvPath("theory_overattribution"));
+    csv.writeRow({"kappa", "total_abs_dev", "long_bias"});
+    for (double kappa :
+         {0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+        const auto discounted = core::spanDiscountedAttribution(
+            result.fairCo2, spans, kappa);
+        double dev = 0.0;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(n); ++i) {
+            dev += std::abs(discounted[i] -
+                            result.groundTruth[i]);
+        }
+        const double bias =
+            discounted[static_cast<std::size_t>(k)] - long_truth;
+        sweep.addRow(TextTable::fmt(kappa, 2), {dev, bias}, 2);
+        csv.writeNumericRow({kappa, dev, bias});
+    }
+    sweep.print();
+
+    std::printf(
+        "\nA moderate span discount removes most of the bias the\n"
+        "analysis predicts — the 'discount for long-running\n"
+        "workloads' the paper leaves as future work.\n");
+    std::printf("CSV written to %s\n",
+                bench::csvPath("theory_overattribution").c_str());
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Batch-shifting scenario: a team owns a nightly analytics pipeline
+ * of flexible jobs. Using the cluster's Temporal Shapley intensity
+ * signal they let the shifter move the jobs into demand troughs —
+ * cutting both the fleet's provisioned capacity and their own
+ * attributed carbon.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "carbon/server.hh"
+#include "core/temporal.hh"
+#include "optimize/shifting.hh"
+#include "trace/generators.hh"
+
+using namespace fairco2;
+
+int
+main()
+{
+    // Two days of fleet demand at hourly resolution.
+    Rng rng(11);
+    trace::AzureLikeGenerator::Config config;
+    config.days = 2.0;
+    config.baseCores = 50000.0;
+    const auto base = trace::AzureLikeGenerator(config)
+                          .generate(rng)
+                          .resampleMean(12);
+
+    // The pipeline: six stages, 2-5 hours each, all nominally
+    // kicked off at 9 am on day one but free to run any time in
+    // the following 24 hours.
+    std::vector<optimize::FlexibleJob> stages;
+    const std::size_t nine_am = 9;
+    const std::size_t stage_hours[] = {2, 3, 2, 5, 4, 2};
+    for (std::size_t duration : stage_hours) {
+        optimize::FlexibleJob job;
+        job.cores = 4000.0;
+        job.durationSlices = duration;
+        job.earliestStart = nine_am;
+        job.latestStart = nine_am + 24;
+        stages.push_back(job);
+    }
+
+    const optimize::TemporalShifter shifter;
+    const auto result = shifter.shift(base, stages);
+
+    std::printf("Nightly pipeline shifting (6 stages, 4000 cores "
+                "each):\n\n");
+    std::printf("  %-8s %-10s %-10s\n", "stage", "was (h)",
+                "now (h)");
+    for (std::size_t j = 0; j < stages.size(); ++j) {
+        std::printf("  stage-%zu  %-10zu %-10zu\n", j + 1,
+                    stages[j].earliestStart, result.starts[j]);
+    }
+
+    const carbon::ServerCarbonModel server;
+    const double grams_per_core =
+        server.coreRateGramsPerSecond() * 2.0 * 86400.0;
+    std::printf(
+        "\n  fleet peak:   %.0f -> %.0f cores (%.1f%% less "
+        "capacity)\n  fleet embodied for the window: %.1f -> %.1f "
+        "kg\n",
+        result.peakBefore, result.peakAfter,
+        result.peakReductionPercent,
+        result.peakBefore * grams_per_core / 1e3,
+        result.peakAfter * grams_per_core / 1e3);
+
+    // Show the signal the team would have seen.
+    const core::TemporalShapley engine;
+    const double pool = grams_per_core * base.mean();
+    const auto signal =
+        engine.attribute(result.demand, pool, {2, 24});
+    double lo = 1e300, hi = 0.0;
+    std::size_t lo_h = 0, hi_h = 0;
+    for (std::size_t h = 0; h < signal.intensity.size(); ++h) {
+        if (signal.intensity[h] < lo) {
+            lo = signal.intensity[h];
+            lo_h = h;
+        }
+        if (signal.intensity[h] > hi) {
+            hi = signal.intensity[h];
+            hi_h = h;
+        }
+    }
+    std::printf(
+        "\n  intensity signal after shifting: trough %.2e g/core-s "
+        "(hour %zu),\n  peak %.2e g/core-s (hour %zu) — a %.1fx "
+        "spread the next night's\n  scheduling can exploit again.\n",
+        lo, lo_h % 24, hi, hi_h % 24, hi / lo);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Carbon-aware service scenario: run a latency-bounded FAISS
+ * retrieval service for three days, re-choosing index algorithm,
+ * core count, and batch size every five minutes from the live grid
+ * and embodied carbon intensity signals (the Section 8 case study
+ * as a library user would deploy it).
+ */
+
+#include <cstdio>
+
+#include "carbon/server.hh"
+#include "core/temporal.hh"
+#include "optimize/dynamic.hh"
+#include "trace/generators.hh"
+#include "workload/perfmodel.hh"
+
+using namespace fairco2;
+
+int
+main()
+{
+    Rng rng(7);
+
+    // Live inputs: a CAISO-like grid and an Azure-like demand trace
+    // that Fair-CO2 turns into an embodied intensity signal.
+    trace::GridCiGenerator::Config grid_config;
+    grid_config.days = 3.0;
+    const auto grid =
+        trace::GridCiGenerator(grid_config).generate(rng);
+
+    trace::AzureLikeGenerator::Config demand_config;
+    demand_config.days = 3.0;
+    const auto demand =
+        trace::AzureLikeGenerator(demand_config).generate(rng);
+
+    const carbon::ServerCarbonModel server;
+    const double window_grams = server.coreRateGramsPerSecond() *
+        demand.mean() * 3.0 * 86400.0;
+    const auto signal = core::TemporalShapley().attribute(
+        demand, window_grams, {3, 8, 12});
+
+    // The service: 2-second tail-latency target at 300 q/s.
+    const workload::FaissModel model;
+    const optimize::DynamicOptimizer optimizer(server, model);
+    const auto result =
+        optimizer.optimize(grid, signal.intensity, 2.0, 300.0);
+
+    std::printf("Three-day carbon-aware FAISS deployment:\n");
+    std::printf("  reconfigurations : %zu\n", result.configChanges);
+    std::printf("  optimized carbon : %.2f kg\n",
+                result.optimizedGrams / 1000.0);
+    std::printf("  fixed-config carbon: %.2f kg\n",
+                result.baselineGrams / 1000.0);
+    std::printf("  savings          : %.1f%%\n\n",
+                result.savingsPercent);
+
+    // Show a sample of the decision trace: midnight, morning,
+    // midday, evening of day 2.
+    std::printf("%-12s %-6s %6s %6s %10s %12s\n", "time", "index",
+                "cores", "batch", "grid g/kWh", "g per query");
+    for (double hour : {24.0, 32.0, 37.0, 44.0}) {
+        const auto idx = static_cast<std::size_t>(
+            hour * 3600.0 / signal.intensity.stepSeconds());
+        const auto &s = result.steps[idx];
+        std::printf("day2 %02.0f:00  %-6s %6.0f %6.0f %10.0f "
+                    "%12.4f\n",
+                    hour - 24.0,
+                    workload::faissIndexName(s.config.index),
+                    s.config.cores, s.config.batch, s.gridCi,
+                    s.carbonPerQueryGrams);
+    }
+    std::printf(
+        "\nWhen the solar dip cleans the grid, the optimizer leans\n"
+        "into the power-hungry-but-small-index IVF; on the dirty\n"
+        "evening plateau it switches to the low-power HNSW.\n");
+    return 0;
+}

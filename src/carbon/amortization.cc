@@ -1,0 +1,133 @@
+#include "carbon/amortization.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fairco2::carbon
+{
+
+AmortizationSchedule::AmortizationSchedule(double total_grams,
+                                           double lifetime_seconds)
+    : totalGrams_(total_grams), lifetimeSeconds_(lifetime_seconds)
+{
+    assert(total_grams >= 0.0);
+    assert(lifetime_seconds > 0.0);
+}
+
+double
+AmortizationSchedule::windowGrams(double begin_seconds,
+                                  double end_seconds) const
+{
+    assert(begin_seconds <= end_seconds);
+    return cumulativeGrams(end_seconds) -
+        cumulativeGrams(begin_seconds);
+}
+
+std::string
+UniformAmortization::name() const
+{
+    return "uniform";
+}
+
+double
+UniformAmortization::cumulativeGrams(double age_seconds) const
+{
+    const double clamped =
+        std::clamp(age_seconds, 0.0, lifetimeSeconds_);
+    return totalGrams_ * clamped / lifetimeSeconds_;
+}
+
+double
+UniformAmortization::ratePerSecond(double age_seconds) const
+{
+    if (age_seconds < 0.0 || age_seconds > lifetimeSeconds_)
+        return 0.0;
+    return totalGrams_ / lifetimeSeconds_;
+}
+
+DecliningBalanceAmortization::DecliningBalanceAmortization(
+    double total_grams, double lifetime_seconds, double decay_factor)
+    : AmortizationSchedule(total_grams, lifetime_seconds)
+{
+    assert(decay_factor > 0.0 && decay_factor < 1.0);
+    // rate(t) = rate(0) * exp(-lambda t); rate(L)/rate(0) =
+    // decay_factor fixes lambda.
+    lambda_ = -std::log(decay_factor) / lifetime_seconds;
+}
+
+std::string
+DecliningBalanceAmortization::name() const
+{
+    return "declining-balance";
+}
+
+double
+DecliningBalanceAmortization::cumulativeGrams(
+    double age_seconds) const
+{
+    const double t =
+        std::clamp(age_seconds, 0.0, lifetimeSeconds_);
+    const double denom =
+        1.0 - std::exp(-lambda_ * lifetimeSeconds_);
+    return totalGrams_ * (1.0 - std::exp(-lambda_ * t)) / denom;
+}
+
+double
+DecliningBalanceAmortization::ratePerSecond(double age_seconds) const
+{
+    if (age_seconds < 0.0 || age_seconds > lifetimeSeconds_)
+        return 0.0;
+    const double denom =
+        1.0 - std::exp(-lambda_ * lifetimeSeconds_);
+    return totalGrams_ * lambda_ *
+        std::exp(-lambda_ * age_seconds) / denom;
+}
+
+std::string
+SumOfYearsAmortization::name() const
+{
+    return "sum-of-years";
+}
+
+double
+SumOfYearsAmortization::cumulativeGrams(double age_seconds) const
+{
+    const double t =
+        std::clamp(age_seconds, 0.0, lifetimeSeconds_);
+    const double l = lifetimeSeconds_;
+    // Integral of the linearly declining rate 2C/L * (1 - t/L).
+    return totalGrams_ * (2.0 * l * t - t * t) / (l * l);
+}
+
+double
+SumOfYearsAmortization::ratePerSecond(double age_seconds) const
+{
+    if (age_seconds < 0.0 || age_seconds > lifetimeSeconds_)
+        return 0.0;
+    return 2.0 * totalGrams_ / lifetimeSeconds_ *
+        (1.0 - age_seconds / lifetimeSeconds_);
+}
+
+std::unique_ptr<AmortizationSchedule>
+makeAmortization(const std::string &scheme, double total_grams,
+                 double lifetime_seconds)
+{
+    if (scheme == "uniform") {
+        return std::make_unique<UniformAmortization>(
+            total_grams, lifetime_seconds);
+    }
+    if (scheme == "declining-balance") {
+        return std::make_unique<DecliningBalanceAmortization>(
+            total_grams, lifetime_seconds);
+    }
+    if (scheme == "sum-of-years") {
+        return std::make_unique<SumOfYearsAmortization>(
+            total_grams, lifetime_seconds);
+    }
+    throw std::invalid_argument("unknown amortization scheme: " +
+                                scheme);
+}
+
+} // namespace fairco2::carbon

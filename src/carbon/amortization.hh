@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Amortization (carbon depreciation) schedules.
+ *
+ * Temporal Shapley first amortizes a server's cradle-to-gate carbon
+ * into each accounting window (Section 5.1 uses uniform
+ * amortization, citing the depreciation models of Ji et al.). The
+ * choice of schedule shifts carbon between early and late life of
+ * the hardware; the ablation bench quantifies the effect. All
+ * schedules conserve the total: cumulative(lifetime) == total.
+ */
+
+#ifndef FAIRCO2_CARBON_AMORTIZATION_HH
+#define FAIRCO2_CARBON_AMORTIZATION_HH
+
+#include <memory>
+#include <string>
+
+namespace fairco2::carbon
+{
+
+/** A depreciation curve for a fixed carbon cost over a lifetime. */
+class AmortizationSchedule
+{
+  public:
+    /**
+     * @param total_grams carbon to amortize.
+     * @param lifetime_seconds service life of the hardware.
+     */
+    AmortizationSchedule(double total_grams,
+                         double lifetime_seconds);
+    virtual ~AmortizationSchedule() = default;
+
+    double totalGrams() const { return totalGrams_; }
+    double lifetimeSeconds() const { return lifetimeSeconds_; }
+
+    /** Human-readable scheme name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Carbon amortized into [0, age]; clamped to the total beyond
+     * end-of-life. Monotone non-decreasing.
+     */
+    virtual double cumulativeGrams(double age_seconds) const = 0;
+
+    /** Instantaneous rate at an age, grams per second. */
+    virtual double ratePerSecond(double age_seconds) const = 0;
+
+    /** Carbon amortized into the window [begin, end]. */
+    double windowGrams(double begin_seconds,
+                       double end_seconds) const;
+
+  protected:
+    double totalGrams_;
+    double lifetimeSeconds_;
+};
+
+/** Straight-line: equal carbon per unit time (the paper's default). */
+class UniformAmortization : public AmortizationSchedule
+{
+  public:
+    using AmortizationSchedule::AmortizationSchedule;
+
+    std::string name() const override;
+    double cumulativeGrams(double age_seconds) const override;
+    double ratePerSecond(double age_seconds) const override;
+};
+
+/**
+ * Continuous declining-balance: the rate decays exponentially with
+ * age (new hardware carries more of its manufacturing debt),
+ * normalized so the lifetime total is fully amortized.
+ */
+class DecliningBalanceAmortization : public AmortizationSchedule
+{
+  public:
+    /**
+     * @param decay_factor end-of-life rate as a fraction of the
+     *        initial rate, in (0, 1); smaller = steeper decline.
+     */
+    DecliningBalanceAmortization(double total_grams,
+                                 double lifetime_seconds,
+                                 double decay_factor = 0.25);
+
+    std::string name() const override;
+    double cumulativeGrams(double age_seconds) const override;
+    double ratePerSecond(double age_seconds) const override;
+
+  private:
+    double lambda_; //!< decay constant, 1/seconds
+};
+
+/**
+ * Continuous sum-of-years-digits analogue: rate declines linearly
+ * from 2x the uniform rate to zero at end-of-life.
+ */
+class SumOfYearsAmortization : public AmortizationSchedule
+{
+  public:
+    using AmortizationSchedule::AmortizationSchedule;
+
+    std::string name() const override;
+    double cumulativeGrams(double age_seconds) const override;
+    double ratePerSecond(double age_seconds) const override;
+};
+
+/** Factory for the ablation sweeps. */
+std::unique_ptr<AmortizationSchedule>
+makeAmortization(const std::string &scheme, double total_grams,
+                 double lifetime_seconds);
+
+} // namespace fairco2::carbon
+
+#endif // FAIRCO2_CARBON_AMORTIZATION_HH

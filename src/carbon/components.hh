@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Component-level embodied carbon models.
+ *
+ * These follow the spirit of architectural carbon tools (ACT, the imec
+ * netzero model, the SSD model of Tannu & Nair) while being calibrated
+ * to the per-component values the Fair-CO2 paper quotes for its
+ * evaluation server (2x Xeon Gold 6240R, 192 GB DDR4, 480 GB SSD):
+ * a 10.27 kgCO2e CPU at 165 W TDP and a 146.87 kgCO2e DRAM pool.
+ */
+
+#ifndef FAIRCO2_CARBON_COMPONENTS_HH
+#define FAIRCO2_CARBON_COMPONENTS_HH
+
+#include <string>
+#include <vector>
+
+namespace fairco2::carbon
+{
+
+/** One manufactured part in the server bill of materials. */
+struct ComponentFootprint
+{
+    std::string name;
+    double tdpWatts = 0.0;          //!< thermal design power
+    double embodiedKgCo2e = 0.0;    //!< cradle-to-gate manufacturing
+
+    /** kgCO2e per watt of TDP; the paper's Table 1 ratio column. */
+    double embodiedPerWatt() const;
+};
+
+/**
+ * ACT-style logic-die model: fab footprint scales with die area, with
+ * per-process-node carbon-per-area capturing fab energy, gases, and
+ * materials, divided by yield, plus per-package overhead.
+ */
+class CpuModel
+{
+  public:
+    /**
+     * @param die_area_mm2 total die area of the package.
+     * @param kg_per_cm2 carbon per cm^2 for the node (fab CI included).
+     * @param yield fraction of good dies (0, 1].
+     * @param packaging_kg fixed per-package carbon.
+     */
+    CpuModel(double die_area_mm2, double kg_per_cm2, double yield,
+             double packaging_kg);
+
+    /** Embodied carbon in kgCO2e for one packaged CPU. */
+    double embodiedKgCo2e() const;
+
+    /** Cascade-Lake-class 24-core server die calibration. */
+    static CpuModel xeonGold6240r();
+
+  private:
+    double dieAreaMm2_;
+    double kgPerCm2_;
+    double yield_;
+    double packagingKg_;
+};
+
+/** DRAM embodied model: carbon per GB at a given density generation. */
+class DramModel
+{
+  public:
+    /** @param kg_per_gb manufacturing carbon per usable GB. */
+    explicit DramModel(double kg_per_gb);
+
+    /** Embodied carbon for @p gigabytes of memory. */
+    double embodiedKgCo2e(double gigabytes) const;
+
+    /** DDR4 calibration matching the paper's 192 GB pool. */
+    static DramModel ddr4();
+
+  private:
+    double kgPerGb_;
+};
+
+/** SSD embodied model (Tannu & Nair rate: 0.16 kgCO2e per GB). */
+class SsdModel
+{
+  public:
+    explicit SsdModel(double kg_per_gb = 0.16);
+
+    /** Embodied carbon for @p gigabytes of flash. */
+    double embodiedKgCo2e(double gigabytes) const;
+
+  private:
+    double kgPerGb_;
+};
+
+/**
+ * Mainboard, chassis, power delivery, and cooling modelled from the
+ * Dell R740 life-cycle assessment, with the power/cooling share scaled
+ * by the ratio of system TDP to the reference R740 TDP.
+ */
+class PlatformModel
+{
+  public:
+    PlatformModel();
+
+    /**
+     * Embodied carbon for the non-IC platform at @p system_tdp_watts.
+     */
+    double embodiedKgCo2e(double system_tdp_watts) const;
+
+  private:
+    double fixedKg_;            //!< board + chassis + assembly
+    double powerCoolingKgRef_;  //!< power/cooling at reference TDP
+    double referenceTdpWatts_;
+};
+
+} // namespace fairco2::carbon
+
+#endif // FAIRCO2_CARBON_COMPONENTS_HH

@@ -1,0 +1,73 @@
+#include "carbon/grid.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace fairco2::carbon
+{
+
+GridCarbonIntensity::GridCarbonIntensity(double g_per_kwh)
+    : samples_{g_per_kwh}, periodSeconds_(1.0)
+{
+    assert(g_per_kwh >= 0.0);
+}
+
+GridCarbonIntensity::GridCarbonIntensity(std::vector<double> samples,
+                                         double period_seconds)
+    : samples_(std::move(samples)), periodSeconds_(period_seconds)
+{
+    assert(!samples_.empty());
+    assert(period_seconds > 0.0);
+}
+
+double
+GridCarbonIntensity::at(double seconds) const
+{
+    if (samples_.size() == 1)
+        return samples_.front();
+    const double span = periodSeconds_ * samples_.size();
+    double t = std::fmod(seconds, span);
+    if (t < 0.0)
+        t += span;
+    const auto idx = static_cast<std::size_t>(t / periodSeconds_);
+    return samples_[idx < samples_.size() ? idx : samples_.size() - 1];
+}
+
+double
+GridCarbonIntensity::gramsFor(double joules, double seconds) const
+{
+    assert(joules >= 0.0);
+    return joules / kJoulesPerKwh * at(seconds);
+}
+
+double
+GridCarbonIntensity::mean() const
+{
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / samples_.size();
+}
+
+UniformAmortizer::UniformAmortizer(double total_grams,
+                                   double lifetime_seconds)
+    : totalGrams_(total_grams), lifetimeSeconds_(lifetime_seconds)
+{
+    assert(total_grams >= 0.0);
+    assert(lifetime_seconds > 0.0);
+}
+
+double
+UniformAmortizer::gramsPerSecond() const
+{
+    return totalGrams_ / lifetimeSeconds_;
+}
+
+double
+UniformAmortizer::gramsFor(double seconds) const
+{
+    assert(seconds >= 0.0);
+    return gramsPerSecond() * seconds;
+}
+
+} // namespace fairco2::carbon

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Grid carbon intensity: converts operational energy to carbon.
+ */
+
+#ifndef FAIRCO2_CARBON_GRID_HH
+#define FAIRCO2_CARBON_GRID_HH
+
+#include <vector>
+
+namespace fairco2::carbon
+{
+
+/** Joules per kilowatt-hour. */
+constexpr double kJoulesPerKwh = 3.6e6;
+
+/**
+ * Time-varying grid carbon intensity in gCO2e/kWh.
+ *
+ * Backed by a step-wise series sampled at a fixed period; a constant
+ * intensity is the single-sample special case.
+ */
+class GridCarbonIntensity
+{
+  public:
+    /** Constant intensity of @p g_per_kwh. */
+    explicit GridCarbonIntensity(double g_per_kwh);
+
+    /**
+     * Piecewise-constant series: @p samples at @p period_seconds
+     * spacing starting at time zero. Times beyond the series wrap
+     * around (the series is treated as periodic).
+     */
+    GridCarbonIntensity(std::vector<double> samples,
+                        double period_seconds);
+
+    /** Intensity at time @p seconds, in gCO2e/kWh. */
+    double at(double seconds) const;
+
+    /** Carbon in grams for @p joules consumed at time @p seconds. */
+    double gramsFor(double joules, double seconds = 0.0) const;
+
+    /** Mean intensity across the backing series. */
+    double mean() const;
+
+  private:
+    std::vector<double> samples_;
+    double periodSeconds_;
+};
+
+/**
+ * Uniform amortization of a fixed carbon cost over a lifetime:
+ * the scheme the paper applies before Temporal Shapley refines it.
+ */
+class UniformAmortizer
+{
+  public:
+    /**
+     * @param total_grams carbon to amortize.
+     * @param lifetime_seconds period it is spread across.
+     */
+    UniformAmortizer(double total_grams, double lifetime_seconds);
+
+    /** Amortized rate in grams per second. */
+    double gramsPerSecond() const;
+
+    /** Carbon assigned to a window of @p seconds. */
+    double gramsFor(double seconds) const;
+
+  private:
+    double totalGrams_;
+    double lifetimeSeconds_;
+};
+
+} // namespace fairco2::carbon
+
+#endif // FAIRCO2_CARBON_GRID_HH

@@ -1,0 +1,127 @@
+#include "carbon/server.hh"
+
+#include <cassert>
+
+namespace fairco2::carbon
+{
+
+double
+ServerConfig::systemTdpWatts() const
+{
+    return numCpus * cpuTdpWatts + dramTdpWatts;
+}
+
+ServerConfig
+ServerConfig::paperServer()
+{
+    return ServerConfig{};
+}
+
+double
+EmbodiedBreakdown::totalKg() const
+{
+    return cpuKg + dramKg + ssdKg + platformKg;
+}
+
+double
+PowerModel::watts(double utilization) const
+{
+    assert(utilization >= 0.0 && utilization <= 1.0 + 1e-9);
+    return staticWatts + dynamicPeakWatts * utilization;
+}
+
+double
+PowerModel::staticJoules(double seconds) const
+{
+    assert(seconds >= 0.0);
+    return staticWatts * seconds;
+}
+
+ServerCarbonModel::ServerCarbonModel(const ServerConfig &config)
+    : config_(config)
+{
+    const CpuModel cpu = CpuModel::xeonGold6240r();
+    const DramModel dram = DramModel::ddr4();
+    const SsdModel ssd;
+    const PlatformModel platform;
+
+    embodied_.cpuKg = cpu.embodiedKgCo2e() * config_.numCpus;
+    embodied_.dramKg = dram.embodiedKgCo2e(config_.dramGb);
+    embodied_.ssdKg = ssd.embodiedKgCo2e(config_.ssdGb);
+    embodied_.platformKg =
+        platform.embodiedKgCo2e(config_.systemTdpWatts());
+}
+
+double
+ServerCarbonModel::embodiedGrams() const
+{
+    return embodied_.totalKg() * 1000.0;
+}
+
+namespace
+{
+
+/**
+ * Split the shared (SSD + platform) carbon between the CPU and DRAM
+ * pools proportional to TDP: power delivery, cooling, and board
+ * infrastructure scale with the power they serve.
+ */
+double
+poolGrams(double direct_kg, double tdp_watts, double other_tdp_watts,
+          double shared_kg)
+{
+    const double tdp_total = tdp_watts + other_tdp_watts;
+    const double share =
+        tdp_total > 0.0 ? tdp_watts / tdp_total : 0.5;
+    return (direct_kg + shared_kg * share) * 1000.0;
+}
+
+} // namespace
+
+double
+ServerCarbonModel::cpuPoolGrams() const
+{
+    return poolGrams(embodied_.cpuKg,
+                     config_.numCpus * config_.cpuTdpWatts,
+                     config_.dramTdpWatts,
+                     embodied_.ssdKg + embodied_.platformKg);
+}
+
+double
+ServerCarbonModel::memPoolGrams() const
+{
+    return poolGrams(embodied_.dramKg, config_.dramTdpWatts,
+                     config_.numCpus * config_.cpuTdpWatts,
+                     embodied_.ssdKg + embodied_.platformKg);
+}
+
+double
+ServerCarbonModel::lifetimeSeconds() const
+{
+    return config_.lifetimeYears * 365.25 * 86400.0;
+}
+
+double
+ServerCarbonModel::coreRateGramsPerSecond() const
+{
+    return cpuPoolGrams() /
+        (lifetimeSeconds() * config_.totalCores());
+}
+
+double
+ServerCarbonModel::memRateGramsPerSecond() const
+{
+    return memPoolGrams() / (lifetimeSeconds() * config_.dramGb);
+}
+
+std::vector<ComponentFootprint>
+ServerCarbonModel::table1() const
+{
+    std::vector<ComponentFootprint> rows;
+    rows.push_back({"DRAM", config_.dramTdpWatts, embodied_.dramKg});
+    rows.push_back({"CPU", config_.cpuTdpWatts,
+                    embodied_.cpuKg / config_.numCpus});
+    return rows;
+}
+
+} // namespace fairco2::carbon

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Whole-server carbon model: bill of materials, per-resource embodied
+ * rates after lifetime amortization, and the node power model.
+ */
+
+#ifndef FAIRCO2_CARBON_SERVER_HH
+#define FAIRCO2_CARBON_SERVER_HH
+
+#include <vector>
+
+#include "carbon/components.hh"
+
+namespace fairco2::carbon
+{
+
+/** Hardware configuration of one server node. */
+struct ServerConfig
+{
+    int numCpus = 2;
+    int coresPerCpu = 24;
+    double cpuTdpWatts = 165.0;
+    double dramGb = 192.0;
+    double dramTdpWatts = 25.0;
+    double ssdGb = 480.0;
+    double lifetimeYears = 4.0;
+
+    /** Physical cores across all sockets. */
+    int totalCores() const { return numCpus * coresPerCpu; }
+
+    /** Sum of component TDPs. */
+    double systemTdpWatts() const;
+
+    /** The paper's evaluation server (2x Xeon Gold 6240R). */
+    static ServerConfig paperServer();
+};
+
+/** Embodied carbon of a server, itemized (kgCO2e). */
+struct EmbodiedBreakdown
+{
+    double cpuKg = 0.0;       //!< all sockets together
+    double dramKg = 0.0;
+    double ssdKg = 0.0;
+    double platformKg = 0.0;  //!< board, chassis, power, cooling
+
+    double totalKg() const;
+};
+
+/**
+ * Static + utilization-proportional node power model.
+ *
+ * Calibrated to the ~60/40 static/dynamic energy split reported for
+ * Google data centers, which the paper uses as its operational model.
+ */
+struct PowerModel
+{
+    double staticWatts = 220.0;       //!< drawn whenever the node is on
+    double dynamicPeakWatts = 230.0;  //!< extra at 100% CPU utilization
+
+    /** Instantaneous power at CPU @p utilization in [0, 1]. */
+    double watts(double utilization) const;
+
+    /** Static energy in joules for @p seconds of uptime. */
+    double staticJoules(double seconds) const;
+};
+
+/**
+ * Server-level carbon model combining the component models.
+ *
+ * The SSD and platform carbon (which have no per-workload allocation
+ * metric of their own) are folded into the CPU and DRAM pools
+ * proportional to component TDP — power delivery and cooling scale
+ * with the power they serve — giving the two per-resource rates every
+ * attribution method in this repo consumes: gCO2e per core-second
+ * and gCO2e per GB-second.
+ */
+class ServerCarbonModel
+{
+  public:
+    explicit ServerCarbonModel(
+        const ServerConfig &config = ServerConfig::paperServer());
+
+    const ServerConfig &config() const { return config_; }
+    const EmbodiedBreakdown &embodied() const { return embodied_; }
+    const PowerModel &power() const { return power_; }
+
+    /** Total embodied carbon of the node in grams. */
+    double embodiedGrams() const;
+
+    /** CPU pool carbon (cores + share of platform), grams. */
+    double cpuPoolGrams() const;
+
+    /** DRAM pool carbon (DIMMs + share of platform), grams. */
+    double memPoolGrams() const;
+
+    /**
+     * Uniformly amortized embodied rate for one core,
+     * gCO2e per core-second.
+     */
+    double coreRateGramsPerSecond() const;
+
+    /**
+     * Uniformly amortized embodied rate for one GB of DRAM,
+     * gCO2e per GB-second.
+     */
+    double memRateGramsPerSecond() const;
+
+    /** Lifetime in seconds used for amortization. */
+    double lifetimeSeconds() const;
+
+    /** The Table 1 rows: per-component TDP vs embodied carbon. */
+    std::vector<ComponentFootprint> table1() const;
+
+  private:
+    ServerConfig config_;
+    EmbodiedBreakdown embodied_;
+    PowerModel power_;
+};
+
+} // namespace fairco2::carbon
+
+#endif // FAIRCO2_CARBON_SERVER_HH

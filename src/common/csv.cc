@@ -1,0 +1,176 @@
+#include "common/csv.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace fairco2
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    out_.open(path);
+    if (!out_)
+        throw std::runtime_error("cannot open CSV for writing: " + path);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell) const
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &cells)
+{
+    char buf[64];
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        std::snprintf(buf, sizeof(buf), "%.10g", cells[i]);
+        out_ << buf;
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::string &label,
+                    const std::vector<double> &cells)
+{
+    writeRow(std::vector<std::string>{label}, cells);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &labels,
+                    const std::vector<double> &cells)
+{
+    bool first = true;
+    for (const auto &label : labels) {
+        if (!first)
+            out_ << ',';
+        out_ << escape(label);
+        first = false;
+    }
+    char buf[64];
+    for (double v : cells) {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        if (!first)
+            out_ << ',';
+        out_ << buf;
+        first = false;
+    }
+    out_ << '\n';
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell += c;
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            cells.push_back(cell);
+            cell.clear();
+        } else if (c != '\r') {
+            cell += c;
+        }
+    }
+    cells.push_back(cell);
+    return cells;
+}
+
+} // namespace
+
+std::size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return i;
+    }
+    return std::string::npos;
+}
+
+std::vector<double>
+CsvTable::numericColumn(const std::string &name) const
+{
+    const std::size_t col = columnIndex(name);
+    if (col == std::string::npos)
+        throw std::runtime_error("no such CSV column: " + name);
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const auto &row : rows)
+        values.push_back(col < row.size() ? std::stod(row[col]) : 0.0);
+    return values;
+}
+
+CsvTable
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open CSV for reading: " + path);
+
+    CsvTable table;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto cells = splitCsvLine(line);
+        if (first) {
+            table.header = std::move(cells);
+            first = false;
+        } else {
+            table.rows.push_back(std::move(cells));
+        }
+    }
+    return table;
+}
+
+} // namespace fairco2

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal CSV reading/writing used by the bench harnesses to persist
+ * the series behind each reproduced table and figure.
+ */
+
+#ifndef FAIRCO2_COMMON_CSV_HH
+#define FAIRCO2_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fairco2
+{
+
+/**
+ * Streams rows of mixed string/numeric cells into a CSV file.
+ *
+ * Values containing commas, quotes, or newlines are quoted per RFC
+ * 4180. The file is created (and parent directory made, one level) on
+ * construction.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; throws std::runtime_error on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write a header or data row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write a row of numeric cells with full double precision. */
+    void writeNumericRow(const std::vector<double> &cells);
+
+    /**
+     * Write a row whose first cell is a label and the rest numeric —
+     * the common shape of figure series.
+     */
+    void writeRow(const std::string &label,
+                  const std::vector<double> &cells);
+
+    /** Write several label cells followed by numeric cells. */
+    void writeRow(const std::vector<std::string> &labels,
+                  const std::vector<double> &cells);
+
+    /** Path the writer is bound to. */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string escape(const std::string &cell) const;
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+/**
+ * Parsed CSV contents: a header row plus data rows of strings.
+ */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Column index for @p name, or npos when absent. */
+    std::size_t columnIndex(const std::string &name) const;
+
+    /** Numeric view of one column (by header name). */
+    std::vector<double> numericColumn(const std::string &name) const;
+};
+
+/**
+ * Read an entire CSV file (simple quoting rules, no embedded
+ * newlines). Throws std::runtime_error when the file cannot be read.
+ */
+CsvTable readCsv(const std::string &path);
+
+} // namespace fairco2
+
+#endif // FAIRCO2_COMMON_CSV_HH

@@ -1,0 +1,150 @@
+#include "common/flags.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fairco2
+{
+
+FlagSet::FlagSet(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+FlagSet::registerFlag(const std::string &name, Kind kind, void *target,
+                      const std::string &help,
+                      const std::string &default_repr)
+{
+    Flag flag{kind, target, help, default_repr};
+    if (!flags_.emplace(name, flag).second)
+        throw std::logic_error("duplicate flag: --" + name);
+    order_.push_back(name);
+}
+
+void
+FlagSet::addInt(const std::string &name, std::int64_t *value,
+                const std::string &help)
+{
+    registerFlag(name, Kind::Int, value, help, std::to_string(*value));
+}
+
+void
+FlagSet::addDouble(const std::string &name, double *value,
+                   const std::string &help)
+{
+    registerFlag(name, Kind::Double, value, help, std::to_string(*value));
+}
+
+void
+FlagSet::addString(const std::string &name, std::string *value,
+                   const std::string &help)
+{
+    registerFlag(name, Kind::String, value, help, *value);
+}
+
+void
+FlagSet::addBool(const std::string &name, bool *value,
+                 const std::string &help)
+{
+    registerFlag(name, Kind::Bool, value, help, *value ? "true" : "false");
+}
+
+void
+FlagSet::printUsage(const std::string &prog) const
+{
+    std::printf("%s\n\nUsage: %s [flags]\n", description_.c_str(),
+                prog.c_str());
+    for (const auto &name : order_) {
+        const Flag &flag = flags_.at(name);
+        std::printf("  --%-24s %s (default: %s)\n", name.c_str(),
+                    flag.help.c_str(), flag.defaultRepr.c_str());
+    }
+    std::printf("  --%-24s %s\n", "help", "show this message");
+}
+
+void
+FlagSet::fail(const std::string &prog, const std::string &message) const
+{
+    std::fprintf(stderr, "error: %s\n\n", message.c_str());
+    printUsage(prog);
+    std::exit(2);
+}
+
+bool
+FlagSet::assign(const Flag &flag, const std::string &text) const
+{
+    try {
+        switch (flag.kind) {
+          case Kind::Int:
+            *static_cast<std::int64_t *>(flag.target) =
+                std::stoll(text);
+            return true;
+          case Kind::Double:
+            *static_cast<double *>(flag.target) = std::stod(text);
+            return true;
+          case Kind::String:
+            *static_cast<std::string *>(flag.target) = text;
+            return true;
+          case Kind::Bool:
+            if (text == "true" || text == "1") {
+                *static_cast<bool *>(flag.target) = true;
+            } else if (text == "false" || text == "0") {
+                *static_cast<bool *>(flag.target) = false;
+            } else {
+                return false;
+            }
+            return true;
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    return false;
+}
+
+bool
+FlagSet::parse(int argc, char **argv)
+{
+    const std::string prog = argc > 0 ? argv[0] : "prog";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(prog);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0)
+            fail(prog, "unexpected positional argument: " + arg);
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+
+        const auto it = flags_.find(name);
+        if (it == flags_.end())
+            fail(prog, "unknown flag: --" + name);
+
+        const Flag &flag = it->second;
+        if (!has_value) {
+            if (flag.kind == Kind::Bool) {
+                *static_cast<bool *>(flag.target) = true;
+                continue;
+            }
+            if (i + 1 >= argc)
+                fail(prog, "flag --" + name + " needs a value");
+            value = argv[++i];
+        }
+        if (!assign(flag, value))
+            fail(prog, "bad value for --" + name + ": " + value);
+    }
+    return true;
+}
+
+} // namespace fairco2

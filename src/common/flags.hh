@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the bench and example binaries.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean
+ * switches ("--fast"). Unknown flags are fatal so that typos in sweep
+ * scripts fail loudly.
+ */
+
+#ifndef FAIRCO2_COMMON_FLAGS_HH
+#define FAIRCO2_COMMON_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fairco2
+{
+
+/** Declarative flag registry bound to variables by pointer. */
+class FlagSet
+{
+  public:
+    /** @param description one-line program description for --help. */
+    explicit FlagSet(std::string description);
+
+    /** Register an int64 flag with a default already stored in *value. */
+    void addInt(const std::string &name, std::int64_t *value,
+                const std::string &help);
+
+    /** Register a double flag. */
+    void addDouble(const std::string &name, double *value,
+                   const std::string &help);
+
+    /** Register a string flag. */
+    void addString(const std::string &name, std::string *value,
+                   const std::string &help);
+
+    /** Register a boolean switch (presence sets true; =false resets). */
+    void addBool(const std::string &name, bool *value,
+                 const std::string &help);
+
+    /**
+     * Parse argv. On --help prints usage and returns false (caller
+     * should exit 0). On a malformed or unknown flag prints an error
+     * and usage, then exits with status 2.
+     */
+    bool parse(int argc, char **argv);
+
+  private:
+    enum class Kind { Int, Double, String, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        void *target;
+        std::string help;
+        std::string defaultRepr;
+    };
+
+    void registerFlag(const std::string &name, Kind kind, void *target,
+                      const std::string &help,
+                      const std::string &default_repr);
+    void printUsage(const std::string &prog) const;
+    [[noreturn]] void fail(const std::string &prog,
+                           const std::string &message) const;
+    bool assign(const Flag &flag, const std::string &text) const;
+
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+};
+
+} // namespace fairco2
+
+#endif // FAIRCO2_COMMON_FLAGS_HH

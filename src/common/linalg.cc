@@ -1,0 +1,132 @@
+#include "common/linalg.hh"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fairco2
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(cols_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double *row = &data_[r * cols_];
+        for (std::size_t i = 0; i < cols_; ++i) {
+            const double ri = row[i];
+            if (ri == 0.0)
+                continue;
+            for (std::size_t j = i; j < cols_; ++j)
+                g(i, j) += ri * row[j];
+        }
+    }
+    // Mirror the upper triangle.
+    for (std::size_t i = 0; i < cols_; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            g(i, j) = g(j, i);
+    return g;
+}
+
+std::vector<double>
+Matrix::transposeTimes(const std::vector<double> &v) const
+{
+    assert(v.size() == rows_);
+    std::vector<double> out(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double *row = &data_[r * cols_];
+        const double vr = v[r];
+        for (std::size_t c = 0; c < cols_; ++c)
+            out[c] += row[c] * vr;
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::times(const std::vector<double> &v) const
+{
+    assert(v.size() == cols_);
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double *row = &data_[r * cols_];
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+std::vector<double>
+choleskySolve(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    assert(a.cols() == n && b.size() == n);
+
+    // In-place Cholesky: a becomes lower-triangular factor L.
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= a(j, k) * a(j, k);
+        if (diag <= 0.0)
+            throw std::runtime_error("matrix not positive definite");
+        const double ljj = std::sqrt(diag);
+        a(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double v = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                v -= a(i, k) * a(j, k);
+            a(i, j) = v / ljj;
+        }
+    }
+
+    // Forward substitution: L y = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            v -= a(i, k) * b[k];
+        b[i] = v / a(i, i);
+    }
+
+    // Back substitution: L^T x = y.
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double v = b[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            v -= a(k, i) * b[k];
+        b[i] = v / a(i, i);
+    }
+    return b;
+}
+
+std::vector<double>
+ridgeRegression(const Matrix &x, const std::vector<double> &y,
+                double lambda)
+{
+    assert(lambda >= 0.0);
+    Matrix gram = x.gram();
+    for (std::size_t i = 0; i < gram.rows(); ++i)
+        gram(i, i) += lambda;
+    return choleskySolve(std::move(gram), x.transposeTimes(y));
+}
+
+} // namespace fairco2

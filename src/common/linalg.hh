@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small dense linear algebra: just enough to fit the ridge-regularized
+ * least-squares models used by the demand forecaster. Not a general
+ * BLAS; sizes here are tens of columns by thousands of rows.
+ */
+
+#ifndef FAIRCO2_COMMON_LINALG_HH
+#define FAIRCO2_COMMON_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fairco2
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Zero-filled rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable element access (no bounds check in release builds). */
+    double &operator()(std::size_t r, std::size_t c);
+    /** Const element access. */
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** this^T * this (Gram matrix), cols x cols. */
+    Matrix gram() const;
+
+    /** this^T * v for a vector of length rows(). */
+    std::vector<double> transposeTimes(const std::vector<double> &v) const;
+
+    /** this * v for a vector of length cols(). */
+    std::vector<double> times(const std::vector<double> &v) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the symmetric positive-definite system A x = b in place via
+ * Cholesky decomposition. @p a is overwritten with its factor.
+ *
+ * @return the solution vector.
+ * @throws std::runtime_error if A is not positive definite.
+ */
+std::vector<double> choleskySolve(Matrix a, std::vector<double> b);
+
+/**
+ * Ridge-regularized least squares: minimizes
+ * |X w - y|^2 + lambda |w|^2 (the intercept column, if any, is
+ * regularized too; callers rescale features so this is harmless).
+ *
+ * @param x design matrix (rows = samples, cols = features).
+ * @param y targets, length x.rows().
+ * @param lambda non-negative ridge penalty.
+ * @return fitted weights, length x.cols().
+ */
+std::vector<double> ridgeRegression(const Matrix &x,
+                                    const std::vector<double> &y,
+                                    double lambda);
+
+} // namespace fairco2
+
+#endif // FAIRCO2_COMMON_LINALG_HH

@@ -1,0 +1,151 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fairco2
+{
+
+OnlineStats::OnlineStats()
+    : count_(0), mean_(0.0), m2_(0.0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      sum_(0.0)
+{
+}
+
+void
+OnlineStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+OnlineStats::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    assert(!values.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary
+Summary::of(std::vector<double> values)
+{
+    Summary s;
+    if (values.empty())
+        return s;
+
+    OnlineStats acc;
+    for (double v : values)
+        acc.add(v);
+
+    s.count = acc.count();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    s.min = acc.min();
+    s.max = acc.max();
+    s.p25 = quantile(values, 0.25);
+    s.median = quantile(values, 0.50);
+    s.p75 = quantile(values, 0.75);
+    s.p95 = quantile(values, 0.95);
+    return s;
+}
+
+namespace
+{
+
+/**
+ * Walk paired actual/predicted values and feed absolute percentage
+ * errors to the visitor, skipping zero-actual entries.
+ */
+template <typename Visit>
+void
+forEachApe(const std::vector<double> &actual,
+           const std::vector<double> &predicted, Visit &&visit)
+{
+    assert(actual.size() == predicted.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (actual[i] == 0.0)
+            continue;
+        visit(std::abs((predicted[i] - actual[i]) / actual[i]) * 100.0);
+    }
+}
+
+} // namespace
+
+double
+meanAbsolutePercentageError(const std::vector<double> &actual,
+                            const std::vector<double> &predicted)
+{
+    OnlineStats acc;
+    forEachApe(actual, predicted, [&](double ape) { acc.add(ape); });
+    return acc.mean();
+}
+
+double
+worstAbsolutePercentageError(const std::vector<double> &actual,
+                             const std::vector<double> &predicted)
+{
+    double worst = 0.0;
+    forEachApe(actual, predicted,
+               [&](double ape) { worst = std::max(worst, ape); });
+    return worst;
+}
+
+} // namespace fairco2

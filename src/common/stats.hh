@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Summary statistics used throughout the evaluation harnesses.
+ */
+
+#ifndef FAIRCO2_COMMON_STATS_HH
+#define FAIRCO2_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fairco2
+{
+
+/**
+ * Streaming accumulator for mean/variance/min/max (Welford's method).
+ */
+class OnlineStats
+{
+  public:
+    OnlineStats();
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+  private:
+    std::size_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+/**
+ * Batch summary of a sample: mean, spread, and quantiles.
+ *
+ * Quantiles use linear interpolation between order statistics, matching
+ * numpy's default, so bench output is comparable with the paper's
+ * Python-produced figures.
+ */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+
+    /** Compute the summary of a sample (copied; input not modified). */
+    static Summary of(std::vector<double> values);
+};
+
+/**
+ * Interpolated quantile of a sample. @p q must be in [0, 1]. The input
+ * is copied and sorted internally.
+ */
+double quantile(std::vector<double> values, double q);
+
+/**
+ * Mean absolute percentage error between @p actual and @p predicted,
+ * in percent. Entries where actual is zero are skipped.
+ */
+double meanAbsolutePercentageError(const std::vector<double> &actual,
+                                   const std::vector<double> &predicted);
+
+/**
+ * Largest absolute percentage error between @p actual and
+ * @p predicted, in percent. Entries where actual is zero are skipped.
+ */
+double worstAbsolutePercentageError(const std::vector<double> &actual,
+                                    const std::vector<double> &predicted);
+
+} // namespace fairco2
+
+#endif // FAIRCO2_COMMON_STATS_HH

@@ -1,0 +1,95 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fairco2
+{
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(const std::vector<std::string> &header)
+{
+    header_ = header;
+}
+
+void
+TextTable::addRow(const std::vector<std::string> &cells)
+{
+    rows_.push_back(cells);
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+void
+TextTable::addRow(const std::string &label,
+                  const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmt(v, precision));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto grow = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream out;
+    out << title_ << '\n';
+    out << std::string(title_.size(), '=') << '\n';
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << "  ";
+            out << row[i]
+                << std::string(widths[i] - row[i].size(), ' ');
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t rule = 0;
+        for (std::size_t i = 0; i < ncols; ++i)
+            rule += widths[i] + (i ? 2 : 0);
+        out << std::string(rule, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace fairco2

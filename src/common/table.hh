@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aligned plain-text table printing for bench output, so each bench
+ * binary prints the same rows/series the paper's figures report.
+ */
+
+#ifndef FAIRCO2_COMMON_TABLE_HH
+#define FAIRCO2_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace fairco2
+{
+
+/** Column-aligned text table with a title and header row. */
+class TextTable
+{
+  public:
+    /** @param title printed above the table, underlined. */
+    explicit TextTable(std::string title);
+
+    /** Set the column headers (fixes the column count). */
+    void setHeader(const std::vector<std::string> &header);
+
+    /** Append a row of preformatted cells. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /**
+     * Append a row whose first cell is a label and the rest doubles
+     * formatted with @p precision digits after the point.
+     */
+    void addRow(const std::string &label,
+                const std::vector<double> &values, int precision = 3);
+
+    /** Render the full table to a string. */
+    std::string str() const;
+
+    /** Print the table to stdout. */
+    void print() const;
+
+    /** Format a double with fixed precision (helper for callers). */
+    static std::string fmt(double value, int precision = 3);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fairco2
+
+#endif // FAIRCO2_COMMON_TABLE_HH

@@ -1,0 +1,51 @@
+#include "core/baselines.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fairco2::core
+{
+
+trace::TimeSeries
+rupIntensity(const trace::TimeSeries &demand, double total_grams)
+{
+    const double usage = demand.integral();
+    const double level = usage > 0.0 ? total_grams / usage : 0.0;
+    return trace::TimeSeries(
+        std::vector<double>(demand.size(), level),
+        demand.stepSeconds());
+}
+
+trace::TimeSeries
+demandProportionalIntensity(const trace::TimeSeries &demand,
+                            double total_grams)
+{
+    double denom = 0.0;
+    for (std::size_t i = 0; i < demand.size(); ++i)
+        denom += demand[i] * demand[i] * demand.stepSeconds();
+
+    std::vector<double> intensity(demand.size(), 0.0);
+    if (denom > 0.0) {
+        for (std::size_t i = 0; i < demand.size(); ++i)
+            intensity[i] = demand[i] * total_grams / denom;
+    }
+    return trace::TimeSeries(std::move(intensity),
+                             demand.stepSeconds());
+}
+
+double
+attributeUsage(const trace::TimeSeries &intensity,
+               const trace::TimeSeries &usage)
+{
+    if (intensity.size() != usage.size() ||
+        intensity.stepSeconds() != usage.stepSeconds()) {
+        throw std::invalid_argument(
+            "intensity/usage series shape mismatch");
+    }
+    double grams = 0.0;
+    for (std::size_t i = 0; i < usage.size(); ++i)
+        grams += intensity[i] * usage[i] * usage.stepSeconds();
+    return grams;
+}
+
+} // namespace fairco2::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Baseline attribution intensity signals the paper compares against:
+ * the Resource Utilization Proportional baseline (Google operational
+ * accounting + the Green Software Foundation's SCI for embodied) and
+ * the demand-proportional scheme evaluated as a demand-aware baseline.
+ */
+
+#ifndef FAIRCO2_CORE_BASELINES_HH
+#define FAIRCO2_CORE_BASELINES_HH
+
+#include "trace/timeseries.hh"
+
+namespace fairco2::core
+{
+
+/**
+ * RUP-Baseline embodied intensity: carbon is amortized uniformly over
+ * time and attributed proportional to resource allocation, which is a
+ * *constant* intensity of total / integral(demand) grams per
+ * resource-second (zero when there is no usage at all).
+ */
+trace::TimeSeries rupIntensity(const trace::TimeSeries &demand,
+                               double total_grams);
+
+/**
+ * Demand-proportional intensity: y(t) proportional to demand(t),
+ * normalized so the usage-weighted integral equals @p total_grams:
+ * y_t = D_t * C / sum_k(D_k^2 * dt).
+ */
+trace::TimeSeries
+demandProportionalIntensity(const trace::TimeSeries &demand,
+                            double total_grams);
+
+/**
+ * Carbon attributed to a consumer whose resource usage over time is
+ * @p usage, under intensity signal @p intensity (same shape):
+ * sum_t y_t * u_t * dt.
+ */
+double attributeUsage(const trace::TimeSeries &intensity,
+                      const trace::TimeSeries &usage);
+
+} // namespace fairco2::core
+
+#endif // FAIRCO2_CORE_BASELINES_HH

@@ -1,0 +1,533 @@
+#include "core/colocgame.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fairco2::core
+{
+
+using workload::RunMetrics;
+using workload::WorkloadSpec;
+
+ColocationCostModel::ColocationCostModel(
+    const carbon::ServerCarbonModel &server,
+    const workload::InterferenceModel &interference,
+    double grid_g_per_kwh)
+    : server_(server), interference_(interference),
+      gridGPerKwh_(grid_g_per_kwh)
+{
+    assert(grid_g_per_kwh >= 0.0);
+}
+
+double
+ColocationCostModel::embodiedGramsPerSecond() const
+{
+    return server_.embodiedGrams() / server_.lifetimeSeconds();
+}
+
+double
+ColocationCostModel::fixedGramsPerSecond() const
+{
+    const double static_g_per_s = server_.power().staticWatts *
+        gridGPerKwh_ / carbon::kJoulesPerKwh;
+    return embodiedGramsPerSecond() + static_g_per_s;
+}
+
+double
+ColocationCostModel::dynamicGrams(double joules) const
+{
+    assert(joules >= 0.0);
+    return joules / carbon::kJoulesPerKwh * gridGPerKwh_;
+}
+
+double
+ColocationCostModel::isolatedCarbon(const WorkloadSpec &w) const
+{
+    const RunMetrics m = interference_.isolated(w);
+    return fixedGramsPerSecond() * m.runtimeSeconds +
+        dynamicGrams(m.dynamicEnergyJoules);
+}
+
+double
+ColocationCostModel::pairCarbon(const WorkloadSpec &a,
+                                const WorkloadSpec &b) const
+{
+    const auto [ma, mb] = interference_.colocatedPair(a, b);
+    const double uptime =
+        std::max(ma.runtimeSeconds, mb.runtimeSeconds);
+    return fixedGramsPerSecond() * uptime +
+        dynamicGrams(ma.dynamicEnergyJoules +
+                     mb.dynamicEnergyJoules);
+}
+
+double
+ColocationCostModel::groupCarbon(
+    const std::vector<const WorkloadSpec *> &group) const
+{
+    double uptime = 0.0;
+    double dyn_joules = 0.0;
+    std::vector<const WorkloadSpec *> partners;
+    partners.reserve(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        partners.clear();
+        for (std::size_t j = 0; j < group.size(); ++j) {
+            if (j != i)
+                partners.push_back(group[j]);
+        }
+        const RunMetrics m =
+            interference_.colocatedMulti(*group[i], partners);
+        uptime = std::max(uptime, m.runtimeSeconds);
+        dyn_joules += m.dynamicEnergyJoules;
+    }
+    return fixedGramsPerSecond() * uptime + dynamicGrams(dyn_joules);
+}
+
+ColocationScenario
+ColocationScenario::random(std::vector<std::size_t> suite_ids,
+                           Rng &rng)
+{
+    ColocationScenario scenario;
+    scenario.members = std::move(suite_ids);
+
+    const auto order = rng.permutation(scenario.members.size());
+    std::size_t k = 0;
+    for (; k + 1 < order.size(); k += 2)
+        scenario.pairs.emplace_back(order[k], order[k + 1]);
+    if (k < order.size())
+        scenario.isolatedMember = order[k];
+    return scenario;
+}
+
+std::vector<double>
+groundTruthColocation(const std::vector<std::size_t> &members,
+                      const workload::Suite &suite,
+                      const ColocationCostModel &cost)
+{
+    const std::size_t n = members.size();
+    std::vector<double> phi(n, 0.0);
+    if (n == 0)
+        return phi;
+    if (n == 1) {
+        phi[0] = cost.isolatedCarbon(suite.at(members[0]));
+        return phi;
+    }
+
+    // Arrival positions alternate open/fill under the greedy pair
+    // scheduler; a uniformly random position makes P(open) exactly
+    // ceil(n/2)/n, and conditional on filling, the partner already
+    // on the node is uniform among the other members.
+    const double p_open =
+        static_cast<double>((n + 1) / 2) / static_cast<double>(n);
+    const double p_fill = 1.0 - p_open;
+
+    // Cache single-node costs.
+    std::vector<double> iso(n);
+    for (std::size_t i = 0; i < n; ++i)
+        iso[i] = cost.isolatedCarbon(suite.at(members[i]));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const WorkloadSpec &wi = suite.at(members[i]);
+        double fill_mean = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            const WorkloadSpec &wj = suite.at(members[j]);
+            fill_mean += cost.pairCarbon(wi, wj) - iso[j];
+        }
+        fill_mean /= static_cast<double>(n - 1);
+        phi[i] = p_open * iso[i] + p_fill * fill_mean;
+    }
+    return phi;
+}
+
+std::vector<double>
+sampledGroundTruthColocation(const std::vector<std::size_t> &members,
+                             const workload::Suite &suite,
+                             const ColocationCostModel &cost,
+                             Rng &rng, std::size_t num_permutations)
+{
+    const std::size_t n = members.size();
+    std::vector<double> phi(n, 0.0);
+    if (n == 0 || num_permutations == 0)
+        return phi;
+
+    for (std::size_t p = 0; p < num_permutations; ++p) {
+        const auto order = rng.permutation(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t who = order[k];
+            const WorkloadSpec &w = suite.at(members[who]);
+            if (k % 2 == 0) {
+                // Opens a node.
+                phi[who] += cost.isolatedCarbon(w);
+            } else {
+                // Fills the slot next to the previous arrival.
+                const std::size_t partner = order[k - 1];
+                const WorkloadSpec &pw = suite.at(members[partner]);
+                phi[who] += cost.pairCarbon(w, pw) -
+                    cost.isolatedCarbon(pw);
+            }
+        }
+    }
+    for (double &x : phi)
+        x /= static_cast<double>(num_permutations);
+    return phi;
+}
+
+double
+realizedTotalCarbon(const ColocationScenario &scenario,
+                    const workload::Suite &suite,
+                    const ColocationCostModel &cost)
+{
+    double total = 0.0;
+    for (const auto &[a, b] : scenario.pairs) {
+        total += cost.pairCarbon(suite.at(scenario.members[a]),
+                                 suite.at(scenario.members[b]));
+    }
+    if (scenario.isolatedMember != static_cast<std::size_t>(-1)) {
+        total += cost.isolatedCarbon(
+            suite.at(scenario.members[scenario.isolatedMember]));
+    }
+    return total;
+}
+
+std::vector<double>
+rupColocationAttribution(const ColocationScenario &scenario,
+                         const workload::Suite &suite,
+                         const ColocationCostModel &cost)
+{
+    const auto &interference = cost.interference();
+    std::vector<double> attribution(scenario.members.size(), 0.0);
+
+    for (const auto &[a, b] : scenario.pairs) {
+        const WorkloadSpec &wa = suite.at(scenario.members[a]);
+        const WorkloadSpec &wb = suite.at(scenario.members[b]);
+        const auto [ma, mb] = interference.colocatedPair(wa, wb);
+
+        const double uptime =
+            std::max(ma.runtimeSeconds, mb.runtimeSeconds);
+        const double fixed = cost.fixedGramsPerSecond() * uptime;
+
+        // Fixed costs: proportional to resource allocation x time.
+        const double ra = wa.cores * ma.runtimeSeconds;
+        const double rb = wb.cores * mb.runtimeSeconds;
+        const double fixed_share_a = ra / (ra + rb);
+
+        // Dynamic energy: the baseline only observes node energy and
+        // per-workload CPU-utilization-time.
+        const double node_dyn = cost.dynamicGrams(
+            ma.dynamicEnergyJoules + mb.dynamicEnergyJoules);
+        const double ua = ma.cpuUtilization * ma.runtimeSeconds *
+            wa.cores;
+        const double ub = mb.cpuUtilization * mb.runtimeSeconds *
+            wb.cores;
+        const double dyn_share_a = ua / (ua + ub);
+
+        attribution[a] += fixed * fixed_share_a +
+            node_dyn * dyn_share_a;
+        attribution[b] += fixed * (1.0 - fixed_share_a) +
+            node_dyn * (1.0 - dyn_share_a);
+    }
+
+    if (scenario.isolatedMember != static_cast<std::size_t>(-1)) {
+        const std::size_t solo = scenario.isolatedMember;
+        attribution[solo] += cost.isolatedCarbon(
+            suite.at(scenario.members[solo]));
+    }
+    return attribution;
+}
+
+InterferenceProfile
+estimateProfile(std::size_t subject,
+                const std::vector<std::size_t> &partner_sample,
+                const workload::Suite &suite,
+                const workload::InterferenceModel &interference)
+{
+    assert(!partner_sample.empty());
+    const WorkloadSpec &w = suite.at(subject);
+    const RunMetrics iso = interference.isolated(w);
+
+    InterferenceProfile profile;
+    double alpha_t = 0.0, beta_t = 0.0;
+    double alpha_p = 0.0, beta_p = 0.0;
+    for (std::size_t partner : partner_sample) {
+        const WorkloadSpec &pw = suite.at(partner);
+        const RunMetrics piso = interference.isolated(pw);
+        const auto [mine, theirs] =
+            interference.colocatedPair(w, pw);
+
+        alpha_t += mine.runtimeSeconds / iso.runtimeSeconds;
+        beta_t += theirs.runtimeSeconds / piso.runtimeSeconds;
+        alpha_p +=
+            mine.dynamicEnergyJoules / iso.dynamicEnergyJoules;
+        beta_p +=
+            theirs.dynamicEnergyJoules / piso.dynamicEnergyJoules;
+    }
+    const double k = static_cast<double>(partner_sample.size());
+    profile.alphaRuntime = alpha_t / k;
+    profile.betaRuntime = beta_t / k;
+    profile.alphaEnergy = alpha_p / k;
+    profile.betaEnergy = beta_p / k;
+    return profile;
+}
+
+std::vector<double>
+fairCo2ColocationAttribution(const ColocationScenario &scenario,
+                             const workload::Suite &suite,
+                             const ColocationCostModel &cost,
+                             const std::vector<InterferenceProfile>
+                                 &profiles)
+{
+    const std::size_t n = scenario.members.size();
+    if (profiles.size() != n)
+        throw std::invalid_argument(
+            "one interference profile per scenario member required");
+    std::vector<double> attribution(n, 0.0);
+    if (n == 0)
+        return attribution;
+
+    const auto &interference = cost.interference();
+
+    // Realized pools to divide (efficiency: totals must match).
+    double fixed_pool = 0.0;
+    double dyn_pool = 0.0;
+    for (const auto &[a, b] : scenario.pairs) {
+        const WorkloadSpec &wa = suite.at(scenario.members[a]);
+        const WorkloadSpec &wb = suite.at(scenario.members[b]);
+        const auto [ma, mb] = interference.colocatedPair(wa, wb);
+        fixed_pool += cost.fixedGramsPerSecond() *
+            std::max(ma.runtimeSeconds, mb.runtimeSeconds);
+        dyn_pool += cost.dynamicGrams(ma.dynamicEnergyJoules +
+                                      mb.dynamicEnergyJoules);
+    }
+    if (scenario.isolatedMember != static_cast<std::size_t>(-1)) {
+        const WorkloadSpec &w =
+            suite.at(scenario.members[scenario.isolatedMember]);
+        const RunMetrics iso = interference.isolated(w);
+        fixed_pool += cost.fixedGramsPerSecond() * iso.runtimeSeconds;
+        dyn_pool += cost.dynamicGrams(iso.dynamicEnergyJoules);
+    }
+
+    // Attribution factors (Eq. 8 and Eq. 10), with Q_i interpreted
+    // as the member's resource-time at its isolated baseline.
+    std::vector<double> f_fixed(n), f_dyn(n);
+    double sum_fixed = 0.0, sum_dyn = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const WorkloadSpec &w = suite.at(scenario.members[i]);
+        const RunMetrics iso = interference.isolated(w);
+        const InterferenceProfile &p = profiles[i];
+
+        f_fixed[i] = (p.alphaRuntime + p.betaRuntime) * w.cores *
+            iso.runtimeSeconds;
+        f_dyn[i] = (p.alphaEnergy + p.betaEnergy) *
+            iso.avgDynamicPowerWatts * iso.runtimeSeconds;
+        sum_fixed += f_fixed[i];
+        sum_dyn += f_dyn[i];
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        double grams = 0.0;
+        if (sum_fixed > 0.0)
+            grams += fixed_pool * f_fixed[i] / sum_fixed;
+        if (sum_dyn > 0.0)
+            grams += dyn_pool * f_dyn[i] / sum_dyn;
+        attribution[i] = grams;
+    }
+    return attribution;
+}
+
+MultiTenantScenario
+MultiTenantScenario::random(std::vector<std::size_t> suite_ids,
+                            std::size_t slots, Rng &rng)
+{
+    assert(slots >= 1);
+    MultiTenantScenario scenario;
+    scenario.members = std::move(suite_ids);
+
+    const auto order = rng.permutation(scenario.members.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        if (k % slots == 0)
+            scenario.nodes.emplace_back();
+        scenario.nodes.back().push_back(order[k]);
+    }
+    return scenario;
+}
+
+namespace
+{
+
+/** Per-member run metrics of one realized node group. */
+std::vector<RunMetrics>
+groupMetrics(const std::vector<std::size_t> &node,
+             const std::vector<std::size_t> &members,
+             const workload::Suite &suite,
+             const workload::InterferenceModel &interference)
+{
+    std::vector<RunMetrics> metrics;
+    metrics.reserve(node.size());
+    std::vector<const WorkloadSpec *> partners;
+    for (std::size_t i = 0; i < node.size(); ++i) {
+        partners.clear();
+        for (std::size_t j = 0; j < node.size(); ++j) {
+            if (j != i)
+                partners.push_back(&suite.at(members[node[j]]));
+        }
+        metrics.push_back(interference.colocatedMulti(
+            suite.at(members[node[i]]), partners));
+    }
+    return metrics;
+}
+
+} // namespace
+
+double
+realizedTotalMultiTenant(const MultiTenantScenario &scenario,
+                         const workload::Suite &suite,
+                         const ColocationCostModel &cost)
+{
+    double total = 0.0;
+    std::vector<const WorkloadSpec *> group;
+    for (const auto &node : scenario.nodes) {
+        group.clear();
+        for (std::size_t position : node)
+            group.push_back(&suite.at(scenario.members[position]));
+        total += cost.groupCarbon(group);
+    }
+    return total;
+}
+
+std::vector<double>
+sampledGroundTruthMultiTenant(const std::vector<std::size_t>
+                                  &members,
+                              const workload::Suite &suite,
+                              const ColocationCostModel &cost,
+                              std::size_t slots, Rng &rng,
+                              std::size_t num_permutations)
+{
+    assert(slots >= 1);
+    const std::size_t n = members.size();
+    std::vector<double> phi(n, 0.0);
+    if (n == 0 || num_permutations == 0)
+        return phi;
+
+    std::vector<const WorkloadSpec *> group;
+    for (std::size_t p = 0; p < num_permutations; ++p) {
+        const auto order = rng.permutation(n);
+        group.clear();
+        double prev_cost = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (k % slots == 0) {
+                group.clear();
+                prev_cost = 0.0;
+            }
+            group.push_back(&suite.at(members[order[k]]));
+            const double cur_cost = cost.groupCarbon(group);
+            phi[order[k]] += cur_cost - prev_cost;
+            prev_cost = cur_cost;
+        }
+    }
+    for (double &x : phi)
+        x /= static_cast<double>(num_permutations);
+    return phi;
+}
+
+std::vector<double>
+rupMultiTenantAttribution(const MultiTenantScenario &scenario,
+                          const workload::Suite &suite,
+                          const ColocationCostModel &cost)
+{
+    const auto &interference = cost.interference();
+    std::vector<double> attribution(scenario.members.size(), 0.0);
+
+    for (const auto &node : scenario.nodes) {
+        const auto metrics = groupMetrics(
+            node, scenario.members, suite, interference);
+
+        double uptime = 0.0;
+        double node_joules = 0.0;
+        double resource_time = 0.0;
+        double util_time = 0.0;
+        for (std::size_t i = 0; i < node.size(); ++i) {
+            const auto &w = suite.at(scenario.members[node[i]]);
+            uptime = std::max(uptime, metrics[i].runtimeSeconds);
+            node_joules += metrics[i].dynamicEnergyJoules;
+            resource_time += w.cores * metrics[i].runtimeSeconds;
+            util_time += w.cores * metrics[i].cpuUtilization *
+                metrics[i].runtimeSeconds;
+        }
+        const double fixed = cost.fixedGramsPerSecond() * uptime;
+        const double dyn = cost.dynamicGrams(node_joules);
+
+        for (std::size_t i = 0; i < node.size(); ++i) {
+            const auto &w = suite.at(scenario.members[node[i]]);
+            attribution[node[i]] += fixed *
+                (w.cores * metrics[i].runtimeSeconds) /
+                resource_time;
+            attribution[node[i]] += dyn *
+                (w.cores * metrics[i].cpuUtilization *
+                 metrics[i].runtimeSeconds) /
+                util_time;
+        }
+    }
+    return attribution;
+}
+
+std::vector<double>
+fairCo2MultiTenantAttribution(const MultiTenantScenario &scenario,
+                              const workload::Suite &suite,
+                              const ColocationCostModel &cost,
+                              const std::vector<InterferenceProfile>
+                                  &profiles)
+{
+    const std::size_t n = scenario.members.size();
+    if (profiles.size() != n)
+        throw std::invalid_argument(
+            "one interference profile per scenario member required");
+    std::vector<double> attribution(n, 0.0);
+    if (n == 0)
+        return attribution;
+
+    const auto &interference = cost.interference();
+
+    // Realized pools.
+    double fixed_pool = 0.0;
+    double dyn_pool = 0.0;
+    for (const auto &node : scenario.nodes) {
+        const auto metrics = groupMetrics(
+            node, scenario.members, suite, interference);
+        double uptime = 0.0;
+        double joules = 0.0;
+        for (const auto &m : metrics) {
+            uptime = std::max(uptime, m.runtimeSeconds);
+            joules += m.dynamicEnergyJoules;
+        }
+        fixed_pool += cost.fixedGramsPerSecond() * uptime;
+        dyn_pool += cost.dynamicGrams(joules);
+    }
+
+    // Eq. 8/10 attribution factors from the pairwise profiles.
+    std::vector<double> f_fixed(n), f_dyn(n);
+    double sum_fixed = 0.0, sum_dyn = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const WorkloadSpec &w = suite.at(scenario.members[i]);
+        const RunMetrics iso = interference.isolated(w);
+        const InterferenceProfile &p = profiles[i];
+        f_fixed[i] = (p.alphaRuntime + p.betaRuntime) * w.cores *
+            iso.runtimeSeconds;
+        f_dyn[i] = (p.alphaEnergy + p.betaEnergy) *
+            iso.avgDynamicPowerWatts * iso.runtimeSeconds;
+        sum_fixed += f_fixed[i];
+        sum_dyn += f_dyn[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        double grams = 0.0;
+        if (sum_fixed > 0.0)
+            grams += fixed_pool * f_fixed[i] / sum_fixed;
+        if (sum_dyn > 0.0)
+            grams += dyn_pool * f_dyn[i] / sum_dyn;
+        attribution[i] = grams;
+    }
+    return attribution;
+}
+
+} // namespace fairco2::core

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The colocation attribution problem (Sections 5.2, 6.3, Figures 8
+ * and 9): pairs of workloads share nodes and interfere; carbon must
+ * be split fairly despite the luck of partner assignment.
+ *
+ * Ground truth: the random-order Shapley value under the arrival
+ * process the paper simulates — workloads arrive in uniformly random
+ * order and a greedy scheduler fills the open half-node slot if one
+ * exists, else opens a new node. Because interference is pairwise,
+ * this value has an O(N^2) closed form (see DESIGN.md), verified
+ * against permutation sampling in the tests.
+ */
+
+#ifndef FAIRCO2_CORE_COLOCGAME_HH
+#define FAIRCO2_CORE_COLOCGAME_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "carbon/grid.hh"
+#include "carbon/server.hh"
+#include "common/rng.hh"
+#include "workload/interference.hh"
+#include "workload/suite.hh"
+
+namespace fairco2::core
+{
+
+/**
+ * Carbon cost of node occupancies under a fixed grid intensity.
+ *
+ * A node's cost has a fixed part that scales with uptime (amortized
+ * embodied carbon plus static energy carbon) and a dynamic part
+ * (per-workload dynamic energy carbon).
+ */
+class ColocationCostModel
+{
+  public:
+    ColocationCostModel(const carbon::ServerCarbonModel &server,
+                        const workload::InterferenceModel &interference,
+                        double grid_g_per_kwh);
+
+    /** Fixed node cost rate: embodied + static carbon, grams/s. */
+    double fixedGramsPerSecond() const;
+
+    /** Amortized embodied-only rate, grams/s. */
+    double embodiedGramsPerSecond() const;
+
+    /** Carbon for @p joules of dynamic energy, grams. */
+    double dynamicGrams(double joules) const;
+
+    /** Total carbon of @p w running alone on a node: v({w}). */
+    double isolatedCarbon(const workload::WorkloadSpec &w) const;
+
+    /** Total carbon of a colocated pair's node: v({a, b}). */
+    double pairCarbon(const workload::WorkloadSpec &a,
+                      const workload::WorkloadSpec &b) const;
+
+    /**
+     * Total carbon of a node hosting an arbitrary group, each
+     * member on its own slot (k-way colocation; reduces to
+     * isolatedCarbon / pairCarbon for groups of one / two).
+     */
+    double groupCarbon(const std::vector<const workload::WorkloadSpec *>
+                           &group) const;
+
+    const workload::InterferenceModel &interference() const
+    {
+        return interference_;
+    }
+
+    double gridGPerKwh() const { return gridGPerKwh_; }
+
+  private:
+    const carbon::ServerCarbonModel &server_;
+    const workload::InterferenceModel &interference_;
+    double gridGPerKwh_;
+};
+
+/**
+ * A realized scenario: which workloads ran and how they were paired.
+ * Workloads are indices into a Suite; pairs list positions into
+ * `members`; with an odd count the last member runs alone.
+ */
+struct ColocationScenario
+{
+    std::vector<std::size_t> members;  //!< suite indices
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    /** Position of the unpaired member, or npos when none. */
+    std::size_t isolatedMember = static_cast<std::size_t>(-1);
+
+    /** Draw a uniformly random pairing of @p suite_ids. */
+    static ColocationScenario random(std::vector<std::size_t> suite_ids,
+                                     Rng &rng);
+};
+
+/**
+ * Exact random-order Shapley ground truth for a scenario's members:
+ * phi_i = P(open) * v({i})
+ *       + P(fill) * mean_j [ v({i,j}) - v({j}) ].
+ * Independent of the realized pairing — that is the point.
+ */
+std::vector<double>
+groundTruthColocation(const std::vector<std::size_t> &members,
+                      const workload::Suite &suite,
+                      const ColocationCostModel &cost);
+
+/**
+ * Monte Carlo reference for the same value: sample random arrival
+ * orders, apply the greedy pair scheduler, average marginal node-cost
+ * contributions. Used to validate groundTruthColocation().
+ */
+std::vector<double>
+sampledGroundTruthColocation(const std::vector<std::size_t> &members,
+                             const workload::Suite &suite,
+                             const ColocationCostModel &cost,
+                             Rng &rng, std::size_t num_permutations);
+
+/** Total realized carbon of a scenario under the cost model. */
+double realizedTotalCarbon(const ColocationScenario &scenario,
+                           const workload::Suite &suite,
+                           const ColocationCostModel &cost);
+
+/**
+ * RUP-Baseline attribution of the realized scenario: within each
+ * node, fixed carbon is split proportional to resource-time
+ * (allocation x occupancy) and dynamic carbon proportional to
+ * utilization-time; a workload alone on a node carries the whole
+ * node. Sums to the realized total.
+ */
+std::vector<double>
+rupColocationAttribution(const ColocationScenario &scenario,
+                         const workload::Suite &suite,
+                         const ColocationCostModel &cost);
+
+/**
+ * Per-workload interference profile estimated from (a sample of)
+ * historical colocations: Eq. 8-11's alpha (suffered) and beta
+ * (inflicted) factors for runtime and dynamic energy.
+ */
+struct InterferenceProfile
+{
+    double alphaRuntime = 1.0; //!< mean slowdown suffered
+    double betaRuntime = 1.0;  //!< mean slowdown inflicted
+    double alphaEnergy = 1.0;  //!< mean dynamic-energy ratio suffered
+    double betaEnergy = 1.0;   //!< mean dynamic-energy ratio inflicted
+};
+
+/**
+ * Build the profile of suite workload @p subject from a sampled
+ * subset of its pairwise colocation history.
+ *
+ * @param partner_sample suite indices of the historically observed
+ *        partners (at least one).
+ */
+InterferenceProfile
+estimateProfile(std::size_t subject,
+                const std::vector<std::size_t> &partner_sample,
+                const workload::Suite &suite,
+                const workload::InterferenceModel &interference);
+
+/**
+ * Fair-CO2 interference-aware attribution of the realized scenario
+ * (Eq. 8-11): fixed carbon split proportional to
+ * (alpha_T + beta_T) x resource-time at isolation, dynamic carbon
+ * proportional to (alpha_P + beta_P) x isolated power x isolated
+ * runtime. Sums to the realized total.
+ *
+ * @param profiles one per scenario member, typically from
+ *        estimateProfile() with a sparse history sample.
+ */
+std::vector<double>
+fairCo2ColocationAttribution(const ColocationScenario &scenario,
+                             const workload::Suite &suite,
+                             const ColocationCostModel &cost,
+                             const std::vector<InterferenceProfile>
+                                 &profiles);
+
+/**
+ * A realized k-way scenario: members grouped onto nodes with
+ * @p slots workloads each (the last node may be partial).
+ */
+struct MultiTenantScenario
+{
+    std::vector<std::size_t> members; //!< suite indices
+    /** Positions (into members) hosted together, per node. */
+    std::vector<std::vector<std::size_t>> nodes;
+
+    /** Random arrival order grouped greedily into @p slots. */
+    static MultiTenantScenario
+    random(std::vector<std::size_t> suite_ids, std::size_t slots,
+           Rng &rng);
+};
+
+/** Total realized carbon of a k-way scenario. */
+double realizedTotalMultiTenant(const MultiTenantScenario &scenario,
+                                const workload::Suite &suite,
+                                const ColocationCostModel &cost);
+
+/**
+ * Monte Carlo random-order Shapley ground truth for k-way
+ * colocation: random arrival orders with a greedy scheduler that
+ * fills the open node up to @p slots before opening another.
+ * (With k > 2 the marginal depends on the whole resident group, so
+ * no pairwise closed form applies; sampling is the ground truth.)
+ */
+std::vector<double>
+sampledGroundTruthMultiTenant(const std::vector<std::size_t>
+                                  &members,
+                              const workload::Suite &suite,
+                              const ColocationCostModel &cost,
+                              std::size_t slots, Rng &rng,
+                              std::size_t num_permutations);
+
+/** RUP attribution of a realized k-way scenario (node fixed costs
+ *  by resource-time, node dynamic energy by utilization-time). */
+std::vector<double>
+rupMultiTenantAttribution(const MultiTenantScenario &scenario,
+                          const workload::Suite &suite,
+                          const ColocationCostModel &cost);
+
+/**
+ * Fair-CO2 attribution of a k-way scenario using the same pairwise
+ * alpha/beta profiles (Eqs. 8-11 are already group-agnostic: the
+ * factors reweight pool shares).
+ */
+std::vector<double>
+fairCo2MultiTenantAttribution(const MultiTenantScenario &scenario,
+                              const workload::Suite &suite,
+                              const ColocationCostModel &cost,
+                              const std::vector<InterferenceProfile>
+                                  &profiles);
+
+} // namespace fairco2::core
+
+#endif // FAIRCO2_CORE_COLOCGAME_HH

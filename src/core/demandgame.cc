@@ -1,0 +1,193 @@
+#include "core/demandgame.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/baselines.hh"
+#include "core/temporal.hh"
+#include "shapley/exact.hh"
+
+namespace fairco2::core
+{
+
+Schedule::Schedule(std::vector<ScheduledWorkload> workloads,
+                   std::size_t num_slices, double slice_seconds)
+    : workloads_(std::move(workloads)), numSlices_(num_slices),
+      sliceSeconds_(slice_seconds)
+{
+    assert(num_slices > 0);
+    assert(slice_seconds > 0.0);
+    for (const auto &w : workloads_) {
+        assert(w.cores > 0.0);
+        assert(w.durationSlices > 0);
+        assert(w.startSlice + w.durationSlices <= numSlices_);
+    }
+}
+
+double
+Schedule::coresAt(std::size_t w, std::size_t t) const
+{
+    assert(w < workloads_.size() && t < numSlices_);
+    const auto &wl = workloads_[w];
+    const bool active =
+        t >= wl.startSlice && t < wl.startSlice + wl.durationSlices;
+    return active ? wl.cores : 0.0;
+}
+
+trace::TimeSeries
+Schedule::demandSeries() const
+{
+    std::vector<double> demand(numSlices_, 0.0);
+    for (const auto &wl : workloads_) {
+        for (std::size_t t = wl.startSlice;
+             t < wl.startSlice + wl.durationSlices; ++t) {
+            demand[t] += wl.cores;
+        }
+    }
+    return trace::TimeSeries(std::move(demand), sliceSeconds_);
+}
+
+trace::TimeSeries
+Schedule::usageSeries(std::size_t w) const
+{
+    std::vector<double> usage(numSlices_, 0.0);
+    for (std::size_t t = 0; t < numSlices_; ++t)
+        usage[t] = coresAt(w, t);
+    return trace::TimeSeries(std::move(usage), sliceSeconds_);
+}
+
+double
+Schedule::allocation(std::size_t w) const
+{
+    assert(w < workloads_.size());
+    const auto &wl = workloads_[w];
+    return wl.cores * static_cast<double>(wl.durationSlices) *
+        sliceSeconds_;
+}
+
+double
+Schedule::peakDemand() const
+{
+    return demandSeries().peak();
+}
+
+DemandPeakGame::DemandPeakGame(const Schedule &schedule)
+    : schedule_(schedule)
+{
+    if (schedule.numWorkloads() >
+        static_cast<std::size_t>(shapley::kMaxExactPlayers)) {
+        throw std::invalid_argument(
+            "DemandPeakGame: schedule too large for exact Shapley");
+    }
+}
+
+int
+DemandPeakGame::numPlayers() const
+{
+    return static_cast<int>(schedule_.numWorkloads());
+}
+
+double
+DemandPeakGame::value(std::uint64_t mask) const
+{
+    const std::size_t slices = schedule_.numSlices();
+    double peak = 0.0;
+    std::vector<double> demand(slices, 0.0);
+    std::uint64_t bits = mask;
+    while (bits) {
+        const auto w = static_cast<std::size_t>(
+            std::countr_zero(bits));
+        bits &= bits - 1;
+        for (std::size_t t = 0; t < slices; ++t)
+            demand[t] += schedule_.coresAt(w, t);
+    }
+    for (double d : demand)
+        peak = std::max(peak, d);
+    return peak;
+}
+
+std::vector<double>
+DemandPeakGame::tabulate() const
+{
+    const int n = numPlayers();
+    const std::size_t slices = schedule_.numSlices();
+    const std::uint64_t num_masks = 1ULL << n;
+    std::vector<double> values(num_masks, 0.0);
+
+    // Gray-code walk: consecutive visited masks differ in one bit, so
+    // the per-slice demand vector is updated incrementally in O(T).
+    std::vector<double> demand(slices, 0.0);
+    std::uint64_t prev_gray = 0;
+    for (std::uint64_t k = 1; k < num_masks; ++k) {
+        const std::uint64_t gray = k ^ (k >> 1);
+        const std::uint64_t flipped = gray ^ prev_gray;
+        const auto w = static_cast<std::size_t>(
+            std::countr_zero(flipped));
+        const double sign = (gray & flipped) ? 1.0 : -1.0;
+        const auto &wl = schedule_.workloads()[w];
+        for (std::size_t t = wl.startSlice;
+             t < wl.startSlice + wl.durationSlices; ++t) {
+            demand[t] += sign * wl.cores;
+        }
+        double peak = 0.0;
+        for (double d : demand)
+            peak = std::max(peak, d);
+        // Guard against negative drift from float cancellation.
+        values[gray] = std::max(0.0, peak);
+        prev_gray = gray;
+    }
+    return values;
+}
+
+DemandAttributions
+attributeSchedule(const Schedule &schedule, double total_grams)
+{
+    const std::size_t n = schedule.numWorkloads();
+    DemandAttributions out;
+    out.groundTruth.assign(n, 0.0);
+    out.fairCo2.assign(n, 0.0);
+    out.demandProportional.assign(n, 0.0);
+    out.rup.assign(n, 0.0);
+    if (n == 0)
+        return out;
+
+    // --- Ground truth: exact Shapley over workloads-as-players. ---
+    const DemandPeakGame game(schedule);
+    const shapley::TabulatedGame table(static_cast<int>(n),
+                                       game.tabulate());
+    const auto phi = shapley::exactShapley(table);
+    const double peak = schedule.peakDemand();
+    assert(peak > 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        out.groundTruth[i] = phi[i] / peak * total_grams;
+
+    // --- Method intensity signals over the slice demand curve. ---
+    const auto demand = schedule.demandSeries();
+
+    // Fair-CO2: single-level Temporal Shapley (each slice a player).
+    std::vector<double> peaks(demand.size());
+    std::vector<double> usage(demand.size());
+    for (std::size_t t = 0; t < demand.size(); ++t) {
+        peaks[t] = demand[t];
+        usage[t] = demand[t] * demand.stepSeconds();
+    }
+    const auto ts_intensity = TemporalShapley::periodIntensities(
+        peaks, usage, total_grams);
+    trace::TimeSeries fair_signal(ts_intensity, demand.stepSeconds());
+
+    const auto dp_signal =
+        demandProportionalIntensity(demand, total_grams);
+    const auto rup_signal = rupIntensity(demand, total_grams);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto used = schedule.usageSeries(i);
+        out.fairCo2[i] = attributeUsage(fair_signal, used);
+        out.demandProportional[i] = attributeUsage(dp_signal, used);
+        out.rup[i] = attributeUsage(rup_signal, used);
+    }
+    return out;
+}
+
+} // namespace fairco2::core

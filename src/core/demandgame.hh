@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The dynamic-demand attribution problem (Section 6.3 / Figure 7):
+ * a schedule of workloads over time slices, the exact Shapley ground
+ * truth over workloads-as-players with the peak-capacity
+ * characteristic function, and the three attribution methods under
+ * evaluation (RUP, demand-proportional, Fair-CO2's Temporal Shapley).
+ */
+
+#ifndef FAIRCO2_CORE_DEMANDGAME_HH
+#define FAIRCO2_CORE_DEMANDGAME_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "shapley/game.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2::core
+{
+
+/** One workload's reservation inside a schedule. */
+struct ScheduledWorkload
+{
+    double cores = 8.0;            //!< allocated CPU cores
+    std::size_t startSlice = 0;    //!< first occupied time slice
+    std::size_t durationSlices = 1;//!< number of consecutive slices
+};
+
+/**
+ * A complete scenario: workloads placed on a slice grid.
+ *
+ * Embodied (and static-operational) carbon of the scenario scales
+ * with the minimum capacity that must be provisioned — the peak of
+ * the aggregate demand curve.
+ */
+class Schedule
+{
+  public:
+    Schedule(std::vector<ScheduledWorkload> workloads,
+             std::size_t num_slices, double slice_seconds);
+
+    std::size_t numWorkloads() const { return workloads_.size(); }
+    std::size_t numSlices() const { return numSlices_; }
+    double sliceSeconds() const { return sliceSeconds_; }
+
+    const std::vector<ScheduledWorkload> &workloads() const
+    {
+        return workloads_;
+    }
+
+    /** Cores workload @p w holds during slice @p t (0 if absent). */
+    double coresAt(std::size_t w, std::size_t t) const;
+
+    /** Aggregate demand per slice as a time series. */
+    trace::TimeSeries demandSeries() const;
+
+    /** Workload usage series (cores held per slice). */
+    trace::TimeSeries usageSeries(std::size_t w) const;
+
+    /** Core-seconds reserved by workload @p w. */
+    double allocation(std::size_t w) const;
+
+    /** Peak aggregate demand across all slices. */
+    double peakDemand() const;
+
+  private:
+    std::vector<ScheduledWorkload> workloads_;
+    std::size_t numSlices_;
+    double sliceSeconds_;
+};
+
+/**
+ * Workloads-as-players peak game: v(S) is the peak aggregate core
+ * demand of the workloads in S — the capacity that must exist to run
+ * them (Figure 1's "minimum required resource capacity").
+ *
+ * tabulate() fills all 2^N values in O(2^N * T) using a Gray-code
+ * walk, which is what makes the exact ground truth tractable at the
+ * paper's scenario sizes (N <= 22).
+ */
+class DemandPeakGame : public shapley::CoalitionGame
+{
+  public:
+    explicit DemandPeakGame(const Schedule &schedule);
+
+    int numPlayers() const override;
+    double value(std::uint64_t mask) const override;
+
+    /** All 2^N coalition values, indexed by mask. */
+    std::vector<double> tabulate() const;
+
+  private:
+    const Schedule &schedule_;
+};
+
+/** Per-workload carbon attributions from each method, in grams. */
+struct DemandAttributions
+{
+    std::vector<double> groundTruth;
+    std::vector<double> fairCo2;
+    std::vector<double> demandProportional;
+    std::vector<double> rup;
+};
+
+/**
+ * Run all four attribution methods on a schedule that carries
+ * @p total_grams of capacity-scaling carbon.
+ *
+ * The ground truth divides carbon proportional to exact workload
+ * Shapley values of the peak game; Fair-CO2 applies single-level
+ * Temporal Shapley over the slices; the baselines are as in
+ * core/baselines.hh.
+ */
+DemandAttributions attributeSchedule(const Schedule &schedule,
+                                     double total_grams);
+
+} // namespace fairco2::core
+
+#endif // FAIRCO2_CORE_DEMANDGAME_HH

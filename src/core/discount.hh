@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Theoretical limits of Temporal Shapley (Section 5.1) and the
+ * long-running-workload discount the paper proposes as future work.
+ *
+ * Under the unit resource-time approximation, a workload spanning
+ * many attribution periods absorbs the carbon of late, sparsely
+ * shared periods alone, over-attributing long-running workloads by
+ * exactly C*P*(m-1) / ((N-K)*m) in the paper's stylized scenario
+ * (K short workloads in the first of m periods, N-K long workloads
+ * everywhere, off-peak demand fraction P). This module provides the
+ * closed-form analysis, a constructor for the stylized schedule so
+ * the analysis can be validated against the real attribution
+ * pipeline, and a span-based discount that removes the bias.
+ */
+
+#ifndef FAIRCO2_CORE_DISCOUNT_HH
+#define FAIRCO2_CORE_DISCOUNT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/demandgame.hh"
+
+namespace fairco2::core
+{
+
+/** Closed-form attributions in the stylized scenario. */
+struct UnitResourceTimeAnalysis
+{
+    double shortWorkloadGrams = 0.0; //!< each of the K short jobs
+    double longWorkloadGrams = 0.0;  //!< each of the N-K long jobs
+    /** The bias term C*P*(m-1) / ((N-K)*m) per long workload. */
+    double overattributionGrams = 0.0;
+};
+
+/**
+ * Evaluate the paper's closed-form analysis.
+ *
+ * @param n total workloads; @p k of them short-lived (k < n).
+ * @param m attribution periods.
+ * @param off_peak_fraction P: later periods' peak as a fraction of
+ *        the first period's (0 < P < 1).
+ * @param total_grams C: carbon spread uniformly over the periods.
+ */
+UnitResourceTimeAnalysis
+unitResourceTimeAnalysis(std::size_t n, std::size_t k,
+                         std::size_t m, double off_peak_fraction,
+                         double total_grams);
+
+/**
+ * The stylized schedule behind the analysis: K short workloads run
+ * only in slice 0; N-K long workloads run in every slice. Demand is
+ * normalized so slice 0 peaks at 1 (each workload contributes 1/N)
+ * and later slices peak at P (each long workload P/(N-K)).
+ */
+Schedule stylizedLongShortSchedule(std::size_t n, std::size_t k,
+                                   std::size_t m,
+                                   double off_peak_fraction);
+
+/**
+ * Span-discounted attribution: scale workload i's raw temporal
+ * attribution by 1 / (1 + kappa * (periods_i - 1)) and renormalize
+ * so the total is conserved. kappa = 0 is the identity; larger
+ * kappa hands more of the late-period carbon back to long-running
+ * workloads' neighbours.
+ */
+std::vector<double>
+spanDiscountedAttribution(const std::vector<double> &raw_grams,
+                          const std::vector<std::size_t>
+                              &periods_spanned,
+                          double kappa);
+
+} // namespace fairco2::core
+
+#endif // FAIRCO2_CORE_DISCOUNT_HH

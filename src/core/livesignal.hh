@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Live embodied-carbon intensity service (the deployment shape of
+ * Figure 3): demand telemetry streams in sample by sample, a
+ * periodically refit forecaster extends the window into the future,
+ * and Temporal Shapley turns the blended window into a current and
+ * projected intensity signal that carbon-aware schedulers can poll.
+ */
+
+#ifndef FAIRCO2_CORE_LIVESIGNAL_HH
+#define FAIRCO2_CORE_LIVESIGNAL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "forecast/forecaster.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2::core
+{
+
+/** Streaming intensity-signal generator. */
+class LiveIntensityService
+{
+  public:
+    struct Config
+    {
+        /** Telemetry sample width, seconds. */
+        double stepSeconds = 300.0;
+        /** Samples retained for fitting/attribution (ring). */
+        std::size_t historySteps = 21 * 288;
+        /** Samples required before the service goes live. */
+        std::size_t warmupSteps = 7 * 288;
+        /** Forecast horizon appended to the window. */
+        std::size_t horizonSteps = 9 * 288;
+        /** Pushes between forecaster refits. */
+        std::size_t refitIntervalSteps = 288;
+        /** Hierarchical splits for the window attribution. */
+        std::vector<std::size_t> splits{10, 9, 8, 12};
+        /** Fleet fixed-carbon rate amortized into the window,
+         *  grams per second of wall-clock time. */
+        double poolGramsPerSecond = 1.0;
+    };
+
+    LiveIntensityService();
+    explicit LiveIntensityService(const Config &config);
+
+    /** Feed one demand sample (resource units, e.g. cores). */
+    void push(double demand_sample);
+
+    /** True once warmupSteps samples have arrived. */
+    bool ready() const;
+
+    /** Samples pushed so far. */
+    std::size_t samplesSeen() const { return samplesSeen_; }
+
+    /** Forecaster refits performed so far. */
+    std::size_t refits() const { return refits_; }
+
+    /**
+     * Intensity for the current (latest) sample, grams per
+     * resource-second. Requires ready().
+     */
+    double currentIntensity() const;
+
+    /**
+     * Projected intensity over the forecast horizon. Requires
+     * ready().
+     */
+    trace::TimeSeries projectedIntensity() const;
+
+    /** The full window signal (history + horizon). */
+    const trace::TimeSeries &windowIntensity() const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    void refit();
+    void recompute();
+
+    Config config_;
+    std::vector<double> history_;
+    forecast::SeasonalForecaster forecaster_;
+    bool forecasterReady_;
+    std::size_t samplesSeen_;
+    std::size_t refits_;
+    std::size_t pushesSinceRefit_;
+    /** Global sample index of the fit window's first sample, so
+     *  predictions stay phase-aligned as the ring slides. */
+    std::size_t fitStartGlobal_;
+    trace::TimeSeries windowIntensity_;
+    std::size_t historyLenAtCompute_;
+};
+
+} // namespace fairco2::core
+
+#endif // FAIRCO2_CORE_LIVESIGNAL_HH

@@ -1,0 +1,78 @@
+#include "core/requests.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "carbon/grid.hh"
+
+namespace fairco2::core
+{
+
+double
+RequestClassBill::perRequestGrams() const
+{
+    return requests > 0.0 ? totalGrams() / requests : 0.0;
+}
+
+RequestAttribution
+attributeRequests(const ServiceWindow &window,
+                  const std::vector<RequestClass> &classes)
+{
+    assert(window.cores > 0.0 && window.windowSeconds > 0.0);
+
+    const double reserved_core_seconds =
+        window.cores * window.windowSeconds;
+
+    double busy_core_seconds = 0.0;
+    double dynamic_joules = 0.0;
+    for (const auto &cls : classes) {
+        assert(cls.requests >= 0.0);
+        assert(cls.coreSecondsPerRequest >= 0.0);
+        busy_core_seconds +=
+            cls.requests * cls.coreSecondsPerRequest;
+        dynamic_joules +=
+            cls.requests * cls.dynamicJoulesPerRequest;
+    }
+    if (busy_core_seconds > reserved_core_seconds * (1.0 + 1e-9)) {
+        throw std::invalid_argument(
+            "request classes report more CPU time than the "
+            "service reserved");
+    }
+
+    RequestAttribution out;
+    out.totalFixedGrams =
+        window.coreIntensity * reserved_core_seconds +
+        window.memIntensity * window.memoryGb *
+            window.windowSeconds +
+        window.staticWatts * window.windowSeconds /
+            carbon::kJoulesPerKwh * window.gridGPerKwh;
+    out.totalDynamicGrams = dynamic_joules /
+        carbon::kJoulesPerKwh * window.gridGPerKwh;
+
+    const double busy_share = reserved_core_seconds > 0.0
+        ? busy_core_seconds / reserved_core_seconds
+        : 0.0;
+    const double fixed_to_classes =
+        out.totalFixedGrams * busy_share;
+    out.idleFixedGrams = out.totalFixedGrams - fixed_to_classes;
+
+    out.bills.reserve(classes.size());
+    for (const auto &cls : classes) {
+        RequestClassBill bill;
+        bill.name = cls.name;
+        bill.requests = cls.requests;
+        const double core_seconds =
+            cls.requests * cls.coreSecondsPerRequest;
+        bill.fixedGrams = busy_core_seconds > 0.0
+            ? fixed_to_classes * core_seconds / busy_core_seconds
+            : 0.0;
+        const double joules =
+            cls.requests * cls.dynamicJoulesPerRequest;
+        bill.dynamicGrams = joules / carbon::kJoulesPerKwh *
+            window.gridGPerKwh;
+        out.bills.push_back(bill);
+    }
+    return out;
+}
+
+} // namespace fairco2::core

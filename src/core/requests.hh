@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Request-level attribution — the finer granularity the paper's
+ * Section 10 names as future work. A service that owns cores and
+ * memory on a node serves several request classes; its
+ * window-level carbon (embodied via the live intensity signals,
+ * static and dynamic energy via the grid) is divided down to
+ * request classes and per-request footprints, with the service's
+ * idle slack reported explicitly rather than smeared.
+ */
+
+#ifndef FAIRCO2_CORE_REQUESTS_HH
+#define FAIRCO2_CORE_REQUESTS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fairco2::core
+{
+
+/** Aggregated telemetry for one request class over a window. */
+struct RequestClass
+{
+    std::string name;
+    double requests = 0.0;              //!< served in the window
+    double coreSecondsPerRequest = 0.0; //!< measured CPU time
+    double dynamicJoulesPerRequest = 0.0;
+};
+
+/** One class's share of the service's window carbon. */
+struct RequestClassBill
+{
+    std::string name;
+    double requests = 0.0;
+    double fixedGrams = 0.0;   //!< embodied + static share
+    double dynamicGrams = 0.0; //!< energy share
+    double totalGrams() const { return fixedGrams + dynamicGrams; }
+    /** gCO2e per request (0 when the class served nothing). */
+    double perRequestGrams() const;
+};
+
+/** Attribution of a service window down to request classes. */
+struct RequestAttribution
+{
+    std::vector<RequestClassBill> bills;
+    /** Fixed carbon of reserved-but-idle capacity. */
+    double idleFixedGrams = 0.0;
+    /** Window totals (bills + idle), for conservation checks. */
+    double totalFixedGrams = 0.0;
+    double totalDynamicGrams = 0.0;
+};
+
+/** The service's reservation and window-level carbon rates. */
+struct ServiceWindow
+{
+    double cores = 48.0;
+    double memoryGb = 96.0;
+    double windowSeconds = 3600.0;
+    /** Live embodied intensity for cores, g per core-second. */
+    double coreIntensity = 0.0;
+    /** Live embodied intensity for DRAM, g per GB-second. */
+    double memIntensity = 0.0;
+    /** Node static power billed to the service, watts. */
+    double staticWatts = 0.0;
+    /** Grid carbon intensity, gCO2e/kWh. */
+    double gridGPerKwh = 0.0;
+};
+
+/**
+ * Attribute one service window to its request classes.
+ *
+ * Fixed carbon (embodied at the live intensities plus static
+ * energy) is split across classes proportional to busy
+ * core-seconds, with the idle remainder reported separately;
+ * dynamic carbon follows measured per-class energy. Conservation:
+ * sum of bills + idleFixedGrams == window totals.
+ *
+ * @throws std::invalid_argument if the classes' busy core-seconds
+ *         exceed the reservation.
+ */
+RequestAttribution
+attributeRequests(const ServiceWindow &window,
+                  const std::vector<RequestClass> &classes);
+
+} // namespace fairco2::core
+
+#endif // FAIRCO2_CORE_REQUESTS_HH

@@ -1,0 +1,107 @@
+#include "core/temporal.hh"
+
+#include <cassert>
+
+#include "shapley/peak.hh"
+
+namespace fairco2::core
+{
+
+std::vector<double>
+TemporalShapley::periodIntensities(const std::vector<double> &peaks,
+                                   const std::vector<double> &usage,
+                                   double total_grams)
+{
+    assert(peaks.size() == usage.size());
+    const auto phi = shapley::peakGameShapley(peaks);
+
+    double denom = 0.0;
+    for (std::size_t i = 0; i < phi.size(); ++i)
+        denom += phi[i] * usage[i];
+
+    std::vector<double> intensity(phi.size(), 0.0);
+    if (denom <= 0.0)
+        return intensity;
+    for (std::size_t i = 0; i < phi.size(); ++i)
+        intensity[i] = phi[i] * total_grams / denom;
+    return intensity;
+}
+
+void
+TemporalShapley::attributeRange(
+    const trace::TimeSeries &demand, std::size_t begin,
+    std::size_t end, double carbon, std::size_t level,
+    const std::vector<std::size_t> &split_counts,
+    TemporalResult &result) const
+{
+    assert(begin <= end);
+    if (begin == end) {
+        result.unattributedGrams += carbon;
+        return;
+    }
+
+    if (level == split_counts.size()) {
+        // Leaf period: constant intensity carbon / resource-time.
+        const double usage = demand.integral(begin, end);
+        ++result.leafPeriods;
+        if (usage <= 0.0) {
+            result.unattributedGrams += carbon;
+            return;
+        }
+        const double intensity = carbon / usage;
+        for (std::size_t i = begin; i < end; ++i)
+            result.intensity[i] = intensity;
+        result.attributedGrams += carbon;
+        return;
+    }
+
+    const std::size_t span = end - begin;
+    const std::size_t chunks = std::min(split_counts[level], span);
+
+    // Near-equal contiguous chunks covering [begin, end).
+    std::vector<std::size_t> bounds(chunks + 1);
+    for (std::size_t c = 0; c <= chunks; ++c)
+        bounds[c] = begin + span * c / chunks;
+
+    std::vector<double> peaks(chunks), usage(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        peaks[c] = demand.peak(bounds[c], bounds[c + 1]);
+        usage[c] = demand.integral(bounds[c], bounds[c + 1]);
+    }
+
+    result.operations +=
+        static_cast<std::uint64_t>(chunks) * chunks;
+
+    const auto intensities =
+        periodIntensities(peaks, usage, carbon);
+
+    double assigned = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const double chunk_carbon = intensities[c] * usage[c];
+        assigned += chunk_carbon;
+        attributeRange(demand, bounds[c], bounds[c + 1], chunk_carbon,
+                       level + 1, split_counts, result);
+    }
+    // Zero usage-weighted Shapley mass leaves carbon unassigned.
+    result.unattributedGrams += carbon - assigned;
+}
+
+TemporalResult
+TemporalShapley::attribute(
+    const trace::TimeSeries &demand, double total_grams,
+    const std::vector<std::size_t> &split_counts) const
+{
+    assert(total_grams >= 0.0);
+    TemporalResult result;
+    result.intensity = trace::TimeSeries(
+        std::vector<double>(demand.size(), 0.0), demand.stepSeconds());
+    if (demand.empty()) {
+        result.unattributedGrams = total_grams;
+        return result;
+    }
+    attributeRange(demand, 0, demand.size(), total_grams, 0,
+                   split_counts, result);
+    return result;
+}
+
+} // namespace fairco2::core

@@ -1,0 +1,138 @@
+#include "forecast/forecaster.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/linalg.hh"
+
+namespace fairco2::forecast
+{
+
+namespace
+{
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+} // namespace
+
+SeasonalForecaster::SeasonalForecaster()
+    : SeasonalForecaster(Config{})
+{
+}
+
+SeasonalForecaster::SeasonalForecaster(const Config &config)
+    : config_(config), fitted_(false), yMean_(0.0), yScale_(1.0),
+      historyEndSeconds_(0.0), stepSeconds_(1.0),
+      timeScaleSeconds_(kSecondsPerWeek)
+{
+    assert(config.dailyHarmonics >= 0);
+    assert(config.weeklyHarmonics >= 0);
+    assert(config.ridgeLambda >= 0.0);
+}
+
+std::vector<double>
+SeasonalForecaster::featuresAt(double seconds) const
+{
+    std::vector<double> f;
+    f.reserve(2 + 2 * (config_.dailyHarmonics +
+                       config_.weeklyHarmonics));
+    f.push_back(1.0);
+    f.push_back(seconds / timeScaleSeconds_);
+    for (int k = 1; k <= config_.dailyHarmonics; ++k) {
+        const double phase = kTwoPi * k * seconds / kSecondsPerDay;
+        f.push_back(std::cos(phase));
+        f.push_back(std::sin(phase));
+    }
+    for (int k = 1; k <= config_.weeklyHarmonics; ++k) {
+        const double phase = kTwoPi * k * seconds / kSecondsPerWeek;
+        f.push_back(std::cos(phase));
+        f.push_back(std::sin(phase));
+    }
+    return f;
+}
+
+void
+SeasonalForecaster::fit(const trace::TimeSeries &history)
+{
+    const std::size_t n = history.size();
+    const std::size_t p = featuresAt(0.0).size();
+    if (n < p)
+        throw std::invalid_argument(
+            "history too short for the seasonal model");
+
+    stepSeconds_ = history.stepSeconds();
+    historyEndSeconds_ = history.durationSeconds();
+
+    // Standardize the target so the ridge penalty is scale-free.
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        mean += history[i];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = history[i] - mean;
+        var += d * d;
+    }
+    yMean_ = mean;
+    yScale_ = std::sqrt(var / static_cast<double>(n));
+    if (yScale_ <= 0.0)
+        yScale_ = 1.0;
+
+    Matrix design(n, p);
+    std::vector<double> target(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t =
+            (static_cast<double>(i) + 0.5) * stepSeconds_;
+        const auto f = featuresAt(t);
+        for (std::size_t j = 0; j < p; ++j)
+            design(i, j) = f[j];
+        target[i] = (history[i] - yMean_) / yScale_;
+    }
+
+    weights_ = ridgeRegression(design, target, config_.ridgeLambda);
+    fitted_ = true;
+}
+
+double
+SeasonalForecaster::predictAt(double seconds) const
+{
+    assert(fitted_);
+    const auto f = featuresAt(seconds);
+    double z = 0.0;
+    for (std::size_t j = 0; j < f.size(); ++j)
+        z += weights_[j] * f[j];
+    return yMean_ + yScale_ * z;
+}
+
+trace::TimeSeries
+SeasonalForecaster::forecast(std::size_t horizon_steps) const
+{
+    assert(fitted_);
+    std::vector<double> values(horizon_steps);
+    for (std::size_t i = 0; i < horizon_steps; ++i) {
+        const double t = historyEndSeconds_ +
+            (static_cast<double>(i) + 0.5) * stepSeconds_;
+        values[i] = std::max(0.0, predictAt(t));
+    }
+    return trace::TimeSeries(std::move(values), stepSeconds_);
+}
+
+trace::TimeSeries
+SeasonalForecaster::extendWithForecast(
+    const trace::TimeSeries &history, std::size_t horizon_steps)
+{
+    fit(history);
+    const auto horizon = forecast(horizon_steps);
+    std::vector<double> combined(history.values());
+    combined.insert(combined.end(), horizon.values().begin(),
+                    horizon.values().end());
+    return trace::TimeSeries(std::move(combined),
+                             history.stepSeconds());
+}
+
+} // namespace fairco2::forecast

@@ -1,0 +1,126 @@
+#include "montecarlo/colocmc.hh"
+
+#include <cassert>
+
+#include "montecarlo/metrics.hh"
+
+namespace fairco2::montecarlo
+{
+
+ColocationMonteCarlo::ColocationMonteCarlo()
+    : server_(carbon::ServerConfig::paperServer())
+{
+}
+
+ColocTrialResult
+ColocationMonteCarlo::runTrial(
+    std::size_t num_workloads, double grid_ci,
+    std::size_t history_samples, Rng &rng,
+    std::vector<ColocWorkloadRecord> *records) const
+{
+    assert(num_workloads >= 2);
+    assert(history_samples >= 1 &&
+           history_samples <= suite_.size() - 1);
+
+    const core::ColocationCostModel cost(server_, interference_,
+                                         grid_ci);
+
+    // Random multiset of suite members.
+    std::vector<std::size_t> members(num_workloads);
+    for (auto &m : members)
+        m = rng.index(suite_.size());
+
+    const auto scenario =
+        core::ColocationScenario::random(members, rng);
+
+    const auto ground_truth =
+        core::groundTruthColocation(members, suite_, cost);
+    const auto rup =
+        core::rupColocationAttribution(scenario, suite_, cost);
+
+    // Sparse history: each member's alpha/beta profile conditions on
+    // history_samples of its 15 possible partner types.
+    std::vector<core::InterferenceProfile> profiles(num_workloads);
+    for (std::size_t i = 0; i < num_workloads; ++i) {
+        std::vector<std::size_t> pool;
+        pool.reserve(suite_.size() - 1);
+        for (std::size_t s = 0; s < suite_.size(); ++s) {
+            if (s != members[i])
+                pool.push_back(s);
+        }
+        const auto chosen =
+            rng.sampleWithoutReplacement(pool.size(), history_samples);
+        std::vector<std::size_t> partners;
+        partners.reserve(history_samples);
+        for (std::size_t idx : chosen)
+            partners.push_back(pool[idx]);
+        profiles[i] = core::estimateProfile(members[i], partners,
+                                            suite_, interference_);
+    }
+    const auto fair = core::fairCo2ColocationAttribution(
+        scenario, suite_, cost, profiles);
+
+    const auto dev_rup = percentDeviations(rup, ground_truth);
+    const auto dev_fair = percentDeviations(fair, ground_truth);
+    // Ground truth is strictly positive here (every workload burns
+    // some carbon), so no entries were skipped and indices align.
+    assert(dev_rup.size() == num_workloads);
+    assert(dev_fair.size() == num_workloads);
+
+    ColocTrialResult r;
+    r.numWorkloads = num_workloads;
+    r.gridCi = grid_ci;
+    r.samplingRate = static_cast<double>(history_samples) /
+        static_cast<double>(suite_.size() - 1);
+    r.avgRup = averageDeviation(dev_rup);
+    r.worstRup = worstDeviation(dev_rup);
+    r.avgFairCo2 = averageDeviation(dev_fair);
+    r.worstFairCo2 = worstDeviation(dev_fair);
+
+    if (records) {
+        // Realized partner of each member (npos when isolated).
+        std::vector<std::size_t> partner_of(
+            num_workloads, static_cast<std::size_t>(-1));
+        for (const auto &[a, b] : scenario.pairs) {
+            partner_of[a] = members[b];
+            partner_of[b] = members[a];
+        }
+        for (std::size_t i = 0; i < num_workloads; ++i) {
+            ColocWorkloadRecord rec;
+            rec.suiteId = members[i];
+            rec.partnerSuiteId = partner_of[i];
+            rec.devRup = dev_rup[i];
+            rec.devFairCo2 = dev_fair[i];
+            records->push_back(rec);
+        }
+    }
+    return r;
+}
+
+ColocMcOutput
+ColocationMonteCarlo::run(const ColocMcConfig &config, Rng &rng) const
+{
+    assert(config.minWorkloads >= 2);
+    assert(config.maxWorkloads >= config.minWorkloads);
+    assert(config.minSamples >= 1);
+    assert(config.maxSamples <= suite_.size() - 1);
+
+    ColocMcOutput out;
+    out.trials.reserve(config.trials);
+    for (std::size_t t = 0; t < config.trials; ++t) {
+        const auto n = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(config.minWorkloads),
+            static_cast<std::int64_t>(config.maxWorkloads)));
+        const double ci =
+            rng.uniform(config.minGridCi, config.maxGridCi);
+        const auto samples = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(config.minSamples),
+            static_cast<std::int64_t>(config.maxSamples)));
+        out.trials.push_back(runTrial(
+            n, ci, samples, rng,
+            config.collectRecords ? &out.records : nullptr));
+    }
+    return out;
+}
+
+} // namespace fairco2::montecarlo

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Monte Carlo evaluation of interference-aware attribution fairness
+ * (Figures 8 and 9): random sets of colocated workloads, the
+ * random-order Shapley ground truth, and deviations of RUP and
+ * Fair-CO2 attributions, including sparse-history sampling.
+ */
+
+#ifndef FAIRCO2_MONTECARLO_COLOCMC_HH
+#define FAIRCO2_MONTECARLO_COLOCMC_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "carbon/server.hh"
+#include "common/rng.hh"
+#include "core/colocgame.hh"
+#include "workload/interference.hh"
+#include "workload/suite.hh"
+
+namespace fairco2::montecarlo
+{
+
+/** Knobs matching the paper's colocation simulation (Section 6.3). */
+struct ColocMcConfig
+{
+    std::size_t trials = 1000;
+    std::size_t minWorkloads = 4;
+    std::size_t maxWorkloads = 100;
+    double minGridCi = 0.0;     //!< gCO2e/kWh
+    double maxGridCi = 1000.0;
+    std::size_t minSamples = 1; //!< historical partners observed
+    std::size_t maxSamples = 15;
+    bool collectRecords = false;//!< keep per-workload records (Fig 9)
+};
+
+/** Scenario-level outcome of one trial. */
+struct ColocTrialResult
+{
+    std::size_t numWorkloads = 0;
+    double gridCi = 0.0;
+    double samplingRate = 0.0; //!< observed fraction of the 15 partners
+    double avgRup = 0.0;
+    double worstRup = 0.0;
+    double avgFairCo2 = 0.0;
+    double worstFairCo2 = 0.0;
+};
+
+/** Per-workload record for the equity analysis (Figure 9). */
+struct ColocWorkloadRecord
+{
+    std::size_t suiteId = 0;
+    /** Suite id of the realized partner; npos when isolated. */
+    std::size_t partnerSuiteId = static_cast<std::size_t>(-1);
+    double devRup = 0.0;
+    double devFairCo2 = 0.0;
+};
+
+/** Output of a Monte Carlo run. */
+struct ColocMcOutput
+{
+    std::vector<ColocTrialResult> trials;
+    std::vector<ColocWorkloadRecord> records; //!< if requested
+};
+
+/**
+ * Runs the colocation Monte Carlo. Uses a per-trial cache of the
+ * 16x16 pairwise node costs so the O(N^2) ground truth stays cheap
+ * at N = 100.
+ */
+class ColocationMonteCarlo
+{
+  public:
+    ColocationMonteCarlo();
+
+    /** Run @p config.trials random scenarios. */
+    ColocMcOutput run(const ColocMcConfig &config, Rng &rng) const;
+
+    /** Run a single scenario at the given knob values. */
+    ColocTrialResult
+    runTrial(std::size_t num_workloads, double grid_ci,
+             std::size_t history_samples, Rng &rng,
+             std::vector<ColocWorkloadRecord> *records) const;
+
+    const workload::Suite &suite() const { return suite_; }
+
+  private:
+    workload::Suite suite_;
+    workload::InterferenceModel interference_;
+    carbon::ServerCarbonModel server_;
+};
+
+} // namespace fairco2::montecarlo
+
+#endif // FAIRCO2_MONTECARLO_COLOCMC_HH

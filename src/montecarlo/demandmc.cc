@@ -1,0 +1,139 @@
+#include "montecarlo/demandmc.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "montecarlo/metrics.hh"
+
+namespace fairco2::montecarlo
+{
+
+namespace
+{
+
+/** The paper's allocation set: 8, 16, 32, 48, 64, 80, or 96 cores. */
+constexpr double kCoreChoices[] = {8, 16, 32, 48, 64, 80, 96};
+
+double
+randomCores(Rng &rng)
+{
+    return kCoreChoices[rng.index(std::size(kCoreChoices))];
+}
+
+} // namespace
+
+core::Schedule
+randomSchedule(const DemandMcConfig &config, Rng &rng)
+{
+    assert(config.minTimeSlices >= 1);
+    assert(config.maxTimeSlices >= config.minTimeSlices);
+    assert(config.maxConcurrent >= 1);
+    assert(config.maxWorkloads >= config.maxTimeSlices);
+
+    const std::size_t slices = static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::int64_t>(config.minTimeSlices),
+                       static_cast<std::int64_t>(
+                           config.maxTimeSlices)));
+
+    std::vector<core::ScheduledWorkload> workloads;
+    std::vector<std::size_t> concurrency(slices, 0);
+
+    auto fits = [&](std::size_t start, std::size_t duration) {
+        for (std::size_t t = start; t < start + duration; ++t) {
+            if (concurrency[t] >= config.maxConcurrent)
+                return false;
+        }
+        return true;
+    };
+
+    auto place = [&](std::size_t start, std::size_t duration) {
+        core::ScheduledWorkload w;
+        w.cores = randomCores(rng);
+        w.startSlice = start;
+        w.durationSlices = duration;
+        workloads.push_back(w);
+        for (std::size_t t = start; t < start + duration; ++t)
+            ++concurrency[t];
+    };
+
+    auto random_duration = [&](std::size_t start) {
+        const std::size_t longest =
+            std::min(config.maxDuration, slices - start);
+        const std::size_t shortest =
+            std::min(config.minDuration, longest);
+        return static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(shortest),
+            static_cast<std::int64_t>(longest)));
+    };
+
+    // Phase 1: ensure every slice runs at least one workload, so the
+    // demand curve has no idle gaps (the generator in the artifact
+    // keeps all slices occupied as well).
+    for (std::size_t t = 0; t < slices;) {
+        if (concurrency[t] > 0) {
+            ++t;
+            continue;
+        }
+        const std::size_t duration = random_duration(t);
+        place(t, duration);
+        t += duration;
+    }
+
+    // Phase 2: fill up to a random target size with rejection on the
+    // concurrency cap.
+    const std::size_t target = static_cast<std::size_t>(rng.uniformInt(
+        static_cast<std::int64_t>(workloads.size()),
+        static_cast<std::int64_t>(config.maxWorkloads)));
+    std::size_t attempts = 0;
+    while (workloads.size() < target && attempts < 8 * target) {
+        ++attempts;
+        const std::size_t start = rng.index(slices);
+        const std::size_t duration = random_duration(start);
+        if (fits(start, duration))
+            place(start, duration);
+    }
+
+    return core::Schedule(std::move(workloads), slices,
+                          config.sliceSeconds);
+}
+
+DemandTrialResult
+runDemandTrial(const core::Schedule &schedule, double total_grams)
+{
+    const auto attributions =
+        core::attributeSchedule(schedule, total_grams);
+
+    DemandTrialResult r;
+    r.numWorkloads = schedule.numWorkloads();
+    r.numSlices = schedule.numSlices();
+
+    const auto dev_fair = percentDeviations(
+        attributions.fairCo2, attributions.groundTruth);
+    const auto dev_dp = percentDeviations(
+        attributions.demandProportional, attributions.groundTruth);
+    const auto dev_rup = percentDeviations(
+        attributions.rup, attributions.groundTruth);
+
+    r.avgFairCo2 = averageDeviation(dev_fair);
+    r.avgDemandProportional = averageDeviation(dev_dp);
+    r.avgRup = averageDeviation(dev_rup);
+    r.worstFairCo2 = worstDeviation(dev_fair);
+    r.worstDemandProportional = worstDeviation(dev_dp);
+    r.worstRup = worstDeviation(dev_rup);
+    return r;
+}
+
+std::vector<DemandTrialResult>
+runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng)
+{
+    std::vector<DemandTrialResult> results;
+    results.reserve(config.trials);
+    for (std::size_t t = 0; t < config.trials; ++t) {
+        const auto schedule = randomSchedule(config, rng);
+        results.push_back(
+            runDemandTrial(schedule, config.totalGrams));
+    }
+    return results;
+}
+
+} // namespace fairco2::montecarlo

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Monte Carlo evaluation of demand-aware attribution fairness
+ * (Figure 7): random workload schedules, exact Shapley ground truth,
+ * and per-method deviation statistics.
+ */
+
+#ifndef FAIRCO2_MONTECARLO_DEMANDMC_HH
+#define FAIRCO2_MONTECARLO_DEMANDMC_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/demandgame.hh"
+
+namespace fairco2::montecarlo
+{
+
+/** Knobs matching the paper's generator (Section 6.3). */
+struct DemandMcConfig
+{
+    std::size_t trials = 1000;
+    std::size_t maxWorkloads = 22;   //!< exact-Shapley tractability cap
+    std::size_t minTimeSlices = 4;
+    std::size_t maxTimeSlices = 9;
+    std::size_t maxConcurrent = 5;   //!< workloads running per slice
+    std::size_t minDuration = 1;     //!< slices a workload runs for
+    std::size_t maxDuration = 3;
+    double sliceSeconds = 3600.0;
+    double totalGrams = 1000.0;      //!< deviations are scale-free
+};
+
+/** Average/worst deviation of each method in one scenario. */
+struct DemandTrialResult
+{
+    std::size_t numWorkloads = 0;
+    std::size_t numSlices = 0;
+    double avgFairCo2 = 0.0;
+    double avgDemandProportional = 0.0;
+    double avgRup = 0.0;
+    double worstFairCo2 = 0.0;
+    double worstDemandProportional = 0.0;
+    double worstRup = 0.0;
+};
+
+/**
+ * Draw a random schedule: 4-9 slices, every slice occupied by 1-5
+ * workloads, workloads of 8-96 cores (multiples of 8 per the paper's
+ * allocation set) running 1-3 consecutive slices, at most
+ * maxWorkloads total.
+ */
+core::Schedule randomSchedule(const DemandMcConfig &config, Rng &rng);
+
+/** Attribute one schedule with every method and score deviations. */
+DemandTrialResult runDemandTrial(const core::Schedule &schedule,
+                                 double total_grams);
+
+/** Run the full Monte Carlo sweep. */
+std::vector<DemandTrialResult>
+runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng);
+
+} // namespace fairco2::montecarlo
+
+#endif // FAIRCO2_MONTECARLO_DEMANDMC_HH

@@ -1,0 +1,50 @@
+#include "montecarlo/metrics.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fairco2::montecarlo
+{
+
+std::vector<double>
+percentDeviations(const std::vector<double> &attribution,
+                  const std::vector<double> &ground_truth)
+{
+    assert(attribution.size() == ground_truth.size());
+    std::vector<double> deviations;
+    deviations.reserve(attribution.size());
+    for (std::size_t i = 0; i < attribution.size(); ++i) {
+        if (ground_truth[i] == 0.0) {
+            if (attribution[i] == 0.0)
+                deviations.push_back(0.0);
+            continue;
+        }
+        deviations.push_back(
+            std::abs(attribution[i] - ground_truth[i]) /
+            std::abs(ground_truth[i]) * 100.0);
+    }
+    return deviations;
+}
+
+double
+averageDeviation(const std::vector<double> &deviations)
+{
+    if (deviations.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double d : deviations)
+        sum += d;
+    return sum / static_cast<double>(deviations.size());
+}
+
+double
+worstDeviation(const std::vector<double> &deviations)
+{
+    double worst = 0.0;
+    for (double d : deviations)
+        worst = std::max(worst, d);
+    return worst;
+}
+
+} // namespace fairco2::montecarlo

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fairness metrics: the paper measures a method's fairness as its
+ * percentage deviation from the ground-truth Shapley attribution,
+ * reporting the scenario average and the single worst workload.
+ */
+
+#ifndef FAIRCO2_MONTECARLO_METRICS_HH
+#define FAIRCO2_MONTECARLO_METRICS_HH
+
+#include <vector>
+
+namespace fairco2::montecarlo
+{
+
+/**
+ * Per-workload |a_i - phi_i| / phi_i * 100. Entries whose ground
+ * truth is zero are reported as zero deviation when the attribution
+ * is also zero, and skipped (dropped) otherwise.
+ */
+std::vector<double>
+percentDeviations(const std::vector<double> &attribution,
+                  const std::vector<double> &ground_truth);
+
+/** Mean of the deviations (0 for an empty vector). */
+double averageDeviation(const std::vector<double> &deviations);
+
+/** Maximum of the deviations (0 for an empty vector). */
+double worstDeviation(const std::vector<double> &deviations);
+
+} // namespace fairco2::montecarlo
+
+#endif // FAIRCO2_MONTECARLO_METRICS_HH

@@ -1,0 +1,94 @@
+#include "optimize/carboncost.hh"
+
+#include <cassert>
+
+namespace fairco2::optimize
+{
+
+CarbonObjective::CarbonObjective(
+    const carbon::ServerCarbonModel &server, double grid_g_per_kwh)
+    : server_(server), gridGPerKwh_(grid_g_per_kwh),
+      coreRate_(server.coreRateGramsPerSecond()),
+      memRate_(server.memRateGramsPerSecond())
+{
+    assert(grid_g_per_kwh >= 0.0);
+}
+
+void
+CarbonObjective::setEmbodiedRates(double core_g_per_s,
+                                  double mem_g_per_s)
+{
+    assert(core_g_per_s >= 0.0 && mem_g_per_s >= 0.0);
+    coreRate_ = core_g_per_s;
+    memRate_ = mem_g_per_s;
+}
+
+Footprint
+CarbonObjective::batchRun(const workload::WorkloadSpec &w,
+                          const workload::RunConfig &config,
+                          const workload::PerfModel &perf) const
+{
+    const double runtime = perf.runtimeSeconds(w, config);
+    const double dyn_joules = perf.dynamicEnergyJoules(w, config);
+    // The run owns the node: the full static draw bills for the
+    // whole runtime, so faster configurations save static energy.
+    const double static_joules =
+        server_.power().staticWatts * runtime;
+
+    Footprint f;
+    f.embodiedGrams =
+        (config.cores * coreRate_ + config.memoryGb * memRate_) *
+        runtime;
+    f.staticGrams =
+        static_joules / carbon::kJoulesPerKwh * gridGPerKwh_;
+    f.dynamicGrams =
+        dyn_joules / carbon::kJoulesPerKwh * gridGPerKwh_;
+    return f;
+}
+
+Footprint
+CarbonObjective::faissPerQuery(
+    const workload::FaissModel &model,
+    const workload::FaissConfig &config) const
+{
+    const double qps = model.throughputQps(config);
+    assert(qps > 0.0);
+    const double seconds_per_query = 1.0 / qps;
+    const double mem_gb = model.indexMemoryGb(config.index);
+
+    Footprint f;
+    f.embodiedGrams =
+        (config.cores * coreRate_ + mem_gb * memRate_) *
+        seconds_per_query;
+    // The service owns its node; the full static draw is part of
+    // its footprint regardless of how many cores it enables.
+    f.staticGrams = server_.power().staticWatts *
+        seconds_per_query / carbon::kJoulesPerKwh * gridGPerKwh_;
+    f.dynamicGrams = model.dynamicPowerWatts(config) *
+        seconds_per_query / carbon::kJoulesPerKwh * gridGPerKwh_;
+    return f;
+}
+
+Footprint
+CarbonObjective::faissServiceRate(
+    const workload::FaissModel &model,
+    const workload::FaissConfig &config, double offered_qps) const
+{
+    const double capacity = model.throughputQps(config);
+    assert(offered_qps >= 0.0 && offered_qps <= capacity);
+    const double utilization = capacity > 0.0
+        ? offered_qps / capacity
+        : 0.0;
+    const double mem_gb = model.indexMemoryGb(config.index);
+
+    Footprint f;
+    f.embodiedGrams =
+        config.cores * coreRate_ + mem_gb * memRate_;
+    f.staticGrams = server_.power().staticWatts /
+        carbon::kJoulesPerKwh * gridGPerKwh_;
+    f.dynamicGrams = model.dynamicPowerWatts(config) * utilization /
+        carbon::kJoulesPerKwh * gridGPerKwh_;
+    return f;
+}
+
+} // namespace fairco2::optimize

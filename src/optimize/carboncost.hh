@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Carbon objective for the workload-optimization case study
+ * (Section 8): evaluates the embodied + operational footprint of a
+ * batch run or of a query-serving FAISS configuration under a given
+ * grid carbon intensity.
+ */
+
+#ifndef FAIRCO2_OPTIMIZE_CARBONCOST_HH
+#define FAIRCO2_OPTIMIZE_CARBONCOST_HH
+
+#include "carbon/grid.hh"
+#include "carbon/server.hh"
+#include "workload/perfmodel.hh"
+#include "workload/spec.hh"
+
+namespace fairco2::optimize
+{
+
+/** Itemized carbon footprint in grams. */
+struct Footprint
+{
+    double embodiedGrams = 0.0;
+    double staticGrams = 0.0;
+    double dynamicGrams = 0.0;
+
+    double totalGrams() const
+    {
+        return embodiedGrams + staticGrams + dynamicGrams;
+    }
+
+    /** Operational = static + dynamic. */
+    double operationalGrams() const
+    {
+        return staticGrams + dynamicGrams;
+    }
+};
+
+/**
+ * Evaluates footprints against a server model and grid intensity.
+ *
+ * Embodied carbon is charged at the amortized per-resource rates
+ * (gCO2e per core-second / GB-second). Static energy is charged for
+ * the whole node for the duration of the run — the Section 8 setup,
+ * where the workload owns the server, so a faster configuration
+ * directly cuts static energy (this is why the carbon-optimal core
+ * count rises with grid intensity). Dynamic energy comes from the
+ * workload's power model.
+ */
+class CarbonObjective
+{
+  public:
+    CarbonObjective(const carbon::ServerCarbonModel &server,
+                    double grid_g_per_kwh);
+
+    /** Footprint of one complete batch run at a configuration. */
+    Footprint batchRun(const workload::WorkloadSpec &w,
+                       const workload::RunConfig &config,
+                       const workload::PerfModel &perf) const;
+
+    /** Footprint per query of a FAISS service configuration
+     *  running at capacity. */
+    Footprint faissPerQuery(const workload::FaissModel &model,
+                            const workload::FaissConfig &config) const;
+
+    /**
+     * Footprint per second of a FAISS service holding a node while
+     * serving @p offered_qps queries per second: embodied and static
+     * carbon accrue with wall-clock time; dynamic power scales with
+     * the utilization offered/capacity (the node idles between
+     * batches). Requires offered_qps <= the config's throughput.
+     */
+    Footprint
+    faissServiceRate(const workload::FaissModel &model,
+                     const workload::FaissConfig &config,
+                     double offered_qps) const;
+
+    double gridGPerKwh() const { return gridGPerKwh_; }
+
+    /** Amortized embodied rate per core, g/s. */
+    double coreRate() const { return coreRate_; }
+    /** Amortized embodied rate per GB, g/s. */
+    double memRate() const { return memRate_; }
+
+    /**
+     * Override the embodied rates with live Temporal Shapley
+     * intensities (used by the dynamic optimizer, Figure 13).
+     */
+    void setEmbodiedRates(double core_g_per_s, double mem_g_per_s);
+
+  private:
+    const carbon::ServerCarbonModel &server_;
+    double gridGPerKwh_;
+    double coreRate_;
+    double memRate_;
+};
+
+} // namespace fairco2::optimize
+
+#endif // FAIRCO2_OPTIMIZE_CARBONCOST_HH

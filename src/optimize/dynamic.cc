@@ -1,0 +1,130 @@
+#include "optimize/dynamic.hh"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace fairco2::optimize
+{
+
+DynamicOptimizer::DynamicOptimizer(
+    const carbon::ServerCarbonModel &server,
+    const workload::FaissModel &model)
+    : server_(server), model_(model)
+{
+}
+
+DynamicResult
+DynamicOptimizer::optimize(const trace::TimeSeries &grid_ci,
+                           const trace::TimeSeries &core_intensity,
+                           double latency_target_s,
+                           double queries_per_second) const
+{
+    assert(latency_target_s > 0.0);
+    assert(queries_per_second > 0.0);
+    if (core_intensity.empty())
+        throw std::invalid_argument("empty intensity signal");
+
+    // Candidate configurations, with latencies (latency does not
+    // depend on the carbon signals, so compute once).
+    CarbonObjective probe(server_, 0.0);
+    const auto candidates = faissSweep(model_, probe);
+
+    // Feasible set: meets the SLO and can absorb the offered load.
+    std::vector<std::size_t> feasible;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].tailLatencySeconds <= latency_target_s &&
+            model_.throughputQps(candidates[i].config) >=
+                queries_per_second) {
+            feasible.push_back(i);
+        }
+    }
+    if (feasible.empty())
+        throw std::invalid_argument(
+            "no configuration meets the latency target at the "
+            "offered load");
+
+    // Performance-optimal baseline: the lowest-latency feasible
+    // candidate, held fixed for the whole window.
+    std::size_t perf_best = feasible.front();
+    for (std::size_t i : feasible) {
+        if (candidates[i].tailLatencySeconds <
+            candidates[perf_best].tailLatencySeconds) {
+            perf_best = i;
+        }
+    }
+
+    const double mem_per_core_ratio =
+        server_.memRateGramsPerSecond() /
+        server_.coreRateGramsPerSecond();
+    const double step = core_intensity.stepSeconds();
+
+    DynamicResult result;
+    result.steps.reserve(core_intensity.size());
+
+    workload::FaissConfig previous{};
+    bool have_previous = false;
+
+    for (std::size_t t = 0; t < core_intensity.size(); ++t) {
+        const double now = (static_cast<double>(t) + 0.5) * step;
+        const double ci = grid_ci.at(now);
+        const double core_rate = core_intensity[t];
+        const double mem_rate = core_rate * mem_per_core_ratio;
+
+        CarbonObjective objective(server_, ci);
+        objective.setEmbodiedRates(core_rate, mem_rate);
+
+        double best_rate = std::numeric_limits<double>::infinity();
+        workload::FaissConfig best_config{};
+        for (std::size_t idx : feasible) {
+            const auto &cand = candidates[idx];
+            const double rate =
+                objective
+                    .faissServiceRate(model_, cand.config,
+                                      queries_per_second)
+                    .totalGrams();
+            if (rate < best_rate) {
+                best_rate = rate;
+                best_config = cand.config;
+            }
+        }
+
+        const double baseline_rate =
+            objective
+                .faissServiceRate(model_,
+                                  candidates[perf_best].config,
+                                  queries_per_second)
+                .totalGrams();
+
+        DynamicStep s;
+        s.timeSeconds = now;
+        s.config = best_config;
+        s.carbonPerQueryGrams = best_rate / queries_per_second;
+        s.baselinePerQueryGrams =
+            baseline_rate / queries_per_second;
+        s.gridCi = ci;
+        s.coreIntensity = core_rate;
+        result.steps.push_back(s);
+
+        result.optimizedGrams += best_rate * step;
+        result.baselineGrams += baseline_rate * step;
+
+        if (have_previous &&
+            (previous.index != best_config.index ||
+             previous.cores != best_config.cores ||
+             previous.batch != best_config.batch)) {
+            ++result.configChanges;
+        }
+        previous = best_config;
+        have_previous = true;
+    }
+
+    if (result.baselineGrams > 0.0) {
+        result.savingsPercent = 100.0 *
+            (result.baselineGrams - result.optimizedGrams) /
+            result.baselineGrams;
+    }
+    return result;
+}
+
+} // namespace fairco2::optimize

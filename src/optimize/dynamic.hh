@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dynamic workload reconfiguration (Figure 13): every interval,
+ * re-pick the FAISS configuration that minimizes carbon per query
+ * under a tail-latency target, responding to the live grid carbon
+ * intensity and the live Fair-CO2 embodied intensity signal.
+ */
+
+#ifndef FAIRCO2_OPTIMIZE_DYNAMIC_HH
+#define FAIRCO2_OPTIMIZE_DYNAMIC_HH
+
+#include <vector>
+
+#include "carbon/server.hh"
+#include "optimize/sweep.hh"
+#include "trace/timeseries.hh"
+#include "workload/perfmodel.hh"
+
+namespace fairco2::optimize
+{
+
+/** Chosen configuration and cost at one decision interval. */
+struct DynamicStep
+{
+    double timeSeconds = 0.0;
+    workload::FaissConfig config;
+    double carbonPerQueryGrams = 0.0;
+    double baselinePerQueryGrams = 0.0;
+    double gridCi = 0.0;              //!< gCO2e/kWh at this step
+    double coreIntensity = 0.0;       //!< g per core-second
+};
+
+/** Outcome of a simulated deployment window. */
+struct DynamicResult
+{
+    std::vector<DynamicStep> steps;
+    double optimizedGrams = 0.0;  //!< total with dynamic adaptation
+    double baselineGrams = 0.0;   //!< perf-optimal fixed config
+    double savingsPercent = 0.0;
+    std::size_t configChanges = 0;//!< reconfiguration count
+};
+
+/**
+ * Simulates the week-long FAISS deployment: a fixed query rate must
+ * be served within a tail-latency target; the optimizer re-selects
+ * core count, batch size, and index algorithm each step.
+ */
+class DynamicOptimizer
+{
+  public:
+    DynamicOptimizer(const carbon::ServerCarbonModel &server,
+                     const workload::FaissModel &model);
+
+    /**
+     * @param grid_ci grid carbon intensity over the window.
+     * @param core_intensity live embodied intensity signal for CPU
+     *        cores (g per core-second), e.g. from Temporal Shapley
+     *        over a demand trace. The DRAM intensity is scaled from
+     *        it by the server's mem/core embodied rate ratio.
+     * @param latency_target_s tail-latency SLO (the paper uses 2 s).
+     * @param queries_per_second offered load; only configurations
+     *        whose throughput covers it are feasible, and dynamic
+     *        energy scales with the resulting utilization.
+     */
+    DynamicResult
+    optimize(const trace::TimeSeries &grid_ci,
+             const trace::TimeSeries &core_intensity,
+             double latency_target_s,
+             double queries_per_second) const;
+
+  private:
+    const carbon::ServerCarbonModel &server_;
+    const workload::FaissModel &model_;
+};
+
+} // namespace fairco2::optimize
+
+#endif // FAIRCO2_OPTIMIZE_DYNAMIC_HH

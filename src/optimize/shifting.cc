@@ -1,0 +1,128 @@
+#include "optimize/shifting.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fairco2::optimize
+{
+
+TemporalShifter::TemporalShifter(std::size_t max_passes)
+    : maxPasses_(max_passes)
+{
+    assert(max_passes > 0);
+}
+
+namespace
+{
+
+/** Add (or subtract) a job's demand from the aggregate curve. */
+void
+applyJob(std::vector<double> &demand, const FlexibleJob &job,
+         std::size_t start, double sign)
+{
+    for (std::size_t t = start; t < start + job.durationSlices; ++t)
+        demand[t] += sign * job.cores;
+}
+
+double
+peakOf(const std::vector<double> &demand)
+{
+    double peak = 0.0;
+    for (double d : demand)
+        peak = std::max(peak, d);
+    return peak;
+}
+
+/**
+ * Score of placing the job at @p start given the rest of the
+ * demand: primary = resulting aggregate peak, secondary = demand
+ * mass beneath the job (prefer troughs even when the peak ties).
+ */
+std::pair<double, double>
+placementScore(const std::vector<double> &demand,
+               const FlexibleJob &job, std::size_t start)
+{
+    double window_peak = 0.0;
+    double window_mass = 0.0;
+    for (std::size_t t = start; t < start + job.durationSlices;
+         ++t) {
+        window_peak = std::max(window_peak, demand[t] + job.cores);
+        window_mass += demand[t];
+    }
+    double rest_peak = 0.0;
+    for (std::size_t t = 0; t < demand.size(); ++t)
+        rest_peak = std::max(rest_peak, demand[t]);
+    return {std::max(window_peak, rest_peak), window_mass};
+}
+
+} // namespace
+
+ShiftResult
+TemporalShifter::shift(const trace::TimeSeries &base_demand,
+                       const std::vector<FlexibleJob> &jobs) const
+{
+    const std::size_t horizon = base_demand.size();
+    for (const auto &job : jobs) {
+        if (job.latestStart < job.earliestStart ||
+            job.latestStart + job.durationSlices > horizon) {
+            throw std::invalid_argument(
+                "flexible job window does not fit the horizon");
+        }
+    }
+
+    std::vector<double> demand(base_demand.values());
+    ShiftResult result;
+    result.starts.resize(jobs.size());
+
+    // Initial placement: everything at its earliest start (what an
+    // unshifted deployment would do).
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        result.starts[j] = jobs[j].earliestStart;
+        applyJob(demand, jobs[j], jobs[j].earliestStart, +1.0);
+    }
+    result.peakBefore = peakOf(demand);
+
+    // Coordinate descent over job start times.
+    for (std::size_t pass = 0; pass < maxPasses_; ++pass) {
+        bool changed = false;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            const auto &job = jobs[j];
+            applyJob(demand, job, result.starts[j], -1.0);
+
+            std::size_t best_start = result.starts[j];
+            auto best_score =
+                placementScore(demand, job, best_start);
+            for (std::size_t start = job.earliestStart;
+                 start <= job.latestStart; ++start) {
+                const auto score =
+                    placementScore(demand, job, start);
+                if (score < best_score) {
+                    best_score = score;
+                    best_start = start;
+                }
+            }
+            if (best_start != result.starts[j]) {
+                result.starts[j] = best_start;
+                changed = true;
+            }
+            applyJob(demand, job, result.starts[j], +1.0);
+        }
+        ++result.iterations;
+        if (!changed)
+            break;
+    }
+
+    result.peakAfter = peakOf(demand);
+    result.demand =
+        trace::TimeSeries(std::move(demand),
+                          base_demand.stepSeconds());
+    if (result.peakBefore > 0.0) {
+        result.peakReductionPercent = 100.0 *
+            (result.peakBefore - result.peakAfter) /
+            result.peakBefore;
+    }
+    return result;
+}
+
+} // namespace fairco2::optimize

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Carbon-aware temporal workload shifting: the optimization the
+ * paper's introduction motivates ("batch workloads that allow
+ * temporal flexibility to smooth peak resource demand should be
+ * attributed less embodied carbon"). Given flexible batch jobs and
+ * a base demand curve, the shifter picks start slices that minimize
+ * the fleet's peak demand — and therefore the minimum capacity and
+ * embodied carbon it must be attributed.
+ */
+
+#ifndef FAIRCO2_OPTIMIZE_SHIFTING_HH
+#define FAIRCO2_OPTIMIZE_SHIFTING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/timeseries.hh"
+
+namespace fairco2::optimize
+{
+
+/** A batch job free to start anywhere in a window. */
+struct FlexibleJob
+{
+    double cores = 8.0;
+    std::size_t durationSlices = 1;
+    std::size_t earliestStart = 0;
+    std::size_t latestStart = 0; //!< inclusive
+};
+
+/** Outcome of a shifting pass. */
+struct ShiftResult
+{
+    /** Chosen start slice per job. */
+    std::vector<std::size_t> starts;
+    /** Aggregate demand including the placed jobs. */
+    trace::TimeSeries demand;
+    double peakBefore = 0.0; //!< jobs at their earliest starts
+    double peakAfter = 0.0;
+    /** Relative capacity (= embodied carbon) reduction, percent. */
+    double peakReductionPercent = 0.0;
+    std::size_t iterations = 0;
+};
+
+/**
+ * Peak-minimizing shifter.
+ *
+ * Coordinate descent: jobs start at their earliest slot, then each
+ * job in turn is moved to the start that minimizes the aggregate
+ * peak (ties broken by lower total demand under the job), repeating
+ * until a full pass changes nothing. Deterministic; terminates
+ * because the (peak, overlap) objective strictly decreases.
+ */
+class TemporalShifter
+{
+  public:
+    /** @param max_passes safety bound on coordinate-descent passes. */
+    explicit TemporalShifter(std::size_t max_passes = 32);
+
+    /**
+     * Place @p jobs on top of @p base_demand (inflexible load).
+     * Every job window must fit within the horizon.
+     */
+    ShiftResult shift(const trace::TimeSeries &base_demand,
+                      const std::vector<FlexibleJob> &jobs) const;
+
+  private:
+    std::size_t maxPasses_;
+};
+
+} // namespace fairco2::optimize
+
+#endif // FAIRCO2_OPTIMIZE_SHIFTING_HH

@@ -1,0 +1,88 @@
+#include "optimize/spatial.hh"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "carbon/grid.hh"
+
+namespace fairco2::optimize
+{
+
+double
+SpatioTemporalPlacer::jobGrams(const SpatialJob &job,
+                               const Region &region,
+                               std::size_t start)
+{
+    assert(start + job.durationSlices <= region.gridCi.size());
+    const double step = region.gridCi.stepSeconds();
+    double grams = 0.0;
+    for (std::size_t t = start; t < start + job.durationSlices;
+         ++t) {
+        grams += job.cores * region.coreIntensity[t] * step;
+        grams += job.cores * job.wattsPerCore * step /
+            carbon::kJoulesPerKwh * region.gridCi[t];
+    }
+    return grams;
+}
+
+SpatialResult
+SpatioTemporalPlacer::place(const std::vector<SpatialJob> &jobs,
+                            const std::vector<Region> &regions) const
+{
+    if (regions.empty())
+        throw std::invalid_argument("no regions to place into");
+    const std::size_t horizon = regions.front().gridCi.size();
+    for (const auto &region : regions) {
+        if (region.gridCi.size() != horizon ||
+            region.coreIntensity.size() != horizon) {
+            throw std::invalid_argument(
+                "regions must share the horizon shape");
+        }
+    }
+
+    SpatialResult result;
+    result.placements.reserve(jobs.size());
+    for (const auto &job : jobs) {
+        if (job.homeRegion >= regions.size() ||
+            job.latestStart < job.earliestStart ||
+            job.latestStart + job.durationSlices > horizon) {
+            throw std::invalid_argument(
+                "job window or home region invalid");
+        }
+
+        Placement placement;
+        placement.baselineGrams = jobGrams(
+            job, regions[job.homeRegion], job.earliestStart);
+
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < regions.size(); ++r) {
+            for (std::size_t s = job.earliestStart;
+                 s <= job.latestStart; ++s) {
+                const double grams =
+                    jobGrams(job, regions[r], s);
+                if (grams < best) {
+                    best = grams;
+                    placement.region = r;
+                    placement.start = s;
+                }
+            }
+        }
+        placement.grams = best;
+        result.optimizedGrams += best;
+        result.baselineGrams += placement.baselineGrams;
+        if (placement.region != job.homeRegion)
+            ++result.jobsMoved;
+        if (placement.start != job.earliestStart)
+            ++result.jobsShifted;
+        result.placements.push_back(placement);
+    }
+    if (result.baselineGrams > 0.0) {
+        result.savingsPercent = 100.0 *
+            (result.baselineGrams - result.optimizedGrams) /
+            result.baselineGrams;
+    }
+    return result;
+}
+
+} // namespace fairco2::optimize

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Spatio-temporal job placement: the generalization of temporal
+ * shifting that the carbon-aware-computing literature the paper
+ * builds on (Carbon Explorer, GreenCourier, "Let's wait awhile")
+ * studies — given several regions with their own grid carbon
+ * intensity and live embodied intensity signals, choose a region
+ * *and* a start time for each flexible batch job.
+ *
+ * With signals fixed, jobs are independent, so each job's optimal
+ * (region, start) is found exactly by enumeration.
+ */
+
+#ifndef FAIRCO2_OPTIMIZE_SPATIAL_HH
+#define FAIRCO2_OPTIMIZE_SPATIAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/timeseries.hh"
+
+namespace fairco2::optimize
+{
+
+/** One placement region's live carbon signals. */
+struct Region
+{
+    std::string name;
+    /** Grid carbon intensity over the horizon, gCO2e/kWh. */
+    trace::TimeSeries gridCi;
+    /** Embodied intensity for cores, g per core-second. */
+    trace::TimeSeries coreIntensity;
+};
+
+/** A batch job that may run in any region, within a time window. */
+struct SpatialJob
+{
+    double cores = 8.0;
+    /** Average dynamic power per core while running, watts. */
+    double wattsPerCore = 3.0;
+    std::size_t durationSlices = 1;
+    std::size_t earliestStart = 0;
+    std::size_t latestStart = 0; //!< inclusive
+    /** Region the job would run in without carbon awareness. */
+    std::size_t homeRegion = 0;
+};
+
+/** Chosen placement and its footprint for one job. */
+struct Placement
+{
+    std::size_t region = 0;
+    std::size_t start = 0;
+    double grams = 0.0;
+    /** Footprint at (homeRegion, earliestStart). */
+    double baselineGrams = 0.0;
+};
+
+/** Outcome of a placement pass. */
+struct SpatialResult
+{
+    std::vector<Placement> placements;
+    double optimizedGrams = 0.0;
+    double baselineGrams = 0.0;
+    double savingsPercent = 0.0;
+    std::size_t jobsMoved = 0;   //!< region changed
+    std::size_t jobsShifted = 0; //!< start changed
+};
+
+/**
+ * Exact per-job spatio-temporal placement.
+ *
+ * A job's footprint at (region r, start s) is the sum over its
+ * slices of cores * coreIntensity_r + cores * wattsPerCore *
+ * gridCi_r converted to grams. All regions must share the
+ * horizon's shape.
+ */
+class SpatioTemporalPlacer
+{
+  public:
+    /** Footprint of one job at a specific placement, grams. */
+    static double jobGrams(const SpatialJob &job,
+                           const Region &region,
+                           std::size_t start);
+
+    /** Place every job at its carbon-optimal (region, start). */
+    SpatialResult place(const std::vector<SpatialJob> &jobs,
+                        const std::vector<Region> &regions) const;
+};
+
+} // namespace fairco2::optimize
+
+#endif // FAIRCO2_OPTIMIZE_SPATIAL_HH

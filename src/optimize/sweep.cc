@@ -1,0 +1,167 @@
+#include "optimize/sweep.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace fairco2::optimize
+{
+
+std::vector<double>
+ConfigSweep::defaultCoreGrid()
+{
+    return {8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96};
+}
+
+std::vector<double>
+ConfigSweep::defaultMemoryGrid()
+{
+    return {8, 16, 32, 48, 64, 96, 128, 160, 192};
+}
+
+std::vector<SweepPoint>
+ConfigSweep::sweep(const workload::WorkloadSpec &w,
+                   const CarbonObjective &objective,
+                   const workload::PerfModel &perf,
+                   const std::vector<double> &core_grid,
+                   const std::vector<double> &memory_grid) const
+{
+    std::vector<SweepPoint> points;
+    points.reserve(core_grid.size() * memory_grid.size());
+    for (double cores : core_grid) {
+        for (double memory : memory_grid) {
+            SweepPoint p;
+            p.config = {cores, memory};
+            p.runtimeSeconds = perf.runtimeSeconds(w, p.config);
+            p.footprint = objective.batchRun(w, p.config, perf);
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+namespace
+{
+
+template <typename Key>
+std::size_t
+argmin(const std::vector<SweepPoint> &points, Key &&key)
+{
+    assert(!points.empty());
+    std::size_t best = 0;
+    double best_val = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double v = key(points[i]);
+        if (v < best_val) {
+            best_val = v;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::size_t
+ConfigSweep::performanceOptimal(const std::vector<SweepPoint> &points)
+{
+    // A performance-focused user overprovisions: among equally fast
+    // configurations, take the largest allocation. This is the
+    // baseline the carbon-optimal configuration is normalized to.
+    assert(!points.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const auto &p = points[i];
+        const auto &b = points[best];
+        if (p.runtimeSeconds < b.runtimeSeconds ||
+            (p.runtimeSeconds == b.runtimeSeconds &&
+             (p.config.cores > b.config.cores ||
+              (p.config.cores == b.config.cores &&
+               p.config.memoryGb > b.config.memoryGb)))) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::size_t
+ConfigSweep::carbonOptimal(const std::vector<SweepPoint> &points)
+{
+    return argmin(points, [](const SweepPoint &p) {
+        return p.footprint.totalGrams();
+    });
+}
+
+std::size_t
+ConfigSweep::energyOptimal(const std::vector<SweepPoint> &points)
+{
+    return argmin(points, [](const SweepPoint &p) {
+        return p.footprint.operationalGrams();
+    });
+}
+
+std::size_t
+ConfigSweep::embodiedOptimal(const std::vector<SweepPoint> &points)
+{
+    return argmin(points, [](const SweepPoint &p) {
+        return p.footprint.embodiedGrams;
+    });
+}
+
+std::vector<double>
+defaultBatchGrid()
+{
+    return {8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+std::vector<FaissSweepPoint>
+faissSweep(const workload::FaissModel &model,
+           const CarbonObjective &objective,
+           const std::vector<double> &core_grid,
+           const std::vector<double> &batch_grid)
+{
+    std::vector<FaissSweepPoint> points;
+    points.reserve(2 * core_grid.size() * batch_grid.size());
+    for (auto index :
+         {workload::FaissIndex::IVF, workload::FaissIndex::HNSW}) {
+        for (double cores : core_grid) {
+            for (double batch : batch_grid) {
+                FaissSweepPoint p;
+                p.config = {index, cores, batch};
+                p.tailLatencySeconds =
+                    model.tailLatencySeconds(p.config);
+                p.perQuery = objective.faissPerQuery(model, p.config);
+                points.push_back(p);
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<double> &latency,
+            const std::vector<double> &carbon)
+{
+    assert(latency.size() == carbon.size());
+    std::vector<std::size_t> order(latency.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (latency[a] != latency[b])
+                      return latency[a] < latency[b];
+                  return carbon[a] < carbon[b];
+              });
+
+    std::vector<std::size_t> front;
+    double best_carbon = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : order) {
+        if (carbon[idx] < best_carbon) {
+            front.push_back(idx);
+            best_carbon = carbon[idx];
+        }
+    }
+    return front;
+}
+
+} // namespace fairco2::optimize

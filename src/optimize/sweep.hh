@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Configuration sweeps (Section 8): enumerate core/memory
+ * configurations for batch workloads and core/batch/index
+ * configurations for FAISS, evaluating runtime, latency, and carbon
+ * at each point.
+ */
+
+#ifndef FAIRCO2_OPTIMIZE_SWEEP_HH
+#define FAIRCO2_OPTIMIZE_SWEEP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "optimize/carboncost.hh"
+#include "workload/perfmodel.hh"
+#include "workload/spec.hh"
+
+namespace fairco2::optimize
+{
+
+/** One evaluated batch-workload configuration. */
+struct SweepPoint
+{
+    workload::RunConfig config;
+    double runtimeSeconds = 0.0;
+    Footprint footprint;
+};
+
+/** Batch-workload configuration sweep. */
+class ConfigSweep
+{
+  public:
+    /** The paper's core allocations: 8 to 96. */
+    static std::vector<double> defaultCoreGrid();
+
+    /** The paper's memory allocations: 8 GB to 192 GB. */
+    static std::vector<double> defaultMemoryGrid();
+
+    /**
+     * Evaluate every (cores, memory) combination. Memory points
+     * below 4 GB of slack under the allocation are kept — the paper
+     * notes low-memory configurations crawl, and they are exactly
+     * the interesting embodied/runtime trade-off.
+     */
+    std::vector<SweepPoint>
+    sweep(const workload::WorkloadSpec &w,
+          const CarbonObjective &objective,
+          const workload::PerfModel &perf,
+          const std::vector<double> &core_grid = defaultCoreGrid(),
+          const std::vector<double> &memory_grid =
+              defaultMemoryGrid()) const;
+
+    /** Index of the fastest configuration. */
+    static std::size_t
+    performanceOptimal(const std::vector<SweepPoint> &points);
+
+    /** Index of the minimum total-carbon configuration. */
+    static std::size_t
+    carbonOptimal(const std::vector<SweepPoint> &points);
+
+    /** Index of the minimum operational-carbon configuration. */
+    static std::size_t
+    energyOptimal(const std::vector<SweepPoint> &points);
+
+    /** Index of the minimum embodied-carbon configuration. */
+    static std::size_t
+    embodiedOptimal(const std::vector<SweepPoint> &points);
+};
+
+/** One evaluated FAISS service configuration. */
+struct FaissSweepPoint
+{
+    workload::FaissConfig config;
+    double tailLatencySeconds = 0.0;
+    Footprint perQuery;
+};
+
+/** The paper's FAISS batch sizes: 8 to 1024, powers of two. */
+std::vector<double> defaultBatchGrid();
+
+/**
+ * Evaluate both indices over the core and batch grids.
+ */
+std::vector<FaissSweepPoint>
+faissSweep(const workload::FaissModel &model,
+           const CarbonObjective &objective,
+           const std::vector<double> &core_grid =
+               ConfigSweep::defaultCoreGrid(),
+           const std::vector<double> &batch_grid = defaultBatchGrid());
+
+/**
+ * Indices of the points on the lower-left Pareto front of
+ * (latency, carbon): no other point is better on both axes.
+ * Returned in increasing-latency order.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<double> &latency,
+            const std::vector<double> &carbon);
+
+} // namespace fairco2::optimize
+
+#endif // FAIRCO2_OPTIMIZE_SWEEP_HH

@@ -1,0 +1,83 @@
+#include "shapley/exact.hh"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace fairco2::shapley
+{
+
+std::vector<double>
+exactShapley(const CoalitionGame &game)
+{
+    const int n = game.numPlayers();
+    if (n < 0 || n > kMaxExactPlayers)
+        throw std::invalid_argument(
+            "exactShapley: too many players for enumeration");
+    if (n == 0)
+        return {};
+
+    const std::uint64_t num_masks = 1ULL << n;
+
+    // Tabulate v once; games are often expensive to evaluate.
+    std::vector<double> v(num_masks);
+    for (std::uint64_t mask = 0; mask < num_masks; ++mask)
+        v[mask] = game.value(mask);
+
+    // weight[s] = s! (n-1-s)! / n! for |S| = s, computed iteratively
+    // to stay in floating point range: weight[0] = 1/n and
+    // weight[s] = weight[s-1] * s / (n - s).
+    std::vector<double> weight(n);
+    weight[0] = 1.0 / n;
+    for (int s = 1; s < n; ++s)
+        weight[s] = weight[s - 1] * s / (n - s);
+
+    std::vector<double> phi(n, 0.0);
+    for (std::uint64_t mask = 0; mask < num_masks; ++mask) {
+        const int size = std::popcount(mask);
+        const double w = weight[size];
+        const double v_s = v[mask];
+        // Add each absent player i and accumulate the marginal.
+        std::uint64_t absent = ~mask & (num_masks - 1);
+        while (absent) {
+            const int i = std::countr_zero(absent);
+            absent &= absent - 1;
+            phi[i] += w * (v[mask | (1ULL << i)] - v_s);
+        }
+    }
+    return phi;
+}
+
+std::vector<double>
+sampledShapley(const CoalitionGame &game, Rng &rng,
+               std::size_t num_permutations)
+{
+    const int n = game.numPlayers();
+    if (n == 0 || num_permutations == 0)
+        return std::vector<double>(n, 0.0);
+
+    std::vector<double> phi(n, 0.0);
+    for (std::size_t p = 0; p < num_permutations; ++p) {
+        const auto order = rng.permutation(static_cast<std::size_t>(n));
+        std::uint64_t mask = 0;
+        double prev = game.value(0);
+        for (int k = 0; k < n; ++k) {
+            const auto player = order[k];
+            mask |= 1ULL << player;
+            const double cur = game.value(mask);
+            phi[player] += cur - prev;
+            prev = cur;
+        }
+    }
+    for (double &x : phi)
+        x /= static_cast<double>(num_permutations);
+    return phi;
+}
+
+double
+exactEvaluationCount(double num_players)
+{
+    return std::pow(2.0, num_players);
+}
+
+} // namespace fairco2::shapley

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exact and sampling-based Shapley value solvers.
+ *
+ * The exact solver is the paper's "ground truth": it enumerates every
+ * coalition and therefore costs O(n 2^n) — the intractability that
+ * motivates Fair-CO2. It is practical here up to roughly 22 players,
+ * matching the evaluation's schedule sizes.
+ */
+
+#ifndef FAIRCO2_SHAPLEY_EXACT_HH
+#define FAIRCO2_SHAPLEY_EXACT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "shapley/game.hh"
+
+namespace fairco2::shapley
+{
+
+/** Hard cap on exact enumeration; beyond this memory/time explode. */
+constexpr int kMaxExactPlayers = 26;
+
+/**
+ * Exact Shapley values via full coalition enumeration.
+ *
+ * phi_i = sum over S not containing i of
+ *         |S|! (n-|S|-1)! / n! * (v(S + i) - v(S)).
+ *
+ * @throws std::invalid_argument when the game exceeds
+ *         kMaxExactPlayers players.
+ */
+std::vector<double> exactShapley(const CoalitionGame &game);
+
+/**
+ * Monte Carlo Shapley estimate by sampling uniformly random player
+ * permutations and averaging marginal contributions.
+ *
+ * Unbiased for any number of permutations >= 1; the standard
+ * work-horse when exact enumeration is intractable.
+ */
+std::vector<double> sampledShapley(const CoalitionGame &game, Rng &rng,
+                                   std::size_t num_permutations);
+
+/**
+ * Number of characteristic-function evaluations exact enumeration
+ * needs for @p num_players players (2^n), as a double to avoid
+ * overflow in at-scale what-if arithmetic.
+ */
+double exactEvaluationCount(double num_players);
+
+} // namespace fairco2::shapley
+
+#endif // FAIRCO2_SHAPLEY_EXACT_HH

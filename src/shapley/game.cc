@@ -1,0 +1,23 @@
+#include "shapley/game.hh"
+
+#include <cassert>
+
+namespace fairco2::shapley
+{
+
+TabulatedGame::TabulatedGame(int num_players,
+                             std::vector<double> values)
+    : numPlayers_(num_players), values_(std::move(values))
+{
+    assert(num_players >= 0 && num_players < 63);
+    assert(values_.size() == (1ULL << num_players));
+}
+
+double
+TabulatedGame::value(std::uint64_t mask) const
+{
+    assert(mask < values_.size());
+    return values_[mask];
+}
+
+} // namespace fairco2::shapley

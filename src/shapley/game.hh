@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Coalitional game abstraction shared by all Shapley engines.
+ */
+
+#ifndef FAIRCO2_SHAPLEY_GAME_HH
+#define FAIRCO2_SHAPLEY_GAME_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fairco2::shapley
+{
+
+/**
+ * A transferable-utility coalitional game over at most 63 players.
+ *
+ * Coalitions are bitmasks: bit i set means player i is present. The
+ * characteristic function must satisfy value(0) == 0 for the Shapley
+ * efficiency property to read as "the grand-coalition cost is fully
+ * attributed".
+ */
+class CoalitionGame
+{
+  public:
+    virtual ~CoalitionGame() = default;
+
+    /** Number of players n; masks range over [0, 2^n). */
+    virtual int numPlayers() const = 0;
+
+    /** Characteristic function v(S) for the coalition @p mask. */
+    virtual double value(std::uint64_t mask) const = 0;
+};
+
+/** Game backed by an explicit table of 2^n coalition values. */
+class TabulatedGame : public CoalitionGame
+{
+  public:
+    /** @param values exactly 2^n entries, indexed by mask. */
+    TabulatedGame(int num_players, std::vector<double> values);
+
+    int numPlayers() const override { return numPlayers_; }
+    double value(std::uint64_t mask) const override;
+
+  private:
+    int numPlayers_;
+    std::vector<double> values_;
+};
+
+} // namespace fairco2::shapley
+
+#endif // FAIRCO2_SHAPLEY_GAME_HH

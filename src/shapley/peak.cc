@@ -1,0 +1,114 @@
+#include "shapley/peak.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <numeric>
+
+namespace fairco2::shapley
+{
+
+std::vector<double>
+peakGameShapley(const std::vector<double> &peaks)
+{
+    const std::size_t n = peaks.size();
+    std::vector<double> phi(n, 0.0);
+    if (n == 0)
+        return phi;
+    for (double p : peaks)
+        assert(p >= 0.0);
+
+    // Ascending order of peaks.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return peaks[a] < peaks[b];
+              });
+
+    // Share each increment above the previous order statistic among
+    // the players whose peak reaches it, accumulating prefix sums.
+    double prev_level = 0.0;
+    double running_share = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+        const double level = peaks[order[m]];
+        const double holders = static_cast<double>(n - m);
+        running_share += (level - prev_level) / holders;
+        phi[order[m]] = running_share;
+        prev_level = level;
+    }
+    return phi;
+}
+
+namespace
+{
+
+/** Binomial coefficient as a double (small n only). */
+double
+binom(int n, int k)
+{
+    if (k < 0 || k > n)
+        return 0.0;
+    double result = 1.0;
+    for (int i = 1; i <= k; ++i)
+        result = result * (n - k + i) / i;
+    return result;
+}
+
+} // namespace
+
+std::vector<double>
+peakGameShapleyPaperEq7(const std::vector<double> &peaks)
+{
+    const int n = static_cast<int>(peaks.size());
+    std::vector<double> phi(peaks.size(), 0.0);
+    if (n == 0)
+        return phi;
+
+    // Descending order, as the paper's T_1 >= T_2 >= ... >= T_n.
+    std::vector<std::size_t> order(peaks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return peaks[a] > peaks[b];
+              });
+
+    for (int i = 1; i <= n; ++i) {
+        const double p_i = peaks[order[i - 1]];
+        double acc = p_i;
+        for (int j = i + 1; j <= n; ++j) {
+            const double p_j = peaks[order[j - 1]];
+            for (int k = 0; k <= n - j + 1; ++k) {
+                acc += binom(n - j + 1, k) / binom(n - 1, k) *
+                    (p_i - p_j);
+            }
+        }
+        phi[order[i - 1]] = acc / n;
+    }
+    return phi;
+}
+
+PeakGame::PeakGame(std::vector<double> peaks)
+    : peaks_(std::move(peaks))
+{
+}
+
+int
+PeakGame::numPlayers() const
+{
+    return static_cast<int>(peaks_.size());
+}
+
+double
+PeakGame::value(std::uint64_t mask) const
+{
+    double best = 0.0;
+    while (mask) {
+        const int i = std::countr_zero(mask);
+        mask &= mask - 1;
+        best = std::max(best, peaks_[static_cast<std::size_t>(i)]);
+    }
+    return best;
+}
+
+} // namespace fairco2::shapley

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Closed-form Shapley values for *peak games* — the coalitional game
+ * behind Temporal Shapley, where the value of a set of time periods is
+ * the maximum peak demand among them (Eq. 3 in the paper).
+ *
+ * Because a peak game decomposes into threshold ("at least one member
+ * reaches level c") unanimity-style games, its Shapley value has an
+ * O(n log n) closed form: sort peaks ascending and share each
+ * increment c_(m) - c_(m-1) equally among the n - m + 1 players whose
+ * peak reaches it. peakGameShapley() implements that form and is
+ * validated against exact enumeration in the tests.
+ *
+ * The paper's Eq. 7 states a different combinatorial expression; it is
+ * implemented verbatim in peakGameShapleyPaperEq7() for comparison.
+ * As printed it does not match exact enumeration (see
+ * EXPERIMENTS.md), so production code uses peakGameShapley().
+ */
+
+#ifndef FAIRCO2_SHAPLEY_PEAK_HH
+#define FAIRCO2_SHAPLEY_PEAK_HH
+
+#include <vector>
+
+#include "shapley/game.hh"
+
+namespace fairco2::shapley
+{
+
+/**
+ * Exact Shapley values of the peak game with the given non-negative
+ * per-player peaks, in O(n log n).
+ */
+std::vector<double> peakGameShapley(const std::vector<double> &peaks);
+
+/**
+ * The paper's Eq. 7, implemented exactly as printed (players sorted
+ * by decreasing peak; binomial-ratio weights). Kept for
+ * documentation/cross-checking only.
+ */
+std::vector<double>
+peakGameShapleyPaperEq7(const std::vector<double> &peaks);
+
+/** CoalitionGame adapter: v(S) = max peak in S (0 for empty S). */
+class PeakGame : public CoalitionGame
+{
+  public:
+    explicit PeakGame(std::vector<double> peaks);
+
+    int numPlayers() const override;
+    double value(std::uint64_t mask) const override;
+
+    const std::vector<double> &peaks() const { return peaks_; }
+
+  private:
+    std::vector<double> peaks_;
+};
+
+} // namespace fairco2::shapley
+
+#endif // FAIRCO2_SHAPLEY_PEAK_HH

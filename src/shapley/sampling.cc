@@ -1,0 +1,168 @@
+#include "shapley/sampling.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fairco2::shapley
+{
+
+namespace
+{
+
+/** Accumulate one permutation's marginals into phi. */
+template <typename Order>
+void
+accumulateMarginals(const CoalitionGame &game, const Order &order,
+                    int n, std::vector<double> &phi)
+{
+    std::uint64_t mask = 0;
+    double prev = game.value(0);
+    for (int k = 0; k < n; ++k) {
+        const auto player = order(k);
+        mask |= 1ULL << player;
+        const double cur = game.value(mask);
+        phi[player] += cur - prev;
+        prev = cur;
+    }
+}
+
+} // namespace
+
+std::vector<double>
+antitheticSampledShapley(const CoalitionGame &game, Rng &rng,
+                         std::size_t num_pairs)
+{
+    const int n = game.numPlayers();
+    std::vector<double> phi(n, 0.0);
+    if (n == 0 || num_pairs == 0)
+        return phi;
+
+    for (std::size_t p = 0; p < num_pairs; ++p) {
+        const auto perm =
+            rng.permutation(static_cast<std::size_t>(n));
+        accumulateMarginals(
+            game, [&](int k) { return perm[k]; }, n, phi);
+        accumulateMarginals(
+            game, [&](int k) { return perm[n - 1 - k]; }, n, phi);
+    }
+    for (double &x : phi)
+        x /= static_cast<double>(2 * num_pairs);
+    return phi;
+}
+
+std::vector<double>
+stratifiedSampledShapley(const CoalitionGame &game, Rng &rng,
+                         std::size_t samples_per_stratum)
+{
+    const int n = game.numPlayers();
+    std::vector<double> phi(n, 0.0);
+    if (n == 0 || samples_per_stratum == 0)
+        return phi;
+
+    // Reusable pool of the other players for coalition draws.
+    std::vector<std::size_t> others(n - 1);
+
+    for (int i = 0; i < n; ++i) {
+        std::size_t idx = 0;
+        for (int j = 0; j < n; ++j) {
+            if (j != i)
+                others[idx++] = static_cast<std::size_t>(j);
+        }
+
+        double sum_over_sizes = 0.0;
+        for (int k = 0; k < n; ++k) {
+            double stratum_sum = 0.0;
+            for (std::size_t s = 0; s < samples_per_stratum; ++s) {
+                // Uniform size-k coalition from the other players
+                // via partial Fisher-Yates on the pool.
+                for (int draw = 0; draw < k; ++draw) {
+                    const std::size_t j = draw +
+                        rng.index(others.size() - draw);
+                    std::swap(others[draw], others[j]);
+                }
+                std::uint64_t mask = 0;
+                for (int draw = 0; draw < k; ++draw)
+                    mask |= 1ULL << others[draw];
+                stratum_sum += game.value(mask | (1ULL << i)) -
+                    game.value(mask);
+            }
+            sum_over_sizes += stratum_sum /
+                static_cast<double>(samples_per_stratum);
+        }
+        phi[i] = sum_over_sizes / static_cast<double>(n);
+    }
+    return phi;
+}
+
+AdaptiveShapleyResult
+adaptiveSampledShapley(const CoalitionGame &game, Rng &rng,
+                      double epsilon,
+                      std::size_t max_permutations,
+                      std::size_t min_permutations)
+{
+    assert(epsilon > 0.0);
+    const int n = game.numPlayers();
+    AdaptiveShapleyResult result;
+    result.values.assign(n, 0.0);
+    result.halfWidths.assign(
+        n, std::numeric_limits<double>::infinity());
+    if (n == 0) {
+        result.converged = true;
+        return result;
+    }
+
+    const double grand =
+        std::abs(game.value((1ULL << n) - 1));
+    const double target = epsilon * std::max(grand, 1e-12);
+    constexpr double kZ = 2.58; // ~99% normal quantile
+
+    // Welford accumulators per player over permutation marginals.
+    std::vector<double> mean(n, 0.0), m2(n, 0.0);
+    std::vector<double> marginal(n, 0.0);
+
+    std::size_t p = 0;
+    for (; p < max_permutations; ++p) {
+        const auto order =
+            rng.permutation(static_cast<std::size_t>(n));
+        std::uint64_t mask = 0;
+        double prev = game.value(0);
+        for (int k = 0; k < n; ++k) {
+            const auto player = order[k];
+            mask |= 1ULL << player;
+            const double cur = game.value(mask);
+            marginal[player] = cur - prev;
+            prev = cur;
+        }
+        const double count = static_cast<double>(p + 1);
+        for (int i = 0; i < n; ++i) {
+            const double delta = marginal[i] - mean[i];
+            mean[i] += delta / count;
+            m2[i] += delta * (marginal[i] - mean[i]);
+        }
+
+        if (p + 1 < min_permutations)
+            continue;
+        bool all_tight = true;
+        for (int i = 0; i < n; ++i) {
+            const double variance = m2[i] / (count - 1.0);
+            const double half =
+                kZ * std::sqrt(variance / count);
+            result.halfWidths[i] = half;
+            if (half > target)
+                all_tight = false;
+        }
+        if (all_tight) {
+            result.converged = true;
+            ++p;
+            break;
+        }
+    }
+
+    result.values = mean;
+    result.permutationsUsed = std::max<std::size_t>(p, 1);
+    return result;
+}
+
+} // namespace fairco2::shapley

@@ -1,0 +1,107 @@
+#include "sim/cluster.hh"
+
+#include <cassert>
+#include <limits>
+
+namespace fairco2::sim
+{
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::FirstFit:
+        return "first-fit";
+      case PlacementPolicy::BestFit:
+        return "best-fit";
+      case PlacementPolicy::WorstFit:
+        return "worst-fit";
+    }
+    return "unknown";
+}
+
+Cluster::Cluster(double node_cores, double node_memory_gb,
+                 PlacementPolicy policy)
+    : nodeCores_(node_cores), nodeMemoryGb_(node_memory_gb),
+      policy_(policy)
+{
+    assert(node_cores > 0.0 && node_memory_gb > 0.0);
+}
+
+std::size_t
+Cluster::chooseNode(const VmSpec &vm) const
+{
+    const std::size_t none = static_cast<std::size_t>(-1);
+    std::size_t best = none;
+    double best_free = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].fits(vm))
+            continue;
+        switch (policy_) {
+          case PlacementPolicy::FirstFit:
+            return i;
+          case PlacementPolicy::BestFit:
+            if (best == none || nodes_[i].coresFree() < best_free) {
+                best = i;
+                best_free = nodes_[i].coresFree();
+            }
+            break;
+          case PlacementPolicy::WorstFit:
+            if (best == none || nodes_[i].coresFree() > best_free) {
+                best = i;
+                best_free = nodes_[i].coresFree();
+            }
+            break;
+        }
+    }
+    return best;
+}
+
+std::size_t
+Cluster::place(const VmSpec &vm)
+{
+    assert(vm.cores <= nodeCores_ &&
+           vm.memoryGb <= nodeMemoryGb_);
+    std::size_t index = chooseNode(vm);
+    if (index == static_cast<std::size_t>(-1)) {
+        Node fresh;
+        fresh.coresTotal = nodeCores_;
+        fresh.memoryTotalGb = nodeMemoryGb_;
+        nodes_.push_back(fresh);
+        index = nodes_.size() - 1;
+    }
+    Node &node = nodes_[index];
+    node.coresUsed += vm.cores;
+    node.memoryUsedGb += vm.memoryGb;
+    ++node.residents;
+    coresInUse_ += vm.cores;
+    memoryInUseGb_ += vm.memoryGb;
+    return index;
+}
+
+void
+Cluster::remove(const VmSpec &vm, std::size_t node_index)
+{
+    assert(node_index < nodes_.size());
+    Node &node = nodes_[node_index];
+    assert(node.residents > 0);
+    node.coresUsed -= vm.cores;
+    node.memoryUsedGb -= vm.memoryGb;
+    --node.residents;
+    coresInUse_ -= vm.cores;
+    memoryInUseGb_ -= vm.memoryGb;
+    assert(node.coresUsed > -1e-6 && node.memoryUsedGb > -1e-6);
+}
+
+std::size_t
+Cluster::nodesInUse() const
+{
+    std::size_t used = 0;
+    for (const auto &node : nodes_) {
+        if (node.residents > 0)
+            ++used;
+    }
+    return used;
+}
+
+} // namespace fairco2::sim

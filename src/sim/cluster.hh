@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Elastic cluster with bin-packing VM placement.
+ *
+ * Nodes mirror the paper's evaluation server (96 logical cores,
+ * 192 GB). The cluster grows when no node can host an arrival —
+ * the provisioning behaviour whose peak determines embodied carbon.
+ */
+
+#ifndef FAIRCO2_SIM_CLUSTER_HH
+#define FAIRCO2_SIM_CLUSTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/vm.hh"
+
+namespace fairco2::sim
+{
+
+/** Placement policy for arrivals. */
+enum class PlacementPolicy
+{
+    FirstFit, //!< lowest-index node with room
+    BestFit,  //!< feasible node with least remaining cores
+    WorstFit, //!< feasible node with most remaining cores
+};
+
+/** Human-readable policy name. */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** One node's capacity and current occupancy. */
+struct Node
+{
+    double coresTotal = 96.0;
+    double memoryTotalGb = 192.0;
+    double coresUsed = 0.0;
+    double memoryUsedGb = 0.0;
+    std::size_t residents = 0;
+
+    bool fits(const VmSpec &vm) const
+    {
+        return coresUsed + vm.cores <= coresTotal + 1e-9 &&
+            memoryUsedGb + vm.memoryGb <= memoryTotalGb + 1e-9;
+    }
+
+    double coresFree() const { return coresTotal - coresUsed; }
+};
+
+/**
+ * Elastic node pool. place() never fails: if no provisioned node
+ * fits, a new node is added (tracking peak provisioning).
+ */
+class Cluster
+{
+  public:
+    /**
+     * @param node_cores logical cores per node.
+     * @param node_memory_gb DRAM per node.
+     * @param policy arrival placement policy.
+     */
+    Cluster(double node_cores = 96.0, double node_memory_gb = 192.0,
+            PlacementPolicy policy = PlacementPolicy::BestFit);
+
+    /** Place a VM; returns the hosting node index. */
+    std::size_t place(const VmSpec &vm);
+
+    /** Release a VM from the node place() returned for it. */
+    void remove(const VmSpec &vm, std::size_t node_index);
+
+    /** Nodes currently provisioned (the fleet size). */
+    std::size_t nodesProvisioned() const { return nodes_.size(); }
+
+    /** Nodes currently hosting at least one VM. */
+    std::size_t nodesInUse() const;
+
+    /** Aggregate cores in use across the fleet. */
+    double coresInUse() const { return coresInUse_; }
+
+    /** Aggregate DRAM in use, GB. */
+    double memoryInUseGb() const { return memoryInUseGb_; }
+
+    PlacementPolicy policy() const { return policy_; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+  private:
+    std::size_t chooseNode(const VmSpec &vm) const;
+
+    std::vector<Node> nodes_;
+    double nodeCores_;
+    double nodeMemoryGb_;
+    PlacementPolicy policy_;
+    double coresInUse_ = 0.0;
+    double memoryInUseGb_ = 0.0;
+};
+
+} // namespace fairco2::sim
+
+#endif // FAIRCO2_SIM_CLUSTER_HH

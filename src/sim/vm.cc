@@ -1,0 +1,101 @@
+#include "sim/vm.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fairco2::sim
+{
+
+namespace
+{
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/** Azure-style VM shapes: small sizes dominate. */
+constexpr double kCoreSizes[] = {1, 2, 4, 8, 16, 32};
+constexpr double kCoreWeights[] = {0.30, 0.30, 0.20, 0.12, 0.06,
+                                   0.02};
+
+} // namespace
+
+VmWorkloadGenerator::VmWorkloadGenerator()
+    : VmWorkloadGenerator(Config{})
+{
+}
+
+VmWorkloadGenerator::VmWorkloadGenerator(const Config &config)
+    : config_(config)
+{
+    assert(config.arrivalsPerHour > 0.0);
+    assert(config.shortLivedFraction >= 0.0 &&
+           config.shortLivedFraction <= 1.0);
+}
+
+double
+VmWorkloadGenerator::coreDraw(Rng &rng) const
+{
+    double u = rng.uniform();
+    for (std::size_t i = 0; i < std::size(kCoreSizes); ++i) {
+        if (u < kCoreWeights[i])
+            return kCoreSizes[i];
+        u -= kCoreWeights[i];
+    }
+    return kCoreSizes[std::size(kCoreSizes) - 1];
+}
+
+double
+VmWorkloadGenerator::lifetimeDraw(Rng &rng) const
+{
+    const bool short_lived =
+        rng.bernoulli(config_.shortLivedFraction);
+    const double median = short_lived
+        ? config_.shortMedianSeconds
+        : config_.longMedianSeconds;
+    const double sigma =
+        short_lived ? config_.shortSigma : config_.longSigma;
+    // Log-normal with the given median: exp(ln median + sigma Z).
+    const double lifetime =
+        std::exp(std::log(median) + sigma * rng.normal());
+    return std::max(60.0, lifetime);
+}
+
+std::vector<VmSpec>
+VmWorkloadGenerator::generate(double duration_seconds,
+                              Rng &rng) const
+{
+    assert(duration_seconds > 0.0);
+    std::vector<VmSpec> vms;
+
+    // Thinning for the non-homogeneous Poisson process: the rate
+    // peaks in the afternoon like the demand trace.
+    const double base_rate = config_.arrivalsPerHour / 3600.0;
+    const double max_rate =
+        base_rate * (1.0 + config_.diurnalAmplitude);
+
+    double t = 0.0;
+    std::int64_t next_id = 0;
+    while (true) {
+        t += -std::log(1.0 - rng.uniform()) / max_rate;
+        if (t >= duration_seconds)
+            break;
+        const double day_phase = 2.0 * std::numbers::pi *
+            (t / kSecondsPerDay - 15.0 / 24.0);
+        const double rate = base_rate *
+            (1.0 + config_.diurnalAmplitude * std::cos(day_phase));
+        if (!rng.bernoulli(rate / max_rate))
+            continue;
+
+        VmSpec vm;
+        vm.id = next_id++;
+        vm.cores = coreDraw(rng);
+        vm.memoryGb = vm.cores * config_.memoryPerCoreGb;
+        vm.arrivalSeconds = t;
+        vm.lifetimeSeconds = lifetimeDraw(rng);
+        vms.push_back(vm);
+    }
+    return vms;
+}
+
+} // namespace fairco2::sim

@@ -1,0 +1,118 @@
+#include "trace/generators.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fairco2::trace
+{
+
+namespace
+{
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+} // namespace
+
+AzureLikeGenerator::AzureLikeGenerator()
+    : AzureLikeGenerator(Config{})
+{
+}
+
+AzureLikeGenerator::AzureLikeGenerator(const Config &config)
+    : config_(config)
+{
+    assert(config.days > 0.0);
+    assert(config.stepSeconds > 0.0);
+    assert(config.baseCores > 0.0);
+}
+
+TimeSeries
+AzureLikeGenerator::generate(Rng &rng) const
+{
+    const auto steps = static_cast<std::size_t>(
+        config_.days * kSecondsPerDay / config_.stepSeconds);
+    std::vector<double> demand(steps);
+
+    double ar_state = 0.0;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double t_seconds =
+            static_cast<double>(i) * config_.stepSeconds;
+        const double day = t_seconds / kSecondsPerDay;
+
+        // Diurnal cycle peaking in the afternoon (hour ~15) with a
+        // secondary harmonic sharpening the business-hours plateau.
+        const double day_phase = kTwoPi * (day - 15.0 / 24.0);
+        const double diurnal = config_.diurnalAmplitude *
+            (std::cos(day_phase) + 0.25 * std::cos(2.0 * day_phase));
+
+        // Weekly cycle: weekdays high, weekend trough.
+        const double week_phase = kTwoPi * (day - 2.5) / 7.0;
+        const double weekly =
+            config_.weeklyAmplitude * std::cos(week_phase);
+
+        const double trend = config_.trendPerDay * day;
+
+        ar_state = config_.noisePhi * ar_state +
+            rng.normal(0.0, config_.noiseSigma);
+
+        double level = 1.0 + diurnal + weekly + trend + ar_state;
+        if (rng.bernoulli(config_.spikeProbability))
+            level += rng.uniform(0.3, 1.0) * config_.spikeAmplitude;
+
+        demand[i] = std::max(0.0, config_.baseCores * level);
+    }
+    return TimeSeries(std::move(demand), config_.stepSeconds);
+}
+
+GridCiGenerator::GridCiGenerator()
+    : GridCiGenerator(Config{})
+{
+}
+
+GridCiGenerator::GridCiGenerator(const Config &config)
+    : config_(config)
+{
+    assert(config.days > 0.0);
+    assert(config.stepSeconds > 0.0);
+    assert(config.nightGPerKwh >= config.middayGPerKwh);
+}
+
+TimeSeries
+GridCiGenerator::generate(Rng &rng) const
+{
+    const auto steps = static_cast<std::size_t>(
+        config_.days * kSecondsPerDay / config_.stepSeconds);
+    std::vector<double> intensity(steps);
+
+    double weather_offset = rng.normal(0.0, config_.weatherSigma);
+    int last_day = -1;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double t_seconds =
+            static_cast<double>(i) * config_.stepSeconds;
+        const double day_frac =
+            std::fmod(t_seconds, kSecondsPerDay) / kSecondsPerDay;
+        const int day = static_cast<int>(t_seconds / kSecondsPerDay);
+        if (day != last_day) {
+            weather_offset = rng.normal(0.0, config_.weatherSigma);
+            last_day = day;
+        }
+
+        // Solar dip: a smooth bell between ~8:00 and ~18:00 centred
+        // on 13:00, carved out of the night plateau.
+        const double hours = day_frac * 24.0;
+        const double dip_shape =
+            std::exp(-0.5 * std::pow((hours - 13.0) / 3.0, 2.0));
+        const double depth =
+            config_.nightGPerKwh - config_.middayGPerKwh;
+
+        double value = config_.nightGPerKwh - depth * dip_shape +
+            weather_offset + rng.normal(0.0, config_.noiseSigma);
+        intensity[i] = std::max(0.0, value);
+    }
+    return TimeSeries(std::move(intensity), config_.stepSeconds);
+}
+
+} // namespace fairco2::trace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synthetic trace generators substituting the datasets the paper uses:
+ * the Azure 2017 VM CPU-demand trace and Electricity Maps' CAISO grid
+ * carbon intensity. Both are unavailable offline; the generators
+ * reproduce the statistical structure the Fair-CO2 pipeline depends on
+ * (periodicity, dynamic range, noise) — see DESIGN.md.
+ */
+
+#ifndef FAIRCO2_TRACE_GENERATORS_HH
+#define FAIRCO2_TRACE_GENERATORS_HH
+
+#include "common/rng.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2::trace
+{
+
+/**
+ * Azure-2017-like aggregate CPU core demand: diurnal and weekly
+ * seasonality on a slow trend, with AR(1) noise and occasional load
+ * spikes, sampled every five minutes.
+ */
+class AzureLikeGenerator
+{
+  public:
+    struct Config
+    {
+        double days = 30.0;
+        double stepSeconds = 300.0;      //!< 5-minute samples
+        double baseCores = 200000.0;     //!< fleet-scale mean demand
+        double diurnalAmplitude = 0.25;  //!< fraction of base
+        double weeklyAmplitude = 0.08;   //!< weekday/weekend swing
+        double trendPerDay = 0.004;      //!< relative growth per day
+        double noiseSigma = 0.010;       //!< AR(1) innovation scale
+        double noisePhi = 0.80;          //!< AR(1) persistence
+        double spikeProbability = 0.001; //!< per-sample burst chance
+        double spikeAmplitude = 0.05;    //!< burst height vs base
+    };
+
+    /** Generator with the default fleet-scale configuration. */
+    AzureLikeGenerator();
+
+    explicit AzureLikeGenerator(const Config &config);
+
+    /** Generate a demand series; deterministic in the Rng stream. */
+    TimeSeries generate(Rng &rng) const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+/**
+ * CAISO-like hourly grid carbon intensity: carbon-heavy evenings and
+ * nights with a deep midday solar dip, mild weekly variation, and
+ * day-to-day weather noise.
+ */
+class GridCiGenerator
+{
+  public:
+    struct Config
+    {
+        double days = 7.0;
+        double stepSeconds = 3600.0;  //!< hourly samples
+        double nightGPerKwh = 320.0;  //!< evening/night plateau
+        double middayGPerKwh = 90.0;  //!< solar-dip floor
+        double noiseSigma = 12.0;     //!< per-sample jitter
+        double weatherSigma = 25.0;   //!< per-day offset (cloudy days)
+    };
+
+    /** Generator with the default CAISO-like configuration. */
+    GridCiGenerator();
+
+    explicit GridCiGenerator(const Config &config);
+
+    /** Generate an intensity series in gCO2e/kWh. */
+    TimeSeries generate(Rng &rng) const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+} // namespace fairco2::trace
+
+#endif // FAIRCO2_TRACE_GENERATORS_HH

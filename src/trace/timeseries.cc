@@ -1,0 +1,117 @@
+#include "trace/timeseries.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fairco2::trace
+{
+
+TimeSeries::TimeSeries(std::vector<double> values, double step_seconds)
+    : values_(std::move(values)), stepSeconds_(step_seconds)
+{
+    assert(step_seconds > 0.0);
+}
+
+double
+TimeSeries::durationSeconds() const
+{
+    return stepSeconds_ * static_cast<double>(values_.size());
+}
+
+double
+TimeSeries::at(double seconds) const
+{
+    assert(!values_.empty());
+    if (seconds <= 0.0)
+        return values_.front();
+    auto idx = static_cast<std::size_t>(seconds / stepSeconds_);
+    if (idx >= values_.size())
+        idx = values_.size() - 1;
+    return values_[idx];
+}
+
+double
+TimeSeries::peak(std::size_t begin, std::size_t end) const
+{
+    assert(begin <= end && end <= values_.size());
+    double best = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+        best = std::max(best, values_[i]);
+    return best;
+}
+
+double
+TimeSeries::peak() const
+{
+    return peak(0, values_.size());
+}
+
+double
+TimeSeries::integral(std::size_t begin, std::size_t end) const
+{
+    assert(begin <= end && end <= values_.size());
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+        sum += values_[i];
+    return sum * stepSeconds_;
+}
+
+double
+TimeSeries::integral() const
+{
+    return integral(0, values_.size());
+}
+
+double
+TimeSeries::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum / static_cast<double>(values_.size());
+}
+
+TimeSeries
+TimeSeries::slice(std::size_t begin, std::size_t end) const
+{
+    assert(begin <= end && end <= values_.size());
+    return TimeSeries(
+        std::vector<double>(values_.begin() + begin,
+                            values_.begin() + end),
+        stepSeconds_);
+}
+
+TimeSeries
+TimeSeries::resampleMean(std::size_t factor) const
+{
+    assert(factor > 0);
+    if (factor == 1)
+        return *this;
+    std::vector<double> coarse;
+    coarse.reserve((values_.size() + factor - 1) / factor);
+    for (std::size_t i = 0; i < values_.size(); i += factor) {
+        const std::size_t end = std::min(i + factor, values_.size());
+        double sum = 0.0;
+        for (std::size_t j = i; j < end; ++j)
+            sum += values_[j];
+        coarse.push_back(sum / static_cast<double>(end - i));
+    }
+    return TimeSeries(std::move(coarse),
+                      stepSeconds_ * static_cast<double>(factor));
+}
+
+TimeSeries
+TimeSeries::operator+(const TimeSeries &other) const
+{
+    if (size() != other.size() || stepSeconds_ != other.stepSeconds_)
+        throw std::invalid_argument("time series shape mismatch");
+    std::vector<double> sum(values_);
+    for (std::size_t i = 0; i < sum.size(); ++i)
+        sum[i] += other.values_[i];
+    return TimeSeries(std::move(sum), stepSeconds_);
+}
+
+} // namespace fairco2::trace

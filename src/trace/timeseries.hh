@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Uniformly sampled time series used for demand curves and carbon
+ * intensity signals.
+ */
+
+#ifndef FAIRCO2_TRACE_TIMESERIES_HH
+#define FAIRCO2_TRACE_TIMESERIES_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fairco2::trace
+{
+
+/**
+ * A value per fixed-width time step starting at time zero.
+ *
+ * Demand series hold resource demand (e.g., allocated CPU cores);
+ * intensity series hold gCO2e per resource-second.
+ */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+
+    /** @param step_seconds width of each sample; must be positive. */
+    TimeSeries(std::vector<double> values, double step_seconds);
+
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    double stepSeconds() const { return stepSeconds_; }
+    double durationSeconds() const;
+
+    double operator[](std::size_t i) const { return values_[i]; }
+    double &operator[](std::size_t i) { return values_[i]; }
+    const std::vector<double> &values() const { return values_; }
+
+    /** Value at an absolute time (step-wise constant; clamped). */
+    double at(double seconds) const;
+
+    /** Maximum over the half-open index range [begin, end). */
+    double peak(std::size_t begin, std::size_t end) const;
+
+    /** Maximum over the whole series; 0 when empty. */
+    double peak() const;
+
+    /** Sum of value * step over [begin, end): resource-seconds. */
+    double integral(std::size_t begin, std::size_t end) const;
+
+    /** Integral over the whole series. */
+    double integral() const;
+
+    /** Arithmetic mean of the samples; 0 when empty. */
+    double mean() const;
+
+    /** Copy of the index range [begin, end) as a new series. */
+    TimeSeries slice(std::size_t begin, std::size_t end) const;
+
+    /**
+     * Downsample by averaging consecutive groups of @p factor
+     * samples; a final partial group is averaged over its actual
+     * length.
+     */
+    TimeSeries resampleMean(std::size_t factor) const;
+
+    /** Element-wise sum; both series must match in shape. */
+    TimeSeries operator+(const TimeSeries &other) const;
+
+  private:
+    std::vector<double> values_;
+    double stepSeconds_ = 1.0;
+};
+
+} // namespace fairco2::trace
+
+#endif // FAIRCO2_TRACE_TIMESERIES_HH

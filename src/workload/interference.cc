@@ -1,0 +1,102 @@
+#include "workload/interference.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fairco2::workload
+{
+
+InterferenceModel::InterferenceModel()
+    : powerDipFactor_(0.25)
+{
+}
+
+double
+InterferenceModel::slowdown(const WorkloadSpec &victim,
+                            const WorkloadSpec &aggressor) const
+{
+    const double s = 1.0 +
+        victim.bwSensitivity * aggressor.bwPressure +
+        victim.llcSensitivity * aggressor.llcPressure;
+    assert(s >= 1.0);
+    return s;
+}
+
+RunMetrics
+InterferenceModel::isolated(const WorkloadSpec &w) const
+{
+    RunMetrics m;
+    m.runtimeSeconds = w.isoRuntimeSeconds;
+    m.avgDynamicPowerWatts = w.dynamicPowerWatts;
+    m.dynamicEnergyJoules = w.dynamicPowerWatts * w.isoRuntimeSeconds;
+    m.cpuUtilization = w.cpuUtilization;
+    return m;
+}
+
+namespace
+{
+
+/** Run metrics implied by a given slowdown factor. */
+RunMetrics
+metricsAtSlowdown(const WorkloadSpec &w, double s,
+                  double power_dip_factor)
+{
+    RunMetrics m;
+    m.runtimeSeconds = w.isoRuntimeSeconds * s;
+    m.avgDynamicPowerWatts = w.dynamicPowerWatts *
+        (1.0 - power_dip_factor * (1.0 - 1.0 / s));
+    m.dynamicEnergyJoules = m.avgDynamicPowerWatts * m.runtimeSeconds;
+    m.cpuUtilization =
+        std::min(1.0, w.cpuUtilization * (1.0 + 0.05 * (s - 1.0)));
+    return m;
+}
+
+} // namespace
+
+RunMetrics
+InterferenceModel::colocated(const WorkloadSpec &w,
+                             const WorkloadSpec &partner) const
+{
+    // Stalled cycles burn less power than retiring ones, so average
+    // power dips with slowdown, but the longer runtime dominates and
+    // total dynamic energy rises. Allocated cores look busier under
+    // contention (spinning on stalls), which is precisely why
+    // utilization-proportional attribution misfires.
+    return metricsAtSlowdown(w, slowdown(w, partner),
+                             powerDipFactor_);
+}
+
+std::pair<RunMetrics, RunMetrics>
+InterferenceModel::colocatedPair(const WorkloadSpec &a,
+                                 const WorkloadSpec &b) const
+{
+    return {colocated(a, b), colocated(b, a)};
+}
+
+double
+InterferenceModel::multiSlowdown(
+    const WorkloadSpec &victim,
+    const std::vector<const WorkloadSpec *> &aggressors) const
+{
+    double bw_pressure = 0.0;
+    double llc_pressure = 0.0;
+    for (const WorkloadSpec *aggressor : aggressors) {
+        bw_pressure += aggressor->bwPressure;
+        llc_pressure += aggressor->llcPressure;
+    }
+    bw_pressure = std::min(1.0, bw_pressure);
+    llc_pressure = std::min(1.0, llc_pressure);
+    return 1.0 + victim.bwSensitivity * bw_pressure +
+        victim.llcSensitivity * llc_pressure;
+}
+
+RunMetrics
+InterferenceModel::colocatedMulti(
+    const WorkloadSpec &w,
+    const std::vector<const WorkloadSpec *> &partners) const
+{
+    return metricsAtSlowdown(w, multiSlowdown(w, partners),
+                             powerDipFactor_);
+}
+
+} // namespace fairco2::workload

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pairwise interference model (Bubble-Up-style pressure/sensitivity)
+ * and the colocation "measurement" it implies. This is the substrate
+ * behind Figure 2 and every colocation experiment.
+ */
+
+#ifndef FAIRCO2_WORKLOAD_INTERFERENCE_HH
+#define FAIRCO2_WORKLOAD_INTERFERENCE_HH
+
+#include <utility>
+#include <vector>
+
+#include "workload/spec.hh"
+
+namespace fairco2::workload
+{
+
+/** What one profiled run of a workload looks like. */
+struct RunMetrics
+{
+    double runtimeSeconds = 0.0;
+    /** Average dynamic power drawn by this workload, watts. */
+    double avgDynamicPowerWatts = 0.0;
+    /** Integral of dynamic power over the run, joules. */
+    double dynamicEnergyJoules = 0.0;
+    /** Busy fraction of the workload's allocated cores. */
+    double cpuUtilization = 0.0;
+};
+
+/**
+ * Deterministic interference model.
+ *
+ * A victim's slowdown under a given aggressor is
+ *   1 + bwSens_v * bwPress_a + llcSens_v * llcPress_a,
+ * i.e., contention on memory bandwidth and last-level cache compose
+ * additively — the first-order behaviour Bubble-Up characterizes.
+ * Under contention cores stall more, so average power dips slightly
+ * even as total energy rises with the longer runtime.
+ */
+class InterferenceModel
+{
+  public:
+    InterferenceModel();
+
+    /**
+     * Runtime multiplier (>= 1) experienced by @p victim when
+     * sharing a node with @p aggressor.
+     */
+    double slowdown(const WorkloadSpec &victim,
+                    const WorkloadSpec &aggressor) const;
+
+    /** Metrics for @p w running alone on a node. */
+    RunMetrics isolated(const WorkloadSpec &w) const;
+
+    /**
+     * Metrics for @p w when colocated with @p partner (each keeps
+     * its own half-node allocation).
+     */
+    RunMetrics colocated(const WorkloadSpec &w,
+                         const WorkloadSpec &partner) const;
+
+    /** Both sides of a colocation at once: {for a, for b}. */
+    std::pair<RunMetrics, RunMetrics>
+    colocatedPair(const WorkloadSpec &a, const WorkloadSpec &b) const;
+
+    /**
+     * Slowdown of @p victim sharing a node with several
+     * @p aggressors (each on its own slot). Per-channel pressure
+     * adds across aggressors and saturates at 1.0 — a fully
+     * contended bus cannot get more contended — so for a single
+     * partner with in-range pressures this reduces exactly to
+     * slowdown().
+     */
+    double multiSlowdown(const WorkloadSpec &victim,
+                         const std::vector<const WorkloadSpec *>
+                             &aggressors) const;
+
+    /** Metrics for @p w sharing a node with @p partners. */
+    RunMetrics colocatedMulti(const WorkloadSpec &w,
+                              const std::vector<const WorkloadSpec *>
+                                  &partners) const;
+
+    /**
+     * Fractional drop in average power per unit of stall-induced
+     * slowdown (default 0.25: an 87% slowdown drops power ~12%).
+     */
+    double powerDipFactor() const { return powerDipFactor_; }
+
+  private:
+    double powerDipFactor_;
+};
+
+} // namespace fairco2::workload
+
+#endif // FAIRCO2_WORKLOAD_INTERFERENCE_HH

@@ -1,0 +1,158 @@
+#include "workload/perfmodel.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fairco2::workload
+{
+
+PerfModel::PerfModel(double physical_cores)
+    : physicalCores_(physical_cores), smtPowerShare_(0.30)
+{
+    assert(physical_cores > 0.0);
+}
+
+double
+PerfModel::effectiveCores(const WorkloadSpec &w, double cores) const
+{
+    assert(cores >= 1.0);
+    const double useful = std::min(cores, w.maxUsefulCores);
+    const double physical = std::min(useful, physicalCores_);
+    const double logical = std::max(0.0, useful - physicalCores_);
+    return physical + logical * w.smtEfficiency;
+}
+
+double
+PerfModel::speedup(const WorkloadSpec &w, double cores) const
+{
+    const double u = effectiveCores(w, cores);
+    const double f = w.parallelFraction;
+    return 1.0 / ((1.0 - f) + f / u);
+}
+
+double
+PerfModel::memoryPenalty(const WorkloadSpec &w, double memory_gb) const
+{
+    assert(memory_gb > 0.0);
+    if (memory_gb >= w.workingSetGb)
+        return 1.0;
+    return std::pow(w.workingSetGb / memory_gb, w.memPenaltyExponent);
+}
+
+double
+PerfModel::runtimeSeconds(const WorkloadSpec &w,
+                          const RunConfig &config) const
+{
+    // isoRuntimeSeconds is defined at the reference allocation
+    // (48 cores, ample memory); rescale by relative speedup.
+    const double ref_speedup = speedup(w, kHalfNodeCores);
+    return w.isoRuntimeSeconds * ref_speedup / speedup(w, config.cores) *
+        memoryPenalty(w, config.memoryGb);
+}
+
+double
+PerfModel::powerUnits(double cores) const
+{
+    const double physical = std::min(cores, physicalCores_);
+    const double logical = std::max(0.0, cores - physicalCores_);
+    return physical + logical * smtPowerShare_;
+}
+
+double
+PerfModel::dynamicPowerWatts(const WorkloadSpec &w,
+                             const RunConfig &config) const
+{
+    // dynamicPowerWatts is calibrated at the reference 48 cores.
+    const double scale =
+        powerUnits(std::min(config.cores, w.maxUsefulCores)) /
+        powerUnits(kHalfNodeCores);
+    // A memory-starved run stalls on paging and draws a bit less
+    // power while it crawls.
+    const double penalty = memoryPenalty(w, config.memoryGb);
+    const double stall_dip = 1.0 - 0.15 * (1.0 - 1.0 / penalty);
+    return w.dynamicPowerWatts * scale * stall_dip;
+}
+
+double
+PerfModel::dynamicEnergyJoules(const WorkloadSpec &w,
+                               const RunConfig &config) const
+{
+    return dynamicPowerWatts(w, config) * runtimeSeconds(w, config);
+}
+
+const char *
+faissIndexName(FaissIndex index)
+{
+    return index == FaissIndex::IVF ? "IVF" : "HNSW";
+}
+
+FaissModel::FaissModel()
+    : perf_(48.0)
+{
+    // Only the scaling-related fields of these specs are used; they
+    // describe how each index parallelizes, not a batch job.
+    ivfScaling_.name = "FAISS-IVF";
+    ivfScaling_.parallelFraction = 0.988;
+    ivfScaling_.smtEfficiency = 0.35;
+    ivfScaling_.maxUsefulCores = 96.0;
+
+    hnswScaling_.name = "FAISS-HNSW";
+    hnswScaling_.parallelFraction = 0.975;
+    hnswScaling_.smtEfficiency = 0.15;
+    hnswScaling_.maxUsefulCores = 88.0;
+}
+
+const WorkloadSpec &
+FaissModel::scalingSpec(FaissIndex index) const
+{
+    return index == FaissIndex::IVF ? ivfScaling_ : hnswScaling_;
+}
+
+double
+FaissModel::indexMemoryGb(FaissIndex index) const
+{
+    // The paper's measured index sizes for 100M vectors.
+    return index == FaissIndex::IVF ? 77.7 : 180.8;
+}
+
+double
+FaissModel::peakThroughputQps(FaissIndex index, double cores) const
+{
+    // Single-core saturated throughput; IVF is a bit faster per
+    // core and keeps scaling to all 96 cores.
+    const double base_qps = index == FaissIndex::IVF ? 36.0 : 34.0;
+    return base_qps * perf_.speedup(scalingSpec(index), cores);
+}
+
+double
+FaissModel::throughputQps(const FaissConfig &config) const
+{
+    // Batching amortizes per-query overhead; half-saturation around
+    // batch 48.
+    const double batch_eff = config.batch / (config.batch + 48.0);
+    return peakThroughputQps(config.index, config.cores) * batch_eff;
+}
+
+double
+FaissModel::tailLatencySeconds(const FaissConfig &config) const
+{
+    // A batch completes in batch/throughput; tail latency adds queue
+    // and straggler headroom.
+    const double service = config.batch / throughputQps(config);
+    return 1.30 * service + 0.05;
+}
+
+double
+FaissModel::dynamicPowerWatts(const FaissConfig &config) const
+{
+    // Per-power-unit draw: IVF's scans burn more than HNSW's pointer
+    // chasing.
+    const double watts_per_unit =
+        config.index == FaissIndex::IVF ? 3.6 : 1.6;
+    const double useful =
+        std::min(config.cores, scalingSpec(config.index).maxUsefulCores);
+    return watts_per_unit * perf_.powerUnits(useful);
+}
+
+} // namespace fairco2::workload

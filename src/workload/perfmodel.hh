@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Configuration-dependent performance/power models: how runtime,
+ * power, and utilization change as a workload's core count, memory
+ * allocation, or (for FAISS) batch size and index choice vary. These
+ * drive the Section 8 carbon-optimization case study (Figures 10, 12,
+ * and 13).
+ */
+
+#ifndef FAIRCO2_WORKLOAD_PERFMODEL_HH
+#define FAIRCO2_WORKLOAD_PERFMODEL_HH
+
+#include "workload/spec.hh"
+
+namespace fairco2::workload
+{
+
+/** A point in the sweep space of Figure 10. */
+struct RunConfig
+{
+    double cores = kHalfNodeCores;
+    double memoryGb = kHalfNodeMemGb;
+};
+
+/**
+ * Analytic scaling model for the batch workloads (PBBS, Spark,
+ * pgbench, H.265, LLAMA).
+ *
+ * Core scaling is Amdahl's law over "effective" cores: all physical
+ * cores count fully; logical (SMT) cores beyond the physical count
+ * contribute spec.smtEfficiency each; cores beyond spec.maxUsefulCores
+ * contribute nothing. Memory allocations below the working set pay a
+ * (workingSet / memory)^exponent runtime penalty. Dynamic power grows
+ * with active cores, but a second hardware thread on a busy core is
+ * much cheaper than a fresh core — which is why the energy per
+ * utilization-second falls at high core counts, as the paper observes.
+ */
+class PerfModel
+{
+  public:
+    /** @param physical_cores cores before SMT sharing kicks in. */
+    explicit PerfModel(double physical_cores = 48.0);
+
+    /** Amdahl effective parallelism for @p w at @p cores. */
+    double effectiveCores(const WorkloadSpec &w, double cores) const;
+
+    /** Speedup versus a single core. */
+    double speedup(const WorkloadSpec &w, double cores) const;
+
+    /** Runtime multiplier (>= 1) for a memory allocation. */
+    double memoryPenalty(const WorkloadSpec &w, double memory_gb) const;
+
+    /** Isolated runtime at an arbitrary configuration, seconds. */
+    double runtimeSeconds(const WorkloadSpec &w,
+                          const RunConfig &config) const;
+
+    /** Average dynamic power at a configuration, watts. */
+    double dynamicPowerWatts(const WorkloadSpec &w,
+                             const RunConfig &config) const;
+
+    /** Dynamic energy for one complete run, joules. */
+    double dynamicEnergyJoules(const WorkloadSpec &w,
+                               const RunConfig &config) const;
+
+    /**
+     * Power-equivalent core count: physical cores count 1.0, SMT
+     * cores smtPowerShare_ each.
+     */
+    double powerUnits(double cores) const;
+
+  private:
+    double physicalCores_;
+    double smtPowerShare_;
+};
+
+/** FAISS retrieval algorithm choice. */
+enum class FaissIndex { IVF, HNSW };
+
+/** Human-readable name of an index. */
+const char *faissIndexName(FaissIndex index);
+
+/** A point in the FAISS sweep space (Figures 12 and 13). */
+struct FaissConfig
+{
+    FaissIndex index = FaissIndex::IVF;
+    double cores = 48.0;
+    double batch = 64.0;
+};
+
+/**
+ * Throughput/latency/power model for the FAISS retrieval service.
+ *
+ * Calibrated to the paper's characterization: IVF scales to all 96
+ * cores and runs faster at small batches; HNSW stops scaling past 88
+ * cores, draws less power, and needs the larger index (180.8 GB vs
+ * 77.7 GB) — hence HNSW's higher embodied-to-operational ratio and
+ * the IVF->HNSW carbon crossover as grid intensity rises.
+ */
+class FaissModel
+{
+  public:
+    FaissModel();
+
+    /** Resident index size in GB. */
+    double indexMemoryGb(FaissIndex index) const;
+
+    /** Saturated queries/second at @p cores (large batches). */
+    double peakThroughputQps(FaissIndex index, double cores) const;
+
+    /** Achieved queries/second at a configuration. */
+    double throughputQps(const FaissConfig &config) const;
+
+    /** Tail (p99-style) latency of a batch, seconds. */
+    double tailLatencySeconds(const FaissConfig &config) const;
+
+    /** Average dynamic power at a configuration, watts. */
+    double dynamicPowerWatts(const FaissConfig &config) const;
+
+  private:
+    PerfModel perf_;
+    WorkloadSpec ivfScaling_;
+    WorkloadSpec hnswScaling_;
+
+    const WorkloadSpec &scalingSpec(FaissIndex index) const;
+};
+
+} // namespace fairco2::workload
+
+#endif // FAIRCO2_WORKLOAD_PERFMODEL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Workload descriptions: everything the attribution and optimization
+ * machinery needs to know about one benchmark workload.
+ *
+ * The paper profiles real binaries (PBBS, pgbench, x265, llama.cpp,
+ * FAISS, Spark) on a 2x Xeon 6240R server. Here each workload is a
+ * calibrated analytic model; the attribution methods only ever consume
+ * the runtimes, utilizations, powers, and allocations these models
+ * produce, so the substitution exercises identical code paths (see
+ * DESIGN.md).
+ */
+
+#ifndef FAIRCO2_WORKLOAD_SPEC_HH
+#define FAIRCO2_WORKLOAD_SPEC_HH
+
+#include <string>
+
+namespace fairco2::workload
+{
+
+/** Reference allocation used in the colocation study: half a node. */
+constexpr double kHalfNodeCores = 48.0;
+constexpr double kHalfNodeMemGb = 96.0;
+
+/** Static description of one workload. */
+struct WorkloadSpec
+{
+    std::string name;
+
+    // --- Behaviour at the reference allocation, running alone. ---
+    /** Isolated runtime at 48 cores / 96 GB, seconds. */
+    double isoRuntimeSeconds = 600.0;
+    /** Busy fraction of allocated cores when isolated, [0, 1]. */
+    double cpuUtilization = 0.9;
+    /** Average dynamic power draw when isolated, watts. */
+    double dynamicPowerWatts = 140.0;
+
+    // --- Allocation. ---
+    double cores = kHalfNodeCores;
+    double memoryGb = kHalfNodeMemGb;
+
+    // --- Interference characteristics (Bubble-Up-style). ---
+    /** Pressure exerted on memory bandwidth, [0, 1]. */
+    double bwPressure = 0.5;
+    /** Slowdown per unit of partner memory-bandwidth pressure. */
+    double bwSensitivity = 0.5;
+    /** Pressure exerted on the last-level cache, [0, 1]. */
+    double llcPressure = 0.3;
+    /** Slowdown per unit of partner cache pressure. */
+    double llcSensitivity = 0.4;
+
+    // --- Configuration-scaling model (Section 8 case study). ---
+    /** Amdahl parallel fraction of the work. */
+    double parallelFraction = 0.95;
+    /** Marginal throughput of a logical core beyond the physical 48. */
+    double smtEfficiency = 0.3;
+    /** Core count past which added cores contribute nothing. */
+    double maxUsefulCores = 96.0;
+    /** Working-set size; allocations below this pay a penalty, GB. */
+    double workingSetGb = 64.0;
+    /** Sharpness of the low-memory penalty. */
+    double memPenaltyExponent = 1.5;
+};
+
+} // namespace fairco2::workload
+
+#endif // FAIRCO2_WORKLOAD_SPEC_HH

@@ -1,0 +1,128 @@
+#include "workload/suite.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fairco2::workload
+{
+
+namespace
+{
+
+/**
+ * Build one spec. Parameter order mirrors the columns of the
+ * calibration table in DESIGN.md: behaviour at the reference
+ * allocation, then the two interference channels (pressure,
+ * sensitivity), then the configuration-scaling model.
+ */
+WorkloadSpec
+make(const std::string &name, double iso_runtime_s, double util,
+     double dyn_watts, double bw_press, double bw_sens,
+     double llc_press, double llc_sens, double par_frac,
+     double smt_eff, double max_cores, double working_set_gb)
+{
+    WorkloadSpec w;
+    w.name = name;
+    w.isoRuntimeSeconds = iso_runtime_s;
+    w.cpuUtilization = util;
+    w.dynamicPowerWatts = dyn_watts;
+    w.bwPressure = bw_press;
+    w.bwSensitivity = bw_sens;
+    w.llcPressure = llc_press;
+    w.llcSensitivity = llc_sens;
+    w.parallelFraction = par_frac;
+    w.smtEfficiency = smt_eff;
+    w.maxUsefulCores = max_cores;
+    w.workingSetGb = working_set_gb;
+    return w;
+}
+
+} // namespace
+
+Suite::Suite()
+{
+    specs_.reserve(kSuiteSize);
+
+    // The NBODY/CH pair is calibrated to the paper's headline numbers
+    // (Figure 2): colocated with CH, NBODY runs 87% longer; CH runs
+    // 39% longer next to NBODY. Other entries follow the qualitative
+    // characterization: graph/string kernels and LLAMA are memory-
+    // bandwidth heavy; H.265 is compute-bound and SMT-friendly;
+    // pgbench load grows with client count; HNSW stops scaling past
+    // 88 cores and has the larger index (180.8 GB vs 77.7 GB).
+    specs_.push_back(make("DDUP", 620, 0.95, 150,
+                          0.55, 0.50, 0.30, 0.40,
+                          0.96, 0.30, 96, 60));
+    specs_.push_back(make("BFS", 910, 0.85, 120,
+                          0.65, 0.70, 0.40, 0.50,
+                          0.94, 0.25, 96, 80));
+    specs_.push_back(make("MSF", 1120, 0.85, 125,
+                          0.60, 0.65, 0.40, 0.45,
+                          0.93, 0.25, 96, 85));
+    specs_.push_back(make("WC", 705, 0.90, 135,
+                          0.70, 0.60, 0.35, 0.40,
+                          0.97, 0.35, 96, 70));
+    specs_.push_back(make("SA", 1310, 0.90, 140,
+                          0.75, 0.75, 0.45, 0.50,
+                          0.95, 0.30, 96, 90));
+    specs_.push_back(make("CH", 790, 0.95, 160,
+                          0.60, 0.45, 0.35, 0.35,
+                          0.96, 0.30, 96, 50));
+    specs_.push_back(make("NN", 655, 0.90, 145,
+                          0.50, 0.55, 0.30, 0.45,
+                          0.95, 0.30, 96, 55));
+    specs_.push_back(make("NBODY", 1005, 1.00, 175,
+                          0.55, 1.10, 0.35, 0.60,
+                          0.98, 0.40, 96, 20));
+    specs_.push_back(make("PG-10", 890, 0.25, 60,
+                          0.15, 0.30, 0.10, 0.25,
+                          0.60, 0.15, 32, 30));
+    specs_.push_back(make("PG-50", 905, 0.55, 95,
+                          0.30, 0.40, 0.20, 0.35,
+                          0.75, 0.20, 64, 40));
+    specs_.push_back(make("PG-100", 915, 0.75, 120,
+                          0.45, 0.50, 0.30, 0.40,
+                          0.82, 0.20, 96, 50));
+    specs_.push_back(make("H265", 1210, 0.95, 165,
+                          0.35, 0.35, 0.25, 0.30,
+                          0.92, 0.45, 96, 16));
+    specs_.push_back(make("LLAMA", 810, 0.90, 155,
+                          0.85, 0.80, 0.50, 0.45,
+                          0.90, 0.10, 64, 18));
+    specs_.push_back(make("FAISS-IVF", 745, 0.95, 170,
+                          0.60, 0.55, 0.45, 0.40,
+                          0.97, 0.35, 96, 78));
+    specs_.push_back(make("FAISS-HNSW", 855, 0.85, 130,
+                          0.70, 0.65, 0.50, 0.45,
+                          0.95, 0.15, 88, 92));
+    specs_.push_back(make("SPARK", 1010, 0.80, 140,
+                          0.55, 0.60, 0.40, 0.45,
+                          0.90, 0.25, 96, 88));
+
+    assert(specs_.size() == kSuiteSize);
+}
+
+const WorkloadSpec &
+Suite::get(WorkloadId id) const
+{
+    return at(static_cast<std::size_t>(id));
+}
+
+const WorkloadSpec &
+Suite::at(std::size_t index) const
+{
+    assert(index < specs_.size());
+    return specs_[index];
+}
+
+const WorkloadSpec &
+Suite::byName(const std::string &name) const
+{
+    for (const auto &spec : specs_) {
+        if (spec.name == name)
+            return spec;
+    }
+    throw std::out_of_range("unknown workload: " + name);
+}
+
+} // namespace fairco2::workload

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The 16-workload evaluation suite from the Fair-CO2 paper: eight PBBS
+ * kernels, PostgreSQL at three client loads, H.265 encoding, Llama
+ * inference, two FAISS indices, and Apache Spark.
+ */
+
+#ifndef FAIRCO2_WORKLOAD_SUITE_HH
+#define FAIRCO2_WORKLOAD_SUITE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/spec.hh"
+
+namespace fairco2::workload
+{
+
+/** Stable identifiers for the suite members. */
+enum class WorkloadId : int
+{
+    DDUP = 0,   //!< PBBS: deduplicate 2B random integers
+    BFS,        //!< PBBS: breadth-first search, 640M-node graph
+    MSF,        //!< PBBS: minimum spanning forest
+    WC,         //!< PBBS: word count over 500B characters
+    SA,         //!< PBBS: suffix array over 500B characters
+    CH,         //!< PBBS: convex hull of 1B 2-D points
+    NN,         //!< PBBS: 10-nearest-neighbours of 50M 3-D points
+    NBODY,      //!< PBBS: n-body forces for 10M 3-D points
+    PG10,       //!< pgbench, 10 clients
+    PG50,       //!< pgbench, 50 clients
+    PG100,      //!< pgbench, 100 clients
+    H265,       //!< x265 4K video encoding
+    LLAMA,      //!< llama.cpp Llama-3-8B CPU inference
+    FAISS_IVF,  //!< FAISS retrieval, inverted-file index
+    FAISS_HNSW, //!< FAISS retrieval, HNSW graph index
+    SPARK,      //!< PySpark TPC-DS store_sales queries
+};
+
+/** Number of workloads in the suite. */
+constexpr std::size_t kSuiteSize = 16;
+
+/** Immutable registry of the calibrated workload models. */
+class Suite
+{
+  public:
+    Suite();
+
+    /** All workloads in WorkloadId order. */
+    const std::vector<WorkloadSpec> &all() const { return specs_; }
+
+    std::size_t size() const { return specs_.size(); }
+
+    /** Lookup by id. */
+    const WorkloadSpec &get(WorkloadId id) const;
+
+    /** Lookup by position (same order as WorkloadId). */
+    const WorkloadSpec &at(std::size_t index) const;
+
+    /**
+     * Lookup by name (e.g., "NBODY").
+     * @throws std::out_of_range for unknown names.
+     */
+    const WorkloadSpec &byName(const std::string &name) const;
+
+  private:
+    std::vector<WorkloadSpec> specs_;
+};
+
+} // namespace fairco2::workload
+
+#endif // FAIRCO2_WORKLOAD_SUITE_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the amortization (carbon depreciation) schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "carbon/amortization.hh"
+
+namespace fairco2::carbon
+{
+namespace
+{
+
+constexpr double kTotal = 1000.0;
+constexpr double kLife = 100.0;
+
+class AmortizationSchemes
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<AmortizationSchedule> make() const
+    {
+        return makeAmortization(GetParam(), kTotal, kLife);
+    }
+};
+
+TEST_P(AmortizationSchemes, ConservesTotalOverLifetime)
+{
+    const auto schedule = make();
+    EXPECT_DOUBLE_EQ(schedule->cumulativeGrams(0.0), 0.0);
+    EXPECT_NEAR(schedule->cumulativeGrams(kLife), kTotal, 1e-9);
+    // Clamped beyond end-of-life.
+    EXPECT_NEAR(schedule->cumulativeGrams(10.0 * kLife), kTotal,
+                1e-9);
+}
+
+TEST_P(AmortizationSchemes, CumulativeIsMonotone)
+{
+    const auto schedule = make();
+    double prev = 0.0;
+    for (double age = 0.0; age <= kLife; age += kLife / 50.0) {
+        const double cum = schedule->cumulativeGrams(age);
+        EXPECT_GE(cum, prev - 1e-12);
+        prev = cum;
+    }
+}
+
+TEST_P(AmortizationSchemes, RateIntegratesToCumulative)
+{
+    // Midpoint-rule integral of the rate tracks the closed-form
+    // cumulative curve.
+    const auto schedule = make();
+    const int steps = 20000;
+    const double dt = kLife / steps;
+    double integral = 0.0;
+    for (int i = 0; i < steps; ++i)
+        integral += schedule->ratePerSecond((i + 0.5) * dt) * dt;
+    EXPECT_NEAR(integral, kTotal, kTotal * 1e-4);
+}
+
+TEST_P(AmortizationSchemes, WindowGramsPartitions)
+{
+    const auto schedule = make();
+    const double first = schedule->windowGrams(0.0, 30.0);
+    const double second = schedule->windowGrams(30.0, 70.0);
+    const double third = schedule->windowGrams(70.0, kLife);
+    EXPECT_NEAR(first + second + third, kTotal, 1e-9);
+}
+
+TEST_P(AmortizationSchemes, RateZeroOutsideLifetime)
+{
+    const auto schedule = make();
+    EXPECT_DOUBLE_EQ(schedule->ratePerSecond(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(schedule->ratePerSecond(kLife + 1.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AmortizationSchemes,
+                         ::testing::Values("uniform",
+                                           "declining-balance",
+                                           "sum-of-years"));
+
+TEST(Amortization, UniformRateIsFlat)
+{
+    UniformAmortization uniform(kTotal, kLife);
+    EXPECT_DOUBLE_EQ(uniform.ratePerSecond(1.0),
+                     uniform.ratePerSecond(99.0));
+    EXPECT_DOUBLE_EQ(uniform.ratePerSecond(50.0), kTotal / kLife);
+}
+
+TEST(Amortization, DecliningBalanceFrontLoads)
+{
+    DecliningBalanceAmortization declining(kTotal, kLife);
+    EXPECT_GT(declining.ratePerSecond(0.0),
+              declining.ratePerSecond(kLife));
+    // More than half the carbon lands in the first half of life.
+    EXPECT_GT(declining.cumulativeGrams(kLife / 2.0),
+              0.55 * kTotal);
+}
+
+TEST(Amortization, DecliningBalanceDecayFactorRespected)
+{
+    DecliningBalanceAmortization declining(kTotal, kLife, 0.25);
+    EXPECT_NEAR(declining.ratePerSecond(kLife) /
+                    declining.ratePerSecond(0.0),
+                0.25, 1e-9);
+}
+
+TEST(Amortization, SumOfYearsStartsAtTwiceUniform)
+{
+    SumOfYearsAmortization soy(kTotal, kLife);
+    EXPECT_NEAR(soy.ratePerSecond(0.0), 2.0 * kTotal / kLife,
+                1e-9);
+    EXPECT_NEAR(soy.ratePerSecond(kLife), 0.0, 1e-9);
+}
+
+TEST(Amortization, FactoryRejectsUnknownScheme)
+{
+    EXPECT_THROW(makeAmortization("bogus", kTotal, kLife),
+                 std::invalid_argument);
+}
+
+TEST(Amortization, SchemeNamesRoundTrip)
+{
+    for (const char *name :
+         {"uniform", "declining-balance", "sum-of-years"}) {
+        EXPECT_EQ(makeAmortization(name, kTotal, kLife)->name(),
+                  name);
+    }
+}
+
+} // namespace
+} // namespace fairco2::carbon

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the RUP and demand-proportional baseline intensity
+ * signals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hh"
+
+namespace fairco2::core
+{
+namespace
+{
+
+using trace::TimeSeries;
+
+TEST(RupIntensity, IsConstantAndNormalized)
+{
+    const TimeSeries demand({10, 30, 20}, 100.0);
+    const auto y = rupIntensity(demand, 600.0);
+    // 60 resource units x 100 s = 6000 resource-seconds.
+    EXPECT_NEAR(y[0], 0.1, 1e-12);
+    EXPECT_NEAR(y[1], 0.1, 1e-12);
+    EXPECT_NEAR(y[2], 0.1, 1e-12);
+    EXPECT_NEAR(attributeUsage(y, demand), 600.0, 1e-9);
+}
+
+TEST(RupIntensity, ZeroDemandGivesZeroSignal)
+{
+    const TimeSeries demand({0, 0}, 1.0);
+    const auto y = rupIntensity(demand, 10.0);
+    EXPECT_DOUBLE_EQ(y[0], 0.0);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(DemandProportional, TracksDemandShape)
+{
+    const TimeSeries demand({10, 40, 20}, 60.0);
+    const auto y = demandProportionalIntensity(demand, 100.0);
+    EXPECT_NEAR(y[1] / y[0], 4.0, 1e-12);
+    EXPECT_NEAR(y[2] / y[0], 2.0, 1e-12);
+    EXPECT_NEAR(attributeUsage(y, demand), 100.0, 1e-9);
+}
+
+TEST(DemandProportional, ZeroDemandGivesZeroSignal)
+{
+    const TimeSeries demand({0, 0, 0}, 1.0);
+    const auto y = demandProportionalIntensity(demand, 10.0);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_DOUBLE_EQ(y[i], 0.0);
+}
+
+TEST(AttributeUsage, PartialUserGetsShare)
+{
+    const TimeSeries demand({10, 10}, 1.0);
+    const auto y = rupIntensity(demand, 20.0);
+    // A user holding 5 of the 10 units in the first step only.
+    const TimeSeries usage({5, 0}, 1.0);
+    EXPECT_NEAR(attributeUsage(y, usage), 5.0, 1e-12);
+}
+
+TEST(AttributeUsage, ShapeMismatchThrows)
+{
+    const TimeSeries y({1.0}, 1.0);
+    const TimeSeries usage({1.0, 2.0}, 1.0);
+    EXPECT_THROW(attributeUsage(y, usage), std::invalid_argument);
+    const TimeSeries wrong_step({1.0}, 2.0);
+    EXPECT_THROW(attributeUsage(y, wrong_step),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fairco2::core

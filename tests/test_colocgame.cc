@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the colocation game: the cost model, the closed-form
+ * random-order ground truth against permutation sampling, and the
+ * efficiency of the RUP and Fair-CO2 attributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/colocgame.hh"
+
+namespace fairco2::core
+{
+namespace
+{
+
+class ColocationFixture : public ::testing::Test
+{
+  protected:
+    ColocationFixture()
+        : server(carbon::ServerConfig::paperServer()),
+          cost(server, interference, 200.0)
+    {
+    }
+
+    std::vector<core::InterferenceProfile>
+    fullHistoryProfiles(const std::vector<std::size_t> &members)
+    {
+        std::vector<core::InterferenceProfile> profiles;
+        for (std::size_t m : members) {
+            std::vector<std::size_t> partners;
+            for (std::size_t s = 0; s < suite.size(); ++s) {
+                if (s != m)
+                    partners.push_back(s);
+            }
+            profiles.push_back(estimateProfile(m, partners, suite,
+                                               interference));
+        }
+        return profiles;
+    }
+
+    workload::Suite suite;
+    workload::InterferenceModel interference;
+    carbon::ServerCarbonModel server;
+    ColocationCostModel cost;
+};
+
+double
+sum(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST_F(ColocationFixture, FixedRateSplitsEmbodiedAndStatic)
+{
+    EXPECT_GT(cost.embodiedGramsPerSecond(), 0.0);
+    EXPECT_GT(cost.fixedGramsPerSecond(),
+              cost.embodiedGramsPerSecond());
+
+    // At zero grid intensity, fixed cost is embodied only.
+    const ColocationCostModel clean(server, interference, 0.0);
+    EXPECT_DOUBLE_EQ(clean.fixedGramsPerSecond(),
+                     clean.embodiedGramsPerSecond());
+    EXPECT_DOUBLE_EQ(clean.dynamicGrams(1e6), 0.0);
+}
+
+TEST_F(ColocationFixture, IsolatedCarbonScalesWithRuntime)
+{
+    const auto &fast = suite.get(workload::WorkloadId::DDUP);
+    const auto &slow = suite.get(workload::WorkloadId::SA);
+    EXPECT_GT(cost.isolatedCarbon(slow), cost.isolatedCarbon(fast));
+}
+
+TEST_F(ColocationFixture, PairCheaperThanTwoIsolatedNodes)
+{
+    // Colocation amortizes the node's fixed costs; despite
+    // interference it beats two dedicated nodes for typical pairs.
+    const auto &a = suite.get(workload::WorkloadId::WC);
+    const auto &b = suite.get(workload::WorkloadId::PG50);
+    EXPECT_LT(cost.pairCarbon(a, b),
+              cost.isolatedCarbon(a) + cost.isolatedCarbon(b));
+}
+
+TEST_F(ColocationFixture, PairCarbonIsSymmetric)
+{
+    const auto &a = suite.get(workload::WorkloadId::BFS);
+    const auto &b = suite.get(workload::WorkloadId::H265);
+    EXPECT_DOUBLE_EQ(cost.pairCarbon(a, b), cost.pairCarbon(b, a));
+}
+
+TEST_F(ColocationFixture, RandomScenarioPairsEveryone)
+{
+    Rng rng(5);
+    std::vector<std::size_t> members{0, 1, 2, 3, 4, 5};
+    const auto scenario =
+        ColocationScenario::random(members, rng);
+    EXPECT_EQ(scenario.pairs.size(), 3u);
+    EXPECT_EQ(scenario.isolatedMember, static_cast<std::size_t>(-1));
+
+    std::vector<int> seen(6, 0);
+    for (const auto &[a, b] : scenario.pairs) {
+        ++seen[a];
+        ++seen[b];
+    }
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST_F(ColocationFixture, OddScenarioLeavesOneIsolated)
+{
+    Rng rng(6);
+    std::vector<std::size_t> members{0, 1, 2, 3, 4};
+    const auto scenario =
+        ColocationScenario::random(members, rng);
+    EXPECT_EQ(scenario.pairs.size(), 2u);
+    EXPECT_NE(scenario.isolatedMember, static_cast<std::size_t>(-1));
+}
+
+TEST_F(ColocationFixture, GroundTruthMatchesSampledEvenN)
+{
+    Rng rng(7);
+    const std::vector<std::size_t> members{0, 5, 7, 12, 3, 9};
+    const auto closed =
+        groundTruthColocation(members, suite, cost);
+    Rng sample_rng(8);
+    const auto sampled = sampledGroundTruthColocation(
+        members, suite, cost, sample_rng, 60000);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        EXPECT_NEAR(closed[i], sampled[i],
+                    0.01 * std::abs(closed[i]))
+            << "member " << i;
+    }
+}
+
+TEST_F(ColocationFixture, GroundTruthMatchesSampledOddN)
+{
+    const std::vector<std::size_t> members{1, 4, 8, 13, 15};
+    const auto closed =
+        groundTruthColocation(members, suite, cost);
+    Rng sample_rng(9);
+    const auto sampled = sampledGroundTruthColocation(
+        members, suite, cost, sample_rng, 60000);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        EXPECT_NEAR(closed[i], sampled[i],
+                    0.01 * std::abs(closed[i]))
+            << "member " << i;
+    }
+}
+
+TEST_F(ColocationFixture, GroundTruthEfficiencyIdentity)
+{
+    // For even n, total ground truth equals the expected realized
+    // carbon of a uniformly random perfect matching:
+    // sum over pairs v({i,j}) / (n - 1).
+    const std::vector<std::size_t> members{2, 6, 10, 14};
+    const auto phi = groundTruthColocation(members, suite, cost);
+    double pair_sum = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+            pair_sum += cost.pairCarbon(suite.at(members[i]),
+                                        suite.at(members[j]));
+        }
+    }
+    EXPECT_NEAR(sum(phi), pair_sum / 3.0, 1e-6);
+}
+
+TEST_F(ColocationFixture, GroundTruthSymmetry)
+{
+    // Two copies of the same workload must receive equal shares.
+    const std::vector<std::size_t> members{4, 4, 9, 11};
+    const auto phi = groundTruthColocation(members, suite, cost);
+    EXPECT_NEAR(phi[0], phi[1], 1e-9);
+}
+
+TEST_F(ColocationFixture, SingleMemberGetsIsolatedCarbon)
+{
+    const std::vector<std::size_t> members{3};
+    const auto phi = groundTruthColocation(members, suite, cost);
+    EXPECT_DOUBLE_EQ(phi[0], cost.isolatedCarbon(suite.at(3)));
+}
+
+TEST_F(ColocationFixture, RupSumsToRealizedTotal)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<std::size_t> members(
+            4 + 2 * rng.index(5), 0);
+        for (auto &m : members)
+            m = rng.index(suite.size());
+        const auto scenario =
+            ColocationScenario::random(members, rng);
+        const auto rup =
+            rupColocationAttribution(scenario, suite, cost);
+        const double total =
+            realizedTotalCarbon(scenario, suite, cost);
+        EXPECT_NEAR(sum(rup), total, total * 1e-9);
+    }
+}
+
+TEST_F(ColocationFixture, RupOddScenarioStillEfficient)
+{
+    Rng rng(12);
+    std::vector<std::size_t> members{0, 3, 6, 9, 12};
+    const auto scenario =
+        ColocationScenario::random(members, rng);
+    const auto rup =
+        rupColocationAttribution(scenario, suite, cost);
+    const double total = realizedTotalCarbon(scenario, suite, cost);
+    EXPECT_NEAR(sum(rup), total, total * 1e-9);
+}
+
+TEST_F(ColocationFixture, FairCo2SumsToRealizedTotal)
+{
+    Rng rng(13);
+    std::vector<std::size_t> members{1, 2, 5, 8, 10, 15};
+    const auto scenario =
+        ColocationScenario::random(members, rng);
+    const auto profiles = fullHistoryProfiles(members);
+    const auto fair = fairCo2ColocationAttribution(
+        scenario, suite, cost, profiles);
+    const double total = realizedTotalCarbon(scenario, suite, cost);
+    EXPECT_NEAR(sum(fair), total, total * 1e-9);
+}
+
+TEST_F(ColocationFixture, FairCo2RequiresMatchingProfiles)
+{
+    Rng rng(14);
+    std::vector<std::size_t> members{1, 2, 3, 4};
+    const auto scenario =
+        ColocationScenario::random(members, rng);
+    std::vector<InterferenceProfile> wrong(3);
+    EXPECT_THROW(fairCo2ColocationAttribution(scenario, suite, cost,
+                                              wrong),
+                 std::invalid_argument);
+}
+
+TEST_F(ColocationFixture, ProfilesReflectSensitivity)
+{
+    // NBODY is the most interference-sensitive workload; its alpha
+    // over full history must exceed the placid H265's.
+    std::vector<std::size_t> partners;
+    for (std::size_t s = 0; s < suite.size(); ++s)
+        partners.push_back(s);
+
+    auto others = [&](std::size_t who) {
+        std::vector<std::size_t> v;
+        for (std::size_t s = 0; s < suite.size(); ++s)
+            if (s != who)
+                v.push_back(s);
+        return v;
+    };
+
+    const auto nbody_id = static_cast<std::size_t>(
+        workload::WorkloadId::NBODY);
+    const auto h265_id =
+        static_cast<std::size_t>(workload::WorkloadId::H265);
+    const auto nbody = estimateProfile(
+        nbody_id, others(nbody_id), suite, interference);
+    const auto h265 = estimateProfile(h265_id, others(h265_id),
+                                      suite, interference);
+    EXPECT_GT(nbody.alphaRuntime, h265.alphaRuntime);
+    EXPECT_GT(nbody.alphaRuntime, 1.0);
+    EXPECT_GT(h265.betaRuntime, 1.0);
+}
+
+TEST_F(ColocationFixture, FairCo2ClosesMostOfRupGap)
+{
+    // Qualitative Figure 8 property: across random even scenarios,
+    // Fair-CO2 with full history deviates from the ground truth
+    // far less than RUP does.
+    Rng rng(15);
+    double fair_dev = 0.0, rup_dev = 0.0;
+    for (int trial = 0; trial < 15; ++trial) {
+        std::vector<std::size_t> members(12);
+        for (auto &m : members)
+            m = rng.index(suite.size());
+        const auto scenario =
+            ColocationScenario::random(members, rng);
+        const auto truth =
+            groundTruthColocation(members, suite, cost);
+        const auto rup =
+            rupColocationAttribution(scenario, suite, cost);
+        const auto fair = fairCo2ColocationAttribution(
+            scenario, suite, cost, fullHistoryProfiles(members));
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            rup_dev += std::abs(rup[i] - truth[i]) / truth[i];
+            fair_dev += std::abs(fair[i] - truth[i]) / truth[i];
+        }
+    }
+    EXPECT_LT(fair_dev, 0.6 * rup_dev);
+}
+
+} // namespace
+} // namespace fairco2::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for CSV reading and writing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/csv.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+            "fairco2_csv_test";
+        std::filesystem::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, RoundTripStrings)
+{
+    const std::string file = path("strings.csv");
+    {
+        CsvWriter writer(file);
+        writer.writeRow({"name", "value"});
+        writer.writeRow({"alpha", "1"});
+        writer.writeRow({"beta", "2"});
+    }
+    const auto table = readCsv(file);
+    ASSERT_EQ(table.header.size(), 2u);
+    EXPECT_EQ(table.header[0], "name");
+    ASSERT_EQ(table.rows.size(), 2u);
+    EXPECT_EQ(table.rows[1][0], "beta");
+    EXPECT_EQ(table.rows[1][1], "2");
+}
+
+TEST_F(CsvTest, QuotingRoundTrip)
+{
+    const std::string file = path("quoted.csv");
+    {
+        CsvWriter writer(file);
+        writer.writeRow({"a,b", "say \"hi\"", "plain"});
+    }
+    const auto table = readCsv(file);
+    ASSERT_EQ(table.header.size(), 3u);
+    EXPECT_EQ(table.header[0], "a,b");
+    EXPECT_EQ(table.header[1], "say \"hi\"");
+    EXPECT_EQ(table.header[2], "plain");
+}
+
+TEST_F(CsvTest, NumericRowsAndColumns)
+{
+    const std::string file = path("numbers.csv");
+    {
+        CsvWriter writer(file);
+        writer.writeRow({"x", "y"});
+        writer.writeNumericRow({1.5, 2.25});
+        writer.writeNumericRow({3.0, -4.75});
+    }
+    const auto table = readCsv(file);
+    const auto y = table.numericColumn("y");
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[0], 2.25);
+    EXPECT_DOUBLE_EQ(y[1], -4.75);
+}
+
+TEST_F(CsvTest, LabeledRow)
+{
+    const std::string file = path("labeled.csv");
+    {
+        CsvWriter writer(file);
+        writer.writeRow({"series", "a", "b"});
+        writer.writeRow("fair-co2", {1.0, 2.0});
+    }
+    const auto table = readCsv(file);
+    ASSERT_EQ(table.rows.size(), 1u);
+    EXPECT_EQ(table.rows[0][0], "fair-co2");
+    EXPECT_EQ(table.numericColumn("b")[0], 2.0);
+}
+
+TEST_F(CsvTest, MultiLabelRow)
+{
+    const std::string file = path("multilabel.csv");
+    {
+        CsvWriter writer(file);
+        writer.writeRow({"metric", "workload", "v1", "v2"});
+        writer.writeRow(std::vector<std::string>{"runtime", "NBODY"},
+                        {1.5, 2.5});
+    }
+    const auto table = readCsv(file);
+    ASSERT_EQ(table.rows.size(), 1u);
+    ASSERT_EQ(table.rows[0].size(), 4u);
+    EXPECT_EQ(table.rows[0][0], "runtime");
+    EXPECT_EQ(table.rows[0][1], "NBODY");
+    EXPECT_DOUBLE_EQ(table.numericColumn("v2")[0], 2.5);
+}
+
+TEST_F(CsvTest, MissingColumnThrows)
+{
+    const std::string file = path("missing.csv");
+    {
+        CsvWriter writer(file);
+        writer.writeRow({"x"});
+        writer.writeNumericRow({1.0});
+    }
+    const auto table = readCsv(file);
+    EXPECT_EQ(table.columnIndex("nope"), std::string::npos);
+    EXPECT_THROW(table.numericColumn("nope"), std::runtime_error);
+}
+
+TEST_F(CsvTest, MissingFileThrows)
+{
+    EXPECT_THROW(readCsv(path("does_not_exist.csv")),
+                 std::runtime_error);
+}
+
+TEST_F(CsvTest, CreatesParentDirectory)
+{
+    const std::string file = path("sub/dir/out.csv");
+    CsvWriter writer(file);
+    writer.writeRow({"ok"});
+    EXPECT_TRUE(std::filesystem::exists(file));
+}
+
+} // namespace
+} // namespace fairco2

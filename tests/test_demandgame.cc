@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the dynamic-demand game: schedule mechanics, the
+ * Gray-code tabulation, the exact ground truth, and the efficiency
+ * property of every attribution method.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/demandgame.hh"
+#include "montecarlo/demandmc.hh"
+#include "shapley/exact.hh"
+
+namespace fairco2::core
+{
+namespace
+{
+
+Schedule
+tinySchedule()
+{
+    // Slice:      0    1    2
+    // w0 (16c):  [x----x]
+    // w1 (32c):       [x----x]
+    // w2 (8c):   [x-------—-x]
+    std::vector<ScheduledWorkload> ws;
+    ws.push_back({16.0, 0, 2});
+    ws.push_back({32.0, 1, 2});
+    ws.push_back({8.0, 0, 3});
+    return Schedule(std::move(ws), 3, 3600.0);
+}
+
+TEST(Schedule, Accessors)
+{
+    const auto s = tinySchedule();
+    EXPECT_EQ(s.numWorkloads(), 3u);
+    EXPECT_EQ(s.numSlices(), 3u);
+    EXPECT_DOUBLE_EQ(s.coresAt(0, 0), 16.0);
+    EXPECT_DOUBLE_EQ(s.coresAt(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(s.coresAt(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(s.coresAt(2, 2), 8.0);
+}
+
+TEST(Schedule, DemandSeriesAggregates)
+{
+    const auto s = tinySchedule();
+    const auto demand = s.demandSeries();
+    ASSERT_EQ(demand.size(), 3u);
+    EXPECT_DOUBLE_EQ(demand[0], 24.0);
+    EXPECT_DOUBLE_EQ(demand[1], 56.0);
+    EXPECT_DOUBLE_EQ(demand[2], 40.0);
+    EXPECT_DOUBLE_EQ(s.peakDemand(), 56.0);
+}
+
+TEST(Schedule, AllocationIsCoreSeconds)
+{
+    const auto s = tinySchedule();
+    EXPECT_DOUBLE_EQ(s.allocation(0), 16.0 * 2 * 3600.0);
+    EXPECT_DOUBLE_EQ(s.allocation(2), 8.0 * 3 * 3600.0);
+}
+
+TEST(DemandPeakGame, ValueOfCoalitions)
+{
+    const auto s = tinySchedule();
+    const DemandPeakGame game(s);
+    EXPECT_DOUBLE_EQ(game.value(0), 0.0);
+    EXPECT_DOUBLE_EQ(game.value(0b001), 16.0); // w0 alone
+    EXPECT_DOUBLE_EQ(game.value(0b010), 32.0); // w1 alone
+    EXPECT_DOUBLE_EQ(game.value(0b011), 48.0); // overlap at slice 1
+    EXPECT_DOUBLE_EQ(game.value(0b111), 56.0);
+}
+
+TEST(DemandPeakGame, TabulateMatchesDirectEvaluation)
+{
+    Rng rng(10);
+    montecarlo::DemandMcConfig config;
+    config.maxWorkloads = 10;
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto s = montecarlo::randomSchedule(config, rng);
+        const DemandPeakGame game(s);
+        const auto table = game.tabulate();
+        const std::uint64_t masks = 1ULL << s.numWorkloads();
+        ASSERT_EQ(table.size(), masks);
+        for (std::uint64_t m = 0; m < masks; ++m)
+            ASSERT_NEAR(table[m], game.value(m), 1e-9)
+                << "mask " << m;
+    }
+}
+
+TEST(AttributeSchedule, AllMethodsAreEfficient)
+{
+    const double total = 900.0;
+    const auto attributions =
+        attributeSchedule(tinySchedule(), total);
+    auto sum = [](const std::vector<double> &v) {
+        double s = 0.0;
+        for (double x : v)
+            s += x;
+        return s;
+    };
+    EXPECT_NEAR(sum(attributions.groundTruth), total, 1e-8);
+    EXPECT_NEAR(sum(attributions.fairCo2), total, 1e-8);
+    EXPECT_NEAR(sum(attributions.demandProportional), total, 1e-8);
+    EXPECT_NEAR(sum(attributions.rup), total, 1e-8);
+}
+
+TEST(AttributeSchedule, GroundTruthMatchesManualShapley)
+{
+    // Compute Shapley of the peak game directly and compare.
+    const auto s = tinySchedule();
+    const DemandPeakGame game(s);
+    const shapley::TabulatedGame table(3, game.tabulate());
+    const auto phi = shapley::exactShapley(table);
+    const auto attributions = attributeSchedule(s, 56.0);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(attributions.groundTruth[i], phi[i], 1e-9);
+}
+
+TEST(AttributeSchedule, SymmetricWorkloadsGetEqualGroundTruth)
+{
+    std::vector<ScheduledWorkload> ws;
+    ws.push_back({32.0, 0, 2});
+    ws.push_back({32.0, 0, 2}); // identical twin
+    ws.push_back({16.0, 1, 1});
+    const Schedule s(std::move(ws), 2, 3600.0);
+    const auto attributions = attributeSchedule(s, 100.0);
+    EXPECT_NEAR(attributions.groundTruth[0],
+                attributions.groundTruth[1], 1e-9);
+}
+
+TEST(AttributeSchedule, PeakWorkloadPaysMoreThanOffPeak)
+{
+    // Two equal-size workloads; one runs during the peak created by
+    // a big third workload, the other during the trough. The ground
+    // truth and Fair-CO2 must charge the peak one more; RUP cannot
+    // tell them apart.
+    std::vector<ScheduledWorkload> ws;
+    ws.push_back({96.0, 0, 1}); // creates the peak in slice 0
+    ws.push_back({16.0, 0, 1}); // rides the peak
+    ws.push_back({16.0, 1, 1}); // off-peak
+    const Schedule s(std::move(ws), 2, 3600.0);
+    const auto attributions = attributeSchedule(s, 112.0);
+    EXPECT_GT(attributions.groundTruth[1],
+              attributions.groundTruth[2]);
+    EXPECT_GT(attributions.fairCo2[1], attributions.fairCo2[2]);
+    EXPECT_NEAR(attributions.rup[1], attributions.rup[2], 1e-9);
+}
+
+TEST(AttributeSchedule, FairCo2TracksGroundTruthBetterThanRup)
+{
+    // Qualitative Figure 7 property on random scenarios.
+    Rng rng(99);
+    montecarlo::DemandMcConfig config;
+    config.maxWorkloads = 12;
+    double fair_err = 0.0, rup_err = 0.0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto s = montecarlo::randomSchedule(config, rng);
+        const auto a = attributeSchedule(s, 1000.0);
+        for (std::size_t i = 0; i < s.numWorkloads(); ++i) {
+            fair_err += std::abs(a.fairCo2[i] - a.groundTruth[i]);
+            rup_err += std::abs(a.rup[i] - a.groundTruth[i]);
+        }
+    }
+    EXPECT_LT(fair_err, rup_err);
+}
+
+TEST(DemandPeakGame, RejectsOversizedSchedules)
+{
+    std::vector<ScheduledWorkload> ws(30, {8.0, 0, 1});
+    const Schedule s(std::move(ws), 1, 60.0);
+    EXPECT_THROW(DemandPeakGame{s}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace fairco2::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flags.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+/** Build a mutable argv from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : storage_(std::move(args))
+    {
+        for (auto &s : storage_)
+            pointers_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers_.size()); }
+    char **argv() { return pointers_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> pointers_;
+};
+
+TEST(Flags, ParsesSpaceSeparatedValues)
+{
+    std::int64_t trials = 10;
+    double ci = 1.0;
+    std::string name = "default";
+    FlagSet flags("test");
+    flags.addInt("trials", &trials, "trial count");
+    flags.addDouble("ci", &ci, "grid ci");
+    flags.addString("name", &name, "label");
+
+    Argv argv({"prog", "--trials", "250", "--ci", "42.5", "--name",
+               "hello"});
+    ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+    EXPECT_EQ(trials, 250);
+    EXPECT_DOUBLE_EQ(ci, 42.5);
+    EXPECT_EQ(name, "hello");
+}
+
+TEST(Flags, ParsesEqualsForm)
+{
+    std::int64_t n = 0;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog", "--n=77"});
+    ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+    EXPECT_EQ(n, 77);
+}
+
+TEST(Flags, BoolSwitchAndExplicit)
+{
+    bool fast = false, slow = true;
+    FlagSet flags("test");
+    flags.addBool("fast", &fast, "fast mode");
+    flags.addBool("slow", &slow, "slow mode");
+    Argv argv({"prog", "--fast", "--slow=false"});
+    ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+    EXPECT_TRUE(fast);
+    EXPECT_FALSE(slow);
+}
+
+TEST(Flags, DefaultsSurviveWhenUnset)
+{
+    std::int64_t n = 123;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog"});
+    ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+    EXPECT_EQ(n, 123);
+}
+
+TEST(Flags, HelpReturnsFalse)
+{
+    std::int64_t n = 0;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog", "--help"});
+    EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(FlagsDeathTest, UnknownFlagExits)
+{
+    FlagSet flags("test");
+    Argv argv({"prog", "--bogus", "1"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(FlagsDeathTest, BadValueExits)
+{
+    std::int64_t n = 0;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog", "--n", "notanumber"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(FlagsDeathTest, MissingValueExits)
+{
+    std::int64_t n = 0;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog", "--n"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "needs a value");
+}
+
+} // namespace
+} // namespace fairco2

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the seasonal demand forecaster.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "forecast/forecaster.hh"
+#include "trace/generators.hh"
+
+namespace fairco2::forecast
+{
+namespace
+{
+
+constexpr double kDay = 86400.0;
+
+/** Noiseless daily sinusoid plus linear trend. */
+trace::TimeSeries
+syntheticSignal(double days, double step_seconds)
+{
+    const auto n =
+        static_cast<std::size_t>(days * kDay / step_seconds);
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = (i + 0.5) * step_seconds;
+        v[i] = 100.0 + 0.5 * t / kDay +
+            20.0 * std::sin(2.0 * std::numbers::pi * t / kDay);
+    }
+    return trace::TimeSeries(std::move(v), step_seconds);
+}
+
+TEST(SeasonalForecaster, RecoversCleanSeasonalSignal)
+{
+    const auto history = syntheticSignal(14.0, 3600.0);
+    SeasonalForecaster forecaster;
+    forecaster.fit(history);
+
+    const auto horizon = forecaster.forecast(3 * 24);
+    ASSERT_EQ(horizon.size(), 72u);
+
+    // Evaluate against the analytic continuation.
+    std::vector<double> actual, predicted;
+    for (std::size_t i = 0; i < horizon.size(); ++i) {
+        const double t = 14.0 * kDay + (i + 0.5) * 3600.0;
+        actual.push_back(
+            100.0 + 0.5 * t / kDay +
+            20.0 * std::sin(2.0 * std::numbers::pi * t / kDay));
+        predicted.push_back(horizon[i]);
+    }
+    EXPECT_LT(meanAbsolutePercentageError(actual, predicted), 1.0);
+}
+
+TEST(SeasonalForecaster, ReasonableOnAzureLikeTrace)
+{
+    // The paper's protocol: fit 21 days, forecast 9, on a noisy
+    // diurnal+weekly trace. Expect single-digit MAPE.
+    trace::AzureLikeGenerator::Config config;
+    config.days = 30.0;
+    Rng rng(4242);
+    const auto full =
+        trace::AzureLikeGenerator(config).generate(rng);
+    const auto split =
+        static_cast<std::size_t>(21.0 * kDay / 300.0);
+    const auto history = full.slice(0, split);
+
+    SeasonalForecaster forecaster;
+    forecaster.fit(history);
+    const auto horizon = forecaster.forecast(full.size() - split);
+
+    std::vector<double> actual(full.values().begin() + split,
+                               full.values().end());
+    EXPECT_LT(meanAbsolutePercentageError(actual,
+                                          horizon.values()),
+              8.0);
+}
+
+TEST(SeasonalForecaster, ExtendKeepsHistoryVerbatim)
+{
+    const auto history = syntheticSignal(10.0, 3600.0);
+    SeasonalForecaster forecaster;
+    const auto extended =
+        forecaster.extendWithForecast(history, 24);
+    ASSERT_EQ(extended.size(), history.size() + 24);
+    for (std::size_t i = 0; i < history.size(); ++i)
+        ASSERT_DOUBLE_EQ(extended[i], history[i]);
+}
+
+TEST(SeasonalForecaster, PredictionsAreNonNegative)
+{
+    // A trace hovering near zero must not forecast negative demand.
+    std::vector<double> v(24 * 14, 0.5);
+    const trace::TimeSeries history(std::move(v), 3600.0);
+    SeasonalForecaster forecaster;
+    forecaster.fit(history);
+    const auto horizon = forecaster.forecast(48);
+    for (std::size_t i = 0; i < horizon.size(); ++i)
+        ASSERT_GE(horizon[i], 0.0);
+}
+
+TEST(SeasonalForecaster, TooShortHistoryThrows)
+{
+    const trace::TimeSeries history({1.0, 2.0, 3.0}, 3600.0);
+    SeasonalForecaster forecaster;
+    EXPECT_THROW(forecaster.fit(history), std::invalid_argument);
+    EXPECT_FALSE(forecaster.fitted());
+}
+
+TEST(SeasonalForecaster, ConstantSeriesForecastsConstant)
+{
+    std::vector<double> v(24 * 10, 42.0);
+    const trace::TimeSeries history(std::move(v), 3600.0);
+    SeasonalForecaster forecaster;
+    forecaster.fit(history);
+    const auto horizon = forecaster.forecast(24);
+    for (std::size_t i = 0; i < horizon.size(); ++i)
+        EXPECT_NEAR(horizon[i], 42.0, 1.0);
+}
+
+TEST(SeasonalForecaster, HarmonicCountsAreConfigurable)
+{
+    SeasonalForecaster::Config config;
+    config.dailyHarmonics = 2;
+    config.weeklyHarmonics = 0;
+    SeasonalForecaster forecaster(config);
+    const auto history = syntheticSignal(7.0, 3600.0);
+    forecaster.fit(history);
+    EXPECT_TRUE(forecaster.fitted());
+    // One clean harmonic suffices for a pure sinusoid.
+    const auto horizon = forecaster.forecast(24);
+    EXPECT_GT(horizon[6], horizon[18] - 50.0);
+}
+
+} // namespace
+} // namespace fairco2::forecast

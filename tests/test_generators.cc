@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the synthetic Azure-like demand and CAISO-like grid
+ * intensity generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "trace/generators.hh"
+
+namespace fairco2::trace
+{
+namespace
+{
+
+constexpr double kDay = 86400.0;
+
+TEST(AzureLikeGenerator, ShapeMatchesConfig)
+{
+    AzureLikeGenerator::Config config;
+    config.days = 3.0;
+    config.stepSeconds = 300.0;
+    Rng rng(1);
+    const auto demand = AzureLikeGenerator(config).generate(rng);
+    EXPECT_EQ(demand.size(), static_cast<std::size_t>(3 * 288));
+    EXPECT_DOUBLE_EQ(demand.stepSeconds(), 300.0);
+}
+
+TEST(AzureLikeGenerator, DemandIsPositiveAndNearBase)
+{
+    Rng rng(2);
+    const AzureLikeGenerator gen;
+    const auto demand = gen.generate(rng);
+    const double base = gen.config().baseCores;
+    for (std::size_t i = 0; i < demand.size(); ++i)
+        ASSERT_GT(demand[i], 0.0);
+    EXPECT_NEAR(demand.mean(), base, 0.15 * base);
+}
+
+TEST(AzureLikeGenerator, DeterministicInSeed)
+{
+    const AzureLikeGenerator gen;
+    Rng a(5), b(5);
+    const auto d1 = gen.generate(a);
+    const auto d2 = gen.generate(b);
+    ASSERT_EQ(d1.size(), d2.size());
+    for (std::size_t i = 0; i < d1.size(); ++i)
+        ASSERT_DOUBLE_EQ(d1[i], d2[i]);
+}
+
+TEST(AzureLikeGenerator, HasDiurnalStructure)
+{
+    // Afternoon (1-5 pm) demand should beat night (1-5 am) demand on
+    // average across a month.
+    Rng rng(3);
+    const auto demand = AzureLikeGenerator().generate(rng);
+    double afternoon = 0.0, night = 0.0;
+    int days = 0;
+    for (int day = 0; day < 30; ++day, ++days) {
+        const double t0 = day * kDay;
+        afternoon += demand.at(t0 + 14.0 * 3600.0);
+        night += demand.at(t0 + 3.0 * 3600.0);
+    }
+    EXPECT_GT(afternoon / days, 1.2 * night / days);
+}
+
+TEST(AzureLikeGenerator, HasWeeklyStructure)
+{
+    // Average weekday demand exceeds weekend demand. The generator's
+    // week phase puts the trough around day offsets 6-7 of each week.
+    AzureLikeGenerator::Config config;
+    config.noiseSigma = 0.0;
+    config.spikeProbability = 0.0;
+    config.trendPerDay = 0.0;
+    Rng rng(4);
+    const auto demand = AzureLikeGenerator(config).generate(rng);
+
+    // Compare the known weekly-cosine peak day (day 2.5 of the week)
+    // against the antiphase day (day 6) at identical hours.
+    double high = 0.0, low = 0.0;
+    int count = 0;
+    for (int week = 0; week < 4; ++week) {
+        const double base = week * 7.0 * kDay;
+        high += demand.at(base + 2.5 * kDay);
+        low += demand.at(base + 6.0 * kDay);
+        ++count;
+    }
+    EXPECT_GT(high / count, low / count);
+}
+
+TEST(GridCiGenerator, ShapeAndBounds)
+{
+    GridCiGenerator::Config config;
+    config.days = 2.0;
+    Rng rng(6);
+    const auto ci = GridCiGenerator(config).generate(rng);
+    EXPECT_EQ(ci.size(), 48u);
+    for (std::size_t i = 0; i < ci.size(); ++i)
+        ASSERT_GE(ci[i], 0.0);
+}
+
+TEST(GridCiGenerator, SolarDipAtMidday)
+{
+    GridCiGenerator::Config config;
+    config.days = 7.0;
+    config.noiseSigma = 0.0;
+    config.weatherSigma = 0.0;
+    Rng rng(7);
+    const auto ci = GridCiGenerator(config).generate(rng);
+    double midday = 0.0, night = 0.0;
+    for (int day = 0; day < 7; ++day) {
+        midday += ci.at(day * kDay + 13.0 * 3600.0);
+        night += ci.at(day * kDay + 1.0 * 3600.0);
+    }
+    EXPECT_LT(midday / 7.0, 0.6 * night / 7.0);
+    EXPECT_NEAR(night / 7.0, config.nightGPerKwh, 10.0);
+    EXPECT_NEAR(midday / 7.0, config.middayGPerKwh, 15.0);
+}
+
+TEST(GridCiGenerator, WeatherVariesAcrossDays)
+{
+    GridCiGenerator::Config config;
+    config.days = 10.0;
+    config.noiseSigma = 0.0;
+    config.weatherSigma = 30.0;
+    Rng rng(8);
+    const auto ci = GridCiGenerator(config).generate(rng);
+    // Same hour on different days should differ due to weather.
+    const double d0 = ci.at(0 * kDay + 2 * 3600.0);
+    const double d1 = ci.at(1 * kDay + 2 * 3600.0);
+    const double d2 = ci.at(2 * kDay + 2 * 3600.0);
+    EXPECT_TRUE(d0 != d1 || d1 != d2);
+}
+
+} // namespace
+} // namespace fairco2::trace

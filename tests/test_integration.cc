@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Integration tests: each reproduced figure's pipeline end-to-end at
+ * reduced scale, crossing module boundaries the way the bench
+ * binaries do.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carbon/server.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/colocgame.hh"
+#include "core/temporal.hh"
+#include "forecast/forecaster.hh"
+#include "montecarlo/colocmc.hh"
+#include "montecarlo/demandmc.hh"
+#include "optimize/dynamic.hh"
+#include "trace/generators.hh"
+#include "workload/interference.hh"
+#include "workload/suite.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+constexpr double kDay = 86400.0;
+
+TEST(Integration, Figure2ColocationMatrix)
+{
+    // Full 16x16 pairwise characterization: every cell finite, the
+    // diagonal (self-colocation) included, and the NBODY/CH
+    // asymmetry visible.
+    const workload::Suite suite;
+    const workload::InterferenceModel model;
+    double max_slowdown = 0.0;
+    for (const auto &victim : suite.all()) {
+        for (const auto &aggressor : suite.all()) {
+            const double s = model.slowdown(victim, aggressor);
+            ASSERT_GE(s, 1.0);
+            ASSERT_LT(s, 3.0);
+            max_slowdown = std::max(max_slowdown, s);
+        }
+    }
+    // The worst pairing lands in the high-80s-percent range the
+    // paper reports.
+    EXPECT_GT(max_slowdown, 1.7);
+}
+
+TEST(Integration, Figure4TemporalSignalPipeline)
+{
+    // Azure-like trace -> monthly embodied share -> hierarchical
+    // 30d/3d/8h/1h/5min intensity signal.
+    trace::AzureLikeGenerator::Config config;
+    config.days = 30.0;
+    Rng rng(101);
+    const auto demand =
+        trace::AzureLikeGenerator(config).generate(rng);
+
+    const carbon::ServerCarbonModel server;
+    const double monthly_grams = server.cpuPoolGrams() /
+        (server.config().lifetimeYears * 12.0);
+
+    const auto result = core::TemporalShapley().attribute(
+        demand, monthly_grams, {10, 9, 8, 12});
+    EXPECT_EQ(result.leafPeriods, 8640u);
+    EXPECT_NEAR(result.attributedGrams, monthly_grams,
+                monthly_grams * 1e-9);
+}
+
+TEST(Integration, Figure7DemandPipelineSmall)
+{
+    montecarlo::DemandMcConfig config;
+    config.trials = 10;
+    config.maxWorkloads = 10;
+    Rng rng(102);
+    const auto results =
+        montecarlo::runDemandMonteCarlo(config, rng);
+    ASSERT_EQ(results.size(), 10u);
+    OnlineStats fair, rup;
+    for (const auto &r : results) {
+        fair.add(r.avgFairCo2);
+        rup.add(r.avgRup);
+    }
+    EXPECT_LT(fair.mean(), rup.mean());
+}
+
+TEST(Integration, Figure8ColocationPipelineSmall)
+{
+    montecarlo::ColocMcConfig config;
+    config.trials = 10;
+    config.minWorkloads = 4;
+    config.maxWorkloads = 20;
+    config.collectRecords = true;
+    const montecarlo::ColocationMonteCarlo mc;
+    Rng rng(103);
+    const auto out = mc.run(config, rng);
+    ASSERT_EQ(out.trials.size(), 10u);
+    EXPECT_FALSE(out.records.empty());
+}
+
+TEST(Integration, Figure11ForecastSignalError)
+{
+    // Intensity from a 21d+9d-forecast trace tracks the intensity
+    // from the true 30-day trace.
+    trace::AzureLikeGenerator::Config config;
+    config.days = 30.0;
+    Rng rng(104);
+    const auto truth =
+        trace::AzureLikeGenerator(config).generate(rng);
+    const auto split =
+        static_cast<std::size_t>(21.0 * kDay / 300.0);
+
+    forecast::SeasonalForecaster forecaster;
+    const auto blended = forecaster.extendWithForecast(
+        truth.slice(0, split), truth.size() - split);
+    ASSERT_EQ(blended.size(), truth.size());
+
+    const core::TemporalShapley engine;
+    const double carbon = 1e6;
+    const std::vector<std::size_t> splits{10, 9, 8, 12};
+    const auto signal_true =
+        engine.attribute(truth, carbon, splits);
+    const auto signal_blend =
+        engine.attribute(blended, carbon, splits);
+
+    // Compare intensities over the forecast window only.
+    std::vector<double> a, b;
+    for (std::size_t i = split; i < truth.size(); ++i) {
+        a.push_back(signal_true.intensity[i]);
+        b.push_back(signal_blend.intensity[i]);
+    }
+    EXPECT_LT(meanAbsolutePercentageError(a, b), 15.0);
+}
+
+TEST(Integration, Figure13WeekLongDynamicOptimization)
+{
+    Rng rng(105);
+    trace::GridCiGenerator::Config grid_config;
+    grid_config.days = 7.0;
+    const auto grid =
+        trace::GridCiGenerator(grid_config).generate(rng);
+
+    // Live embodied signal from a 7-day Azure-like window.
+    trace::AzureLikeGenerator::Config azure_config;
+    azure_config.days = 7.0;
+    const auto demand =
+        trace::AzureLikeGenerator(azure_config).generate(rng);
+    const carbon::ServerCarbonModel server;
+    const double weekly = server.cpuPoolGrams() /
+        (server.config().lifetimeYears * 52.18);
+    const auto signal = core::TemporalShapley().attribute(
+        demand, weekly, {7, 8, 12});
+
+    // Convert the aggregate-demand intensity (g per core-second)
+    // straight into the optimizer's core-rate signal.
+    const workload::FaissModel faiss;
+    const optimize::DynamicOptimizer optimizer(server, faiss);
+    const auto result =
+        optimizer.optimize(grid, signal.intensity, 2.0, 200.0);
+
+    EXPECT_EQ(result.steps.size(), signal.intensity.size());
+    EXPECT_GE(result.savingsPercent, 0.0);
+}
+
+TEST(Integration, ColocationGroundTruthClosedFormAtScale)
+{
+    // N = 60 members: closed form stays consistent with a sampled
+    // estimate even at sizes where enumeration is unthinkable.
+    const workload::Suite suite;
+    const workload::InterferenceModel interference;
+    const carbon::ServerCarbonModel server;
+    const core::ColocationCostModel cost(server, interference,
+                                         150.0);
+    Rng rng(106);
+    std::vector<std::size_t> members(60);
+    for (auto &m : members)
+        m = rng.index(suite.size());
+
+    const auto closed =
+        core::groundTruthColocation(members, suite, cost);
+    Rng sample_rng(107);
+    const auto sampled = core::sampledGroundTruthColocation(
+        members, suite, cost, sample_rng, 4000);
+
+    for (std::size_t i = 0; i < members.size(); ++i)
+        EXPECT_NEAR(closed[i], sampled[i],
+                    0.05 * std::abs(closed[i]));
+}
+
+} // namespace
+} // namespace fairco2

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the small dense linear algebra used by the
+ * forecaster.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/linalg.hh"
+#include "common/rng.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+TEST(Matrix, ElementAccess)
+{
+    Matrix m(2, 3);
+    m(0, 0) = 1.0;
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, GramIsSymmetricAndCorrect)
+{
+    Matrix x(3, 2);
+    // X = [[1, 2], [3, 4], [5, 6]]
+    x(0, 0) = 1; x(0, 1) = 2;
+    x(1, 0) = 3; x(1, 1) = 4;
+    x(2, 0) = 5; x(2, 1) = 6;
+    const Matrix g = x.gram();
+    EXPECT_DOUBLE_EQ(g(0, 0), 35.0);
+    EXPECT_DOUBLE_EQ(g(0, 1), 44.0);
+    EXPECT_DOUBLE_EQ(g(1, 0), 44.0);
+    EXPECT_DOUBLE_EQ(g(1, 1), 56.0);
+}
+
+TEST(Matrix, TransposeTimesAndTimes)
+{
+    Matrix x(2, 2);
+    x(0, 0) = 1; x(0, 1) = 2;
+    x(1, 0) = 3; x(1, 1) = 4;
+    const auto xt_v = x.transposeTimes({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(xt_v[0], 4.0);
+    EXPECT_DOUBLE_EQ(xt_v[1], 6.0);
+    const auto x_v = x.times({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(x_v[0], 3.0);
+    EXPECT_DOUBLE_EQ(x_v[1], 7.0);
+}
+
+TEST(Cholesky, SolvesKnownSystem)
+{
+    // A = [[4, 2], [2, 3]], b = [6, 5] -> x = [1, 1]
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 3;
+    const auto x = choleskySolve(a, {6.0, 5.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 1; // eigenvalues 3, -1
+    EXPECT_THROW(choleskySolve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Cholesky, RandomSpdSystems)
+{
+    Rng rng(33);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + rng.index(8);
+        // Build SPD A = B^T B + I and a known solution.
+        Matrix b(n + 2, n);
+        for (std::size_t i = 0; i < n + 2; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                b(i, j) = rng.normal();
+        Matrix a = b.gram();
+        for (std::size_t i = 0; i < n; ++i)
+            a(i, i) += 1.0;
+
+        std::vector<double> truth(n);
+        for (auto &t : truth)
+            t = rng.normal();
+        const auto rhs = a.times(truth);
+        const auto solved = choleskySolve(a, rhs);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(solved[i], truth[i], 1e-8);
+    }
+}
+
+TEST(Ridge, RecoversLineWithTinyPenalty)
+{
+    // y = 2 + 3x sampled exactly; lambda ~ 0 recovers coefficients.
+    const int n = 50;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (int i = 0; i < n; ++i) {
+        const double t = i * 0.1;
+        x(i, 0) = 1.0;
+        x(i, 1) = t;
+        y[i] = 2.0 + 3.0 * t;
+    }
+    const auto w = ridgeRegression(x, y, 1e-10);
+    EXPECT_NEAR(w[0], 2.0, 1e-5);
+    EXPECT_NEAR(w[1], 3.0, 1e-5);
+}
+
+TEST(Ridge, PenaltyShrinksWeights)
+{
+    const int n = 30;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (int i = 0; i < n; ++i) {
+        x(i, 0) = 1.0;
+        y[i] = 10.0;
+    }
+    const auto small = ridgeRegression(x, y, 1e-8);
+    const auto large = ridgeRegression(x, y, 1e4);
+    EXPECT_NEAR(small[0], 10.0, 1e-4);
+    EXPECT_LT(large[0], 1.0);
+    EXPECT_GT(large[0], 0.0);
+}
+
+} // namespace
+} // namespace fairco2

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the streaming live-intensity service.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/livesignal.hh"
+#include "core/temporal.hh"
+
+namespace fairco2::core
+{
+namespace
+{
+
+/** Hourly-sample service with a small window for fast tests. */
+LiveIntensityService::Config
+smallConfig()
+{
+    LiveIntensityService::Config config;
+    config.stepSeconds = 3600.0;
+    config.historySteps = 7 * 24;
+    config.warmupSteps = 3 * 24;
+    config.horizonSteps = 24;
+    config.refitIntervalSteps = 24;
+    config.splits = {4, 6};
+    config.poolGramsPerSecond = 2.0;
+    return config;
+}
+
+/** Clean diurnal demand value at hour index h. */
+double
+diurnal(std::size_t h)
+{
+    return 100.0 +
+        40.0 * std::sin(2.0 * std::numbers::pi * h / 24.0);
+}
+
+TEST(LiveSignal, NotReadyDuringWarmup)
+{
+    LiveIntensityService service(smallConfig());
+    for (std::size_t h = 0; h + 1 < 3 * 24; ++h) {
+        service.push(diurnal(h));
+        EXPECT_FALSE(service.ready());
+        EXPECT_THROW(service.currentIntensity(), std::logic_error);
+    }
+    service.push(diurnal(3 * 24 - 1));
+    EXPECT_TRUE(service.ready());
+}
+
+TEST(LiveSignal, ProducesPositiveCurrentIntensity)
+{
+    LiveIntensityService service(smallConfig());
+    for (std::size_t h = 0; h < 5 * 24; ++h)
+        service.push(diurnal(h));
+    ASSERT_TRUE(service.ready());
+    EXPECT_GT(service.currentIntensity(), 0.0);
+}
+
+TEST(LiveSignal, ProjectedHorizonHasConfiguredLength)
+{
+    LiveIntensityService service(smallConfig());
+    for (std::size_t h = 0; h < 5 * 24; ++h)
+        service.push(diurnal(h));
+    const auto projected = service.projectedIntensity();
+    EXPECT_EQ(projected.size(), 24u);
+    for (std::size_t i = 0; i < projected.size(); ++i)
+        EXPECT_GE(projected[i], 0.0);
+}
+
+TEST(LiveSignal, RefitsOnSchedule)
+{
+    LiveIntensityService service(smallConfig());
+    for (std::size_t h = 0; h < 6 * 24; ++h)
+        service.push(diurnal(h));
+    // First refit on becoming ready, then one per day.
+    EXPECT_GE(service.refits(), 3u);
+    EXPECT_LE(service.refits(), 5u);
+}
+
+TEST(LiveSignal, PeakHoursCostMoreThanTroughHours)
+{
+    LiveIntensityService service(smallConfig());
+    double peak_intensity = 0.0, trough_intensity = 0.0;
+    for (std::size_t h = 0; h < 6 * 24; ++h) {
+        service.push(diurnal(h));
+        if (!service.ready())
+            continue;
+        if (h % 24 == 6) // sin peak at hour 6
+            peak_intensity = service.currentIntensity();
+        if (h % 24 == 18) // sin trough at hour 18
+            trough_intensity = service.currentIntensity();
+    }
+    ASSERT_GT(peak_intensity, 0.0);
+    ASSERT_GT(trough_intensity, 0.0);
+    EXPECT_GT(peak_intensity, trough_intensity);
+}
+
+TEST(LiveSignal, MatchesBatchAttributionOnFullWindow)
+{
+    // With a full history ring, the service's window signal over
+    // the history must equal a batch Temporal Shapley run on the
+    // same blended window.
+    auto config = smallConfig();
+    config.horizonSteps = 0; // no forecast: apples to apples
+    LiveIntensityService service(config);
+    std::vector<double> window;
+    for (std::size_t h = 0; h < config.historySteps; ++h) {
+        service.push(diurnal(h));
+        window.push_back(diurnal(h));
+    }
+    const trace::TimeSeries series(window, config.stepSeconds);
+    const auto batch = TemporalShapley().attribute(
+        series, config.poolGramsPerSecond *
+            series.durationSeconds(),
+        config.splits);
+    const auto &live = service.windowIntensity();
+    ASSERT_EQ(live.size(), batch.intensity.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+        ASSERT_NEAR(live[i], batch.intensity[i],
+                    1e-9 * batch.intensity[i] + 1e-15);
+}
+
+TEST(LiveSignal, RingDropsOldSamples)
+{
+    auto config = smallConfig();
+    config.historySteps = 4 * 24;
+    LiveIntensityService service(config);
+    // Push far more than the ring holds; the service must keep
+    // running and stay finite.
+    for (std::size_t h = 0; h < 10 * 24; ++h)
+        service.push(diurnal(h));
+    EXPECT_EQ(service.samplesSeen(), 240u);
+    EXPECT_TRUE(std::isfinite(service.currentIntensity()));
+}
+
+TEST(LiveSignal, ZeroDemandWindowYieldsZeroIntensity)
+{
+    auto config = smallConfig();
+    config.horizonSteps = 0;
+    LiveIntensityService service(config);
+    for (std::size_t h = 0; h < 4 * 24; ++h)
+        service.push(0.0);
+    EXPECT_DOUBLE_EQ(service.currentIntensity(), 0.0);
+}
+
+} // namespace
+} // namespace fairco2::core

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the Monte Carlo harnesses: generator constraints,
+ * deviation metrics, and trial plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "montecarlo/colocmc.hh"
+#include "montecarlo/demandmc.hh"
+#include "montecarlo/metrics.hh"
+
+namespace fairco2::montecarlo
+{
+namespace
+{
+
+TEST(Metrics, PercentDeviations)
+{
+    const auto devs =
+        percentDeviations({110.0, 90.0}, {100.0, 100.0});
+    ASSERT_EQ(devs.size(), 2u);
+    EXPECT_NEAR(devs[0], 10.0, 1e-12);
+    EXPECT_NEAR(devs[1], 10.0, 1e-12);
+    EXPECT_NEAR(averageDeviation(devs), 10.0, 1e-12);
+    EXPECT_NEAR(worstDeviation(devs), 10.0, 1e-12);
+}
+
+TEST(Metrics, ZeroGroundTruthHandling)
+{
+    // Matching zeros count as zero deviation; non-matching entries
+    // with zero truth are dropped.
+    const auto devs =
+        percentDeviations({0.0, 5.0, 50.0}, {0.0, 0.0, 100.0});
+    ASSERT_EQ(devs.size(), 2u);
+    EXPECT_DOUBLE_EQ(devs[0], 0.0);
+    EXPECT_DOUBLE_EQ(devs[1], 50.0);
+}
+
+TEST(Metrics, EmptyInputs)
+{
+    EXPECT_DOUBLE_EQ(averageDeviation({}), 0.0);
+    EXPECT_DOUBLE_EQ(worstDeviation({}), 0.0);
+}
+
+TEST(DemandMc, RandomScheduleRespectsConstraints)
+{
+    DemandMcConfig config;
+    config.maxWorkloads = 22;
+    Rng rng(71);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto s = randomSchedule(config, rng);
+        EXPECT_GE(s.numSlices(), config.minTimeSlices);
+        EXPECT_LE(s.numSlices(), config.maxTimeSlices);
+        EXPECT_LE(s.numWorkloads(), config.maxWorkloads);
+        EXPECT_GE(s.numWorkloads(), 1u);
+
+        // Every slice occupied by 1..maxConcurrent workloads.
+        for (std::size_t t = 0; t < s.numSlices(); ++t) {
+            std::size_t running = 0;
+            for (std::size_t w = 0; w < s.numWorkloads(); ++w) {
+                if (s.coresAt(w, t) > 0.0)
+                    ++running;
+            }
+            EXPECT_GE(running, 1u) << "slice " << t;
+            EXPECT_LE(running, config.maxConcurrent)
+                << "slice " << t;
+        }
+
+        // Core counts come from the paper's allocation set.
+        for (const auto &w : s.workloads()) {
+            EXPECT_GE(w.cores, 8.0);
+            EXPECT_LE(w.cores, 96.0);
+            EXPECT_EQ(std::fmod(w.cores, 8.0), 0.0);
+            EXPECT_GE(w.durationSlices, 1u);
+            EXPECT_LE(w.durationSlices, config.maxDuration);
+        }
+    }
+}
+
+TEST(DemandMc, TrialProducesFiniteDeviations)
+{
+    DemandMcConfig config;
+    config.maxWorkloads = 10;
+    Rng rng(72);
+    const auto s = randomSchedule(config, rng);
+    const auto r = runDemandTrial(s, config.totalGrams);
+    EXPECT_EQ(r.numWorkloads, s.numWorkloads());
+    EXPECT_EQ(r.numSlices, s.numSlices());
+    for (double d : {r.avgFairCo2, r.avgDemandProportional,
+                     r.avgRup, r.worstFairCo2,
+                     r.worstDemandProportional, r.worstRup}) {
+        EXPECT_TRUE(std::isfinite(d));
+        EXPECT_GE(d, 0.0);
+    }
+    EXPECT_GE(r.worstRup, r.avgRup);
+    EXPECT_GE(r.worstFairCo2, r.avgFairCo2);
+}
+
+TEST(DemandMc, FullRunProducesRequestedTrials)
+{
+    DemandMcConfig config;
+    config.trials = 12;
+    config.maxWorkloads = 12;
+    Rng rng(73);
+    const auto results = runDemandMonteCarlo(config, rng);
+    EXPECT_EQ(results.size(), 12u);
+}
+
+TEST(DemandMc, FairCo2BeatsRupOnAverage)
+{
+    DemandMcConfig config;
+    config.trials = 25;
+    config.maxWorkloads = 10;
+    Rng rng(74);
+    const auto results = runDemandMonteCarlo(config, rng);
+    double fair = 0.0, rup = 0.0;
+    for (const auto &r : results) {
+        fair += r.avgFairCo2;
+        rup += r.avgRup;
+    }
+    EXPECT_LT(fair, rup);
+}
+
+TEST(ColocMc, TrialFieldsInRange)
+{
+    const ColocationMonteCarlo mc;
+    Rng rng(81);
+    const auto r = mc.runTrial(10, 250.0, 5, rng, nullptr);
+    EXPECT_EQ(r.numWorkloads, 10u);
+    EXPECT_DOUBLE_EQ(r.gridCi, 250.0);
+    EXPECT_NEAR(r.samplingRate, 5.0 / 15.0, 1e-12);
+    EXPECT_GE(r.worstRup, r.avgRup);
+    EXPECT_GE(r.worstFairCo2, r.avgFairCo2);
+    EXPECT_TRUE(std::isfinite(r.avgRup));
+    EXPECT_TRUE(std::isfinite(r.avgFairCo2));
+}
+
+TEST(ColocMc, RecordsCollectedWhenRequested)
+{
+    const ColocationMonteCarlo mc;
+    ColocMcConfig config;
+    config.trials = 5;
+    config.minWorkloads = 4;
+    config.maxWorkloads = 8;
+    config.collectRecords = true;
+    Rng rng(82);
+    const auto out = mc.run(config, rng);
+    EXPECT_EQ(out.trials.size(), 5u);
+    std::size_t expected = 0;
+    for (const auto &t : out.trials)
+        expected += t.numWorkloads;
+    EXPECT_EQ(out.records.size(), expected);
+    for (const auto &rec : out.records)
+        EXPECT_LT(rec.suiteId, mc.suite().size());
+}
+
+TEST(ColocMc, NoRecordsByDefault)
+{
+    const ColocationMonteCarlo mc;
+    ColocMcConfig config;
+    config.trials = 2;
+    config.maxWorkloads = 6;
+    Rng rng(83);
+    const auto out = mc.run(config, rng);
+    EXPECT_TRUE(out.records.empty());
+}
+
+TEST(ColocMc, FairCo2BeatsRupAcrossTrials)
+{
+    // The Figure 8 headline, qualitatively: interference-aware
+    // attribution tracks the ground truth far better than RUP.
+    const ColocationMonteCarlo mc;
+    ColocMcConfig config;
+    config.trials = 30;
+    config.minWorkloads = 6;
+    config.maxWorkloads = 24;
+    config.minGridCi = 50.0;
+    config.maxGridCi = 500.0;
+    Rng rng(84);
+    const auto out = mc.run(config, rng);
+    double fair = 0.0, rup = 0.0;
+    for (const auto &t : out.trials) {
+        fair += t.avgFairCo2;
+        rup += t.avgRup;
+    }
+    EXPECT_LT(fair, 0.6 * rup);
+}
+
+TEST(ColocMc, ZeroGridCiStillWorks)
+{
+    // Embodied-only regime (the left edge of Figure 8d).
+    const ColocationMonteCarlo mc;
+    Rng rng(85);
+    const auto r = mc.runTrial(8, 0.0, 15, rng, nullptr);
+    EXPECT_TRUE(std::isfinite(r.avgRup));
+    EXPECT_TRUE(std::isfinite(r.avgFairCo2));
+}
+
+} // namespace
+} // namespace fairco2::montecarlo

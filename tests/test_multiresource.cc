@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for joint CPU + DRAM attribution and the Shapley linearity
+ * property it relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/multiresource.hh"
+
+namespace fairco2::core
+{
+namespace
+{
+
+MultiResourceSchedule
+mixedSchedule()
+{
+    // w0: compute-heavy; w1: memory-heavy; w2: balanced background.
+    std::vector<MultiResourceWorkload> ws;
+    ws.push_back({64.0, 16.0, 0, 2});  // cores-hungry
+    ws.push_back({8.0, 160.0, 1, 2});  // memory-hungry
+    ws.push_back({16.0, 32.0, 0, 3});  // background
+    return MultiResourceSchedule(std::move(ws), 3, 3600.0);
+}
+
+TEST(MultiResource, ProjectionsMatchWorkloads)
+{
+    const auto schedule = mixedSchedule();
+    const auto cores = schedule.coreSchedule();
+    const auto memory = schedule.memorySchedule();
+    EXPECT_DOUBLE_EQ(cores.coresAt(0, 0), 64.0);
+    EXPECT_DOUBLE_EQ(memory.coresAt(0, 0), 16.0);
+    EXPECT_DOUBLE_EQ(cores.coresAt(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(memory.coresAt(1, 1), 160.0);
+    EXPECT_EQ(cores.numSlices(), 3u);
+}
+
+TEST(MultiResource, AllMethodsEfficient)
+{
+    const double core_pool = 700.0, mem_pool = 300.0;
+    const auto out =
+        attributeMultiResource(mixedSchedule(), core_pool,
+                               mem_pool);
+    auto sum = [](const std::vector<double> &v) {
+        double s = 0.0;
+        for (double x : v)
+            s += x;
+        return s;
+    };
+    EXPECT_NEAR(sum(out.groundTruth), core_pool + mem_pool, 1e-8);
+    EXPECT_NEAR(sum(out.fairCo2), core_pool + mem_pool, 1e-8);
+    EXPECT_NEAR(sum(out.rup), core_pool + mem_pool, 1e-8);
+    EXPECT_NEAR(sum(out.cpuOnly), core_pool + mem_pool, 1e-8);
+}
+
+TEST(MultiResource, LinearityDecomposition)
+{
+    // The joint ground truth must equal the sum of the two
+    // single-resource ground truths — the Shapley linearity
+    // property made executable.
+    const auto schedule = mixedSchedule();
+    const double core_pool = 550.0, mem_pool = 450.0;
+    const auto joint =
+        attributeMultiResource(schedule, core_pool, mem_pool);
+    const auto core_only =
+        attributeSchedule(schedule.coreSchedule(), core_pool);
+    const auto mem_only =
+        attributeSchedule(schedule.memorySchedule(), mem_pool);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(joint.groundTruth[i],
+                    core_only.groundTruth[i] +
+                        mem_only.groundTruth[i],
+                    1e-9);
+    }
+}
+
+TEST(MultiResource, MemoryHeavyWorkloadPaysForMemory)
+{
+    const auto out =
+        attributeMultiResource(mixedSchedule(), 500.0, 500.0);
+    // The memory-hungry workload (w1) must receive more carbon
+    // under the joint ground truth than under CPU-only accounting,
+    // which cannot see its 160 GB reservation.
+    EXPECT_GT(out.groundTruth[1], 1.5 * out.cpuOnly[1]);
+    // And the compute-heavy workload is correspondingly
+    // over-charged by CPU-only accounting.
+    EXPECT_LT(out.groundTruth[0], out.cpuOnly[0]);
+}
+
+TEST(MultiResource, FairCo2TracksJointTruthBetterThanCpuOnly)
+{
+    const auto out =
+        attributeMultiResource(mixedSchedule(), 500.0, 500.0);
+    double fair_dev = 0.0, cpu_dev = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        fair_dev += std::abs(out.fairCo2[i] - out.groundTruth[i]);
+        cpu_dev += std::abs(out.cpuOnly[i] - out.groundTruth[i]);
+    }
+    EXPECT_LT(fair_dev, cpu_dev);
+}
+
+TEST(MultiResource, ZeroMemoryPoolReducesToCpuGame)
+{
+    const auto schedule = mixedSchedule();
+    const auto joint =
+        attributeMultiResource(schedule, 800.0, 0.0);
+    const auto cpu =
+        attributeSchedule(schedule.coreSchedule(), 800.0);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(joint.groundTruth[i], cpu.groundTruth[i],
+                    1e-9);
+}
+
+} // namespace
+} // namespace fairco2::core

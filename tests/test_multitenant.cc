@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for k-way (multi-tenant) colocation: the saturating
+ * interference extension, group costs, and attribution methods.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.hh"
+#include "core/colocgame.hh"
+
+namespace fairco2::core
+{
+namespace
+{
+
+class MultiTenantFixture : public ::testing::Test
+{
+  protected:
+    MultiTenantFixture()
+        : server(carbon::ServerConfig::paperServer()),
+          cost(server, interference, 250.0)
+    {
+    }
+
+    std::vector<InterferenceProfile>
+    fullProfiles(const std::vector<std::size_t> &members)
+    {
+        std::vector<InterferenceProfile> profiles;
+        for (std::size_t m : members) {
+            std::vector<std::size_t> partners;
+            for (std::size_t s = 0; s < suite.size(); ++s) {
+                if (s != m)
+                    partners.push_back(s);
+            }
+            profiles.push_back(estimateProfile(m, partners, suite,
+                                               interference));
+        }
+        return profiles;
+    }
+
+    workload::Suite suite;
+    workload::InterferenceModel interference;
+    carbon::ServerCarbonModel server;
+    ColocationCostModel cost;
+};
+
+TEST_F(MultiTenantFixture, MultiSlowdownReducesToPairwise)
+{
+    const auto &nbody = suite.get(workload::WorkloadId::NBODY);
+    const auto &ch = suite.get(workload::WorkloadId::CH);
+    EXPECT_DOUBLE_EQ(interference.multiSlowdown(nbody, {&ch}),
+                     interference.slowdown(nbody, ch));
+    // Empty partner set: no interference.
+    EXPECT_DOUBLE_EQ(interference.multiSlowdown(nbody, {}), 1.0);
+}
+
+TEST_F(MultiTenantFixture, MorePartnersMoreSlowdownUntilSaturation)
+{
+    const auto &victim = suite.get(workload::WorkloadId::SA);
+    const auto &a = suite.get(workload::WorkloadId::LLAMA);
+    const auto &b = suite.get(workload::WorkloadId::BFS);
+    const auto &c = suite.get(workload::WorkloadId::WC);
+    const double one = interference.multiSlowdown(victim, {&a});
+    const double two = interference.multiSlowdown(victim, {&a, &b});
+    const double three =
+        interference.multiSlowdown(victim, {&a, &b, &c});
+    EXPECT_GT(two, one);
+    EXPECT_GE(three, two);
+    // Channels saturate at 1.0: the bound is 1 + bwSens + llcSens.
+    EXPECT_LE(three,
+              1.0 + victim.bwSensitivity + victim.llcSensitivity +
+                  1e-12);
+}
+
+TEST_F(MultiTenantFixture, GroupCarbonReducesToKnownCases)
+{
+    const auto &a = suite.get(workload::WorkloadId::WC);
+    const auto &b = suite.get(workload::WorkloadId::H265);
+    EXPECT_NEAR(cost.groupCarbon({&a}), cost.isolatedCarbon(a),
+                1e-9);
+    EXPECT_NEAR(cost.groupCarbon({&a, &b}), cost.pairCarbon(a, b),
+                1e-9);
+}
+
+TEST_F(MultiTenantFixture, QuadSharingAmortizesFixedCosts)
+{
+    // Four tenants on one node beat four dedicated nodes.
+    const auto &a = suite.get(workload::WorkloadId::WC);
+    const auto &b = suite.get(workload::WorkloadId::PG50);
+    const auto &c = suite.get(workload::WorkloadId::H265);
+    const auto &d = suite.get(workload::WorkloadId::NN);
+    const double together = cost.groupCarbon({&a, &b, &c, &d});
+    const double apart = cost.isolatedCarbon(a) +
+        cost.isolatedCarbon(b) + cost.isolatedCarbon(c) +
+        cost.isolatedCarbon(d);
+    EXPECT_LT(together, apart);
+}
+
+TEST_F(MultiTenantFixture, RandomScenarioGroupsBySlots)
+{
+    Rng rng(21);
+    std::vector<std::size_t> members(10, 0);
+    const auto scenario =
+        MultiTenantScenario::random(members, 4, rng);
+    ASSERT_EQ(scenario.nodes.size(), 3u);
+    EXPECT_EQ(scenario.nodes[0].size(), 4u);
+    EXPECT_EQ(scenario.nodes[1].size(), 4u);
+    EXPECT_EQ(scenario.nodes[2].size(), 2u);
+
+    // Every position appears exactly once.
+    std::vector<int> seen(10, 0);
+    for (const auto &node : scenario.nodes)
+        for (std::size_t position : node)
+            ++seen[position];
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST_F(MultiTenantFixture, RupSumsToRealizedTotal)
+{
+    Rng rng(22);
+    std::vector<std::size_t> members(11);
+    for (auto &m : members)
+        m = rng.index(suite.size());
+    const auto scenario =
+        MultiTenantScenario::random(members, 4, rng);
+    const auto rup =
+        rupMultiTenantAttribution(scenario, suite, cost);
+    const double total =
+        realizedTotalMultiTenant(scenario, suite, cost);
+    EXPECT_NEAR(std::accumulate(rup.begin(), rup.end(), 0.0),
+                total, total * 1e-9);
+}
+
+TEST_F(MultiTenantFixture, FairCo2SumsToRealizedTotal)
+{
+    Rng rng(23);
+    std::vector<std::size_t> members(9);
+    for (auto &m : members)
+        m = rng.index(suite.size());
+    const auto scenario =
+        MultiTenantScenario::random(members, 3, rng);
+    const auto fair = fairCo2MultiTenantAttribution(
+        scenario, suite, cost, fullProfiles(members));
+    const double total =
+        realizedTotalMultiTenant(scenario, suite, cost);
+    EXPECT_NEAR(std::accumulate(fair.begin(), fair.end(), 0.0),
+                total, total * 1e-9);
+}
+
+TEST_F(MultiTenantFixture, SampledGroundTruthIsEfficient)
+{
+    // Marginals telescope per node, so each permutation attributes
+    // its realized total; the average equals the expected total.
+    Rng rng(24);
+    std::vector<std::size_t> members{0, 3, 6, 9, 12, 15};
+    const auto phi = sampledGroundTruthMultiTenant(
+        members, suite, cost, 3, rng, 500);
+    const double total =
+        std::accumulate(phi.begin(), phi.end(), 0.0);
+    // Compare against an independent estimate of the expectation.
+    Rng rng2(25);
+    OnlineStats expect_total;
+    for (int t = 0; t < 500; ++t) {
+        const auto scenario =
+            MultiTenantScenario::random(members, 3, rng2);
+        expect_total.add(
+            realizedTotalMultiTenant(scenario, suite, cost));
+    }
+    EXPECT_NEAR(total, expect_total.mean(),
+                0.02 * expect_total.mean());
+}
+
+TEST_F(MultiTenantFixture, PairSlotsMatchPairwiseGroundTruth)
+{
+    // slots = 2 must reproduce the pairwise closed form.
+    const std::vector<std::size_t> members{1, 5, 9, 13};
+    Rng rng(26);
+    const auto sampled = sampledGroundTruthMultiTenant(
+        members, suite, cost, 2, rng, 40000);
+    const auto closed =
+        groundTruthColocation(members, suite, cost);
+    for (std::size_t i = 0; i < members.size(); ++i)
+        EXPECT_NEAR(sampled[i], closed[i],
+                    0.02 * std::abs(closed[i]));
+}
+
+TEST_F(MultiTenantFixture, FairCo2BeatsRupUnderQuadSharing)
+{
+    Rng rng(27);
+    double fair_dev = 0.0, rup_dev = 0.0;
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<std::size_t> members(12);
+        for (auto &m : members)
+            m = rng.index(suite.size());
+        const auto scenario =
+            MultiTenantScenario::random(members, 4, rng);
+        Rng gt_rng(1000 + trial);
+        const auto truth = sampledGroundTruthMultiTenant(
+            members, suite, cost, 4, gt_rng, 3000);
+        const auto rup =
+            rupMultiTenantAttribution(scenario, suite, cost);
+        const auto fair = fairCo2MultiTenantAttribution(
+            scenario, suite, cost, fullProfiles(members));
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            rup_dev += std::abs(rup[i] - truth[i]) / truth[i];
+            fair_dev += std::abs(fair[i] - truth[i]) / truth[i];
+        }
+    }
+    EXPECT_LT(fair_dev, rup_dev);
+}
+
+} // namespace
+} // namespace fairco2::core

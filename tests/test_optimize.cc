@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the optimization module: carbon objective, sweeps,
+ * Pareto fronts, and the dynamic optimizer, including the paper's
+ * IVF/HNSW crossover behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hh"
+#include "optimize/carboncost.hh"
+#include "optimize/dynamic.hh"
+#include "optimize/sweep.hh"
+#include "trace/generators.hh"
+#include "workload/suite.hh"
+
+namespace fairco2::optimize
+{
+namespace
+{
+
+using workload::FaissConfig;
+using workload::FaissIndex;
+using workload::FaissModel;
+using workload::PerfModel;
+using workload::RunConfig;
+
+class OptimizeFixture : public ::testing::Test
+{
+  protected:
+    OptimizeFixture()
+        : server(carbon::ServerConfig::paperServer())
+    {
+    }
+
+    workload::Suite suite;
+    carbon::ServerCarbonModel server;
+    PerfModel perf;
+    FaissModel faiss;
+};
+
+TEST_F(OptimizeFixture, FootprintComponentsArePositive)
+{
+    const CarbonObjective objective(server, 300.0);
+    const auto &w = suite.get(workload::WorkloadId::WC);
+    const auto f = objective.batchRun(w, {48, 96}, perf);
+    EXPECT_GT(f.embodiedGrams, 0.0);
+    EXPECT_GT(f.staticGrams, 0.0);
+    EXPECT_GT(f.dynamicGrams, 0.0);
+    EXPECT_NEAR(f.totalGrams(),
+                f.embodiedGrams + f.operationalGrams(), 1e-12);
+}
+
+TEST_F(OptimizeFixture, ZeroGridCiLeavesOnlyEmbodied)
+{
+    const CarbonObjective objective(server, 0.0);
+    const auto &w = suite.get(workload::WorkloadId::WC);
+    const auto f = objective.batchRun(w, {48, 96}, perf);
+    EXPECT_GT(f.embodiedGrams, 0.0);
+    EXPECT_DOUBLE_EQ(f.operationalGrams(), 0.0);
+}
+
+TEST_F(OptimizeFixture, MoreCoresMoreEmbodiedPerRunWhenScalingSaturates)
+{
+    // For a poorly scaling workload, throwing cores at it raises the
+    // core-seconds bill.
+    const CarbonObjective objective(server, 100.0);
+    const auto &pg = suite.get(workload::WorkloadId::PG10);
+    const auto small = objective.batchRun(pg, {16, 96}, perf);
+    const auto large = objective.batchRun(pg, {96, 96}, perf);
+    EXPECT_GT(large.embodiedGrams, small.embodiedGrams);
+}
+
+TEST_F(OptimizeFixture, SetEmbodiedRatesOverrides)
+{
+    CarbonObjective objective(server, 0.0);
+    const auto &w = suite.get(workload::WorkloadId::NN);
+    const auto before = objective.batchRun(w, {48, 96}, perf);
+    objective.setEmbodiedRates(objective.coreRate() * 2.0,
+                               objective.memRate() * 2.0);
+    const auto after = objective.batchRun(w, {48, 96}, perf);
+    EXPECT_NEAR(after.embodiedGrams, 2.0 * before.embodiedGrams,
+                1e-9);
+}
+
+TEST_F(OptimizeFixture, SweepCoversGrid)
+{
+    const CarbonObjective objective(server, 200.0);
+    const ConfigSweep sweep;
+    const auto points =
+        sweep.sweep(suite.get(workload::WorkloadId::BFS),
+                    objective, perf);
+    EXPECT_EQ(points.size(),
+              ConfigSweep::defaultCoreGrid().size() *
+                  ConfigSweep::defaultMemoryGrid().size());
+}
+
+TEST_F(OptimizeFixture, OptimaAreConsistent)
+{
+    const CarbonObjective objective(server, 200.0);
+    const ConfigSweep sweep;
+    const auto points =
+        sweep.sweep(suite.get(workload::WorkloadId::SPARK),
+                    objective, perf);
+
+    const auto perf_idx = ConfigSweep::performanceOptimal(points);
+    const auto carbon_idx = ConfigSweep::carbonOptimal(points);
+    const auto energy_idx = ConfigSweep::energyOptimal(points);
+    const auto embodied_idx = ConfigSweep::embodiedOptimal(points);
+
+    for (const auto &p : points) {
+        EXPECT_GE(p.runtimeSeconds,
+                  points[perf_idx].runtimeSeconds);
+        EXPECT_GE(p.footprint.totalGrams(),
+                  points[carbon_idx].footprint.totalGrams());
+        EXPECT_GE(p.footprint.operationalGrams(),
+                  points[energy_idx].footprint.operationalGrams());
+        EXPECT_GE(p.footprint.embodiedGrams,
+                  points[embodied_idx].footprint.embodiedGrams);
+    }
+}
+
+TEST_F(OptimizeFixture, CarbonOptimalUsesFewerOrEqualCoresAtLowCi)
+{
+    // At zero grid intensity only embodied matters, so the carbon
+    // optimum cannot allocate more cores than the performance
+    // optimum.
+    const CarbonObjective clean(server, 0.0);
+    const ConfigSweep sweep;
+    const auto points =
+        sweep.sweep(suite.get(workload::WorkloadId::DDUP), clean,
+                    perf);
+    const auto perf_idx = ConfigSweep::performanceOptimal(points);
+    const auto carbon_idx = ConfigSweep::carbonOptimal(points);
+    EXPECT_LE(points[carbon_idx].config.cores,
+              points[perf_idx].config.cores);
+}
+
+TEST(ParetoFront, HandPickedCase)
+{
+    //          A       B       C       D      E
+    const std::vector<double> latency{1.0, 2.0, 3.0, 2.0, 4.0};
+    const std::vector<double> carbon{9.0, 5.0, 4.0, 4.5, 6.0};
+    const auto front = paretoFront(latency, carbon);
+    // A (cheapest latency), D dominates B at equal latency? No:
+    // D(2.0, 4.5) beats B(2.0, 5.0); C(3.0, 4.0) improves carbon;
+    // E is dominated.
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0], 0u);
+    EXPECT_EQ(front[1], 3u);
+    EXPECT_EQ(front[2], 2u);
+}
+
+TEST(ParetoFront, SinglePoint)
+{
+    const auto front = paretoFront({1.0}, {1.0});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 0u);
+}
+
+TEST_F(OptimizeFixture, FaissSweepCoversBothIndices)
+{
+    const CarbonObjective objective(server, 150.0);
+    const auto points = faissSweep(faiss, objective);
+    EXPECT_EQ(points.size(),
+              2 * ConfigSweep::defaultCoreGrid().size() *
+                  defaultBatchGrid().size());
+    bool saw_ivf = false, saw_hnsw = false;
+    for (const auto &p : points) {
+        saw_ivf |= p.config.index == FaissIndex::IVF;
+        saw_hnsw |= p.config.index == FaissIndex::HNSW;
+    }
+    EXPECT_TRUE(saw_ivf);
+    EXPECT_TRUE(saw_hnsw);
+}
+
+TEST_F(OptimizeFixture, IvfHnswCrossoverWithGridIntensity)
+{
+    // The paper: at low grid CI the footprint is embodied-dominated
+    // and IVF (smaller index) wins; at high CI operational
+    // dominates and HNSW (lower power) wins. Evaluated at a fixed
+    // offered load under the paper's 2 s SLO.
+    const double qps = 500.0;
+    auto best_index = [&](double ci) {
+        const CarbonObjective objective(server, ci);
+        const auto points = faissSweep(faiss, objective);
+        double best = 1e300;
+        FaissIndex index = FaissIndex::IVF;
+        for (const auto &p : points) {
+            if (p.tailLatencySeconds > 2.0)
+                continue; // the paper's SLO
+            if (faiss.throughputQps(p.config) < qps)
+                continue;
+            const double g = objective
+                                 .faissServiceRate(faiss, p.config,
+                                                   qps)
+                                 .totalGrams();
+            if (g < best) {
+                best = g;
+                index = p.config.index;
+            }
+        }
+        return index;
+    };
+    EXPECT_EQ(best_index(10.0), FaissIndex::IVF);
+    EXPECT_EQ(best_index(400.0), FaissIndex::HNSW);
+}
+
+TEST_F(OptimizeFixture, DynamicOptimizerSavesCarbon)
+{
+    Rng rng(91);
+    trace::GridCiGenerator::Config grid_config;
+    grid_config.days = 7.0;
+    const auto grid =
+        trace::GridCiGenerator(grid_config).generate(rng);
+
+    // A varying embodied intensity around the static rate.
+    const double base = server.coreRateGramsPerSecond();
+    std::vector<double> intensity(7 * 288);
+    for (std::size_t i = 0; i < intensity.size(); ++i) {
+        intensity[i] = base *
+            (1.0 + 0.5 * std::sin(2.0 * std::numbers::pi * i /
+                                  288.0));
+    }
+    const trace::TimeSeries core_signal(std::move(intensity), 300.0);
+
+    const DynamicOptimizer optimizer(server, faiss);
+    const auto result =
+        optimizer.optimize(grid, core_signal, 2.0, 500.0);
+
+    EXPECT_EQ(result.steps.size(), core_signal.size());
+    EXPECT_GT(result.savingsPercent, 0.0);
+    EXPECT_LT(result.optimizedGrams, result.baselineGrams);
+    // Every chosen configuration meets the SLO.
+    const FaissModel &model = faiss;
+    for (const auto &s : result.steps)
+        ASSERT_LE(model.tailLatencySeconds(s.config), 2.0 + 1e-9);
+}
+
+TEST_F(OptimizeFixture, DynamicOptimizerSwitchesConfigs)
+{
+    Rng rng(92);
+    trace::GridCiGenerator::Config grid_config;
+    grid_config.days = 2.0;
+    const auto grid =
+        trace::GridCiGenerator(grid_config).generate(rng);
+    const double base = server.coreRateGramsPerSecond();
+    std::vector<double> intensity(2 * 288);
+    for (std::size_t i = 0; i < intensity.size(); ++i)
+        intensity[i] = base * (i % 2 ? 2.0 : 0.5);
+    const trace::TimeSeries core_signal(std::move(intensity), 300.0);
+
+    const DynamicOptimizer optimizer(server, faiss);
+    const auto result =
+        optimizer.optimize(grid, core_signal, 2.0, 500.0);
+    EXPECT_GT(result.configChanges, 0u);
+}
+
+TEST_F(OptimizeFixture, ImpossibleSloThrows)
+{
+    Rng rng(93);
+    const auto grid = trace::GridCiGenerator().generate(rng);
+    const trace::TimeSeries core_signal({1e-9, 1e-9}, 300.0);
+    const DynamicOptimizer optimizer(server, faiss);
+    EXPECT_THROW(optimizer.optimize(grid, core_signal, 1e-6, 1.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fairco2::optimize

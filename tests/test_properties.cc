@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cross-module randomized property tests: invariants that must hold
+ * for any scenario the generators can produce, exercised across
+ * many random instances per run. These complement the per-module
+ * unit tests with fuzz-style breadth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+
+#include "common/csv.hh"
+#include "common/rng.hh"
+#include "core/colocgame.hh"
+#include "core/demandgame.hh"
+#include "core/temporal.hh"
+#include "montecarlo/colocmc.hh"
+#include "montecarlo/demandmc.hh"
+#include "shapley/exact.hh"
+#include "shapley/peak.hh"
+#include "trace/generators.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+double
+sum(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+class PropertySweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng{static_cast<std::uint64_t>(9000 + GetParam())};
+};
+
+TEST_P(PropertySweep, EveryMethodIsEfficientOnRandomSchedules)
+{
+    montecarlo::DemandMcConfig config;
+    config.maxWorkloads = 12;
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto schedule =
+            montecarlo::randomSchedule(config, rng);
+        const double total = rng.uniform(1.0, 1e6);
+        const auto a = core::attributeSchedule(schedule, total);
+        EXPECT_NEAR(sum(a.groundTruth), total, total * 1e-8);
+        EXPECT_NEAR(sum(a.fairCo2), total, total * 1e-8);
+        EXPECT_NEAR(sum(a.demandProportional), total,
+                    total * 1e-8);
+        EXPECT_NEAR(sum(a.rup), total, total * 1e-8);
+
+        // No method may produce a negative bill.
+        for (std::size_t i = 0; i < schedule.numWorkloads(); ++i) {
+            EXPECT_GE(a.groundTruth[i], -1e-9);
+            EXPECT_GE(a.fairCo2[i], -1e-9);
+            EXPECT_GE(a.demandProportional[i], -1e-9);
+            EXPECT_GE(a.rup[i], -1e-9);
+        }
+    }
+}
+
+TEST_P(PropertySweep, GroundTruthDominatedByOwnPeakBound)
+{
+    // No workload's exact Shapley share of the peak game can
+    // exceed its own standalone peak (monotone game, marginal
+    // bounded by v({i})).
+    montecarlo::DemandMcConfig config;
+    config.maxWorkloads = 10;
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto schedule =
+            montecarlo::randomSchedule(config, rng);
+        const core::DemandPeakGame game(schedule);
+        const shapley::TabulatedGame table(
+            static_cast<int>(schedule.numWorkloads()),
+            game.tabulate());
+        const auto phi = shapley::exactShapley(table);
+        for (std::size_t i = 0; i < phi.size(); ++i) {
+            const double own =
+                game.value(1ULL << i);
+            EXPECT_LE(phi[i], own + 1e-9);
+            EXPECT_GE(phi[i], -1e-9);
+        }
+    }
+}
+
+TEST_P(PropertySweep, TemporalShapleyConservesOnRandomTraces)
+{
+    for (int trial = 0; trial < 5; ++trial) {
+        trace::AzureLikeGenerator::Config config;
+        config.days = rng.uniform(1.0, 5.0);
+        config.baseCores = rng.uniform(100.0, 1e5);
+        const auto demand =
+            trace::AzureLikeGenerator(config).generate(rng);
+        const double total = rng.uniform(1.0, 1e7);
+
+        // Random split configuration.
+        std::vector<std::size_t> splits;
+        const std::size_t levels = 1 + rng.index(3);
+        for (std::size_t l = 0; l < levels; ++l)
+            splits.push_back(2 + rng.index(11));
+
+        const auto result = core::TemporalShapley().attribute(
+            demand, total, splits);
+        EXPECT_NEAR(result.attributedGrams +
+                        result.unattributedGrams,
+                    total, total * 1e-8);
+        // Positive demand everywhere means nothing is dropped.
+        EXPECT_NEAR(result.unattributedGrams, 0.0, total * 1e-8);
+    }
+}
+
+TEST_P(PropertySweep, PeakClosedFormHandlesAdversarialInputs)
+{
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + rng.index(12);
+        std::vector<double> peaks(n);
+        for (auto &p : peaks) {
+            const int kind = static_cast<int>(rng.index(4));
+            if (kind == 0)
+                p = 0.0;
+            else if (kind == 1)
+                p = 1.0; // massive tie block
+            else if (kind == 2)
+                p = rng.uniform(0.0, 1e-12); // denormal-ish
+            else
+                p = rng.uniform(0.0, 1e12); // huge
+        }
+        const auto closed = shapley::peakGameShapley(peaks);
+        const auto exact =
+            shapley::exactShapley(shapley::PeakGame(peaks));
+        double peak = 0.0;
+        for (double p : peaks)
+            peak = std::max(peak, p);
+        EXPECT_NEAR(sum(closed), peak, peak * 1e-9 + 1e-15);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(closed[i], exact[i],
+                        1e-9 * peak + 1e-15);
+    }
+}
+
+TEST_P(PropertySweep, ColocationMethodsEfficientAtRandomGridCi)
+{
+    const workload::Suite suite;
+    const workload::InterferenceModel interference;
+    const carbon::ServerCarbonModel server;
+    for (int trial = 0; trial < 5; ++trial) {
+        const core::ColocationCostModel cost(
+            server, interference, rng.uniform(0.0, 1000.0));
+        std::vector<std::size_t> members(3 + rng.index(14));
+        for (auto &m : members)
+            m = rng.index(suite.size());
+        const auto scenario =
+            core::ColocationScenario::random(members, rng);
+        const double total =
+            core::realizedTotalCarbon(scenario, suite, cost);
+        const auto rup = core::rupColocationAttribution(
+            scenario, suite, cost);
+        EXPECT_NEAR(sum(rup), total, total * 1e-9);
+        for (double g : rup)
+            EXPECT_GE(g, 0.0);
+    }
+}
+
+TEST_P(PropertySweep, CsvRoundTripsHostileStrings)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+        ("fairco2_fuzz_" + std::to_string(GetParam()) + ".csv");
+    const char alphabet[] =
+        "abc,\"\n\t ;|\\xyz0123456789";
+
+    std::vector<std::vector<std::string>> rows;
+    {
+        CsvWriter writer(path.string());
+        writer.writeRow({"a", "b", "c"});
+        for (int r = 0; r < 20; ++r) {
+            std::vector<std::string> row;
+            for (int c = 0; c < 3; ++c) {
+                std::string cell;
+                const std::size_t len = rng.index(12);
+                for (std::size_t k = 0; k < len; ++k) {
+                    char ch = alphabet[rng.index(
+                        sizeof(alphabet) - 1)];
+                    // The simple reader does not support embedded
+                    // newlines; the writer documents that too.
+                    if (ch == '\n')
+                        ch = '_';
+                    cell += ch;
+                }
+                row.push_back(cell);
+            }
+            rows.push_back(row);
+        }
+        for (const auto &row : rows)
+            writer.writeRow(row);
+    }
+    const auto table = readCsv(path.string());
+    ASSERT_EQ(table.rows.size(), rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(table.rows[r][c], rows[r][c])
+                << "row " << r << " col " << c;
+    }
+    std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace fairco2

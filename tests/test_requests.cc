@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for request-level attribution and the adaptive Shapley
+ * sampler added alongside it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/requests.hh"
+#include "shapley/exact.hh"
+#include "shapley/peak.hh"
+#include "shapley/sampling.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+core::ServiceWindow
+window()
+{
+    core::ServiceWindow w;
+    w.cores = 48.0;
+    w.memoryGb = 96.0;
+    w.windowSeconds = 3600.0;
+    w.coreIntensity = 1e-5;
+    w.memIntensity = 1e-6;
+    w.staticWatts = 220.0;
+    w.gridGPerKwh = 300.0;
+    return w;
+}
+
+std::vector<core::RequestClass>
+threeClasses()
+{
+    return {
+        {"search", 90000.0, 0.5, 20.0},
+        {"ingest", 6000.0, 4.0, 180.0},
+        {"health", 36000.0, 0.01, 0.3},
+    };
+}
+
+TEST(RequestAttribution, ConservesWindowCarbon)
+{
+    const auto out =
+        core::attributeRequests(window(), threeClasses());
+    double billed_fixed = 0.0, billed_dyn = 0.0;
+    for (const auto &bill : out.bills) {
+        billed_fixed += bill.fixedGrams;
+        billed_dyn += bill.dynamicGrams;
+    }
+    EXPECT_NEAR(billed_fixed + out.idleFixedGrams,
+                out.totalFixedGrams, 1e-9);
+    EXPECT_NEAR(billed_dyn, out.totalDynamicGrams, 1e-9);
+}
+
+TEST(RequestAttribution, FixedSplitsByCpuTime)
+{
+    const auto out =
+        core::attributeRequests(window(), threeClasses());
+    // search: 45000 core-s; ingest: 24000; health: 360.
+    EXPECT_NEAR(out.bills[0].fixedGrams / out.bills[1].fixedGrams,
+                45000.0 / 24000.0, 1e-9);
+    EXPECT_GT(out.bills[1].perRequestGrams(),
+              out.bills[0].perRequestGrams());
+}
+
+TEST(RequestAttribution, IdleCapacityIsExplicit)
+{
+    const auto out =
+        core::attributeRequests(window(), threeClasses());
+    // Reserved 172800 core-s; busy 69360 -> ~60% idle.
+    const double idle_share =
+        out.idleFixedGrams / out.totalFixedGrams;
+    EXPECT_NEAR(idle_share, 1.0 - 69360.0 / 172800.0, 1e-9);
+}
+
+TEST(RequestAttribution, EmptyClassIsNullPlayer)
+{
+    auto classes = threeClasses();
+    classes.push_back({"flagged-off", 0.0, 2.0, 50.0});
+    const auto out =
+        core::attributeRequests(window(), classes);
+    EXPECT_DOUBLE_EQ(out.bills[3].totalGrams(), 0.0);
+    EXPECT_DOUBLE_EQ(out.bills[3].perRequestGrams(), 0.0);
+}
+
+TEST(RequestAttribution, NoRequestsAllIdle)
+{
+    const auto out = core::attributeRequests(window(), {});
+    EXPECT_NEAR(out.idleFixedGrams, out.totalFixedGrams, 1e-12);
+    EXPECT_DOUBLE_EQ(out.totalDynamicGrams, 0.0);
+}
+
+TEST(RequestAttribution, OverbookedCpuTimeThrows)
+{
+    std::vector<core::RequestClass> greedy{
+        {"too-much", 1e9, 1.0, 1.0}};
+    EXPECT_THROW(core::attributeRequests(window(), greedy),
+                 std::invalid_argument);
+}
+
+TEST(RequestAttribution, ZeroGridCiLeavesEmbodiedOnly)
+{
+    auto w = window();
+    w.gridGPerKwh = 0.0;
+    const auto out =
+        core::attributeRequests(w, threeClasses());
+    EXPECT_DOUBLE_EQ(out.totalDynamicGrams, 0.0);
+    EXPECT_GT(out.totalFixedGrams, 0.0);
+}
+
+TEST(AdaptiveShapley, ConvergesAndMatchesExact)
+{
+    const shapley::PeakGame game({8, 3, 5, 1, 9, 2});
+    const auto exact = shapley::exactShapley(game);
+    Rng rng(77);
+    const auto result = shapley::adaptiveSampledShapley(
+        game, rng, 0.02, 200000);
+    EXPECT_TRUE(result.converged);
+    const double grand = 9.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        // Estimates should be within a few half-widths of truth.
+        EXPECT_NEAR(result.values[i], exact[i],
+                    4.0 * result.halfWidths[i] + 0.02 * grand);
+    }
+}
+
+TEST(AdaptiveShapley, TighterEpsilonUsesMorePermutations)
+{
+    const shapley::PeakGame game({8, 3, 5, 1, 9, 2});
+    Rng rng_a(78), rng_b(79);
+    const auto loose = shapley::adaptiveSampledShapley(
+        game, rng_a, 0.10, 200000);
+    const auto tight = shapley::adaptiveSampledShapley(
+        game, rng_b, 0.01, 200000);
+    EXPECT_TRUE(loose.converged);
+    EXPECT_TRUE(tight.converged);
+    EXPECT_GT(tight.permutationsUsed, loose.permutationsUsed);
+}
+
+TEST(AdaptiveShapley, RespectsPermutationCap)
+{
+    const shapley::PeakGame game({8, 3, 5, 1, 9, 2});
+    Rng rng(80);
+    const auto result = shapley::adaptiveSampledShapley(
+        game, rng, 1e-9, 100);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.permutationsUsed, 100u);
+}
+
+TEST(AdaptiveShapley, EmptyGameConvergesTrivially)
+{
+    const shapley::TabulatedGame empty(0, {0.0});
+    Rng rng(81);
+    const auto result =
+        shapley::adaptiveSampledShapley(empty, rng, 0.1, 10);
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.values.empty());
+}
+
+} // namespace
+} // namespace fairco2

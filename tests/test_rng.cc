@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(x, -3.0);
+        ASSERT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(12);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(4, 4), 4);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(14);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(15);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsValid)
+{
+    Rng rng(16);
+    const auto perm = rng.permutation(50);
+    ASSERT_EQ(perm.size(), 50u);
+    std::set<std::size_t> unique(perm.begin(), perm.end());
+    EXPECT_EQ(unique.size(), 50u);
+    EXPECT_EQ(*unique.begin(), 0u);
+    EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationEmptyAndSingle)
+{
+    Rng rng(17);
+    EXPECT_TRUE(rng.permutation(0).empty());
+    const auto one = rng.permutation(1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, PermutationIsUnbiasedFirstElement)
+{
+    Rng rng(18);
+    std::vector<int> counts(5, 0);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.permutation(5)[0]];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(19);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto sample = rng.sampleWithoutReplacement(15, 6);
+        ASSERT_EQ(sample.size(), 6u);
+        std::set<std::size_t> unique(sample.begin(), sample.end());
+        EXPECT_EQ(unique.size(), 6u);
+        for (auto s : sample)
+            EXPECT_LT(s, 15u);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFull)
+{
+    Rng rng(20);
+    const auto sample = rng.sampleWithoutReplacement(4, 4);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng rng(21);
+    Rng child = rng.split();
+    // The child stream should not replay the parent stream.
+    int equal = 0;
+    for (int i = 0; i < 16; ++i) {
+        if (rng.next() == child.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, IndexStaysInRange)
+{
+    Rng rng(22);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(rng.index(7), 7u);
+}
+
+} // namespace
+} // namespace fairco2

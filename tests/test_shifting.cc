@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the peak-minimizing temporal shifter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "optimize/shifting.hh"
+#include "trace/generators.hh"
+
+namespace fairco2::optimize
+{
+namespace
+{
+
+using trace::TimeSeries;
+
+TEST(TemporalShifter, MovesJobOffThePeak)
+{
+    // Base demand peaks in slice 1; a flexible job whose earliest
+    // start lands on that peak must move to a trough.
+    const TimeSeries base({10, 100, 10, 10}, 3600.0);
+    const std::vector<FlexibleJob> jobs{{50.0, 1, 1, 3}};
+    const auto result = TemporalShifter().shift(base, jobs);
+
+    EXPECT_NE(result.starts[0], 1u);
+    EXPECT_DOUBLE_EQ(result.peakBefore, 150.0);
+    EXPECT_DOUBLE_EQ(result.peakAfter, 100.0);
+    EXPECT_GT(result.peakReductionPercent, 0.0);
+}
+
+TEST(TemporalShifter, RespectsWindows)
+{
+    const TimeSeries base({100, 10, 10, 10}, 3600.0);
+    // The job is pinned to slices {0, 1} even though 2-3 are
+    // emptier.
+    const std::vector<FlexibleJob> jobs{{20.0, 1, 0, 1}};
+    const auto result = TemporalShifter().shift(base, jobs);
+    EXPECT_LE(result.starts[0], 1u);
+    EXPECT_EQ(result.starts[0], 1u); // best allowed slot
+}
+
+TEST(TemporalShifter, MultiSliceJobsFitContiguously)
+{
+    const TimeSeries base({50, 10, 10, 10, 50}, 3600.0);
+    const std::vector<FlexibleJob> jobs{{30.0, 3, 0, 2}};
+    const auto result = TemporalShifter().shift(base, jobs);
+    EXPECT_EQ(result.starts[0], 1u); // the [1, 4) trough
+    EXPECT_DOUBLE_EQ(result.peakAfter, 50.0);
+}
+
+TEST(TemporalShifter, FlattensManyJobs)
+{
+    // Ten identical jobs all defaulting to slice 0 of a flat base:
+    // the shifter should spread them nearly evenly.
+    const TimeSeries base(std::vector<double>(10, 0.0), 3600.0);
+    std::vector<FlexibleJob> jobs(10, {8.0, 1, 0, 9});
+    const auto result = TemporalShifter().shift(base, jobs);
+    EXPECT_DOUBLE_EQ(result.peakBefore, 80.0);
+    EXPECT_DOUBLE_EQ(result.peakAfter, 8.0);
+    EXPECT_NEAR(result.peakReductionPercent, 90.0, 1e-9);
+}
+
+TEST(TemporalShifter, NoFlexibilityNoChange)
+{
+    const TimeSeries base({10, 20, 30}, 3600.0);
+    const std::vector<FlexibleJob> jobs{{5.0, 1, 2, 2}};
+    const auto result = TemporalShifter().shift(base, jobs);
+    EXPECT_EQ(result.starts[0], 2u);
+    EXPECT_DOUBLE_EQ(result.peakBefore, result.peakAfter);
+}
+
+TEST(TemporalShifter, EmptyJobListIsIdentity)
+{
+    const TimeSeries base({5, 7, 3}, 3600.0);
+    const auto result = TemporalShifter().shift(base, {});
+    EXPECT_DOUBLE_EQ(result.peakAfter, 7.0);
+    EXPECT_DOUBLE_EQ(result.peakReductionPercent, 0.0);
+    EXPECT_TRUE(result.starts.empty());
+}
+
+TEST(TemporalShifter, RejectsJobsOutsideHorizon)
+{
+    const TimeSeries base({1, 1}, 3600.0);
+    const std::vector<FlexibleJob> bad{{4.0, 2, 1, 1}};
+    EXPECT_THROW(TemporalShifter().shift(base, bad),
+                 std::invalid_argument);
+    const std::vector<FlexibleJob> inverted{{4.0, 1, 1, 0}};
+    EXPECT_THROW(TemporalShifter().shift(base, inverted),
+                 std::invalid_argument);
+}
+
+TEST(TemporalShifter, NeverIncreasesPeak)
+{
+    // Property over random instances: shifting never ends worse
+    // than the earliest-start placement.
+    Rng rng(31);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t horizon = 6 + rng.index(10);
+        std::vector<double> base(horizon);
+        for (auto &b : base)
+            b = rng.uniform(0.0, 100.0);
+        const TimeSeries base_series(base, 3600.0);
+
+        std::vector<FlexibleJob> jobs;
+        const std::size_t num_jobs = 1 + rng.index(8);
+        for (std::size_t j = 0; j < num_jobs; ++j) {
+            FlexibleJob job;
+            job.cores = 8.0 * (1 + rng.index(6));
+            job.durationSlices = 1 + rng.index(3);
+            const std::size_t latest_possible =
+                horizon - job.durationSlices;
+            job.earliestStart = rng.index(latest_possible + 1);
+            job.latestStart = job.earliestStart +
+                rng.index(latest_possible - job.earliestStart + 1);
+            jobs.push_back(job);
+        }
+        const auto result =
+            TemporalShifter().shift(base_series, jobs);
+        EXPECT_LE(result.peakAfter, result.peakBefore + 1e-9);
+        EXPECT_GE(result.iterations, 1u);
+
+        // Starts respect windows.
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            EXPECT_GE(result.starts[j], jobs[j].earliestStart);
+            EXPECT_LE(result.starts[j], jobs[j].latestStart);
+        }
+    }
+}
+
+} // namespace
+} // namespace fairco2::optimize

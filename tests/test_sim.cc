@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the VM generator, elastic cluster, and event-driven
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/cluster.hh"
+#include "sim/simulator.hh"
+#include "sim/vm.hh"
+
+namespace fairco2::sim
+{
+namespace
+{
+
+constexpr double kDay = 86400.0;
+
+VmSpec
+makeVm(std::int64_t id, double cores, double arrival,
+       double lifetime)
+{
+    VmSpec vm;
+    vm.id = id;
+    vm.cores = cores;
+    vm.memoryGb = cores * 4.0;
+    vm.arrivalSeconds = arrival;
+    vm.lifetimeSeconds = lifetime;
+    return vm;
+}
+
+TEST(VmGenerator, ArrivalsSortedAndWithinHorizon)
+{
+    Rng rng(1);
+    const VmWorkloadGenerator gen;
+    const auto vms = gen.generate(2.0 * kDay, rng);
+    ASSERT_GT(vms.size(), 100u);
+    double prev = 0.0;
+    for (const auto &vm : vms) {
+        EXPECT_GE(vm.arrivalSeconds, prev);
+        EXPECT_LT(vm.arrivalSeconds, 2.0 * kDay);
+        EXPECT_GT(vm.cores, 0.0);
+        EXPECT_DOUBLE_EQ(vm.memoryGb, vm.cores * 4.0);
+        EXPECT_GE(vm.lifetimeSeconds, 60.0);
+        prev = vm.arrivalSeconds;
+    }
+}
+
+TEST(VmGenerator, MostVmsAreShortLivedWithALongTail)
+{
+    // Hadary et al.: the bulk of VMs live minutes; a tail runs for
+    // days.
+    Rng rng(2);
+    const VmWorkloadGenerator gen;
+    const auto vms = gen.generate(3.0 * kDay, rng);
+    std::size_t under_hour = 0, over_day = 0;
+    for (const auto &vm : vms) {
+        if (vm.lifetimeSeconds < 3600.0)
+            ++under_hour;
+        if (vm.lifetimeSeconds > kDay)
+            ++over_day;
+    }
+    const double n = static_cast<double>(vms.size());
+    EXPECT_GT(under_hour / n, 0.5);
+    EXPECT_GT(over_day / n, 0.02);
+    EXPECT_LT(over_day / n, 0.30);
+}
+
+TEST(VmGenerator, ArrivalRateMatchesConfig)
+{
+    Rng rng(3);
+    VmWorkloadGenerator::Config config;
+    config.arrivalsPerHour = 120.0;
+    const VmWorkloadGenerator gen(config);
+    const auto vms = gen.generate(7.0 * kDay, rng);
+    const double expected = 120.0 * 24.0 * 7.0;
+    EXPECT_NEAR(static_cast<double>(vms.size()), expected,
+                0.1 * expected);
+}
+
+TEST(Cluster, PlacesAndRemoves)
+{
+    Cluster cluster(96.0, 192.0, PlacementPolicy::FirstFit);
+    const auto vm = makeVm(0, 16.0, 0.0, 100.0);
+    const auto node = cluster.place(vm);
+    EXPECT_EQ(cluster.nodesProvisioned(), 1u);
+    EXPECT_EQ(cluster.nodesInUse(), 1u);
+    EXPECT_DOUBLE_EQ(cluster.coresInUse(), 16.0);
+    cluster.remove(vm, node);
+    EXPECT_EQ(cluster.nodesInUse(), 0u);
+    EXPECT_DOUBLE_EQ(cluster.coresInUse(), 0.0);
+    // Provisioned hardware stays (that is the embodied point).
+    EXPECT_EQ(cluster.nodesProvisioned(), 1u);
+}
+
+TEST(Cluster, GrowsWhenFull)
+{
+    Cluster cluster(96.0, 192.0, PlacementPolicy::FirstFit);
+    // Two 64-core VMs cannot share a 96-core node.
+    VmSpec big = makeVm(0, 64.0, 0.0, 10.0);
+    big.memoryGb = 96.0;
+    cluster.place(big);
+    VmSpec big2 = big;
+    big2.id = 1;
+    cluster.place(big2);
+    EXPECT_EQ(cluster.nodesProvisioned(), 2u);
+}
+
+TEST(Cluster, MemoryConstraintBinds)
+{
+    Cluster cluster(96.0, 192.0, PlacementPolicy::FirstFit);
+    // 8 cores but 160 GB: two such VMs exceed node memory.
+    VmSpec fat = makeVm(0, 8.0, 0.0, 10.0);
+    fat.memoryGb = 160.0;
+    cluster.place(fat);
+    VmSpec fat2 = fat;
+    fat2.id = 1;
+    cluster.place(fat2);
+    EXPECT_EQ(cluster.nodesProvisioned(), 2u);
+}
+
+TEST(Cluster, BestFitPacksTighterThanWorstFit)
+{
+    // A stream of mixed VMs: best-fit should end with fewer nodes
+    // than worst-fit.
+    Rng rng(4);
+    std::vector<VmSpec> vms;
+    for (int i = 0; i < 200; ++i) {
+        vms.push_back(makeVm(i, 8.0 * (1 + rng.index(6)), 0.0,
+                             1e9));
+    }
+    Cluster best(96.0, 192.0, PlacementPolicy::BestFit);
+    Cluster worst(96.0, 192.0, PlacementPolicy::WorstFit);
+    for (const auto &vm : vms) {
+        best.place(vm);
+        worst.place(vm);
+    }
+    EXPECT_LE(best.nodesProvisioned(), worst.nodesProvisioned());
+}
+
+TEST(Cluster, PolicyNames)
+{
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::FirstFit),
+                 "first-fit");
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::BestFit),
+                 "best-fit");
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::WorstFit),
+                 "worst-fit");
+}
+
+TEST(Simulator, HandCraftedSchedule)
+{
+    // VM A: [0, 600) at 16 cores; VM B: [300, 900) at 32 cores.
+    std::vector<VmSpec> vms{makeVm(0, 16.0, 0.0, 600.0),
+                            makeVm(1, 32.0, 300.0, 600.0)};
+    Cluster cluster;
+    const ClusterSimulator sim(300.0);
+    const auto result = sim.run(vms, 1200.0, cluster);
+
+    ASSERT_EQ(result.coreDemand.size(), 4u);
+    EXPECT_DOUBLE_EQ(result.coreDemand[0], 16.0); // t = 0
+    EXPECT_DOUBLE_EQ(result.coreDemand[1], 48.0); // t = 300
+    EXPECT_DOUBLE_EQ(result.coreDemand[2], 32.0); // t = 600
+    EXPECT_DOUBLE_EQ(result.coreDemand[3], 0.0);  // t = 900
+    EXPECT_DOUBLE_EQ(result.peakCores, 48.0);
+    EXPECT_EQ(result.records.size(), 2u);
+}
+
+TEST(Simulator, ClampsAtHorizon)
+{
+    std::vector<VmSpec> vms{makeVm(0, 8.0, 100.0, 1e9)};
+    Cluster cluster;
+    const ClusterSimulator sim(300.0);
+    const auto result = sim.run(vms, 1500.0, cluster);
+    EXPECT_DOUBLE_EQ(result.records[0].endSeconds, 1500.0);
+    EXPECT_NEAR(result.records[0].coreSeconds(),
+                8.0 * (1500.0 - 100.0), 1e-9);
+}
+
+TEST(Simulator, DemandMatchesSumOfUsageSeries)
+{
+    // Conservation: the aggregate demand equals the sum of the
+    // per-VM usage series the attribution consumes.
+    Rng rng(5);
+    VmWorkloadGenerator::Config config;
+    config.arrivalsPerHour = 60.0;
+    const VmWorkloadGenerator gen(config);
+    const auto vms = gen.generate(kDay, rng);
+
+    Cluster cluster;
+    const ClusterSimulator sim(300.0);
+    const auto result = sim.run(vms, kDay, cluster);
+
+    std::vector<double> total(result.coreDemand.size(), 0.0);
+    for (const auto &record : result.records) {
+        const auto usage = result.usageSeries(record);
+        for (std::size_t i = 0; i < usage.size(); ++i)
+            total[i] += usage[i];
+    }
+    for (std::size_t i = 0; i < total.size(); ++i)
+        ASSERT_NEAR(total[i], result.coreDemand[i], 1e-6)
+            << "sample " << i;
+}
+
+TEST(Simulator, PeakNodesCoverPeakCores)
+{
+    Rng rng(6);
+    const VmWorkloadGenerator gen;
+    const auto vms = gen.generate(kDay, rng);
+    Cluster cluster;
+    const ClusterSimulator sim(300.0);
+    const auto result = sim.run(vms, kDay, cluster);
+    EXPECT_GE(result.peakNodesProvisioned,
+              static_cast<std::size_t>(
+                  std::ceil(result.peakCores / 96.0)));
+    EXPECT_GE(result.peakNodesProvisioned, result.peakNodesInUse);
+    EXPECT_GT(result.peakCores, 0.0);
+}
+
+TEST(Simulator, EmptyScheduleYieldsZeroDemand)
+{
+    Cluster cluster;
+    const ClusterSimulator sim(300.0);
+    const auto result = sim.run({}, 1200.0, cluster);
+    EXPECT_EQ(result.records.size(), 0u);
+    for (std::size_t i = 0; i < result.coreDemand.size(); ++i)
+        EXPECT_DOUBLE_EQ(result.coreDemand[i], 0.0);
+}
+
+} // namespace
+} // namespace fairco2::sim

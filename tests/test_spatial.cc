@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for spatio-temporal job placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "optimize/spatial.hh"
+
+namespace fairco2::optimize
+{
+namespace
+{
+
+using trace::TimeSeries;
+
+Region
+flatRegion(const std::string &name, double ci, double embodied,
+           std::size_t slices)
+{
+    Region region;
+    region.name = name;
+    region.gridCi =
+        TimeSeries(std::vector<double>(slices, ci), 3600.0);
+    region.coreIntensity =
+        TimeSeries(std::vector<double>(slices, embodied), 3600.0);
+    return region;
+}
+
+SpatialJob
+job(double cores, std::size_t duration, std::size_t earliest,
+    std::size_t latest, std::size_t home = 0)
+{
+    SpatialJob j;
+    j.cores = cores;
+    j.durationSlices = duration;
+    j.earliestStart = earliest;
+    j.latestStart = latest;
+    j.homeRegion = home;
+    return j;
+}
+
+TEST(Spatial, PicksCleanerRegion)
+{
+    const std::vector<Region> regions{
+        flatRegion("coal", 700.0, 1e-5, 8),
+        flatRegion("hydro", 30.0, 1e-5, 8),
+    };
+    const std::vector<SpatialJob> jobs{job(16, 2, 0, 4, 0)};
+    const auto result =
+        SpatioTemporalPlacer().place(jobs, regions);
+    EXPECT_EQ(result.placements[0].region, 1u);
+    EXPECT_EQ(result.jobsMoved, 1u);
+    EXPECT_GT(result.savingsPercent, 50.0);
+}
+
+TEST(Spatial, EmbodiedCanOutweighGrid)
+{
+    // The clean-grid region is capacity-constrained (high embodied
+    // intensity); a job dominated by embodied carbon should stay.
+    const std::vector<Region> regions{
+        flatRegion("dirty-cheap", 200.0, 1e-6, 8),
+        flatRegion("clean-scarce", 30.0, 2e-4, 8),
+    };
+    auto j = job(16, 2, 0, 4, 0);
+    j.wattsPerCore = 0.5; // barely any dynamic energy
+    const auto result =
+        SpatioTemporalPlacer().place({j}, regions);
+    EXPECT_EQ(result.placements[0].region, 0u);
+}
+
+TEST(Spatial, ShiftsIntoTheSolarDip)
+{
+    Region region = flatRegion("caiso", 300.0, 1e-5, 8);
+    region.gridCi[4] = 80.0; // midday dip
+    region.gridCi[5] = 80.0;
+    const std::vector<SpatialJob> jobs{job(16, 2, 0, 6, 0)};
+    const auto result =
+        SpatioTemporalPlacer().place(jobs, {region});
+    EXPECT_EQ(result.placements[0].start, 4u);
+    EXPECT_EQ(result.jobsShifted, 1u);
+    EXPECT_EQ(result.jobsMoved, 0u);
+}
+
+TEST(Spatial, BaselineUsesHomeAndEarliest)
+{
+    const std::vector<Region> regions{
+        flatRegion("a", 100.0, 1e-5, 4),
+        flatRegion("b", 100.0, 1e-5, 4),
+    };
+    const auto j = job(8, 1, 1, 2, 1);
+    const auto result =
+        SpatioTemporalPlacer().place({j}, regions);
+    EXPECT_NEAR(result.placements[0].baselineGrams,
+                SpatioTemporalPlacer::jobGrams(j, regions[1], 1),
+                1e-12);
+    // Identical regions and flat signals: no savings possible.
+    EXPECT_NEAR(result.savingsPercent, 0.0, 1e-9);
+}
+
+TEST(Spatial, SavingsNeverNegative)
+{
+    // The baseline placement is in the search space, so the
+    // optimum can never be worse.
+    const std::vector<Region> regions{
+        flatRegion("x", 421.0, 3e-5, 6),
+        flatRegion("y", 137.0, 9e-5, 6),
+    };
+    std::vector<SpatialJob> jobs;
+    for (std::size_t k = 0; k < 10; ++k)
+        jobs.push_back(job(8 + 8 * (k % 3), 1 + k % 3, 0,
+                           3 - k % 2, k % 2));
+    const auto result =
+        SpatioTemporalPlacer().place(jobs, regions);
+    EXPECT_GE(result.savingsPercent, -1e-12);
+    EXPECT_LE(result.optimizedGrams,
+              result.baselineGrams + 1e-9);
+}
+
+TEST(Spatial, RejectsBadInputs)
+{
+    const std::vector<Region> regions{
+        flatRegion("a", 100.0, 1e-5, 4)};
+    EXPECT_THROW(SpatioTemporalPlacer().place({job(8, 1, 0, 0)},
+                                              {}),
+                 std::invalid_argument);
+    // Window past the horizon.
+    EXPECT_THROW(SpatioTemporalPlacer().place(
+                     {job(8, 2, 3, 3)}, regions),
+                 std::invalid_argument);
+    // Home region out of range.
+    EXPECT_THROW(SpatioTemporalPlacer().place(
+                     {job(8, 1, 0, 0, 5)}, regions),
+                 std::invalid_argument);
+    // Mismatched horizons.
+    const std::vector<Region> ragged{
+        flatRegion("a", 100.0, 1e-5, 4),
+        flatRegion("b", 100.0, 1e-5, 5)};
+    EXPECT_THROW(SpatioTemporalPlacer().place(
+                     {job(8, 1, 0, 0)}, ragged),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fairco2::optimize

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for summary statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+TEST(OnlineStats, EmptyDefaults)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(OnlineStats, KnownSample)
+{
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleObservationVarianceZero)
+{
+    OnlineStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream)
+{
+    OnlineStats all, left, right;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i) * 10.0 + i * 0.1;
+        all.add(v);
+        (i < 37 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    std::vector<double> v{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+    EXPECT_NEAR(quantile(v, 0.25), 1.75, 1e-12);
+}
+
+TEST(Quantile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(quantile({5.0}, 0.9), 5.0);
+}
+
+TEST(Quantile, UnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Summary, OfSample)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    const auto s = Summary::of(v);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_NEAR(s.median, 50.5, 1e-12);
+    EXPECT_NEAR(s.p95, 95.05, 1e-9);
+}
+
+TEST(Summary, Empty)
+{
+    const auto s = Summary::of({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Mape, ExactMatchIsZero)
+{
+    const std::vector<double> a{1, 2, 3};
+    EXPECT_DOUBLE_EQ(meanAbsolutePercentageError(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(worstAbsolutePercentageError(a, a), 0.0);
+}
+
+TEST(Mape, KnownErrors)
+{
+    const std::vector<double> actual{100, 200};
+    const std::vector<double> pred{110, 180};
+    EXPECT_NEAR(meanAbsolutePercentageError(actual, pred), 10.0,
+                1e-12);
+    EXPECT_NEAR(worstAbsolutePercentageError(actual, pred), 10.0,
+                1e-12);
+}
+
+TEST(Mape, SkipsZeroActuals)
+{
+    const std::vector<double> actual{0, 100};
+    const std::vector<double> pred{5, 150};
+    EXPECT_NEAR(meanAbsolutePercentageError(actual, pred), 50.0,
+                1e-12);
+}
+
+} // namespace
+} // namespace fairco2

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the aligned text-table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+TEST(TextTable, RendersTitleHeaderAndRows)
+{
+    TextTable t("My Table");
+    t.setHeader({"method", "avg", "worst"});
+    t.addRow("fair-co2", {1.72, 5.0}, 2);
+    t.addRow({"rup", "9.70", "31.70"});
+    const std::string out = t.str();
+
+    EXPECT_NE(out.find("My Table"), std::string::npos);
+    EXPECT_NE(out.find("========"), std::string::npos);
+    EXPECT_NE(out.find("method"), std::string::npos);
+    EXPECT_NE(out.find("fair-co2"), std::string::npos);
+    EXPECT_NE(out.find("1.72"), std::string::npos);
+    EXPECT_NE(out.find("31.70"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t("T");
+    t.setHeader({"a", "b"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.str();
+
+    // Find "1" and "2": both should start at the same column.
+    std::size_t line_start = 0;
+    std::vector<std::size_t> cols;
+    while (line_start < out.size()) {
+        const std::size_t eol = out.find('\n', line_start);
+        const std::string line = out.substr(
+            line_start, eol - line_start);
+        const auto pos1 = line.find(" 1");
+        const auto pos2 = line.find(" 2");
+        if (pos1 != std::string::npos)
+            cols.push_back(pos1);
+        if (pos2 != std::string::npos)
+            cols.push_back(pos2);
+        line_start = eol == std::string::npos ? out.size() : eol + 1;
+    }
+    ASSERT_EQ(cols.size(), 2u);
+    EXPECT_EQ(cols[0], cols[1]);
+}
+
+TEST(TextTable, FormatsDoubles)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+    EXPECT_EQ(TextTable::fmt(-2.5, 1), "-2.5");
+}
+
+TEST(TextTable, EmptyTableStillRenders)
+{
+    TextTable t("Empty");
+    const std::string out = t.str();
+    EXPECT_NE(out.find("Empty"), std::string::npos);
+}
+
+} // namespace
+} // namespace fairco2

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for Temporal Shapley attribution: carbon conservation at
+ * every hierarchy depth, intensity ordering with demand, and edge
+ * cases (flat demand, zero demand, degenerate splits).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/temporal.hh"
+#include "trace/generators.hh"
+
+namespace fairco2::core
+{
+namespace
+{
+
+using trace::TimeSeries;
+
+double
+attributedTotal(const TemporalResult &r, const TimeSeries &demand)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < demand.size(); ++i)
+        total += r.intensity[i] * demand[i] * demand.stepSeconds();
+    return total;
+}
+
+TEST(TemporalShapley, FlatDemandGivesUniformIntensity)
+{
+    const TimeSeries demand(std::vector<double>(12, 100.0), 60.0);
+    const auto r = TemporalShapley().attribute(demand, 720.0, {4});
+    // 12 steps x 100 cores x 60 s = 72000 core-seconds; 720 g over
+    // that is 0.01 g per core-second everywhere.
+    for (std::size_t i = 0; i < demand.size(); ++i)
+        EXPECT_NEAR(r.intensity[i], 0.01, 1e-12);
+    EXPECT_NEAR(r.attributedGrams, 720.0, 1e-9);
+    EXPECT_NEAR(r.unattributedGrams, 0.0, 1e-9);
+}
+
+TEST(TemporalShapley, ConservesCarbonSingleLevel)
+{
+    const TimeSeries demand({10, 40, 20, 80, 30, 60}, 300.0);
+    const double total = 1234.5;
+    const auto r = TemporalShapley().attribute(demand, total, {3});
+    EXPECT_NEAR(r.attributedGrams, total, 1e-8);
+    EXPECT_NEAR(attributedTotal(r, demand), total, 1e-8);
+}
+
+TEST(TemporalShapley, ConservesCarbonHierarchically)
+{
+    Rng rng(77);
+    std::vector<double> values(240);
+    for (auto &v : values)
+        v = rng.uniform(10.0, 100.0);
+    const TimeSeries demand(std::move(values), 300.0);
+    const double total = 5000.0;
+    const auto r =
+        TemporalShapley().attribute(demand, total, {5, 4, 3});
+    EXPECT_NEAR(r.attributedGrams, total, 1e-7);
+    EXPECT_NEAR(attributedTotal(r, demand), total, 1e-7);
+    EXPECT_EQ(r.leafPeriods, 60u);
+    EXPECT_GT(r.operations, 0u);
+}
+
+TEST(TemporalShapley, HigherDemandPeriodsGetHigherIntensity)
+{
+    // Two halves: low plateau then high plateau.
+    std::vector<double> values(20, 10.0);
+    for (std::size_t i = 10; i < 20; ++i)
+        values[i] = 100.0;
+    const TimeSeries demand(std::move(values), 60.0);
+    const auto r = TemporalShapley().attribute(demand, 100.0, {2});
+    EXPECT_GT(r.intensity[15], r.intensity[5]);
+}
+
+TEST(TemporalShapley, PeriodIntensityMonotoneInPeak)
+{
+    const std::vector<double> peaks{10, 30, 20, 50};
+    const std::vector<double> usage{100, 100, 100, 100};
+    const auto y =
+        TemporalShapley::periodIntensities(peaks, usage, 100.0);
+    EXPECT_LT(y[0], y[2]);
+    EXPECT_LT(y[2], y[1]);
+    EXPECT_LT(y[1], y[3]);
+}
+
+TEST(TemporalShapley, PeriodIntensitiesNormalize)
+{
+    const std::vector<double> peaks{5, 9, 2};
+    const std::vector<double> usage{40, 90, 10};
+    const double total = 77.0;
+    const auto y =
+        TemporalShapley::periodIntensities(peaks, usage, total);
+    double recovered = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        recovered += y[i] * usage[i];
+    EXPECT_NEAR(recovered, total, 1e-10);
+}
+
+TEST(TemporalShapley, ZeroDemandDropsCarbon)
+{
+    const TimeSeries demand(std::vector<double>(8, 0.0), 60.0);
+    const auto r = TemporalShapley().attribute(demand, 50.0, {2});
+    EXPECT_NEAR(r.attributedGrams, 0.0, 1e-12);
+    EXPECT_NEAR(r.unattributedGrams, 50.0, 1e-12);
+}
+
+TEST(TemporalShapley, PartialZeroDemandStillConserves)
+{
+    // First half idle, second half busy: all carbon lands on the
+    // busy half.
+    std::vector<double> values(10, 0.0);
+    for (std::size_t i = 5; i < 10; ++i)
+        values[i] = 50.0;
+    const TimeSeries demand(std::move(values), 60.0);
+    const auto r = TemporalShapley().attribute(demand, 200.0, {2});
+    EXPECT_NEAR(r.attributedGrams, 200.0, 1e-9);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(r.intensity[i], 0.0);
+}
+
+TEST(TemporalShapley, EmptySplitsMeansUniform)
+{
+    const TimeSeries demand({10, 20, 30}, 60.0);
+    const auto r = TemporalShapley().attribute(demand, 60.0, {});
+    EXPECT_EQ(r.leafPeriods, 1u);
+    EXPECT_NEAR(r.intensity[0], r.intensity[2], 1e-12);
+    EXPECT_NEAR(attributedTotal(r, demand), 60.0, 1e-9);
+}
+
+TEST(TemporalShapley, SplitLargerThanSeriesIsClamped)
+{
+    const TimeSeries demand({10, 20}, 60.0);
+    const auto r = TemporalShapley().attribute(demand, 30.0, {8});
+    EXPECT_NEAR(r.attributedGrams, 30.0, 1e-9);
+    EXPECT_EQ(r.leafPeriods, 2u);
+}
+
+TEST(TemporalShapley, EmptyDemandSeries)
+{
+    const TimeSeries demand;
+    const auto r = TemporalShapley().attribute(demand, 10.0, {4});
+    EXPECT_DOUBLE_EQ(r.unattributedGrams, 10.0);
+    EXPECT_DOUBLE_EQ(r.attributedGrams, 0.0);
+}
+
+TEST(TemporalShapley, ThirtyDayAzureSignalConserves)
+{
+    // The Figure 4 configuration: 30 days of 5-minute samples split
+    // 10 x 9 x 8 x 12 down to 5-minute leaves.
+    trace::AzureLikeGenerator::Config config;
+    config.days = 30.0;
+    Rng rng(42);
+    const auto demand =
+        trace::AzureLikeGenerator(config).generate(rng);
+    ASSERT_EQ(demand.size(), 8640u);
+    const double monthly = 1.0e6;
+    const auto r = TemporalShapley().attribute(demand, monthly,
+                                               {10, 9, 8, 12});
+    EXPECT_EQ(r.leafPeriods, 8640u);
+    EXPECT_NEAR(r.attributedGrams, monthly, monthly * 1e-9);
+    // Signal must vary: peak-demand leaves cost more than troughs.
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        lo = std::min(lo, r.intensity[i]);
+        hi = std::max(hi, r.intensity[i]);
+    }
+    EXPECT_GT(hi, 1.2 * lo);
+}
+
+} // namespace
+} // namespace fairco2::core

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the TimeSeries container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/timeseries.hh"
+
+namespace fairco2::trace
+{
+namespace
+{
+
+TimeSeries
+ramp()
+{
+    return TimeSeries({1, 2, 3, 4, 5, 6}, 10.0);
+}
+
+TEST(TimeSeries, BasicShape)
+{
+    const auto s = ramp();
+    EXPECT_EQ(s.size(), 6u);
+    EXPECT_FALSE(s.empty());
+    EXPECT_DOUBLE_EQ(s.stepSeconds(), 10.0);
+    EXPECT_DOUBLE_EQ(s.durationSeconds(), 60.0);
+    EXPECT_DOUBLE_EQ(s[2], 3.0);
+}
+
+TEST(TimeSeries, AtIsStepwiseAndClamped)
+{
+    const auto s = ramp();
+    EXPECT_DOUBLE_EQ(s.at(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(9.9), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(10.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(59.9), 6.0);
+    EXPECT_DOUBLE_EQ(s.at(1000.0), 6.0); // clamp past the end
+    EXPECT_DOUBLE_EQ(s.at(-5.0), 1.0);   // clamp before start
+}
+
+TEST(TimeSeries, PeakOverRanges)
+{
+    const TimeSeries s({3, 7, 2, 9, 1}, 1.0);
+    EXPECT_DOUBLE_EQ(s.peak(), 9.0);
+    EXPECT_DOUBLE_EQ(s.peak(0, 2), 7.0);
+    EXPECT_DOUBLE_EQ(s.peak(2, 3), 2.0);
+    EXPECT_DOUBLE_EQ(s.peak(1, 1), 0.0); // empty range
+}
+
+TEST(TimeSeries, IntegralUsesStepWidth)
+{
+    const auto s = ramp();
+    EXPECT_DOUBLE_EQ(s.integral(), 210.0); // (1+..+6) * 10
+    EXPECT_DOUBLE_EQ(s.integral(0, 2), 30.0);
+    EXPECT_DOUBLE_EQ(s.integral(3, 3), 0.0);
+}
+
+TEST(TimeSeries, Mean)
+{
+    EXPECT_DOUBLE_EQ(ramp().mean(), 3.5);
+    EXPECT_DOUBLE_EQ(TimeSeries().mean(), 0.0);
+}
+
+TEST(TimeSeries, Slice)
+{
+    const auto s = ramp().slice(2, 5);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s[0], 3.0);
+    EXPECT_DOUBLE_EQ(s[2], 5.0);
+    EXPECT_DOUBLE_EQ(s.stepSeconds(), 10.0);
+}
+
+TEST(TimeSeries, ResampleMeanExactGroups)
+{
+    const TimeSeries s({1, 3, 5, 7}, 2.0);
+    const auto coarse = s.resampleMean(2);
+    ASSERT_EQ(coarse.size(), 2u);
+    EXPECT_DOUBLE_EQ(coarse[0], 2.0);
+    EXPECT_DOUBLE_EQ(coarse[1], 6.0);
+    EXPECT_DOUBLE_EQ(coarse.stepSeconds(), 4.0);
+}
+
+TEST(TimeSeries, ResampleMeanPartialTail)
+{
+    const TimeSeries s({2, 4, 9}, 1.0);
+    const auto coarse = s.resampleMean(2);
+    ASSERT_EQ(coarse.size(), 2u);
+    EXPECT_DOUBLE_EQ(coarse[0], 3.0);
+    EXPECT_DOUBLE_EQ(coarse[1], 9.0); // lone tail sample
+}
+
+TEST(TimeSeries, ResampleFactorOneIsIdentity)
+{
+    const auto s = ramp();
+    const auto same = s.resampleMean(1);
+    EXPECT_EQ(same.size(), s.size());
+    EXPECT_DOUBLE_EQ(same[3], s[3]);
+}
+
+TEST(TimeSeries, AdditionElementwise)
+{
+    const TimeSeries a({1, 2}, 1.0);
+    const TimeSeries b({10, 20}, 1.0);
+    const auto c = a + b;
+    EXPECT_DOUBLE_EQ(c[0], 11.0);
+    EXPECT_DOUBLE_EQ(c[1], 22.0);
+}
+
+TEST(TimeSeries, AdditionShapeMismatchThrows)
+{
+    const TimeSeries a({1, 2}, 1.0);
+    const TimeSeries b({1, 2, 3}, 1.0);
+    EXPECT_THROW(a + b, std::invalid_argument);
+    const TimeSeries c({1, 2}, 2.0);
+    EXPECT_THROW(a + c, std::invalid_argument);
+}
+
+TEST(TimeSeries, EmptyPeakAndIntegral)
+{
+    const TimeSeries s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.peak(), 0.0);
+    EXPECT_DOUBLE_EQ(s.integral(), 0.0);
+}
+
+} // namespace
+} // namespace fairco2::trace

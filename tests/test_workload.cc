@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the workload suite, interference model, and
+ * configuration performance models, including the Figure 2
+ * calibration targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/interference.hh"
+#include "workload/perfmodel.hh"
+#include "workload/suite.hh"
+
+namespace fairco2::workload
+{
+namespace
+{
+
+TEST(Suite, HasSixteenNamedWorkloads)
+{
+    const Suite suite;
+    EXPECT_EQ(suite.size(), kSuiteSize);
+    EXPECT_EQ(suite.get(WorkloadId::NBODY).name, "NBODY");
+    EXPECT_EQ(suite.get(WorkloadId::CH).name, "CH");
+    EXPECT_EQ(suite.get(WorkloadId::PG100).name, "PG-100");
+    EXPECT_EQ(suite.byName("SPARK").name, "SPARK");
+    EXPECT_THROW(suite.byName("NOPE"), std::out_of_range);
+}
+
+TEST(Suite, AllSpecsArePhysical)
+{
+    const Suite suite;
+    for (const auto &w : suite.all()) {
+        EXPECT_GT(w.isoRuntimeSeconds, 0.0) << w.name;
+        EXPECT_GT(w.cpuUtilization, 0.0) << w.name;
+        EXPECT_LE(w.cpuUtilization, 1.0) << w.name;
+        EXPECT_GT(w.dynamicPowerWatts, 0.0) << w.name;
+        EXPECT_GE(w.bwPressure, 0.0) << w.name;
+        EXPECT_LE(w.bwPressure, 1.0) << w.name;
+        EXPECT_GT(w.parallelFraction, 0.0) << w.name;
+        EXPECT_LT(w.parallelFraction, 1.0) << w.name;
+        EXPECT_DOUBLE_EQ(w.cores, kHalfNodeCores) << w.name;
+        EXPECT_DOUBLE_EQ(w.memoryGb, kHalfNodeMemGb) << w.name;
+    }
+}
+
+TEST(Interference, NbodyChCalibration)
+{
+    // Figure 2's headline pair: NBODY suffers ~87% next to CH while
+    // CH suffers ~39% next to NBODY.
+    const Suite suite;
+    const InterferenceModel model;
+    const auto &nbody = suite.get(WorkloadId::NBODY);
+    const auto &ch = suite.get(WorkloadId::CH);
+    EXPECT_NEAR(model.slowdown(nbody, ch), 1.87, 0.03);
+    EXPECT_NEAR(model.slowdown(ch, nbody), 1.39, 0.04);
+}
+
+TEST(Interference, SlowdownAtLeastOne)
+{
+    const Suite suite;
+    const InterferenceModel model;
+    for (const auto &a : suite.all())
+        for (const auto &b : suite.all())
+            EXPECT_GE(model.slowdown(a, b), 1.0);
+}
+
+TEST(Interference, AsymmetricInGeneral)
+{
+    const Suite suite;
+    const InterferenceModel model;
+    const auto &nbody = suite.get(WorkloadId::NBODY);
+    const auto &h265 = suite.get(WorkloadId::H265);
+    EXPECT_NE(model.slowdown(nbody, h265),
+              model.slowdown(h265, nbody));
+}
+
+TEST(Interference, IsolatedMetricsMatchSpec)
+{
+    const Suite suite;
+    const InterferenceModel model;
+    const auto &w = suite.get(WorkloadId::BFS);
+    const auto m = model.isolated(w);
+    EXPECT_DOUBLE_EQ(m.runtimeSeconds, w.isoRuntimeSeconds);
+    EXPECT_DOUBLE_EQ(m.avgDynamicPowerWatts, w.dynamicPowerWatts);
+    EXPECT_DOUBLE_EQ(m.cpuUtilization, w.cpuUtilization);
+    EXPECT_DOUBLE_EQ(m.dynamicEnergyJoules,
+                     w.dynamicPowerWatts * w.isoRuntimeSeconds);
+}
+
+TEST(Interference, ColocationStretchesRuntimeAndEnergy)
+{
+    const Suite suite;
+    const InterferenceModel model;
+    const auto &victim = suite.get(WorkloadId::SA);
+    const auto &aggressor = suite.get(WorkloadId::LLAMA);
+    const auto iso = model.isolated(victim);
+    const auto coloc = model.colocated(victim, aggressor);
+    EXPECT_GT(coloc.runtimeSeconds, iso.runtimeSeconds);
+    // Power dips a little...
+    EXPECT_LT(coloc.avgDynamicPowerWatts, iso.avgDynamicPowerWatts);
+    // ...but total energy rises with the longer runtime.
+    EXPECT_GT(coloc.dynamicEnergyJoules, iso.dynamicEnergyJoules);
+    // Utilization never exceeds 1.
+    EXPECT_LE(coloc.cpuUtilization, 1.0);
+}
+
+TEST(Interference, PairViewsAreConsistent)
+{
+    const Suite suite;
+    const InterferenceModel model;
+    const auto &a = suite.get(WorkloadId::WC);
+    const auto &b = suite.get(WorkloadId::MSF);
+    const auto [ma, mb] = model.colocatedPair(a, b);
+    EXPECT_DOUBLE_EQ(ma.runtimeSeconds,
+                     model.colocated(a, b).runtimeSeconds);
+    EXPECT_DOUBLE_EQ(mb.runtimeSeconds,
+                     model.colocated(b, a).runtimeSeconds);
+}
+
+TEST(PerfModel, SpeedupIsMonotoneInCores)
+{
+    const Suite suite;
+    const PerfModel perf;
+    const auto &w = suite.get(WorkloadId::DDUP);
+    double prev = 0.0;
+    for (double cores : {8.0, 16.0, 32.0, 48.0, 64.0, 96.0}) {
+        const double s = perf.speedup(w, cores);
+        EXPECT_GE(s, prev);
+        prev = s;
+    }
+}
+
+TEST(PerfModel, SmtCoresHelpLessThanPhysical)
+{
+    const Suite suite;
+    const PerfModel perf;
+    const auto &w = suite.get(WorkloadId::DDUP);
+    const double phys_gain =
+        perf.speedup(w, 48) / perf.speedup(w, 40);
+    const double smt_gain =
+        perf.speedup(w, 56) / perf.speedup(w, 48);
+    EXPECT_GT(phys_gain, smt_gain);
+}
+
+TEST(PerfModel, ScalingCapStopsSpeedup)
+{
+    const Suite suite;
+    const PerfModel perf;
+    const auto &hnsw = suite.get(WorkloadId::FAISS_HNSW);
+    // HNSW's cap is 88 cores: 96 brings nothing.
+    EXPECT_DOUBLE_EQ(perf.speedup(hnsw, 88), perf.speedup(hnsw, 96));
+}
+
+TEST(PerfModel, ReferenceConfigReproducesIsoRuntime)
+{
+    const Suite suite;
+    const PerfModel perf;
+    const auto &w = suite.get(WorkloadId::SPARK);
+    const double t = perf.runtimeSeconds(
+        w, {kHalfNodeCores, kHalfNodeMemGb});
+    EXPECT_NEAR(t, w.isoRuntimeSeconds, 1e-9);
+}
+
+TEST(PerfModel, LowMemoryPenalizesRuntime)
+{
+    const Suite suite;
+    const PerfModel perf;
+    const auto &w = suite.get(WorkloadId::SPARK); // 88 GB working set
+    const double ample = perf.runtimeSeconds(w, {48, 96});
+    const double starved = perf.runtimeSeconds(w, {48, 16});
+    EXPECT_GT(starved, 2.0 * ample);
+    EXPECT_DOUBLE_EQ(perf.memoryPenalty(w, 96), 1.0);
+    EXPECT_GT(perf.memoryPenalty(w, 8), perf.memoryPenalty(w, 16));
+}
+
+TEST(PerfModel, EnergyPerUtilizationDropsWithSmt)
+{
+    // The paper: J per %-s falls past the physical core count
+    // because SMT threads are cheap.
+    const Suite suite;
+    const PerfModel perf;
+    const auto &w = suite.get(WorkloadId::H265);
+    const double e48 = perf.dynamicPowerWatts(w, {48, 96}) / 48.0;
+    const double e96 = perf.dynamicPowerWatts(w, {96, 96}) / 96.0;
+    EXPECT_LT(e96, e48);
+}
+
+TEST(FaissModel, IndexSizesMatchPaper)
+{
+    const FaissModel model;
+    EXPECT_DOUBLE_EQ(model.indexMemoryGb(FaissIndex::IVF), 77.7);
+    EXPECT_DOUBLE_EQ(model.indexMemoryGb(FaissIndex::HNSW), 180.8);
+    EXPECT_STREQ(faissIndexName(FaissIndex::IVF), "IVF");
+    EXPECT_STREQ(faissIndexName(FaissIndex::HNSW), "HNSW");
+}
+
+TEST(FaissModel, HnswStopsScalingPast88)
+{
+    const FaissModel model;
+    EXPECT_DOUBLE_EQ(model.peakThroughputQps(FaissIndex::HNSW, 88),
+                     model.peakThroughputQps(FaissIndex::HNSW, 96));
+    EXPECT_GT(model.peakThroughputQps(FaissIndex::IVF, 96),
+              model.peakThroughputQps(FaissIndex::IVF, 88));
+}
+
+TEST(FaissModel, LatencyFallsWithCoresRisesWithBatch)
+{
+    const FaissModel model;
+    const FaissConfig base{FaissIndex::IVF, 32, 64};
+    FaissConfig more_cores = base;
+    more_cores.cores = 80;
+    FaissConfig bigger_batch = base;
+    bigger_batch.batch = 512;
+    EXPECT_LT(model.tailLatencySeconds(more_cores),
+              model.tailLatencySeconds(base));
+    EXPECT_GT(model.tailLatencySeconds(bigger_batch),
+              model.tailLatencySeconds(base));
+}
+
+TEST(FaissModel, BatchingImprovesThroughput)
+{
+    const FaissModel model;
+    const FaissConfig small{FaissIndex::IVF, 48, 8};
+    const FaissConfig large{FaissIndex::IVF, 48, 512};
+    EXPECT_GT(model.throughputQps(large),
+              model.throughputQps(small));
+}
+
+TEST(FaissModel, HnswDrawsLessPower)
+{
+    const FaissModel model;
+    const FaissConfig ivf{FaissIndex::IVF, 64, 64};
+    const FaissConfig hnsw{FaissIndex::HNSW, 64, 64};
+    EXPECT_LT(model.dynamicPowerWatts(hnsw),
+              model.dynamicPowerWatts(ivf));
+}
+
+} // namespace
+} // namespace fairco2::workload

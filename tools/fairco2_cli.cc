@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Standalone command-line front end: run Fair-CO2 attribution on
+ * CSV telemetry without writing C++.
+ *
+ *   fairco2 signal   --demand demand.csv --pool-grams 1e6
+ *                    [--column demand] [--step-seconds 300]
+ *                    [--splits 10,9,8,12] --out signal.csv
+ *   fairco2 bill     --signal signal.csv --usage usage.csv
+ *                    --out bills.csv
+ *   fairco2 forecast --demand demand.csv --horizon-steps 2592
+ *                    [--column demand] [--step-seconds 300]
+ *                    --out forecast.csv
+ *
+ * `signal` turns a demand series into a Temporal Shapley intensity
+ * signal; `bill` integrates per-consumer usage columns against a
+ * signal; `forecast` extends a demand series Prophet-style.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/flags.hh"
+#include "core/baselines.hh"
+#include "core/temporal.hh"
+#include "forecast/forecaster.hh"
+#include "trace/timeseries.hh"
+
+using namespace fairco2;
+
+namespace
+{
+
+/** Parse "10,9,8,12" into split counts. */
+std::vector<std::size_t>
+parseSplits(const std::string &text)
+{
+    std::vector<std::size_t> splits;
+    std::string token;
+    for (char c : text + ",") {
+        if (c == ',') {
+            if (!token.empty()) {
+                const long v = std::stol(token);
+                if (v <= 0)
+                    throw std::invalid_argument(
+                        "split counts must be positive");
+                splits.push_back(static_cast<std::size_t>(v));
+                token.clear();
+            }
+        } else {
+            token += c;
+        }
+    }
+    return splits;
+}
+
+trace::TimeSeries
+loadColumn(const std::string &path, const std::string &column,
+           double step_seconds)
+{
+    const auto table = readCsv(path);
+    return trace::TimeSeries(table.numericColumn(column),
+                             step_seconds);
+}
+
+int
+runSignal(int argc, char **argv)
+{
+    std::string demand_path, out_path = "signal.csv";
+    std::string column = "demand";
+    std::string splits_text = "10,9,8,12";
+    double step_seconds = 300.0;
+    double pool_grams = 0.0;
+    FlagSet flags("fairco2 signal: demand CSV -> Temporal Shapley "
+                  "intensity CSV");
+    flags.addString("demand", &demand_path, "input demand CSV");
+    flags.addString("column", &column, "demand column name");
+    flags.addDouble("step-seconds", &step_seconds,
+                    "sample width of the input");
+    flags.addDouble("pool-grams", &pool_grams,
+                    "fixed carbon to attribute over the window");
+    flags.addString("splits", &splits_text,
+                    "hierarchical split counts, comma-separated");
+    flags.addString("out", &out_path, "output CSV path");
+    if (!flags.parse(argc, argv))
+        return 0;
+    if (demand_path.empty() || pool_grams <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --demand and a positive --pool-grams "
+                     "are required\n");
+        return 2;
+    }
+
+    const auto demand =
+        loadColumn(demand_path, column, step_seconds);
+    const auto result = core::TemporalShapley().attribute(
+        demand, pool_grams, parseSplits(splits_text));
+
+    CsvWriter csv(out_path);
+    csv.writeRow({"step", "time_s", "demand",
+                  "intensity_g_per_unit_s"});
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        csv.writeNumericRow({static_cast<double>(i),
+                             i * step_seconds, demand[i],
+                             result.intensity[i]});
+    }
+    std::printf("signal: %zu samples, %.6g g attributed "
+                "(%.6g g dropped) -> %s\n",
+                demand.size(), result.attributedGrams,
+                result.unattributedGrams, out_path.c_str());
+    return 0;
+}
+
+int
+runBill(int argc, char **argv)
+{
+    std::string signal_path, usage_path, out_path = "bills.csv";
+    FlagSet flags("fairco2 bill: usage CSV x intensity CSV -> "
+                  "per-consumer carbon");
+    flags.addString("signal", &signal_path,
+                    "intensity CSV from `fairco2 signal`");
+    flags.addString("usage", &usage_path,
+                    "usage CSV: one numeric column per consumer");
+    flags.addString("out", &out_path, "output CSV path");
+    if (!flags.parse(argc, argv))
+        return 0;
+    if (signal_path.empty() || usage_path.empty()) {
+        std::fprintf(stderr,
+                     "error: --signal and --usage are required\n");
+        return 2;
+    }
+
+    const auto signal_table = readCsv(signal_path);
+    const auto step_col = signal_table.numericColumn("time_s");
+    const double step = step_col.size() > 1
+        ? step_col[1] - step_col[0]
+        : 1.0;
+    const trace::TimeSeries intensity(
+        signal_table.numericColumn("intensity_g_per_unit_s"),
+        step);
+
+    const auto usage_table = readCsv(usage_path);
+    CsvWriter csv(out_path);
+    csv.writeRow({"consumer", "grams"});
+    double total = 0.0;
+    for (const auto &consumer : usage_table.header) {
+        const trace::TimeSeries usage(
+            usage_table.numericColumn(consumer), step);
+        if (usage.size() != intensity.size()) {
+            std::fprintf(stderr,
+                         "error: usage column '%s' has %zu rows; "
+                         "signal has %zu\n",
+                         consumer.c_str(), usage.size(),
+                         intensity.size());
+            return 2;
+        }
+        const double grams =
+            core::attributeUsage(intensity, usage);
+        csv.writeRow(consumer, {grams});
+        total += grams;
+    }
+    std::printf("bill: %zu consumers, %.6g g total -> %s\n",
+                usage_table.header.size(), total,
+                out_path.c_str());
+    return 0;
+}
+
+int
+runForecast(int argc, char **argv)
+{
+    std::string demand_path, out_path = "forecast.csv";
+    std::string column = "demand";
+    double step_seconds = 300.0;
+    std::int64_t horizon_steps = 2592;
+    FlagSet flags("fairco2 forecast: extend a demand CSV with a "
+                  "seasonal forecast");
+    flags.addString("demand", &demand_path, "input demand CSV");
+    flags.addString("column", &column, "demand column name");
+    flags.addDouble("step-seconds", &step_seconds,
+                    "sample width of the input");
+    flags.addInt("horizon-steps", &horizon_steps,
+                 "steps to forecast past the end");
+    flags.addString("out", &out_path, "output CSV path");
+    if (!flags.parse(argc, argv))
+        return 0;
+    if (demand_path.empty() || horizon_steps <= 0) {
+        std::fprintf(stderr,
+                     "error: --demand and a positive "
+                     "--horizon-steps are required\n");
+        return 2;
+    }
+
+    const auto history =
+        loadColumn(demand_path, column, step_seconds);
+    forecast::SeasonalForecaster forecaster;
+    const auto blended = forecaster.extendWithForecast(
+        history, static_cast<std::size_t>(horizon_steps));
+
+    CsvWriter csv(out_path);
+    csv.writeRow({"step", "time_s", "demand", "is_forecast"});
+    for (std::size_t i = 0; i < blended.size(); ++i) {
+        csv.writeNumericRow(
+            {static_cast<double>(i), i * step_seconds, blended[i],
+             i >= history.size() ? 1.0 : 0.0});
+    }
+    std::printf("forecast: %zu history + %lld forecast steps -> "
+                "%s\n",
+                history.size(),
+                static_cast<long long>(horizon_steps),
+                out_path.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "fairco2 <command> [flags]\n\n"
+        "Commands:\n"
+        "  signal    demand CSV -> Temporal Shapley intensity CSV\n"
+        "  bill      usage CSV x intensity CSV -> per-consumer "
+        "carbon\n"
+        "  forecast  extend a demand CSV with a seasonal forecast\n"
+        "\nRun `fairco2 <command> --help` for command flags.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    // Shift argv so each command's FlagSet sees its own flags.
+    argv[1] = argv[0];
+    try {
+        if (command == "signal")
+            return runSignal(argc - 1, argv + 1);
+        if (command == "bill")
+            return runBill(argc - 1, argv + 1);
+        if (command == "forecast")
+            return runForecast(argc - 1, argv + 1);
+        if (command == "--help" || command == "-h") {
+            usage();
+            return 0;
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n",
+                 command.c_str());
+    usage();
+    return 2;
+}
