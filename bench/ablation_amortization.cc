@@ -17,6 +17,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 
 using namespace fairco2;
@@ -27,8 +28,11 @@ main(int argc, char **argv)
 {
     FlagSet flags("Ablation: amortization schedule for embodied "
                   "carbon");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const carbon::ServerCarbonModel server;
     const double total = server.embodiedGrams();

@@ -14,6 +14,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -62,8 +63,11 @@ main(int argc, char **argv)
                   "attribution");
     flags.addInt("trials", &trials, "random joint scenarios");
     flags.addInt("seed", &seed, "RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     // Carbon pools proportional to the paper server's CPU and DRAM
     // embodied shares.

@@ -15,6 +15,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -37,8 +38,11 @@ main(int argc, char **argv)
     flags.addInt("gt-permutations", &gt_permutations,
                  "permutations for the sampled ground truth");
     flags.addInt("seed", &seed, "RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const workload::Suite suite;
     const workload::InterferenceModel interference;

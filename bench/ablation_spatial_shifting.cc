@@ -16,6 +16,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/temporal.hh"
@@ -72,8 +73,11 @@ main(int argc, char **argv)
                   "regions");
     flags.addInt("jobs", &num_jobs, "flexible batch jobs");
     flags.addInt("seed", &seed, "RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     Rng rng(static_cast<std::uint64_t>(seed));
     const carbon::ServerCarbonModel server;

@@ -16,6 +16,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -41,8 +42,11 @@ main(int argc, char **argv)
     std::int64_t seed = 42;
     FlagSet flags("Ablation: Temporal Shapley split-ratio choices");
     flags.addInt("seed", &seed, "trace RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     trace::AzureLikeGenerator::Config config;
     config.days = 30.0;

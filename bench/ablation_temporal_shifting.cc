@@ -16,6 +16,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/baselines.hh"
@@ -59,8 +60,11 @@ main(int argc, char **argv)
     flags.addInt("jobs", &num_jobs, "flexible batch jobs");
     flags.addDouble("job-cores", &job_cores, "cores per job");
     flags.addInt("seed", &seed, "RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     // One week of fleet demand at hourly slices (aggregated from
     // the 5-minute trace).

@@ -1,14 +1,23 @@
 /**
  * @file
- * Shared helpers for the bench binaries: output CSV locations and a
- * uniform "paper vs measured" footer.
+ * Shared helpers for the bench binaries: output CSV locations, a
+ * uniform "paper vs measured" footer, wall-clock timing, and the
+ * machine-readable perf trajectory (bench_out/perf_summary.json and
+ * bench_out/perf_trajectory.csv) that tracks wall time per bench and
+ * thread count across runs.
  */
 
 #ifndef FAIRCO2_BENCH_BENCH_UTIL_HH
 #define FAIRCO2_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include "common/parallel.hh"
 
 namespace fairco2::bench
 {
@@ -27,6 +36,114 @@ paperVsMeasured(const char *what, double paper, double measured,
 {
     std::printf("  %-46s paper: %8.2f %-8s measured: %8.2f %s\n",
                 what, paper, unit, measured, unit);
+}
+
+/** Wall-clock stopwatch for the perf trajectory. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+namespace detail
+{
+
+/** One perf_summary.json entry, one line per entry. */
+inline std::string
+perfEntryLine(const std::string &bench, std::size_t trials,
+              std::size_t threads, double wall_seconds)
+{
+    std::ostringstream line;
+    line << "{\"bench\": \"" << bench << "\", \"trials\": " << trials
+         << ", \"threads\": " << threads
+         << ", \"wall_s\": " << wall_seconds << "}";
+    return line.str();
+}
+
+/** True when @p line is the entry for (bench, threads). */
+inline bool
+matchesPerfKey(const std::string &line, const std::string &bench,
+               std::size_t threads)
+{
+    const std::string bench_key = "\"bench\": \"" + bench + "\"";
+    const std::string threads_key =
+        "\"threads\": " + std::to_string(threads) + ",";
+    return line.find(bench_key) != std::string::npos &&
+        line.find(threads_key) != std::string::npos;
+}
+
+} // namespace detail
+
+/**
+ * Record one timed bench run into the perf trajectory:
+ *
+ *  - bench_out/perf_summary.json keeps the latest wall time per
+ *    (bench, threads) pair, so serial-vs-parallel speedup is a
+ *    single-file read;
+ *  - bench_out/perf_trajectory.csv appends every run, preserving the
+ *    full history across sessions.
+ *
+ * The thread count is read from the parallel layer, so callers only
+ * pass what the layer cannot know.
+ */
+inline void
+recordPerf(const std::string &bench, std::size_t trials,
+           double wall_seconds)
+{
+    const std::size_t threads = parallel::threadCount();
+
+    // Merge into perf_summary.json: drop any stale entry for this
+    // (bench, threads) key, keep everything else.
+    const std::string summary_path = "bench_out/perf_summary.json";
+    std::vector<std::string> entries;
+    {
+        std::ifstream in(summary_path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.find("\"bench\":") == std::string::npos)
+                continue;
+            if (line.size() >= 1 && line.back() == ',')
+                line.pop_back();
+            if (!detail::matchesPerfKey(line, bench, threads))
+                entries.push_back(line);
+        }
+    }
+    entries.push_back(
+        detail::perfEntryLine(bench, trials, threads, wall_seconds));
+    {
+        std::ofstream out(summary_path);
+        out << "[\n";
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            out << entries[i]
+                << (i + 1 < entries.size() ? ",\n" : "\n");
+        }
+        out << "]\n";
+    }
+
+    const std::string trajectory_path =
+        "bench_out/perf_trajectory.csv";
+    const bool fresh = !std::ifstream(trajectory_path).good();
+    std::ofstream csv(trajectory_path, std::ios::app);
+    if (fresh)
+        csv << "bench,trials,threads,wall_s\n";
+    csv << bench << ',' << trials << ',' << threads << ','
+        << wall_seconds << '\n';
+
+    std::printf("perf: %s trials=%zu threads=%zu wall=%.3f s "
+                "(-> %s)\n",
+                bench.c_str(), trials, threads, wall_seconds,
+                summary_path.c_str());
 }
 
 } // namespace fairco2::bench

@@ -17,6 +17,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -60,8 +61,11 @@ main(int argc, char **argv)
     flags.addDouble("arrivals-per-hour", &arrivals_per_hour,
                     "mean VM arrival rate");
     flags.addDouble("days", &days, "simulated days");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const double horizon = days * 86400.0;
     Rng rng(static_cast<std::uint64_t>(seed));

@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "optimize/sweep.hh"
 #include "workload/perfmodel.hh"
@@ -33,8 +34,11 @@ main(int argc, char **argv)
     flags.addDouble("max-grid-ci", &max_ci,
                     "highest grid intensity (g/kWh)");
     flags.addDouble("ci-step", &ci_step, "grid intensity step");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const workload::Suite suite;
     const workload::PerfModel perf;

@@ -14,6 +14,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -30,8 +31,11 @@ main(int argc, char **argv)
     FlagSet flags("Figure 11: intensity-signal error under "
                   "forecasting");
     flags.addInt("seed", &seed, "trace RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     trace::AzureLikeGenerator::Config config;
     config.days = 30.0;

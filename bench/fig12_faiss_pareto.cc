@@ -15,6 +15,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "optimize/sweep.hh"
 #include "workload/perfmodel.hh"
@@ -122,8 +123,11 @@ main(int argc, char **argv)
                     "low grid intensity (g/kWh)");
     flags.addDouble("dirty-ci", &dirty_ci,
                     "high grid intensity (g/kWh)");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const carbon::ServerCarbonModel server;
     const FaissModel model;

@@ -17,6 +17,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/temporal.hh"
@@ -37,8 +38,11 @@ main(int argc, char **argv)
     flags.addDouble("latency-target", &latency_target,
                     "tail-latency SLO in seconds");
     flags.addDouble("qps", &qps, "offered queries per second");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     Rng rng(static_cast<std::uint64_t>(seed));
 

@@ -14,6 +14,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "trace/timeseries.hh"
 
@@ -55,8 +56,11 @@ int
 main(int argc, char **argv)
 {
     FlagSet flags("Figure 1: peak demand sets minimum capacity");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const carbon::ServerCarbonModel server;
     const double cores_per_node = server.config().totalCores();

@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "workload/interference.hh"
 #include "workload/suite.hh"
@@ -25,8 +26,11 @@ int
 main(int argc, char **argv)
 {
     FlagSet flags("Figure 2: pairwise colocation matrix");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const Suite suite;
     const workload::InterferenceModel model;

@@ -15,6 +15,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -32,8 +33,11 @@ main(int argc, char **argv)
         "Figure 4: hierarchical Temporal Shapley intensity signal");
     flags.addInt("seed", &seed, "trace RNG seed");
     flags.addDouble("days", &days, "trace length in days");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     trace::AzureLikeGenerator::Config config;
     config.days = days;

@@ -9,6 +9,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -29,8 +30,11 @@ main(int argc, char **argv)
                  "days of history to fit");
     flags.addInt("horizon-days", &horizon_days,
                  "days to forecast");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     trace::AzureLikeGenerator::Config config;
     config.days =

@@ -17,6 +17,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -55,6 +56,7 @@ main(int argc, char **argv)
     std::int64_t min_slices = 4;
     std::int64_t max_slices = 9;
     std::int64_t seed = 1;
+    std::int64_t threads = 0;
     FlagSet flags("Figure 7: dynamic-demand Monte Carlo "
                   "(paper scale: --trials 10000 "
                   "--max-workloads 22)");
@@ -64,8 +66,10 @@ main(int argc, char **argv)
     flags.addInt("min-slices", &min_slices, "minimum time slices");
     flags.addInt("max-slices", &max_slices, "maximum time slices");
     flags.addInt("seed", &seed, "RNG seed");
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     montecarlo::DemandMcConfig config;
     config.trials = static_cast<std::size_t>(trials);
@@ -74,8 +78,10 @@ main(int argc, char **argv)
     config.maxTimeSlices = static_cast<std::size_t>(max_slices);
 
     Rng rng(static_cast<std::uint64_t>(seed));
+    const bench::WallTimer timer;
     const auto results =
         montecarlo::runDemandMonteCarlo(config, rng);
+    const double wall_seconds = timer.seconds();
 
     // ---- Overall aggregation (panels a, e). ----
     MethodAgg fair, dp, rup;
@@ -178,5 +184,8 @@ main(int argc, char **argv)
     }
     std::printf("\nCSV written to %s\n",
                 bench::csvPath("fig7_dynamic_demand_mc").c_str());
+    bench::recordPerf("fig7_dynamic_demand_mc",
+                      static_cast<std::size_t>(trials),
+                      wall_seconds);
     return 0;
 }

@@ -15,6 +15,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -70,8 +71,11 @@ main(int argc, char **argv)
     flags.addDouble("max-grid-ci", &max_ci,
                     "highest grid intensity (g/kWh)");
     flags.addInt("seed", &seed, "RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     montecarlo::ColocMcConfig config;
     config.trials = static_cast<std::size_t>(trials);
@@ -82,7 +86,9 @@ main(int argc, char **argv)
 
     const montecarlo::ColocationMonteCarlo mc;
     Rng rng(static_cast<std::uint64_t>(seed));
+    const bench::WallTimer timer;
     const auto out = mc.run(config, rng);
+    const double wall_seconds = timer.seconds();
 
     // ---- Overall (panels a, e). ----
     Agg overall{};
@@ -165,5 +171,8 @@ main(int argc, char **argv)
     }
     std::printf("\nCSV written to %s\n",
                 bench::csvPath("fig8_colocation_mc").c_str());
+    bench::recordPerf("fig8_colocation_mc",
+                      static_cast<std::size_t>(trials),
+                      wall_seconds);
     return 0;
 }

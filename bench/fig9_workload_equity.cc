@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -30,8 +31,11 @@ main(int argc, char **argv)
                   "(paper scale: --trials 10000)");
     flags.addInt("trials", &trials, "number of random scenarios");
     flags.addInt("seed", &seed, "RNG seed");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     montecarlo::ColocMcConfig config;
     config.trials = static_cast<std::size_t>(trials);

@@ -8,8 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/temporal.hh"
 #include "shapley/exact.hh"
@@ -133,4 +137,58 @@ BENCHMARK(BM_StratifiedSampledShapley)->Arg(16)->Arg(32);
 
 BENCHMARK(BM_TemporalShapleyMonth);
 
-BENCHMARK_MAIN();
+namespace
+{
+
+/**
+ * Strip a leading `--threads N` / `--threads=N` (google-benchmark
+ * owns the rest of the command line) and apply it to the parallel
+ * layer. Returns the new argc.
+ */
+int
+consumeThreadsFlag(int argc, char **argv)
+{
+    std::int64_t threads = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = std::stoll(argv[++i]);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::stoll(arg.substr(std::strlen("--threads=")));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    fairco2::parallel::applyThreadsFlag(threads);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    argc = consumeThreadsFlag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    const fairco2::bench::WallTimer suite_timer;
+    benchmark::RunSpecifiedBenchmarks();
+    const double suite_seconds = suite_timer.seconds();
+    benchmark::Shutdown();
+
+    // A dedicated headline timing for the perf trajectory: one exact
+    // 20-player solve (2^20 coalitions), the parallelized hot loop.
+    constexpr std::size_t kHeadlinePlayers = 20;
+    const shapley::PeakGame game(randomPeaks(kHeadlinePlayers, 7));
+    const fairco2::bench::WallTimer exact_timer;
+    const auto phi = shapley::exactShapley(game);
+    fairco2::bench::recordPerf("perf_shapley_engines/exact_n20",
+                               std::size_t{1} << kHeadlinePlayers,
+                               exact_timer.seconds());
+    fairco2::bench::recordPerf("perf_shapley_engines", 1,
+                               suite_seconds);
+    return phi.empty() ? 1 : 0;
+}

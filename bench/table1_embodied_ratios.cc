@@ -10,6 +10,7 @@
 #include "carbon/server.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 
 using namespace fairco2;
@@ -18,8 +19,11 @@ int
 main(int argc, char **argv)
 {
     FlagSet flags("Table 1: component TDP vs embodied carbon");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const carbon::ServerCarbonModel server;
     const auto rows = server.table1();

@@ -16,6 +16,7 @@
 #include "bench_util.hh"
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "core/discount.hh"
 
@@ -34,8 +35,11 @@ main(int argc, char **argv)
     flags.addInt("k", &k, "short-lived workloads (k < n)");
     flags.addInt("m", &m, "attribution periods");
     flags.addDouble("p", &p, "off-peak demand fraction (0, 1)");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
 
     const double total = 1000.0;
     const auto analysis = core::unitResourceTimeAnalysis(

@@ -1,0 +1,278 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/flags.hh"
+
+namespace fairco2::parallel
+{
+
+namespace
+{
+
+/** Set while the current thread executes chunks of a region. */
+thread_local bool tls_in_region = false;
+
+/**
+ * Fixed-size pool with static chunk assignment. Workers park on a
+ * condition variable between regions; the caller participates as
+ * participant 0, so a T-thread configuration spawns T-1 workers.
+ */
+class Pool
+{
+  public:
+    Pool() : threads_(hardwareConcurrency()) {}
+
+    ~Pool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        workCv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    std::size_t
+    threads() const
+    {
+        return threads_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setThreads(std::size_t count)
+    {
+        if (inParallelRegion())
+            throw std::logic_error(
+                "parallel::setThreadCount inside a parallel region");
+        if (count == 0)
+            count = hardwareConcurrency();
+        // Workers are lazy: they spawn on the next region that needs
+        // them and excess workers are simply never assigned chunks,
+        // so resizing needs no teardown.
+        threads_.store(count, std::memory_order_relaxed);
+    }
+
+    void
+    run(std::size_t num_chunks,
+        const std::function<void(std::size_t)> &chunk_body)
+    {
+        const std::size_t participants = std::min(
+            threads_.load(std::memory_order_relaxed), num_chunks);
+        if (tls_in_region || participants <= 1) {
+            // Nested call (rejected by the pool) or nothing to share:
+            // execute serially inline. Chunk order is ascending, and
+            // results are identical by construction.
+            const bool was_in_region = tls_in_region;
+            tls_in_region = true;
+            try {
+                for (std::size_t c = 0; c < num_chunks; ++c)
+                    chunk_body(c);
+            } catch (...) {
+                tls_in_region = was_in_region;
+                throw;
+            }
+            tls_in_region = was_in_region;
+            return;
+        }
+
+        // One top-level region at a time; concurrent callers (not a
+        // pattern the harnesses use, but legal) serialize here.
+        std::unique_lock<std::mutex> gate(regionGate_);
+        ensureWorkers(participants - 1);
+
+        Region region;
+        region.chunkBody = &chunk_body;
+        region.numChunks = num_chunks;
+        region.participants = participants;
+        region.pendingWorkers = participants - 1;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            assert(region_ == nullptr);
+            region_ = &region;
+            ++epoch_;
+        }
+        workCv_.notify_all();
+
+        // The caller is participant 0.
+        runShare(region, 0);
+
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            doneCv_.wait(lock, [&] {
+                return region.pendingWorkers == 0;
+            });
+            region_ = nullptr;
+        }
+        if (region.error)
+            std::rethrow_exception(region.error);
+    }
+
+  private:
+    struct Region
+    {
+        const std::function<void(std::size_t)> *chunkBody = nullptr;
+        std::size_t numChunks = 0;
+        std::size_t participants = 0;
+        std::size_t pendingWorkers = 0;
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex errorMutex;
+    };
+
+    void
+    ensureWorkers(std::size_t needed)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (workers_.size() < needed) {
+            const std::size_t id = workers_.size() + 1;
+            workers_.emplace_back([this, id] { workerLoop(id); });
+        }
+    }
+
+    /**
+     * Execute this participant's statically assigned chunks:
+     * participant p runs chunks p, p + P, p + 2P, ... for P
+     * participants. No queue, no stealing — the assignment is a pure
+     * function of (num_chunks, participants).
+     */
+    void
+    runShare(Region &region, std::size_t participant)
+    {
+        tls_in_region = true;
+        try {
+            for (std::size_t c = participant; c < region.numChunks;
+                 c += region.participants) {
+                if (region.failed.load(std::memory_order_relaxed))
+                    break;
+                (*region.chunkBody)(c);
+            }
+        } catch (...) {
+            region.failed.store(true, std::memory_order_relaxed);
+            std::unique_lock<std::mutex> lock(region.errorMutex);
+            if (!region.error)
+                region.error = std::current_exception();
+        }
+        tls_in_region = false;
+    }
+
+    void
+    workerLoop(std::size_t id)
+    {
+        std::uint64_t seen_epoch = 0;
+        while (true) {
+            Region *region = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                workCv_.wait(lock, [&] {
+                    return stop_ ||
+                        (epoch_ != seen_epoch && region_ != nullptr);
+                });
+                if (stop_)
+                    return;
+                seen_epoch = epoch_;
+                region = region_;
+                if (id >= region->participants) {
+                    // Spawned for an earlier, wider region; not part
+                    // of this one.
+                    continue;
+                }
+            }
+            runShare(*region, id);
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (--region->pendingWorkers == 0)
+                    doneCv_.notify_all();
+            }
+        }
+    }
+
+    std::mutex regionGate_;
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::vector<std::thread> workers_;
+    std::atomic<std::size_t> threads_;
+    Region *region_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    bool stop_ = false;
+};
+
+Pool &
+pool()
+{
+    static Pool instance;
+    return instance;
+}
+
+} // namespace
+
+std::size_t
+hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t
+threadCount()
+{
+    return pool().threads();
+}
+
+void
+setThreadCount(std::size_t count)
+{
+    pool().setThreads(count);
+}
+
+bool
+inParallelRegion()
+{
+    return tls_in_region;
+}
+
+void
+addThreadsFlag(FlagSet &flags, std::int64_t *value)
+{
+    flags.addInt("threads", value,
+                 "worker threads (0 = hardware concurrency); "
+                 "results are identical for any value");
+}
+
+void
+applyThreadsFlag(std::int64_t value)
+{
+    if (value < 0) {
+        // Match FlagSet's contract for malformed values: report and
+        // exit 2 rather than unwinding through the harness's main.
+        std::fprintf(stderr, "error: --threads must be >= 0\n");
+        std::exit(2);
+    }
+    setThreadCount(static_cast<std::size_t>(value));
+}
+
+namespace detail
+{
+
+void
+runChunks(std::size_t num_chunks,
+          const std::function<void(std::size_t)> &chunk_body)
+{
+    if (num_chunks == 0)
+        return;
+    pool().run(num_chunks, chunk_body);
+}
+
+} // namespace detail
+
+} // namespace fairco2::parallel

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic parallel execution for trial/coalition loops.
+ *
+ * All the heavy loops in Fair-CO2 — Monte Carlo trials, exact-Shapley
+ * coalition enumeration, configuration-sweep grids — are
+ * embarrassingly parallel. This layer runs them across a fixed-size
+ * thread pool with *static* chunk assignment (no work stealing): the
+ * iteration range is cut into chunks purely as a function of the
+ * range and the chunk size, chunk c is executed by participant
+ * c % threads, and reductions fold per-chunk partials in ascending
+ * chunk order. Because neither the chunk grid nor the fold order
+ * depends on the thread count, results are bit-identical for any
+ * `--threads N`, including 1 — provided the loop body derives its
+ * randomness per index (see Rng::fork) instead of sharing a stream.
+ *
+ * Nested calls do not re-enter the pool: a parallelFor issued from
+ * inside a worker (e.g. exactShapley invoked by a Monte Carlo trial
+ * that is itself parallelized) is rejected by the pool and executed
+ * serially inline, which keeps the determinism guarantee and can
+ * never deadlock.
+ *
+ * Exceptions thrown by a chunk body are captured, the remaining
+ * chunks are abandoned as soon as possible, and the first exception
+ * is rethrown on the calling thread once every participant has
+ * stopped.
+ */
+
+#ifndef FAIRCO2_COMMON_PARALLEL_HH
+#define FAIRCO2_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace fairco2
+{
+
+class FlagSet;
+
+namespace parallel
+{
+
+/** Threads the hardware offers (>= 1 even when undetectable). */
+std::size_t hardwareConcurrency();
+
+/** Currently configured worker count (>= 1). */
+std::size_t threadCount();
+
+/**
+ * Set the worker count; 0 selects hardwareConcurrency(). Must not be
+ * called from inside a parallel region. Changing the count never
+ * changes results, only wall time.
+ */
+void setThreadCount(std::size_t count);
+
+/** True while the calling thread is executing a parallel region. */
+bool inParallelRegion();
+
+/**
+ * Register the shared `--threads` flag on a bench/tool FlagSet.
+ * *value should default to 0 (= hardware concurrency).
+ */
+void addThreadsFlag(FlagSet &flags, std::int64_t *value);
+
+/**
+ * Apply a parsed `--threads` value (0 = hardware concurrency). A
+ * negative value reports an error and exits 2, mirroring FlagSet's
+ * handling of malformed flag values.
+ */
+void applyThreadsFlag(std::int64_t value);
+
+namespace detail
+{
+
+/**
+ * Execute chunk_body(c) for every c in [0, num_chunks), distributing
+ * chunks round-robin over the pool. Serial when num_chunks <= 1, the
+ * pool has one thread, or the caller is already inside a region.
+ */
+void runChunks(std::size_t num_chunks,
+               const std::function<void(std::size_t)> &chunk_body);
+
+} // namespace detail
+
+/**
+ * Parallel loop over [begin, end): body(lo, hi) is invoked once per
+ * chunk with begin <= lo < hi <= end. The chunk grid depends only on
+ * the range and @p chunk (clamped to >= 1), never on the thread
+ * count. The body must be safe to run concurrently with itself on
+ * disjoint chunks and must not depend on chunk execution order.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t chunk,
+            Body &&body)
+{
+    if (begin >= end)
+        return;
+    if (chunk == 0)
+        chunk = 1;
+    const std::size_t num_chunks = (end - begin + chunk - 1) / chunk;
+    detail::runChunks(num_chunks, [&](std::size_t c) {
+        const std::size_t lo = begin + c * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        body(lo, hi);
+    });
+}
+
+/**
+ * Parallel map-reduce over [begin, end): map(lo, hi) produces one
+ * partial per chunk, and the partials are folded left-to-right in
+ * ascending chunk order with reduce(accumulator, partial). The fixed
+ * fold order makes floating-point results bit-identical for any
+ * thread count (they may differ from a single unchunked serial
+ * accumulation, which is why callers pick a fixed @p chunk).
+ */
+template <typename T, typename Map, typename Reduce>
+T
+parallelMapReduce(std::size_t begin, std::size_t end,
+                  std::size_t chunk, T identity, Map &&map,
+                  Reduce &&reduce)
+{
+    T result = std::move(identity);
+    if (begin >= end)
+        return result;
+    if (chunk == 0)
+        chunk = 1;
+    const std::size_t num_chunks = (end - begin + chunk - 1) / chunk;
+    std::vector<T> partials(num_chunks, result);
+    detail::runChunks(num_chunks, [&](std::size_t c) {
+        const std::size_t lo = begin + c * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        partials[c] = map(lo, hi);
+    });
+    for (T &partial : partials)
+        reduce(result, partial);
+    return result;
+}
+
+} // namespace parallel
+} // namespace fairco2
+
+#endif // FAIRCO2_COMMON_PARALLEL_HH

@@ -30,7 +30,7 @@ rotl(std::uint64_t x, int k)
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
-    : cachedNormal_(0.0), hasCachedNormal_(false)
+    : seed_(seed), cachedNormal_(0.0), hasCachedNormal_(false)
 {
     std::uint64_t s = seed;
     for (auto &word : state_)
@@ -153,6 +153,19 @@ Rng
 Rng::split()
 {
     return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+Rng
+Rng::fork(std::uint64_t stream) const
+{
+    // Counter-based derivation: scramble (seed, stream) through two
+    // splitmix64 steps. The XOR constant keeps fork(0) off the words
+    // the constructor already expanded from the bare seed, so a
+    // child never replays its parent's state.
+    std::uint64_t s = (seed_ ^ 0x5851f42d4c957f2dULL) +
+        (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t first = splitmix64(s);
+    return Rng(first ^ splitmix64(s));
 }
 
 } // namespace fairco2

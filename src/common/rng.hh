@@ -77,7 +77,18 @@ class Rng
     /** Fork an independent stream (for per-trial generators). */
     Rng split();
 
+    /**
+     * Derive the independent stream @p stream from this generator's
+     * root seed, counter-style: fork(s) is a pure function of
+     * (construction seed, s), does not advance this generator, and is
+     * therefore safe to call concurrently and identical no matter how
+     * many threads a loop runs on. Every parallel trial loop draws
+     * its per-trial randomness as base.fork(trial_index).
+     */
+    Rng fork(std::uint64_t stream) const;
+
   private:
+    std::uint64_t seed_; //!< construction seed, for fork()
     std::uint64_t state_[4];
     double cachedNormal_;
     bool hasCachedNormal_;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/parallel.hh"
 #include "montecarlo/metrics.hh"
 
 namespace fairco2::montecarlo
@@ -105,20 +106,41 @@ ColocationMonteCarlo::run(const ColocMcConfig &config, Rng &rng) const
     assert(config.minSamples >= 1);
     assert(config.maxSamples <= suite_.size() - 1);
 
+    // Trial t draws its knobs and all scenario randomness from
+    // base.fork(t); per-trial record buffers are concatenated in
+    // trial order afterwards, so both the trial series and the
+    // record stream are bit-identical for any thread count.
+    const Rng base = rng.split();
     ColocMcOutput out;
-    out.trials.reserve(config.trials);
-    for (std::size_t t = 0; t < config.trials; ++t) {
-        const auto n = static_cast<std::size_t>(rng.uniformInt(
-            static_cast<std::int64_t>(config.minWorkloads),
-            static_cast<std::int64_t>(config.maxWorkloads)));
-        const double ci =
-            rng.uniform(config.minGridCi, config.maxGridCi);
-        const auto samples = static_cast<std::size_t>(rng.uniformInt(
-            static_cast<std::int64_t>(config.minSamples),
-            static_cast<std::int64_t>(config.maxSamples)));
-        out.trials.push_back(runTrial(
-            n, ci, samples, rng,
-            config.collectRecords ? &out.records : nullptr));
+    out.trials.resize(config.trials);
+    std::vector<std::vector<ColocWorkloadRecord>> trial_records(
+        config.collectRecords ? config.trials : 0);
+    parallel::parallelFor(
+        0, config.trials, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t t = lo; t < hi; ++t) {
+                Rng trial_rng = base.fork(t);
+                const auto n =
+                    static_cast<std::size_t>(trial_rng.uniformInt(
+                        static_cast<std::int64_t>(
+                            config.minWorkloads),
+                        static_cast<std::int64_t>(
+                            config.maxWorkloads)));
+                const double ci = trial_rng.uniform(
+                    config.minGridCi, config.maxGridCi);
+                const auto samples =
+                    static_cast<std::size_t>(trial_rng.uniformInt(
+                        static_cast<std::int64_t>(config.minSamples),
+                        static_cast<std::int64_t>(
+                            config.maxSamples)));
+                out.trials[t] = runTrial(
+                    n, ci, samples, trial_rng,
+                    config.collectRecords ? &trial_records[t]
+                                          : nullptr);
+            }
+        });
+    for (auto &records : trial_records) {
+        out.records.insert(out.records.end(), records.begin(),
+                           records.end());
     }
     return out;
 }

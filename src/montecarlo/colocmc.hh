@@ -73,7 +73,13 @@ class ColocationMonteCarlo
   public:
     ColocationMonteCarlo();
 
-    /** Run @p config.trials random scenarios. */
+    /**
+     * Run @p config.trials random scenarios on the common parallel
+     * layer. Advances @p rng once to derive a base stream; trial t
+     * forks base.fork(t), so the output — including the record
+     * stream, which is concatenated in trial order — is bit-identical
+     * for any thread count.
+     */
     ColocMcOutput run(const ColocMcConfig &config, Rng &rng) const;
 
     /** Run a single scenario at the given knob values. */

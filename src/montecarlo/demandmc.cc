@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/parallel.hh"
 #include "montecarlo/metrics.hh"
 
 namespace fairco2::montecarlo
@@ -126,13 +127,24 @@ runDemandTrial(const core::Schedule &schedule, double total_grams)
 std::vector<DemandTrialResult>
 runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng)
 {
-    std::vector<DemandTrialResult> results;
-    results.reserve(config.trials);
-    for (std::size_t t = 0; t < config.trials; ++t) {
-        const auto schedule = randomSchedule(config, rng);
-        results.push_back(
-            runDemandTrial(schedule, config.totalGrams));
-    }
+    // Trial t draws every random quantity from base.fork(t), a pure
+    // function of the seed and the trial index, and writes only
+    // results[t] — so the sweep is bit-identical for any thread
+    // count. Trials run at chunk size 1: each one contains an exact
+    // Shapley solve, which dwarfs the dispatch cost and varies a lot
+    // with the drawn workload count.
+    const Rng base = rng.split();
+    std::vector<DemandTrialResult> results(config.trials);
+    parallel::parallelFor(
+        0, config.trials, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t t = lo; t < hi; ++t) {
+                Rng trial_rng = base.fork(t);
+                const auto schedule =
+                    randomSchedule(config, trial_rng);
+                results[t] =
+                    runDemandTrial(schedule, config.totalGrams);
+            }
+        });
     return results;
 }
 

@@ -56,7 +56,11 @@ core::Schedule randomSchedule(const DemandMcConfig &config, Rng &rng);
 DemandTrialResult runDemandTrial(const core::Schedule &schedule,
                                  double total_grams);
 
-/** Run the full Monte Carlo sweep. */
+/**
+ * Run the full Monte Carlo sweep on the common parallel layer.
+ * Advances @p rng once to derive a base stream; trial t then forks
+ * base.fork(t), so results are bit-identical for any thread count.
+ */
 std::vector<DemandTrialResult>
 runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng);
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/parallel.hh"
+
 namespace fairco2::optimize
 {
 
@@ -26,17 +28,22 @@ ConfigSweep::sweep(const workload::WorkloadSpec &w,
                    const std::vector<double> &core_grid,
                    const std::vector<double> &memory_grid) const
 {
-    std::vector<SweepPoint> points;
-    points.reserve(core_grid.size() * memory_grid.size());
-    for (double cores : core_grid) {
-        for (double memory : memory_grid) {
-            SweepPoint p;
-            p.config = {cores, memory};
-            p.runtimeSeconds = perf.runtimeSeconds(w, p.config);
-            p.footprint = objective.batchRun(w, p.config, perf);
-            points.push_back(p);
-        }
-    }
+    // Flatten the grid so each point evaluates independently in
+    // parallel; points land at their grid index, preserving the
+    // serial (cores-major) ordering exactly.
+    const std::size_t num_memory = memory_grid.size();
+    std::vector<SweepPoint> points(core_grid.size() * num_memory);
+    parallel::parallelFor(
+        0, points.size(), num_memory,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                SweepPoint &p = points[i];
+                p.config = {core_grid[i / num_memory],
+                            memory_grid[i % num_memory]};
+                p.runtimeSeconds = perf.runtimeSeconds(w, p.config);
+                p.footprint = objective.batchRun(w, p.config, perf);
+            }
+        });
     return points;
 }
 
@@ -120,21 +127,27 @@ faissSweep(const workload::FaissModel &model,
            const std::vector<double> &core_grid,
            const std::vector<double> &batch_grid)
 {
-    std::vector<FaissSweepPoint> points;
-    points.reserve(2 * core_grid.size() * batch_grid.size());
-    for (auto index :
-         {workload::FaissIndex::IVF, workload::FaissIndex::HNSW}) {
-        for (double cores : core_grid) {
-            for (double batch : batch_grid) {
-                FaissSweepPoint p;
-                p.config = {index, cores, batch};
+    // Same flattening as ConfigSweep::sweep: (index, cores, batch)
+    // major-to-minor, each point independent and written in place.
+    const std::size_t num_batch = batch_grid.size();
+    const std::size_t per_index = core_grid.size() * num_batch;
+    std::vector<FaissSweepPoint> points(2 * per_index);
+    parallel::parallelFor(
+        0, points.size(), num_batch,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const auto index = i < per_index
+                    ? workload::FaissIndex::IVF
+                    : workload::FaissIndex::HNSW;
+                const std::size_t within = i % per_index;
+                FaissSweepPoint &p = points[i];
+                p.config = {index, core_grid[within / num_batch],
+                            batch_grid[within % num_batch]};
                 p.tailLatencySeconds =
                     model.tailLatencySeconds(p.config);
                 p.perQuery = objective.faissPerQuery(model, p.config);
-                points.push_back(p);
             }
-        }
-    }
+        });
     return points;
 }
 

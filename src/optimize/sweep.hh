@@ -41,7 +41,9 @@ class ConfigSweep
      * Evaluate every (cores, memory) combination. Memory points
      * below 4 GB of slack under the allocation are kept — the paper
      * notes low-memory configurations crawl, and they are exactly
-     * the interesting embodied/runtime trade-off.
+     * the interesting embodied/runtime trade-off. Grid points
+     * evaluate in parallel on the common layer; the returned order
+     * (cores-major) and values are independent of the thread count.
      */
     std::vector<SweepPoint>
     sweep(const workload::WorkloadSpec &w,
@@ -80,7 +82,9 @@ struct FaissSweepPoint
 std::vector<double> defaultBatchGrid();
 
 /**
- * Evaluate both indices over the core and batch grids.
+ * Evaluate both indices over the core and batch grids. Points
+ * evaluate in parallel; order (index, cores, batch major-to-minor)
+ * and values are independent of the thread count.
  */
 std::vector<FaissSweepPoint>
 faissSweep(const workload::FaissModel &model,

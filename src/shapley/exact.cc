@@ -4,8 +4,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hh"
+
 namespace fairco2::shapley
 {
+
+namespace
+{
+
+/**
+ * Masks per parallel chunk. Fixed (never derived from the thread
+ * count) so the chunk grid — and with it the floating-point
+ * reduction order — is identical for any `--threads N`.
+ */
+constexpr std::uint64_t kMaskChunk = 1ULL << 14;
+
+} // namespace
 
 std::vector<double>
 exactShapley(const CoalitionGame &game)
@@ -19,10 +33,24 @@ exactShapley(const CoalitionGame &game)
 
     const std::uint64_t num_masks = 1ULL << n;
 
-    // Tabulate v once; games are often expensive to evaluate.
+    // Explicit size guard before reserving the 2^n-double table; the
+    // player cap above bounds it at exactTableBytes(24) = 128 MiB,
+    // and this check keeps the bound honest if the cap ever moves.
+    constexpr std::size_t max_bytes = exactTableBytes(kMaxExactPlayers);
+    if (num_masks * sizeof(double) > max_bytes)
+        throw std::invalid_argument(
+            "exactShapley: coalition table would exceed the "
+            "documented memory bound");
+
+    // Tabulate v once; games are often expensive to evaluate. Each
+    // entry is independent, so masks tabulate in parallel chunks.
     std::vector<double> v(num_masks);
-    for (std::uint64_t mask = 0; mask < num_masks; ++mask)
-        v[mask] = game.value(mask);
+    parallel::parallelFor(
+        0, num_masks, kMaskChunk,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t mask = lo; mask < hi; ++mask)
+                v[mask] = game.value(mask);
+        });
 
     // weight[s] = s! (n-1-s)! / n! for |S| = s, computed iteratively
     // to stay in floating point range: weight[0] = 1/n and
@@ -32,19 +60,38 @@ exactShapley(const CoalitionGame &game)
     for (int s = 1; s < n; ++s)
         weight[s] = weight[s - 1] * s / (n - s);
 
-    std::vector<double> phi(n, 0.0);
-    for (std::uint64_t mask = 0; mask < num_masks; ++mask) {
-        const int size = std::popcount(mask);
-        const double w = weight[size];
-        const double v_s = v[mask];
-        // Add each absent player i and accumulate the marginal.
-        std::uint64_t absent = ~mask & (num_masks - 1);
-        while (absent) {
-            const int i = std::countr_zero(absent);
-            absent &= absent - 1;
-            phi[i] += w * (v[mask | (1ULL << i)] - v_s);
-        }
-    }
+    // Accumulate marginals with one phi partial per mask chunk,
+    // folded in ascending chunk order — bit-identical regardless of
+    // how many threads executed the chunks.
+    auto phi = parallel::parallelMapReduce(
+        0, num_masks, kMaskChunk, std::vector<double>(n, 0.0),
+        [&](std::size_t lo, std::size_t hi) {
+            std::vector<double> partial(n, 0.0);
+            for (std::size_t mask = lo; mask < hi; ++mask) {
+                // The full coalition has no absent players, and its
+                // popcount would index one past the end of weight.
+                std::uint64_t absent = ~mask & (num_masks - 1);
+                if (absent == 0)
+                    continue;
+                const int size =
+                    std::popcount(static_cast<std::uint64_t>(mask));
+                const double w = weight[size];
+                const double v_s = v[mask];
+                // Add each absent player i and accumulate the
+                // marginal.
+                while (absent) {
+                    const int i = std::countr_zero(absent);
+                    absent &= absent - 1;
+                    partial[i] += w * (v[mask | (1ULL << i)] - v_s);
+                }
+            }
+            return partial;
+        },
+        [n](std::vector<double> &acc,
+            const std::vector<double> &partial) {
+            for (int i = 0; i < n; ++i)
+                acc[i] += partial[i];
+        });
     return phi;
 }
 
@@ -56,19 +103,38 @@ sampledShapley(const CoalitionGame &game, Rng &rng,
     if (n == 0 || num_permutations == 0)
         return std::vector<double>(n, 0.0);
 
-    std::vector<double> phi(n, 0.0);
-    for (std::size_t p = 0; p < num_permutations; ++p) {
-        const auto order = rng.permutation(static_cast<std::size_t>(n));
-        std::uint64_t mask = 0;
-        double prev = game.value(0);
-        for (int k = 0; k < n; ++k) {
-            const auto player = order[k];
-            mask |= 1ULL << player;
-            const double cur = game.value(mask);
-            phi[player] += cur - prev;
-            prev = cur;
-        }
-    }
+    // One state advance of the caller's generator yields the base all
+    // per-permutation streams fork from; permutation p then depends
+    // only on (base seed, p), not on which thread or in which order
+    // it is evaluated.
+    const Rng base = rng.split();
+    constexpr std::size_t kPermChunk = 16;
+
+    auto phi = parallel::parallelMapReduce(
+        0, num_permutations, kPermChunk, std::vector<double>(n, 0.0),
+        [&](std::size_t lo, std::size_t hi) {
+            std::vector<double> partial(n, 0.0);
+            for (std::size_t p = lo; p < hi; ++p) {
+                Rng perm_rng = base.fork(p);
+                const auto order =
+                    perm_rng.permutation(static_cast<std::size_t>(n));
+                std::uint64_t mask = 0;
+                double prev = game.value(0);
+                for (int k = 0; k < n; ++k) {
+                    const auto player = order[k];
+                    mask |= 1ULL << player;
+                    const double cur = game.value(mask);
+                    partial[player] += cur - prev;
+                    prev = cur;
+                }
+            }
+            return partial;
+        },
+        [n](std::vector<double> &acc,
+            const std::vector<double> &partial) {
+            for (int i = 0; i < n; ++i)
+                acc[i] += partial[i];
+        });
     for (double &x : phi)
         x /= static_cast<double>(num_permutations);
     return phi;

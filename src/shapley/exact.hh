@@ -20,8 +20,23 @@
 namespace fairco2::shapley
 {
 
-/** Hard cap on exact enumeration; beyond this memory/time explode. */
-constexpr int kMaxExactPlayers = 26;
+/**
+ * Hard cap on exact enumeration; beyond this memory/time explode.
+ *
+ * The solver tabulates the characteristic function into a table of
+ * 2^n doubles, so memory is 8 * 2^n bytes: 128 MiB at n = 24. Every
+ * player past that doubles it (25 -> 256 MiB, 26 -> 512 MiB), which
+ * is why the cap sits at 24; exactShapley() additionally checks the
+ * concrete allocation size before reserving the table.
+ */
+constexpr int kMaxExactPlayers = 24;
+
+/** Bytes the coalition-value table needs for @p num_players. */
+constexpr std::size_t
+exactTableBytes(int num_players)
+{
+    return (std::size_t{1} << num_players) * sizeof(double);
+}
 
 /**
  * Exact Shapley values via full coalition enumeration.
@@ -29,8 +44,16 @@ constexpr int kMaxExactPlayers = 26;
  * phi_i = sum over S not containing i of
  *         |S|! (n-|S|-1)! / n! * (v(S + i) - v(S)).
  *
+ * Both the coalition-value tabulation and the marginal accumulation
+ * run on the common parallel layer in fixed mask chunks, with
+ * per-chunk phi partials reduced in chunk order — results are
+ * bit-identical for any thread count. game.value() must therefore be
+ * safe for concurrent const calls (every game in this repository is
+ * a pure function of the mask).
+ *
  * @throws std::invalid_argument when the game exceeds
- *         kMaxExactPlayers players.
+ *         kMaxExactPlayers players or the 8 * 2^n-byte value table
+ *         would exceed the documented bound.
  */
 std::vector<double> exactShapley(const CoalitionGame &game);
 
@@ -39,7 +62,10 @@ std::vector<double> exactShapley(const CoalitionGame &game);
  * permutations and averaging marginal contributions.
  *
  * Unbiased for any number of permutations >= 1; the standard
- * work-horse when exact enumeration is intractable.
+ * work-horse when exact enumeration is intractable. Permutation p
+ * draws from a forked stream base.fork(p) (base = rng.split(), one
+ * state advance of @p rng), so the estimate is independent of
+ * evaluation order and of the thread count.
  */
 std::vector<double> sampledShapley(const CoalitionGame &game, Rng &rng,
                                    std::size_t num_permutations);

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the deterministic parallel layer: pool semantics
+ * (exceptions, empty ranges, oversized chunks, nested calls) and the
+ * bit-identical-for-any-thread-count guarantee on the three wired
+ * hot paths (both Monte Carlo harnesses and exact Shapley).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "montecarlo/colocmc.hh"
+#include "montecarlo/demandmc.hh"
+#include "shapley/exact.hh"
+#include "shapley/peak.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+/** Restore the global thread count after each test. */
+class ParallelTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = parallel::threadCount(); }
+    void TearDown() override { parallel::setThreadCount(saved_); }
+
+  private:
+    std::size_t saved_ = 1;
+};
+
+TEST_F(ParallelTest, HardwareConcurrencyIsPositive)
+{
+    EXPECT_GE(parallel::hardwareConcurrency(), 1u);
+}
+
+TEST_F(ParallelTest, SetThreadCountZeroMeansHardware)
+{
+    parallel::setThreadCount(0);
+    EXPECT_EQ(parallel::threadCount(),
+              parallel::hardwareConcurrency());
+    parallel::setThreadCount(3);
+    EXPECT_EQ(parallel::threadCount(), 3u);
+}
+
+TEST_F(ParallelTest, EmptyRangeRunsNothing)
+{
+    parallel::setThreadCount(4);
+    std::atomic<int> calls{0};
+    parallel::parallelFor(5, 5, 1,
+                          [&](std::size_t, std::size_t) { ++calls; });
+    parallel::parallelFor(7, 3, 1,
+                          [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelTest, ChunkLargerThanRangeIsOneChunk)
+{
+    parallel::setThreadCount(4);
+    std::atomic<int> calls{0};
+    std::size_t seen_lo = 99, seen_hi = 0;
+    parallel::parallelFor(2, 6, 100,
+                          [&](std::size_t lo, std::size_t hi) {
+                              ++calls;
+                              seen_lo = lo;
+                              seen_hi = hi;
+                          });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen_lo, 2u);
+    EXPECT_EQ(seen_hi, 6u);
+}
+
+TEST_F(ParallelTest, ZeroChunkIsClampedToOne)
+{
+    parallel::setThreadCount(2);
+    std::vector<int> hit(8, 0);
+    parallel::parallelFor(0, 8, 0,
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  hit[i] = 1;
+                          });
+    EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 8);
+}
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        parallel::setThreadCount(threads);
+        std::vector<std::atomic<int>> counts(1000);
+        parallel::parallelFor(0, counts.size(), 7,
+                              [&](std::size_t lo, std::size_t hi) {
+                                  for (std::size_t i = lo; i < hi;
+                                       ++i)
+                                      ++counts[i];
+                              });
+        for (const auto &c : counts)
+            ASSERT_EQ(c.load(), 1);
+    }
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller)
+{
+    parallel::setThreadCount(4);
+    EXPECT_THROW(
+        parallel::parallelFor(0, 100, 1,
+                              [](std::size_t lo, std::size_t) {
+                                  if (lo == 41)
+                                      throw std::runtime_error(
+                                          "chunk failed");
+                              }),
+        std::runtime_error);
+
+    // The pool survives a failed region and runs the next one.
+    std::atomic<int> calls{0};
+    parallel::parallelFor(0, 16, 1,
+                          [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 16);
+}
+
+TEST_F(ParallelTest, NestedCallsAreRejectedToSerial)
+{
+    parallel::setThreadCount(4);
+    std::atomic<int> inner_total{0};
+    std::atomic<bool> saw_region{false};
+    parallel::parallelFor(
+        0, 8, 1, [&](std::size_t, std::size_t) {
+            if (parallel::inParallelRegion())
+                saw_region = true;
+            // The nested call must not re-enter the pool (no
+            // deadlock) and must still execute every index.
+            parallel::parallelFor(0, 10, 3,
+                                  [&](std::size_t lo,
+                                      std::size_t hi) {
+                                      inner_total += static_cast<int>(
+                                          hi - lo);
+                                  });
+        });
+    EXPECT_TRUE(saw_region.load());
+    EXPECT_EQ(inner_total.load(), 80);
+    EXPECT_FALSE(parallel::inParallelRegion());
+}
+
+TEST_F(ParallelTest, SetThreadCountInsideRegionThrows)
+{
+    parallel::setThreadCount(2);
+    EXPECT_THROW(parallel::parallelFor(
+                     0, 4, 1,
+                     [](std::size_t, std::size_t) {
+                         parallel::setThreadCount(3);
+                     }),
+                 std::logic_error);
+}
+
+TEST_F(ParallelTest, MapReduceSumsInChunkOrder)
+{
+    // Sum of squares, checked against the closed form and checked
+    // bit-identical across thread counts.
+    const std::size_t n = 10000;
+    std::vector<double> reference;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        parallel::setThreadCount(threads);
+        const double total = parallel::parallelMapReduce(
+            0, n, 64, 0.0,
+            [](std::size_t lo, std::size_t hi) {
+                double s = 0.0;
+                for (std::size_t i = lo; i < hi; ++i)
+                    s += static_cast<double>(i) *
+                        static_cast<double>(i);
+                return s;
+            },
+            [](double &acc, const double &partial) {
+                acc += partial;
+            });
+        reference.push_back(total);
+    }
+    EXPECT_EQ(reference[0], reference[1]);
+    EXPECT_EQ(reference[1], reference[2]);
+    const double nn = static_cast<double>(n - 1);
+    EXPECT_NEAR(reference[0], nn * (nn + 1) * (2 * nn + 1) / 6.0,
+                1e-3);
+}
+
+TEST_F(ParallelTest, MapReduceEmptyRangeReturnsIdentity)
+{
+    parallel::setThreadCount(4);
+    const double total = parallel::parallelMapReduce(
+        3, 3, 8, 42.0,
+        [](std::size_t, std::size_t) { return 1.0; },
+        [](double &acc, const double &partial) { acc += partial; });
+    EXPECT_DOUBLE_EQ(total, 42.0);
+}
+
+// ---- Bit-identical results across thread counts on the wired ----
+// ---- hot paths.                                              ----
+
+class DeterminismTest : public ParallelTest,
+                        public ::testing::WithParamInterface<int>
+{
+};
+
+TEST_P(DeterminismTest, DemandMonteCarloBitIdentical)
+{
+    montecarlo::DemandMcConfig config;
+    config.trials = 20;
+    config.maxWorkloads = 12;
+
+    parallel::setThreadCount(1);
+    Rng serial_rng(1234);
+    const auto serial =
+        montecarlo::runDemandMonteCarlo(config, serial_rng);
+
+    parallel::setThreadCount(static_cast<std::size_t>(GetParam()));
+    Rng parallel_rng(1234);
+    const auto threaded =
+        montecarlo::runDemandMonteCarlo(config, parallel_rng);
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t t = 0; t < serial.size(); ++t) {
+        EXPECT_EQ(serial[t].numWorkloads, threaded[t].numWorkloads);
+        EXPECT_EQ(serial[t].numSlices, threaded[t].numSlices);
+        EXPECT_EQ(serial[t].avgFairCo2, threaded[t].avgFairCo2);
+        EXPECT_EQ(serial[t].avgDemandProportional,
+                  threaded[t].avgDemandProportional);
+        EXPECT_EQ(serial[t].avgRup, threaded[t].avgRup);
+        EXPECT_EQ(serial[t].worstFairCo2, threaded[t].worstFairCo2);
+        EXPECT_EQ(serial[t].worstDemandProportional,
+                  threaded[t].worstDemandProportional);
+        EXPECT_EQ(serial[t].worstRup, threaded[t].worstRup);
+    }
+}
+
+TEST_P(DeterminismTest, ColocMonteCarloBitIdentical)
+{
+    montecarlo::ColocMcConfig config;
+    config.trials = 15;
+    config.minWorkloads = 4;
+    config.maxWorkloads = 20;
+    config.collectRecords = true;
+
+    const montecarlo::ColocationMonteCarlo mc;
+
+    parallel::setThreadCount(1);
+    Rng serial_rng(77);
+    const auto serial = mc.run(config, serial_rng);
+
+    parallel::setThreadCount(static_cast<std::size_t>(GetParam()));
+    Rng parallel_rng(77);
+    const auto threaded = mc.run(config, parallel_rng);
+
+    ASSERT_EQ(serial.trials.size(), threaded.trials.size());
+    for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+        EXPECT_EQ(serial.trials[t].numWorkloads,
+                  threaded.trials[t].numWorkloads);
+        EXPECT_EQ(serial.trials[t].gridCi, threaded.trials[t].gridCi);
+        EXPECT_EQ(serial.trials[t].avgRup, threaded.trials[t].avgRup);
+        EXPECT_EQ(serial.trials[t].worstRup,
+                  threaded.trials[t].worstRup);
+        EXPECT_EQ(serial.trials[t].avgFairCo2,
+                  threaded.trials[t].avgFairCo2);
+        EXPECT_EQ(serial.trials[t].worstFairCo2,
+                  threaded.trials[t].worstFairCo2);
+    }
+    ASSERT_EQ(serial.records.size(), threaded.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+        EXPECT_EQ(serial.records[i].suiteId,
+                  threaded.records[i].suiteId);
+        EXPECT_EQ(serial.records[i].partnerSuiteId,
+                  threaded.records[i].partnerSuiteId);
+        EXPECT_EQ(serial.records[i].devRup,
+                  threaded.records[i].devRup);
+        EXPECT_EQ(serial.records[i].devFairCo2,
+                  threaded.records[i].devFairCo2);
+    }
+}
+
+TEST_P(DeterminismTest, ExactShapleyBitIdentical)
+{
+    Rng rng(5);
+    std::vector<double> peaks(16);
+    for (auto &p : peaks)
+        p = rng.uniform(0.0, 500.0);
+    const shapley::PeakGame game(peaks);
+
+    parallel::setThreadCount(1);
+    const auto serial = shapley::exactShapley(game);
+
+    parallel::setThreadCount(static_cast<std::size_t>(GetParam()));
+    const auto threaded = shapley::exactShapley(game);
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], threaded[i]) << "player " << i;
+}
+
+TEST_P(DeterminismTest, SampledShapleyBitIdentical)
+{
+    const shapley::PeakGame game({9, 1, 5, 7, 2, 8, 3, 6});
+
+    parallel::setThreadCount(1);
+    Rng serial_rng(31);
+    const auto serial = shapley::sampledShapley(game, serial_rng, 100);
+
+    parallel::setThreadCount(static_cast<std::size_t>(GetParam()));
+    Rng parallel_rng(31);
+    const auto threaded =
+        shapley::sampledShapley(game, parallel_rng, 100);
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], threaded[i]) << "player " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, DeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+} // namespace
+} // namespace fairco2

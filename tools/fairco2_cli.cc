@@ -23,6 +23,7 @@
 
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/parallel.hh"
 #include "core/baselines.hh"
 #include "core/temporal.hh"
 #include "forecast/forecaster.hh"
@@ -84,8 +85,11 @@ runSignal(int argc, char **argv)
     flags.addString("splits", &splits_text,
                     "hierarchical split counts, comma-separated");
     flags.addString("out", &out_path, "output CSV path");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
     if (demand_path.empty() || pool_grams <= 0.0) {
         std::fprintf(stderr,
                      "error: --demand and a positive --pool-grams "
@@ -124,8 +128,11 @@ runBill(int argc, char **argv)
     flags.addString("usage", &usage_path,
                     "usage CSV: one numeric column per consumer");
     flags.addString("out", &out_path, "output CSV path");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
     if (signal_path.empty() || usage_path.empty()) {
         std::fprintf(stderr,
                      "error: --signal and --usage are required\n");
@@ -183,8 +190,11 @@ runForecast(int argc, char **argv)
     flags.addInt("horizon-steps", &horizon_steps,
                  "steps to forecast past the end");
     flags.addString("out", &out_path, "output CSV path");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
     if (!flags.parse(argc, argv))
         return 0;
+    parallel::applyThreadsFlag(threads);
     if (demand_path.empty() || horizon_steps <= 0) {
         std::fprintf(stderr,
                      "error: --demand and a positive "
