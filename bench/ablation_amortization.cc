@@ -29,10 +29,11 @@ main(int argc, char **argv)
     FlagSet flags("Ablation: amortization schedule for embodied "
                   "carbon");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const carbon::ServerCarbonModel server;
     const double total = server.embodiedGrams();

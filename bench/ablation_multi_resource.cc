@@ -64,10 +64,11 @@ main(int argc, char **argv)
     flags.addInt("trials", &trials, "random joint scenarios");
     flags.addInt("seed", &seed, "RNG seed");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     // Carbon pools proportional to the paper server's CPU and DRAM
     // embodied shares.

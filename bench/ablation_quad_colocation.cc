@@ -39,10 +39,11 @@ main(int argc, char **argv)
                  "permutations for the sampled ground truth");
     flags.addInt("seed", &seed, "RNG seed");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const workload::Suite suite;
     const workload::InterferenceModel interference;

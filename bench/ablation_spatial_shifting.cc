@@ -74,10 +74,11 @@ main(int argc, char **argv)
     flags.addInt("jobs", &num_jobs, "flexible batch jobs");
     flags.addInt("seed", &seed, "RNG seed");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     Rng rng(static_cast<std::uint64_t>(seed));
     const carbon::ServerCarbonModel server;

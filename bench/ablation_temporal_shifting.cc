@@ -61,10 +61,11 @@ main(int argc, char **argv)
     flags.addDouble("job-cores", &job_cores, "cores per job");
     flags.addInt("seed", &seed, "RNG seed");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     // One week of fleet demand at hourly slices (aggregated from
     // the 5-minute trace).

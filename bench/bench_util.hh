@@ -1,26 +1,57 @@
 /**
  * @file
  * Shared helpers for the bench binaries: output CSV locations, a
- * uniform "paper vs measured" footer, wall-clock timing, and the
+ * uniform "paper vs measured" footer, wall-clock timing, the
  * machine-readable perf trajectory (bench_out/perf_summary.json and
  * bench_out/perf_trajectory.csv) that tracks wall time per bench and
- * thread count across runs.
+ * thread count across runs, and the common flag hook that gives every
+ * bench `--threads` plus the observability outputs
+ * `--metrics-out`/`--trace-out`.
  */
 
 #ifndef FAIRCO2_BENCH_BENCH_UTIL_HH
 #define FAIRCO2_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/flags.hh"
+#include "common/obs.hh"
 #include "common/parallel.hh"
 
 namespace fairco2::bench
 {
+
+/**
+ * Register the flags every bench shares: `--threads` (deterministic
+ * parallelism) and `--metrics-out`/`--trace-out` (observability
+ * dumps). Call right before FlagSet::parse.
+ */
+inline void
+addCommonFlags(FlagSet &flags, std::int64_t *threads,
+               obs::ObsFlags *obs_flags)
+{
+    parallel::addThreadsFlag(flags, threads);
+    obs::addObsFlags(flags, obs_flags);
+}
+
+/**
+ * Apply the parsed common flags: size the thread pool and, when any
+ * obs output was requested, enable recording and schedule the dump
+ * for process exit. Both validate their values and exit 2 on bad
+ * input (negative threads, unwritable path).
+ */
+inline void
+applyCommonFlags(std::int64_t threads, const obs::ObsFlags &obs_flags)
+{
+    parallel::applyThreadsFlag(threads);
+    obs::applyObsFlags(obs_flags);
+}
 
 /** CSV path under ./bench_out for a given series name. */
 inline std::string

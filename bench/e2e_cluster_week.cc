@@ -62,10 +62,11 @@ main(int argc, char **argv)
                     "mean VM arrival rate");
     flags.addDouble("days", &days, "simulated days");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const double horizon = days * 86400.0;
     Rng rng(static_cast<std::uint64_t>(seed));

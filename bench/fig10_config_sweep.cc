@@ -35,10 +35,11 @@ main(int argc, char **argv)
                     "highest grid intensity (g/kWh)");
     flags.addDouble("ci-step", &ci_step, "grid intensity step");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const workload::Suite suite;
     const workload::PerfModel perf;

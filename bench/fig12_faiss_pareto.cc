@@ -124,10 +124,11 @@ main(int argc, char **argv)
     flags.addDouble("dirty-ci", &dirty_ci,
                     "high grid intensity (g/kWh)");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const carbon::ServerCarbonModel server;
     const FaissModel model;

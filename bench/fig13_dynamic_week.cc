@@ -39,10 +39,11 @@ main(int argc, char **argv)
                     "tail-latency SLO in seconds");
     flags.addDouble("qps", &qps, "offered queries per second");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     Rng rng(static_cast<std::uint64_t>(seed));
 

@@ -57,10 +57,11 @@ main(int argc, char **argv)
 {
     FlagSet flags("Figure 1: peak demand sets minimum capacity");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const carbon::ServerCarbonModel server;
     const double cores_per_node = server.config().totalCores();

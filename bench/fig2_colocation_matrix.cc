@@ -27,10 +27,11 @@ main(int argc, char **argv)
 {
     FlagSet flags("Figure 2: pairwise colocation matrix");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const Suite suite;
     const workload::InterferenceModel model;

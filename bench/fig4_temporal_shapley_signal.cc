@@ -34,10 +34,11 @@ main(int argc, char **argv)
     flags.addInt("seed", &seed, "trace RNG seed");
     flags.addDouble("days", &days, "trace length in days");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     trace::AzureLikeGenerator::Config config;
     config.days = days;

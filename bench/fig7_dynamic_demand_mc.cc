@@ -57,6 +57,7 @@ main(int argc, char **argv)
     std::int64_t max_slices = 9;
     std::int64_t seed = 1;
     std::int64_t threads = 0;
+    obs::ObsFlags obs_flags;
     FlagSet flags("Figure 7: dynamic-demand Monte Carlo "
                   "(paper scale: --trials 10000 "
                   "--max-workloads 22)");
@@ -66,10 +67,10 @@ main(int argc, char **argv)
     flags.addInt("min-slices", &min_slices, "minimum time slices");
     flags.addInt("max-slices", &max_slices, "maximum time slices");
     flags.addInt("seed", &seed, "RNG seed");
-    parallel::addThreadsFlag(flags, &threads);
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     montecarlo::DemandMcConfig config;
     config.trials = static_cast<std::size_t>(trials);

@@ -72,10 +72,11 @@ main(int argc, char **argv)
                     "highest grid intensity (g/kWh)");
     flags.addInt("seed", &seed, "RNG seed");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     montecarlo::ColocMcConfig config;
     config.trials = static_cast<std::size_t>(trials);

@@ -141,26 +141,51 @@ namespace
 {
 
 /**
- * Strip a leading `--threads N` / `--threads=N` (google-benchmark
- * owns the rest of the command line) and apply it to the parallel
- * layer. Returns the new argc.
+ * Strip the common flags — `--threads N`, `--metrics-out PATH`,
+ * `--trace-out PATH` (and their `=` forms) — before google-benchmark
+ * takes ownership of the rest of the command line, then apply them.
+ * Returns the new argc.
  */
 int
-consumeThreadsFlag(int argc, char **argv)
+consumeCommonFlags(int argc, char **argv)
 {
     std::int64_t threads = 0;
+    fairco2::obs::ObsFlags obs_flags;
+    const struct {
+        const char *name;
+        std::string *value;
+    } string_flags[] = {
+        {"--metrics-out", &obs_flags.metricsOut},
+        {"--trace-out", &obs_flags.traceOut},
+    };
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        bool consumed = false;
         if (arg == "--threads" && i + 1 < argc) {
             threads = std::stoll(argv[++i]);
+            consumed = true;
         } else if (arg.rfind("--threads=", 0) == 0) {
             threads = std::stoll(arg.substr(std::strlen("--threads=")));
+            consumed = true;
         } else {
-            argv[out++] = argv[i];
+            for (const auto &flag : string_flags) {
+                const std::string eq = std::string(flag.name) + "=";
+                if (arg == flag.name && i + 1 < argc) {
+                    *flag.value = argv[++i];
+                    consumed = true;
+                } else if (arg.rfind(eq, 0) == 0) {
+                    *flag.value = arg.substr(eq.size());
+                    consumed = true;
+                }
+                if (consumed)
+                    break;
+            }
         }
+        if (!consumed)
+            argv[out++] = argv[i];
     }
-    fairco2::parallel::applyThreadsFlag(threads);
+    fairco2::bench::applyCommonFlags(threads, obs_flags);
     return out;
 }
 
@@ -169,7 +194,7 @@ consumeThreadsFlag(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    argc = consumeThreadsFlag(argc, argv);
+    argc = consumeCommonFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

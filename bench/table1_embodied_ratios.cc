@@ -20,10 +20,11 @@ main(int argc, char **argv)
 {
     FlagSet flags("Table 1: component TDP vs embodied carbon");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const carbon::ServerCarbonModel server;
     const auto rows = server.table1();

@@ -36,10 +36,11 @@ main(int argc, char **argv)
     flags.addInt("m", &m, "attribution periods");
     flags.addDouble("p", &p, "off-peak demand fraction (0, 1)");
     std::int64_t threads = 0;
-    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
-    parallel::applyThreadsFlag(threads);
+    bench::applyCommonFlags(threads, obs_flags);
 
     const double total = 1000.0;
     const auto analysis = core::unitResourceTimeAnalysis(

@@ -160,6 +160,10 @@ readCsv(const std::string &path)
     std::string line;
     bool first = true;
     while (std::getline(in, line)) {
+        // CRLF input: getline leaves the '\r', which would make a
+        // blank line look non-empty and yield a spurious [""] row.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty())
             continue;
         auto cells = splitCsvLine(line);

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 namespace fairco2
@@ -145,6 +147,31 @@ FlagSet::parse(int argc, char **argv)
             fail(prog, "bad value for --" + name + ": " + value);
     }
     return true;
+}
+
+void
+requireWritableFlagPath(const std::string &flag_name,
+                        const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::error_code ec;
+    const bool existed = std::filesystem::exists(path, ec);
+    bool writable = false;
+    {
+        // Append probe: creates the file when absent, never
+        // truncates an existing one.
+        std::ofstream probe(path, std::ios::app);
+        writable = probe.good();
+    }
+    if (!existed && writable)
+        std::filesystem::remove(path, ec);
+    if (!writable) {
+        std::fprintf(stderr,
+                     "error: --%s: cannot write to '%s'\n",
+                     flag_name.c_str(), path.c_str());
+        std::exit(2);
+    }
 }
 
 } // namespace fairco2

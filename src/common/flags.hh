@@ -72,6 +72,17 @@ class FlagSet
     std::vector<std::string> order_;
 };
 
+/**
+ * Validate that @p path (the value of flag --@p flag_name) can be
+ * created or appended to. Empty paths pass. On an unwritable path,
+ * prints an error and exits with status 2 — the same convention
+ * FlagSet uses for malformed values (and `--threads` for negative
+ * counts). A file probed into existence by the check is removed
+ * again.
+ */
+void requireWritableFlagPath(const std::string &flag_name,
+                             const std::string &path);
+
 } // namespace fairco2
 
 #endif // FAIRCO2_COMMON_FLAGS_HH

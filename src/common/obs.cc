@@ -1,0 +1,491 @@
+#include "common/obs.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/flags.hh"
+
+namespace fairco2::obs
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{false};
+
+/** One completed trace span. Names are string literals (not owned). */
+struct SpanEvent
+{
+    const char *name;
+    std::uint32_t tid;
+    std::int64_t startNs;
+    std::int64_t durationNs;
+};
+
+/**
+ * Registry of all named metrics plus the span buffer. Allocated once
+ * and deliberately leaked so the atexit dump handler can never race
+ * static destruction.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+    std::mutex spanMutex;
+    std::vector<SpanEvent> spans;
+    std::uint64_t droppedSpans = 0;
+};
+
+/** Spans kept in memory before further ones are counted as dropped. */
+constexpr std::size_t kMaxSpans = 1 << 20;
+
+Registry &
+registry()
+{
+    static Registry *instance = new Registry;
+    return *instance;
+}
+
+std::uint32_t
+threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+/** Format a double like the CSV writer does (shortest round-trip-ish). */
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t
+nowNanos()
+{
+    static const std::chrono::steady_clock::time_point origin =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin)
+        .count();
+}
+
+// ---- Histogram -----------------------------------------------------
+
+Histogram::Histogram(std::string name)
+    : name_(std::move(name)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      buckets_(kNumBuckets)
+{
+}
+
+std::size_t
+Histogram::bucketIndex(double value)
+{
+    if (!(value > 0.0))
+        return 0;
+    const int sub = static_cast<int>(
+        std::floor(std::log2(value) * kSubBuckets));
+    const int lo = kMinOctave * kSubBuckets;
+    const int hi = kMaxOctave * kSubBuckets - 1;
+    const int clamped = std::clamp(sub, lo, hi);
+    return static_cast<std::size_t>(clamped - lo) + 1;
+}
+
+double
+Histogram::bucketMidpoint(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    const int sub = static_cast<int>(index - 1) +
+        kMinOctave * kSubBuckets;
+    // Geometric midpoint of [2^(sub/8), 2^((sub+1)/8)).
+    return std::exp2((static_cast<double>(sub) + 0.5) /
+                     kSubBuckets);
+}
+
+void
+Histogram::record(double value)
+{
+    if (!enabled())
+        return;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+
+    double seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+
+    buckets_[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(samplesMutex_);
+    if (samples_.size() < kExactCap)
+        samples_.push_back(value);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::min() const
+{
+    return min_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::max() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+
+    {
+        std::lock_guard<std::mutex> lock(samplesMutex_);
+        if (samples_.size() == n) {
+            // Exact nearest-rank quantile over the retained samples.
+            std::vector<double> sorted(samples_);
+            std::sort(sorted.begin(), sorted.end());
+            const std::size_t rank = q <= 0.0
+                ? 0
+                : static_cast<std::size_t>(std::ceil(
+                      q * static_cast<double>(sorted.size()))) -
+                    1;
+            return sorted[std::min(rank, sorted.size() - 1)];
+        }
+    }
+
+    // Bucket fallback: walk the cumulative distribution and return
+    // the target bucket's geometric midpoint, clamped to the exact
+    // [min, max] envelope.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(n))));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        seen += buckets_[b].load(std::memory_order_relaxed);
+        if (seen >= rank)
+            return std::clamp(bucketMidpoint(b), min(), max());
+    }
+    return max();
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(samplesMutex_);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    samples_.clear();
+}
+
+// ---- Registry ------------------------------------------------------
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>(name);
+    return *slot;
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(name);
+    return *slot;
+}
+
+void
+recordSpan(const char *name, std::int64_t start_ns,
+           std::int64_t duration_ns)
+{
+    if (!enabled())
+        return;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.spanMutex);
+    if (reg.spans.size() >= kMaxSpans) {
+        ++reg.droppedSpans;
+        return;
+    }
+    reg.spans.push_back(
+        SpanEvent{name, threadId(), start_ns, duration_ns});
+}
+
+void
+resetForTest()
+{
+    setEnabled(false);
+    Registry &reg = registry();
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (auto &[name, c] : reg.counters)
+            c->reset();
+        for (auto &[name, h] : reg.histograms)
+            h->reset();
+    }
+    std::lock_guard<std::mutex> lock(reg.spanMutex);
+    reg.spans.clear();
+    reg.droppedSpans = 0;
+}
+
+// ---- Exports -------------------------------------------------------
+
+std::string
+metricsJson()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : reg.counters) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << escapeJson(name) << "\": " << c->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : reg.histograms) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << escapeJson(name) << "\": {\"count\": " << h->count()
+            << ", \"sum\": " << formatNumber(h->sum())
+            << ", \"min\": "
+            << formatNumber(h->count() ? h->min() : 0.0)
+            << ", \"max\": "
+            << formatNumber(h->count() ? h->max() : 0.0)
+            << ", \"mean\": " << formatNumber(h->mean())
+            << ", \"p50\": " << formatNumber(h->quantile(0.50))
+            << ", \"p95\": " << formatNumber(h->quantile(0.95))
+            << ", \"p99\": " << formatNumber(h->quantile(0.99))
+            << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+std::string
+metricsCsv()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::ostringstream out;
+    out << "kind,name,stat,value\n";
+    for (const auto &[name, c] : reg.counters)
+        out << "counter," << name << ",value," << c->value()
+            << "\n";
+    for (const auto &[name, h] : reg.histograms) {
+        const auto row = [&](const char *stat, double v) {
+            out << "histogram," << name << ',' << stat << ','
+                << formatNumber(v) << "\n";
+        };
+        out << "histogram," << name << ",count," << h->count()
+            << "\n";
+        row("sum", h->sum());
+        row("min", h->count() ? h->min() : 0.0);
+        row("max", h->count() ? h->max() : 0.0);
+        row("mean", h->mean());
+        row("p50", h->quantile(0.50));
+        row("p95", h->quantile(0.95));
+        row("p99", h->quantile(0.99));
+    }
+    return out.str();
+}
+
+std::string
+traceJson()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.spanMutex);
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    for (std::size_t i = 0; i < reg.spans.size(); ++i) {
+        const SpanEvent &s = reg.spans[i];
+        char line[256];
+        // chrome://tracing wants microsecond floats for ts/dur.
+        std::snprintf(line, sizeof(line),
+                      "%s\n{\"name\": \"%s\", \"cat\": \"fairco2\", "
+                      "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                      "\"pid\": 1, \"tid\": %u}",
+                      i ? "," : "", s.name,
+                      static_cast<double>(s.startNs) / 1e3,
+                      static_cast<double>(s.durationNs) / 1e3,
+                      s.tid);
+        out << line;
+    }
+    if (reg.droppedSpans) {
+        // Surface truncation in the trace itself rather than
+        // silently under-reporting.
+        out << (reg.spans.empty() ? "" : ",")
+            << "\n{\"name\": \"obs.dropped_spans:"
+            << reg.droppedSpans
+            << "\", \"cat\": \"fairco2\", \"ph\": \"X\", "
+               "\"ts\": 0, \"dur\": 0, \"pid\": 1, \"tid\": 0}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+void
+writeMetrics(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr,
+                     "obs: cannot write metrics to '%s'\n",
+                     path.c_str());
+        return;
+    }
+    const bool csv = path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0;
+    out << (csv ? metricsCsv() : metricsJson());
+}
+
+void
+writeTrace(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "obs: cannot write trace to '%s'\n",
+                     path.c_str());
+        return;
+    }
+    out << traceJson();
+}
+
+// ---- Flags ---------------------------------------------------------
+
+namespace
+{
+
+std::string g_metrics_path;
+std::string g_trace_path;
+
+void
+dumpAtExit()
+{
+    if (!g_metrics_path.empty())
+        writeMetrics(g_metrics_path);
+    if (!g_trace_path.empty())
+        writeTrace(g_trace_path);
+}
+
+} // namespace
+
+void
+addObsFlags(FlagSet &flags, ObsFlags *values)
+{
+    flags.addString("metrics-out", &values->metricsOut,
+                    "write a metrics dump here at exit "
+                    "(.csv for CSV, anything else JSON)");
+    flags.addString("trace-out", &values->traceOut,
+                    "write chrome://tracing span JSON here at exit");
+}
+
+void
+applyObsFlags(const ObsFlags &values)
+{
+    if (values.metricsOut.empty() && values.traceOut.empty())
+        return;
+    requireWritableFlagPath("metrics-out", values.metricsOut);
+    requireWritableFlagPath("trace-out", values.traceOut);
+    g_metrics_path = values.metricsOut;
+    g_trace_path = values.traceOut;
+    setEnabled(true);
+    static bool registered = false;
+    if (!registered) {
+        registered = true;
+        // Warm the clock origin so span timestamps are measured from
+        // here rather than from the first instrumented event.
+        nowNanos();
+        std::atexit(dumpAtExit);
+    }
+}
+
+} // namespace fairco2::obs

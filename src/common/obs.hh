@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Lightweight, thread-safe observability layer: monotonic counters,
+ * log-bucketed value/latency histograms with p50/p95/p99 export, RAII
+ * scoped timers, and trace spans emitted as chrome://tracing JSON.
+ *
+ * Design constraints, in priority order:
+ *
+ *  1. **Never perturb results.** Instrumentation only ever *reads*
+ *     the computation; the bit-identity guarantee of the parallel
+ *     layer (results independent of `--threads N`) is untouched.
+ *  2. **Deterministic exports.** Metric dumps list keys in sorted
+ *     order, and every *value* metric (counters, value histograms)
+ *     is a pure function of what the program computed — wall-clock
+ *     readings appear only in latency histograms (whose names end in
+ *     `_ns` by convention) and in span timestamps.
+ *  3. **Near-zero cost when off.** The layer is disabled by default;
+ *     every event site then costs one relaxed atomic load and a
+ *     branch. Defining `FAIRCO2_OBS_OFF` at compile time turns the
+ *     instrumentation macros into no-ops entirely.
+ *
+ * Event sites use the macros at the bottom of this header:
+ *
+ *     FAIRCO2_COUNT("shapley.exact.coalitions", num_masks);
+ *     FAIRCO2_OBSERVE("mc.demand.workloads", n);    // value histogram
+ *     FAIRCO2_TIME_NS("forecast.fit_ns");           // scoped latency
+ *     FAIRCO2_SPAN("shapley.exact.tabulate");       // scoped trace span
+ *
+ * Front ends opt in with `--metrics-out out.json` (or `.csv`) and
+ * `--trace-out trace.json`; see addObsFlags / applyObsFlags. The
+ * trace file loads directly in chrome://tracing or Perfetto.
+ */
+
+#ifndef FAIRCO2_COMMON_OBS_HH
+#define FAIRCO2_COMMON_OBS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fairco2
+{
+
+class FlagSet;
+
+namespace obs
+{
+
+/** True when events are being recorded (off by default). */
+bool enabled();
+
+/** Turn recording on or off at runtime (the one-branch no-op mode). */
+void setEnabled(bool on);
+
+/** Monotonic nanoseconds since the first obs use in this process. */
+std::int64_t nowNanos();
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (enabled())
+            value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Zero the counter (test support). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::string name_;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * Log-bucketed histogram over non-negative values.
+ *
+ * Values are binned into 8 logarithmic sub-buckets per octave (power
+ * of two), plus a dedicated bucket for values <= 0. The first
+ * kExactCap samples are additionally retained verbatim, so quantile()
+ * is *exact* (nearest-rank over the sorted samples) until the
+ * histogram overflows the retention cap; past that, quantiles fall
+ * back to the bucket midpoint, whose relative error is bounded by the
+ * bucket width (2^(1/8) ~ 9%).
+ *
+ * All mutation is thread-safe; aggregate statistics (count, min, max,
+ * quantiles) do not depend on the order in which threads recorded.
+ */
+class Histogram
+{
+  public:
+    /** Samples retained verbatim for exact quantiles. */
+    static constexpr std::size_t kExactCap = 4096;
+
+    explicit Histogram(std::string name);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one observation (no-op while the layer is disabled). */
+    void record(double value);
+
+    std::uint64_t count() const;
+    double sum() const;
+    double min() const; //!< +inf when empty
+    double max() const; //!< -inf when empty
+    double mean() const; //!< 0 when empty
+
+    /**
+     * Quantile for q in [0, 1]; exact while count() <= kExactCap,
+     * bucket-resolution beyond. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Forget all recorded samples (test support). */
+    void reset();
+
+  private:
+    // 8 sub-buckets per octave spanning 2^-30 .. 2^40 (~1e-9..1e12),
+    // plus the <=0 bucket at index 0 and clamping at the ends.
+    static constexpr int kSubBuckets = 8;
+    static constexpr int kMinOctave = -30;
+    static constexpr int kMaxOctave = 40;
+    static constexpr std::size_t kNumBuckets =
+        static_cast<std::size_t>(kMaxOctave - kMinOctave) *
+            kSubBuckets +
+        2;
+
+    static std::size_t bucketIndex(double value);
+    static double bucketMidpoint(std::size_t index);
+
+    std::string name_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    mutable std::mutex samplesMutex_;
+    std::vector<double> samples_; //!< first kExactCap raw values
+};
+
+/**
+ * Look up (creating on first use) the registry counter / histogram
+ * with @p name. References stay valid for the process lifetime;
+ * event sites cache them in a function-local static.
+ */
+Counter &counter(const std::string &name);
+Histogram &histogram(const std::string &name);
+
+/**
+ * Record one completed span directly (begin/end form). @p start_ns
+ * comes from nowNanos() at the beginning of the phase.
+ */
+void recordSpan(const char *name, std::int64_t start_ns,
+                std::int64_t duration_ns);
+
+/** RAII trace span: records [construction, destruction) when enabled. */
+class SpanGuard
+{
+  public:
+    explicit SpanGuard(const char *name)
+        : name_(name), startNs_(enabled() ? nowNanos() : -1)
+    {
+    }
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+    ~SpanGuard()
+    {
+        if (startNs_ >= 0)
+            recordSpan(name_, startNs_, nowNanos() - startNs_);
+    }
+
+  private:
+    const char *name_;
+    std::int64_t startNs_;
+};
+
+/** RAII latency timer: records elapsed nanoseconds into a histogram. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &hist)
+        : hist_(hist), startNs_(enabled() ? nowNanos() : -1)
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (startNs_ >= 0)
+            hist_.record(
+                static_cast<double>(nowNanos() - startNs_));
+    }
+
+  private:
+    Histogram &hist_;
+    std::int64_t startNs_;
+};
+
+/**
+ * Flat metrics dump with keys in sorted order:
+ *
+ *     {"counters": {name: value, ...},
+ *      "histograms": {name: {"count": ..., "sum": ..., "min": ...,
+ *                            "max": ..., "mean": ..., "p50": ...,
+ *                            "p95": ..., "p99": ...}, ...}}
+ */
+std::string metricsJson();
+
+/** Same content as metricsJson() as `kind,name,stat,value` rows. */
+std::string metricsCsv();
+
+/**
+ * All recorded spans as a chrome://tracing / Perfetto JSON object
+ * (`{"displayTimeUnit": "ns", "traceEvents": [...]}`, "X" phase
+ * events, microsecond timestamps).
+ */
+std::string traceJson();
+
+/** Write metricsCsv() when @p path ends in ".csv", else metricsJson(). */
+void writeMetrics(const std::string &path);
+
+/** Write traceJson() to @p path. */
+void writeTrace(const std::string &path);
+
+/**
+ * Zero every registered counter and histogram, drop all spans, and
+ * disable recording again. Test support. Registry entries are never
+ * removed, so references cached by event sites stay valid.
+ */
+void resetForTest();
+
+/** Parsed `--metrics-out` / `--trace-out` values. */
+struct ObsFlags
+{
+    std::string metricsOut;
+    std::string traceOut;
+};
+
+/** Register the shared --metrics-out/--trace-out flags. */
+void addObsFlags(FlagSet &flags, ObsFlags *values);
+
+/**
+ * Apply parsed obs flags: validates that each named path is writable
+ * (exiting 2 otherwise, consistent with FlagSet's handling of bad
+ * flag values), enables recording when any output was requested, and
+ * schedules the dump for process exit.
+ */
+void applyObsFlags(const ObsFlags &values);
+
+} // namespace obs
+} // namespace fairco2
+
+// ---- Instrumentation-site macros -----------------------------------
+//
+// These compile to nothing when FAIRCO2_OBS_OFF is defined; otherwise
+// they cache the registry reference in a function-local static so the
+// per-event cost is one enabled() branch.
+
+#define FAIRCO2_OBS_CAT2(a, b) a##b
+#define FAIRCO2_OBS_CAT(a, b) FAIRCO2_OBS_CAT2(a, b)
+
+#if defined(FAIRCO2_OBS_OFF)
+
+#define FAIRCO2_COUNT(name, n) ((void)0)
+#define FAIRCO2_OBSERVE(name, value) ((void)0)
+#define FAIRCO2_TIME_NS(name) ((void)0)
+#define FAIRCO2_SPAN(name) ((void)0)
+
+#else
+
+/** Bump the counter @p name (a string literal) by @p n. */
+#define FAIRCO2_COUNT(name, n)                                       \
+    do {                                                             \
+        static ::fairco2::obs::Counter &fairco2_obs_counter =        \
+            ::fairco2::obs::counter(name);                           \
+        fairco2_obs_counter.add(                                     \
+            static_cast<std::uint64_t>(n));                          \
+    } while (0)
+
+/** Record @p value into the histogram @p name. */
+#define FAIRCO2_OBSERVE(name, value)                                 \
+    do {                                                             \
+        static ::fairco2::obs::Histogram &fairco2_obs_hist =         \
+            ::fairco2::obs::histogram(name);                         \
+        fairco2_obs_hist.record(static_cast<double>(value));         \
+    } while (0)
+
+/** Time the rest of the enclosing scope into histogram @p name. */
+#define FAIRCO2_TIME_NS(name)                                        \
+    static ::fairco2::obs::Histogram &FAIRCO2_OBS_CAT(               \
+        fairco2_obs_timer_hist_, __LINE__) =                         \
+        ::fairco2::obs::histogram(name);                             \
+    ::fairco2::obs::ScopedTimer FAIRCO2_OBS_CAT(fairco2_obs_timer_,  \
+                                                __LINE__)(           \
+        FAIRCO2_OBS_CAT(fairco2_obs_timer_hist_, __LINE__))
+
+/** Trace span covering the rest of the enclosing scope. */
+#define FAIRCO2_SPAN(name)                                           \
+    ::fairco2::obs::SpanGuard FAIRCO2_OBS_CAT(fairco2_obs_span_,     \
+                                              __LINE__)(name)
+
+#endif // FAIRCO2_OBS_OFF
+
+#endif // FAIRCO2_COMMON_OBS_HH

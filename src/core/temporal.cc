@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/obs.hh"
 #include "shapley/peak.hh"
 
 namespace fairco2::core
@@ -92,6 +93,10 @@ TemporalShapley::attribute(
     const std::vector<std::size_t> &split_counts) const
 {
     assert(total_grams >= 0.0);
+    FAIRCO2_SPAN("core.temporal.attribute");
+    FAIRCO2_COUNT("core.temporal.attributions", 1);
+    FAIRCO2_OBSERVE("core.temporal.samples", demand.size());
+    FAIRCO2_TIME_NS("core.temporal.attribute_ns");
     TemporalResult result;
     result.intensity = trace::TimeSeries(
         std::vector<double>(demand.size(), 0.0), demand.stepSeconds());

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/linalg.hh"
+#include "common/obs.hh"
 
 namespace fairco2::forecast
 {
@@ -65,6 +66,11 @@ SeasonalForecaster::fit(const trace::TimeSeries &history)
         throw std::invalid_argument(
             "history too short for the seasonal model");
 
+    FAIRCO2_SPAN("forecast.fit");
+    FAIRCO2_COUNT("forecast.fits", 1);
+    FAIRCO2_OBSERVE("forecast.fit_samples", n);
+    FAIRCO2_TIME_NS("forecast.fit_ns");
+
     stepSeconds_ = history.stepSeconds();
     historyEndSeconds_ = history.durationSeconds();
 
@@ -94,7 +100,14 @@ SeasonalForecaster::fit(const trace::TimeSeries &history)
         target[i] = (history[i] - yMean_) / yScale_;
     }
 
-    weights_ = ridgeRegression(design, target, config_.ridgeLambda);
+    {
+        // The ridge solve (normal equations + Cholesky) dominates
+        // fit cost once the design matrix is built.
+        FAIRCO2_SPAN("forecast.solve");
+        FAIRCO2_TIME_NS("forecast.solve_ns");
+        weights_ =
+            ridgeRegression(design, target, config_.ridgeLambda);
+    }
     fitted_ = true;
 }
 
@@ -113,6 +126,8 @@ trace::TimeSeries
 SeasonalForecaster::forecast(std::size_t horizon_steps) const
 {
     assert(fitted_);
+    FAIRCO2_SPAN("forecast.predict");
+    FAIRCO2_COUNT("forecast.predicted_steps", horizon_steps);
     std::vector<double> values(horizon_steps);
     for (std::size_t i = 0; i < horizon_steps; ++i) {
         const double t = historyEndSeconds_ +

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/obs.hh"
 #include "common/parallel.hh"
 #include "montecarlo/metrics.hh"
 
@@ -111,6 +112,7 @@ ColocationMonteCarlo::run(const ColocMcConfig &config, Rng &rng) const
     // trial order afterwards, so both the trial series and the
     // record stream are bit-identical for any thread count.
     const Rng base = rng.split();
+    FAIRCO2_SPAN("mc.coloc.run");
     ColocMcOutput out;
     out.trials.resize(config.trials);
     std::vector<std::vector<ColocWorkloadRecord>> trial_records(
@@ -118,6 +120,7 @@ ColocationMonteCarlo::run(const ColocMcConfig &config, Rng &rng) const
     parallel::parallelFor(
         0, config.trials, 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t t = lo; t < hi; ++t) {
+                FAIRCO2_TIME_NS("mc.coloc.trial_ns");
                 Rng trial_rng = base.fork(t);
                 const auto n =
                     static_cast<std::size_t>(trial_rng.uniformInt(
@@ -136,6 +139,10 @@ ColocationMonteCarlo::run(const ColocMcConfig &config, Rng &rng) const
                     n, ci, samples, trial_rng,
                     config.collectRecords ? &trial_records[t]
                                           : nullptr);
+                FAIRCO2_COUNT("mc.coloc.trials", 1);
+                FAIRCO2_OBSERVE("mc.coloc.workloads", n);
+                FAIRCO2_OBSERVE("mc.coloc.avg_fair_dev_pct",
+                                out.trials[t].avgFairCo2);
             }
         });
     for (auto &records : trial_records) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/obs.hh"
 #include "common/parallel.hh"
 #include "montecarlo/metrics.hh"
 
@@ -134,15 +135,22 @@ runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng)
     // Shapley solve, which dwarfs the dispatch cost and varies a lot
     // with the drawn workload count.
     const Rng base = rng.split();
+    FAIRCO2_SPAN("mc.demand.run");
     std::vector<DemandTrialResult> results(config.trials);
     parallel::parallelFor(
         0, config.trials, 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t t = lo; t < hi; ++t) {
+                FAIRCO2_TIME_NS("mc.demand.trial_ns");
                 Rng trial_rng = base.fork(t);
                 const auto schedule =
                     randomSchedule(config, trial_rng);
                 results[t] =
                     runDemandTrial(schedule, config.totalGrams);
+                FAIRCO2_COUNT("mc.demand.trials", 1);
+                FAIRCO2_OBSERVE("mc.demand.workloads",
+                                results[t].numWorkloads);
+                FAIRCO2_OBSERVE("mc.demand.avg_fair_dev_pct",
+                                results[t].avgFairCo2);
             }
         });
     return results;

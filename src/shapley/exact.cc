@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/obs.hh"
 #include "common/parallel.hh"
 
 namespace fairco2::shapley
@@ -42,15 +43,24 @@ exactShapley(const CoalitionGame &game)
             "exactShapley: coalition table would exceed the "
             "documented memory bound");
 
+    FAIRCO2_SPAN("shapley.exact");
+    FAIRCO2_COUNT("shapley.exact.solves", 1);
+    FAIRCO2_COUNT("shapley.exact.coalitions", num_masks);
+    FAIRCO2_OBSERVE("shapley.exact.players", n);
+    FAIRCO2_TIME_NS("shapley.exact.solve_ns");
+
     // Tabulate v once; games are often expensive to evaluate. Each
     // entry is independent, so masks tabulate in parallel chunks.
     std::vector<double> v(num_masks);
-    parallel::parallelFor(
-        0, num_masks, kMaskChunk,
-        [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t mask = lo; mask < hi; ++mask)
-                v[mask] = game.value(mask);
-        });
+    {
+        FAIRCO2_SPAN("shapley.exact.tabulate");
+        parallel::parallelFor(
+            0, num_masks, kMaskChunk,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t mask = lo; mask < hi; ++mask)
+                    v[mask] = game.value(mask);
+            });
+    }
 
     // weight[s] = s! (n-1-s)! / n! for |S| = s, computed iteratively
     // to stay in floating point range: weight[0] = 1/n and
@@ -63,6 +73,7 @@ exactShapley(const CoalitionGame &game)
     // Accumulate marginals with one phi partial per mask chunk,
     // folded in ascending chunk order — bit-identical regardless of
     // how many threads executed the chunks.
+    FAIRCO2_SPAN("shapley.exact.accumulate");
     auto phi = parallel::parallelMapReduce(
         0, num_masks, kMaskChunk, std::vector<double>(n, 0.0),
         [&](std::size_t lo, std::size_t hi) {
@@ -102,6 +113,11 @@ sampledShapley(const CoalitionGame &game, Rng &rng,
     const int n = game.numPlayers();
     if (n == 0 || num_permutations == 0)
         return std::vector<double>(n, 0.0);
+
+    FAIRCO2_SPAN("shapley.sampled");
+    FAIRCO2_COUNT("shapley.sampled.solves", 1);
+    FAIRCO2_COUNT("shapley.sampled.permutations", num_permutations);
+    FAIRCO2_TIME_NS("shapley.sampled.solve_ns");
 
     // One state advance of the caller's generator yields the base all
     // per-permutation streams fork from; permutation p then depends

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/obs.hh"
+
 namespace fairco2::shapley
 {
 
@@ -39,6 +41,9 @@ antitheticSampledShapley(const CoalitionGame &game, Rng &rng,
     if (n == 0 || num_pairs == 0)
         return phi;
 
+    FAIRCO2_SPAN("shapley.antithetic");
+    FAIRCO2_COUNT("shapley.antithetic.permutations", 2 * num_pairs);
+
     for (std::size_t p = 0; p < num_pairs; ++p) {
         const auto perm =
             rng.permutation(static_cast<std::size_t>(n));
@@ -60,6 +65,11 @@ stratifiedSampledShapley(const CoalitionGame &game, Rng &rng,
     std::vector<double> phi(n, 0.0);
     if (n == 0 || samples_per_stratum == 0)
         return phi;
+
+    FAIRCO2_SPAN("shapley.stratified");
+    FAIRCO2_COUNT("shapley.stratified.samples",
+                  static_cast<std::uint64_t>(n) * n *
+                      samples_per_stratum);
 
     // Reusable pool of the other players for coalition draws.
     std::vector<std::size_t> others(n - 1);
@@ -113,6 +123,9 @@ adaptiveSampledShapley(const CoalitionGame &game, Rng &rng,
         return result;
     }
 
+    FAIRCO2_SPAN("shapley.adaptive");
+    FAIRCO2_TIME_NS("shapley.adaptive.solve_ns");
+
     const double grand =
         std::abs(game.value((1ULL << n) - 1));
     const double target = epsilon * std::max(grand, 1e-12);
@@ -145,14 +158,20 @@ adaptiveSampledShapley(const CoalitionGame &game, Rng &rng,
         if (p + 1 < min_permutations)
             continue;
         bool all_tight = true;
+        double widest = 0.0;
         for (int i = 0; i < n; ++i) {
             const double variance = m2[i] / (count - 1.0);
             const double half =
                 kZ * std::sqrt(variance / count);
             result.halfWidths[i] = half;
+            widest = std::max(widest, half);
             if (half > target)
                 all_tight = false;
         }
+        // Convergence residual after this permutation batch: the
+        // widest confidence half-width, normalized by the target.
+        FAIRCO2_OBSERVE("shapley.adaptive.residual",
+                        widest / target);
         if (all_tight) {
             result.converged = true;
             ++p;
@@ -162,6 +181,8 @@ adaptiveSampledShapley(const CoalitionGame &game, Rng &rng,
 
     result.values = mean;
     result.permutationsUsed = std::max<std::size_t>(p, 1);
+    FAIRCO2_COUNT("shapley.adaptive.permutations",
+                  std::max<std::size_t>(p, 1));
     return result;
 }
 

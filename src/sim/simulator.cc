@@ -4,6 +4,8 @@
 #include <cassert>
 #include <queue>
 
+#include "common/obs.hh"
+
 namespace fairco2::sim
 {
 
@@ -35,6 +37,9 @@ ClusterSimulator::run(const std::vector<VmSpec> &vms,
 {
     assert(horizon_seconds > 0.0);
 
+    FAIRCO2_SPAN("sim.run");
+    FAIRCO2_TIME_NS("sim.run_ns");
+
     SimulationResult result;
     result.records.reserve(vms.size());
 
@@ -63,6 +68,7 @@ ClusterSimulator::run(const std::vector<VmSpec> &vms,
             core_demand[sample] = cluster.coresInUse();
             memory_demand[sample] = cluster.memoryInUseGb();
             ++sample;
+            FAIRCO2_COUNT("sim.demand_samples", 1);
         }
     };
 
@@ -74,39 +80,56 @@ ClusterSimulator::run(const std::vector<VmSpec> &vms,
             sample_until(when);
             const auto &record = result.records[idx];
             cluster.remove(record.vm, record.nodeIndex);
+            FAIRCO2_COUNT("sim.departures", 1);
         }
     };
 
-    while (next_arrival < vms.size() &&
-           vms[next_arrival].arrivalSeconds < horizon_seconds) {
-        const VmSpec &vm = vms[next_arrival];
-        assert(vm.arrivalSeconds >= prev_arrival_time);
-        prev_arrival_time = vm.arrivalSeconds;
+    {
+        // Event loop over arrivals; departures and demand sampling
+        // interleave as the clock advances to each arrival.
+        FAIRCO2_SPAN("sim.placement");
+        while (next_arrival < vms.size() &&
+               vms[next_arrival].arrivalSeconds < horizon_seconds) {
+            const VmSpec &vm = vms[next_arrival];
+            assert(vm.arrivalSeconds >= prev_arrival_time);
+            prev_arrival_time = vm.arrivalSeconds;
 
-        process_departures_until(vm.arrivalSeconds);
-        sample_until(vm.arrivalSeconds);
+            process_departures_until(vm.arrivalSeconds);
+            sample_until(vm.arrivalSeconds);
 
-        VmRecord record;
-        record.vm = vm;
-        record.endSeconds =
-            std::min(vm.departureSeconds(), horizon_seconds);
-        record.nodeIndex = cluster.place(vm);
-        result.records.push_back(record);
-        departures.emplace(record.endSeconds,
-                           result.records.size() - 1);
+            VmRecord record;
+            record.vm = vm;
+            record.endSeconds =
+                std::min(vm.departureSeconds(), horizon_seconds);
+            record.nodeIndex = cluster.place(vm);
+            FAIRCO2_COUNT("sim.placements", 1);
+            FAIRCO2_OBSERVE("sim.placement_cores", vm.cores);
+            result.records.push_back(record);
+            departures.emplace(record.endSeconds,
+                               result.records.size() - 1);
 
-        result.peakNodesProvisioned =
-            std::max(result.peakNodesProvisioned,
-                     cluster.nodesProvisioned());
-        result.peakNodesInUse = std::max(result.peakNodesInUse,
-                                         cluster.nodesInUse());
-        result.peakCores =
-            std::max(result.peakCores, cluster.coresInUse());
-        ++next_arrival;
+            result.peakNodesProvisioned =
+                std::max(result.peakNodesProvisioned,
+                         cluster.nodesProvisioned());
+            result.peakNodesInUse =
+                std::max(result.peakNodesInUse,
+                         cluster.nodesInUse());
+            result.peakCores =
+                std::max(result.peakCores, cluster.coresInUse());
+            ++next_arrival;
+        }
     }
 
-    process_departures_until(horizon_seconds);
-    sample_until(horizon_seconds);
+    {
+        // Tail phase: flush departures past the last arrival, then
+        // aggregate the remaining demand samples to the horizon.
+        FAIRCO2_SPAN("sim.drain");
+        process_departures_until(horizon_seconds);
+    }
+    {
+        FAIRCO2_SPAN("sim.demand_aggregate");
+        sample_until(horizon_seconds);
+    }
 
     result.coreDemand =
         trace::TimeSeries(std::move(core_demand), stepSeconds_);

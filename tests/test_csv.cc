@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "common/csv.hh"
@@ -135,6 +136,65 @@ TEST_F(CsvTest, MissingFileThrows)
 {
     EXPECT_THROW(readCsv(path("does_not_exist.csv")),
                  std::runtime_error);
+}
+
+TEST_F(CsvTest, CrlfLineEndings)
+{
+    const std::string file = path("crlf.csv");
+    {
+        std::ofstream out(file, std::ios::binary);
+        out << "x,y\r\n1,2\r\n\r\n3,4\r\n";
+    }
+    const auto table = readCsv(file);
+    ASSERT_EQ(table.header.size(), 2u);
+    EXPECT_EQ(table.header[1], "y");
+    // The blank CRLF line must not become a spurious row, and no
+    // cell may keep a trailing '\r'.
+    ASSERT_EQ(table.rows.size(), 2u);
+    EXPECT_EQ(table.rows[0][1], "2");
+    EXPECT_EQ(table.rows[1][1], "4");
+    const auto y = table.numericColumn("y");
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST_F(CsvTest, QuotedFieldsContainingCommas)
+{
+    const std::string file = path("quoted_commas.csv");
+    {
+        std::ofstream out(file);
+        out << "label,value\n\"a,b,c\",1\n\"\"\"x\"\",y\",2\n";
+    }
+    const auto table = readCsv(file);
+    ASSERT_EQ(table.rows.size(), 2u);
+    ASSERT_EQ(table.rows[0].size(), 2u);
+    EXPECT_EQ(table.rows[0][0], "a,b,c");
+    EXPECT_EQ(table.rows[1][0], "\"x\",y");
+    EXPECT_DOUBLE_EQ(table.numericColumn("value")[1], 2.0);
+}
+
+TEST_F(CsvTest, MissingTrailingNewline)
+{
+    const std::string file = path("no_newline.csv");
+    {
+        std::ofstream out(file);
+        out << "x\n1\n2"; // final row unterminated
+    }
+    const auto table = readCsv(file);
+    ASSERT_EQ(table.rows.size(), 2u);
+    EXPECT_EQ(table.rows[1][0], "2");
+}
+
+TEST_F(CsvTest, EmptyFileYieldsEmptyTable)
+{
+    const std::string file = path("empty.csv");
+    {
+        std::ofstream out(file);
+    }
+    const auto table = readCsv(file);
+    EXPECT_TRUE(table.header.empty());
+    EXPECT_TRUE(table.rows.empty());
+    EXPECT_THROW(table.numericColumn("x"), std::runtime_error);
 }
 
 TEST_F(CsvTest, CreatesParentDirectory)

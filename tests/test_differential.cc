@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Differential tests over the attribution pipeline: the sampling
+ * Shapley estimators are checked against exact enumeration on random
+ * games, and the estimates themselves must satisfy the Shapley
+ * axioms (efficiency, symmetry, null player). The whole suite is
+ * parameterized over thread counts so the deterministic parallel
+ * layer's bit-identity guarantee is exercised alongside the
+ * numerical agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "shapley/exact.hh"
+#include "shapley/game.hh"
+#include "shapley/sampling.hh"
+
+namespace fairco2::shapley
+{
+namespace
+{
+
+/** Random bounded game with v(0) = 0, as a tabulated game. */
+TabulatedGame
+randomGame(int n, Rng &rng)
+{
+    std::vector<double> values(1ULL << n);
+    values[0] = 0.0;
+    for (std::size_t m = 1; m < values.size(); ++m)
+        values[m] = rng.uniform(0.0, 10.0);
+    return TabulatedGame(n, std::move(values));
+}
+
+double
+sum(const std::vector<double> &phi)
+{
+    double total = 0.0;
+    for (double p : phi)
+        total += p;
+    return total;
+}
+
+/**
+ * Every test runs under the parameterized thread count; the parallel
+ * layer promises bit-identical results regardless, so both the
+ * tolerances and the exact comparisons must hold for each value.
+ */
+class Differential : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_ = parallel::threadCount();
+        parallel::setThreadCount(
+            static_cast<std::size_t>(GetParam()));
+    }
+
+    void TearDown() override { parallel::setThreadCount(saved_); }
+
+  private:
+    std::size_t saved_ = 1;
+};
+
+TEST_P(Differential, SampledMatchesExactOnRandomGames)
+{
+    // With 30k permutations the CLT standard error per player is
+    // well under 0.05 for marginals bounded by 10; 0.3 gives a
+    // comfortable flake-free margin.
+    for (int seed = 0; seed < 4; ++seed) {
+        Rng game_rng(500 + seed);
+        const int n = 2 + static_cast<int>(game_rng.index(9));
+        const auto game = randomGame(n, game_rng);
+        const auto exact = exactShapley(game);
+        Rng sample_rng(600 + seed);
+        const auto sampled =
+            sampledShapley(game, sample_rng, 30000);
+        ASSERT_EQ(sampled.size(), exact.size());
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(sampled[i], exact[i], 0.3)
+                << "player " << i << " of " << n << ", seed "
+                << seed;
+    }
+}
+
+TEST_P(Differential, SampledIsExactlyEfficient)
+{
+    // Permutation marginals telescope to v(N), so efficiency holds
+    // to rounding regardless of the sample count.
+    for (int seed = 0; seed < 4; ++seed) {
+        Rng game_rng(700 + seed);
+        const int n = 2 + static_cast<int>(game_rng.index(9));
+        const auto game = randomGame(n, game_rng);
+        Rng sample_rng(800 + seed);
+        const auto sampled = sampledShapley(game, sample_rng, 200);
+        const std::uint64_t full = (1ULL << n) - 1;
+        EXPECT_NEAR(sum(sampled), game.value(full), 1e-9);
+    }
+}
+
+TEST_P(Differential, SampledNullPlayerGetsExactlyZero)
+{
+    // A null player's marginal contribution is zero in every
+    // permutation, so even the estimate is exactly zero.
+    for (int seed = 0; seed < 4; ++seed) {
+        Rng game_rng(900 + seed);
+        const int n = 3 + static_cast<int>(game_rng.index(7));
+        const int dead = static_cast<int>(game_rng.index(n));
+        auto base = randomGame(n, game_rng);
+        std::vector<double> v(1ULL << n);
+        const std::uint64_t dead_bit = 1ULL << dead;
+        for (std::uint64_t m = 0; m < v.size(); ++m)
+            v[m] = base.value(m & ~dead_bit);
+        const TabulatedGame game(n, std::move(v));
+        Rng sample_rng(1000 + seed);
+        const auto sampled = sampledShapley(game, sample_rng, 500);
+        EXPECT_NEAR(sampled[dead], 0.0, 1e-12);
+    }
+}
+
+TEST_P(Differential, SampledSymmetricPlayersConverge)
+{
+    // Symmetric players only agree up to sampling noise, unlike the
+    // exact solver; the gap must shrink into the CLT envelope.
+    for (int seed = 0; seed < 3; ++seed) {
+        Rng game_rng(1100 + seed);
+        const int n = 3 + static_cast<int>(game_rng.index(6));
+        auto base = randomGame(n, game_rng);
+        auto swap01 = [](std::uint64_t m) {
+            const std::uint64_t b0 = m & 1;
+            const std::uint64_t b1 = (m >> 1) & 1;
+            return (m & ~3ULL) | (b0 << 1) | b1;
+        };
+        std::vector<double> v(1ULL << n);
+        for (std::uint64_t m = 0; m < v.size(); ++m)
+            v[m] = 0.5 * (base.value(m) + base.value(swap01(m)));
+        const TabulatedGame game(n, std::move(v));
+        Rng sample_rng(1200 + seed);
+        const auto sampled =
+            sampledShapley(game, sample_rng, 30000);
+        EXPECT_NEAR(sampled[0], sampled[1], 0.3);
+    }
+}
+
+TEST_P(Differential, VarianceReducedEstimatorsMatchExact)
+{
+    for (int seed = 0; seed < 3; ++seed) {
+        Rng game_rng(1300 + seed);
+        const int n = 2 + static_cast<int>(game_rng.index(7));
+        const auto game = randomGame(n, game_rng);
+        const auto exact = exactShapley(game);
+
+        Rng anti_rng(1400 + seed);
+        const auto anti =
+            antitheticSampledShapley(game, anti_rng, 15000);
+        Rng strat_rng(1500 + seed);
+        const auto strat =
+            stratifiedSampledShapley(game, strat_rng, 3000);
+        for (int i = 0; i < n; ++i) {
+            EXPECT_NEAR(anti[i], exact[i], 0.3)
+                << "antithetic, player " << i;
+            EXPECT_NEAR(strat[i], exact[i], 0.3)
+                << "stratified, player " << i;
+        }
+    }
+}
+
+TEST_P(Differential, AdaptiveHonorsItsConfidenceIntervals)
+{
+    for (int seed = 0; seed < 3; ++seed) {
+        Rng game_rng(1600 + seed);
+        const int n = 2 + static_cast<int>(game_rng.index(6));
+        const auto game = randomGame(n, game_rng);
+        const auto exact = exactShapley(game);
+        Rng sample_rng(1700 + seed);
+        const auto result = adaptiveSampledShapley(
+            game, sample_rng, 0.02, 200000);
+        ASSERT_EQ(result.values.size(), exact.size());
+        for (int i = 0; i < n; ++i) {
+            // The ~99% CI should cover the truth; allow 2x slack so
+            // an unlucky seed cannot flake the suite.
+            EXPECT_NEAR(result.values[i], exact[i],
+                        2.0 * result.halfWidths[i] + 1e-9)
+                << "player " << i << ", seed " << seed;
+        }
+    }
+}
+
+TEST_P(Differential, ResultsAreBitIdenticalToSerialReference)
+{
+    // The differential heart of the parallel layer: every estimator
+    // must produce the same bits under this thread count as under
+    // one thread.
+    Rng game_rng(1800);
+    const int n = 8;
+    const auto game = randomGame(n, game_rng);
+
+    parallel::setThreadCount(1);
+    Rng r1(1900);
+    const auto exact_serial = exactShapley(game);
+    const auto sampled_serial = sampledShapley(game, r1, 2000);
+    Rng r2(1901);
+    const auto anti_serial =
+        antitheticSampledShapley(game, r2, 1000);
+
+    parallel::setThreadCount(static_cast<std::size_t>(GetParam()));
+    Rng r3(1900);
+    const auto exact_par = exactShapley(game);
+    const auto sampled_par = sampledShapley(game, r3, 2000);
+    Rng r4(1901);
+    const auto anti_par = antitheticSampledShapley(game, r4, 1000);
+
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(exact_serial[i], exact_par[i]) << "player " << i;
+        EXPECT_EQ(sampled_serial[i], sampled_par[i])
+            << "player " << i;
+        EXPECT_EQ(anti_serial[i], anti_par[i]) << "player " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, Differential,
+                         ::testing::Values(1, 2, 8));
+
+} // namespace
+} // namespace fairco2::shapley

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -120,6 +122,49 @@ TEST(FlagsDeathTest, MissingValueExits)
     Argv argv({"prog", "--n"});
     EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
                 ::testing::ExitedWithCode(2), "needs a value");
+}
+
+TEST(FlagsDeathTest, UnwritableFlagPathExits)
+{
+    // Matches the --threads convention: a malformed flag value is a
+    // usage error, exit code 2.
+    EXPECT_EXIT(requireWritableFlagPath(
+                    "metrics-out",
+                    "/nonexistent-dir/deeper/metrics.json"),
+                ::testing::ExitedWithCode(2),
+                "--metrics-out: cannot write to");
+    EXPECT_EXIT(requireWritableFlagPath("trace-out",
+                                        "/proc/no-such/trace.json"),
+                ::testing::ExitedWithCode(2),
+                "--trace-out: cannot write to");
+}
+
+TEST(Flags, WritablePathsPassValidation)
+{
+    // Empty means "not requested" and must not be probed.
+    requireWritableFlagPath("metrics-out", "");
+
+    // A creatable path passes and the probe must not leave the file
+    // behind.
+    const std::string fresh =
+        ::testing::TempDir() + "fairco2_flag_probe.json";
+    std::remove(fresh.c_str());
+    requireWritableFlagPath("metrics-out", fresh);
+    EXPECT_FALSE(std::ifstream(fresh).good());
+
+    // An existing file passes and keeps its contents.
+    const std::string existing =
+        ::testing::TempDir() + "fairco2_flag_existing.json";
+    {
+        std::ofstream out(existing);
+        out << "keep";
+    }
+    requireWritableFlagPath("trace-out", existing);
+    std::ifstream in(existing);
+    std::string contents;
+    in >> contents;
+    EXPECT_EQ(contents, "keep");
+    std::remove(existing.c_str());
 }
 
 } // namespace

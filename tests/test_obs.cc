@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the observability layer: counter and histogram
+ * semantics, exact-then-bucketed quantiles, JSON/CSV export shape,
+ * trace span recording, the disabled-mode no-op guarantee, and
+ * multi-threaded recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs.hh"
+
+namespace fairco2::obs
+{
+namespace
+{
+
+/** Clean registry state before and after every test. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetForTest(); }
+    void TearDown() override { resetForTest(); }
+};
+
+TEST_F(ObsTest, DisabledByDefault)
+{
+    EXPECT_FALSE(enabled());
+    Counter &c = counter("obs.test.disabled_counter");
+    c.add(5);
+    EXPECT_EQ(c.value(), 0u);
+    Histogram &h = histogram("obs.test.disabled_hist");
+    h.record(1.0);
+    EXPECT_EQ(h.count(), 0u);
+    recordSpan("obs.test.disabled_span", 0, 10);
+    EXPECT_EQ(traceJson().find("obs.test.disabled_span"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, CounterAccumulatesWhenEnabled)
+{
+    setEnabled(true);
+    Counter &c = counter("obs.test.counter");
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name resolves to the same counter.
+    EXPECT_EQ(&counter("obs.test.counter"), &c);
+    EXPECT_EQ(counter("obs.test.counter").value(), 42u);
+}
+
+TEST_F(ObsTest, HistogramBasicStats)
+{
+    setEnabled(true);
+    Histogram &h = histogram("obs.test.basic");
+    for (int v = 1; v <= 100; ++v)
+        h.record(static_cast<double>(v));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST_F(ObsTest, QuantilesAreExactUnderRetentionCap)
+{
+    setEnabled(true);
+    Histogram &h = histogram("obs.test.exact_quantiles");
+    // 1..100 in scrambled order: quantiles must not depend on
+    // insertion order.
+    for (int v = 0; v < 100; ++v)
+        h.record(static_cast<double>((v * 37) % 100 + 1));
+    // Nearest-rank: p50 -> rank 50 -> value 50.
+    EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST_F(ObsTest, QuantilesFallBackToBucketsPastTheCap)
+{
+    setEnabled(true);
+    Histogram &h = histogram("obs.test.bucket_quantiles");
+    const std::size_t n = Histogram::kExactCap + 4096;
+    for (std::size_t i = 0; i < n; ++i)
+        h.record(static_cast<double>(i % 1000) + 1.0);
+    EXPECT_EQ(h.count(), n);
+    // Bucket resolution is 2^(1/8): ~9% relative error, plus the
+    // exact [min, max] clamp at the edges.
+    const double p50 = h.quantile(0.50);
+    EXPECT_NEAR(p50, 500.0, 500.0 * 0.10);
+    EXPECT_GE(h.quantile(0.0), h.min());
+    EXPECT_LE(h.quantile(1.0), h.max());
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST_F(ObsTest, HistogramHandlesZeroAndNegativeValues)
+{
+    setEnabled(true);
+    Histogram &h = histogram("obs.test.nonpositive");
+    h.record(0.0);
+    h.record(-5.0);
+    h.record(2.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 2.0);
+    // Exact path still applies: nearest-rank over {-5, 0, 2}.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, EmptyHistogramIsWellDefined)
+{
+    setEnabled(true);
+    Histogram &h = histogram("obs.test.empty");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, MetricsJsonListsKeysSorted)
+{
+    setEnabled(true);
+    counter("obs.test.zebra").add(1);
+    counter("obs.test.alpha").add(2);
+    histogram("obs.test.hist").record(3.0);
+    const std::string json = metricsJson();
+    const auto alpha = json.find("obs.test.alpha");
+    const auto zebra = json.find("obs.test.zebra");
+    ASSERT_NE(alpha, std::string::npos);
+    ASSERT_NE(zebra, std::string::npos);
+    EXPECT_LT(alpha, zebra);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"obs.test.alpha\": 2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"p50\": 3"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsCsvRoundTripsValues)
+{
+    setEnabled(true);
+    counter("obs.test.csv_counter").add(7);
+    Histogram &h = histogram("obs.test.csv_hist");
+    h.record(10.0);
+    h.record(20.0);
+    const std::string csv = metricsCsv();
+    std::istringstream in(csv);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "kind,name,stat,value");
+    bool saw_counter = false, saw_mean = false;
+    while (std::getline(in, line)) {
+        if (line == "counter,obs.test.csv_counter,value,7")
+            saw_counter = true;
+        if (line == "histogram,obs.test.csv_hist,mean,15")
+            saw_mean = true;
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_mean);
+}
+
+TEST_F(ObsTest, TraceJsonRecordsCompletedSpans)
+{
+    setEnabled(true);
+    {
+        SpanGuard span("obs.test.span_outer");
+        SpanGuard inner("obs.test.span_inner");
+    }
+    const std::string json = traceJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"obs.test.span_outer\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"obs.test.span_inner\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    // Inner destructs first, so it is recorded first.
+    EXPECT_LT(json.find("span_inner"), json.find("span_outer"));
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsElapsedNanos)
+{
+    setEnabled(true);
+    Histogram &h = histogram("obs.test.timer_ns");
+    {
+        ScopedTimer timer(h);
+    }
+    ASSERT_EQ(h.count(), 1u);
+    EXPECT_GE(h.min(), 0.0);
+}
+
+TEST_F(ObsTest, WriteMetricsPicksFormatFromExtension)
+{
+    setEnabled(true);
+    counter("obs.test.file_counter").add(3);
+    const std::string json_path =
+        ::testing::TempDir() + "obs_metrics.json";
+    const std::string csv_path =
+        ::testing::TempDir() + "obs_metrics.csv";
+    writeMetrics(json_path);
+    writeMetrics(csv_path);
+    std::stringstream json, csv;
+    json << std::ifstream(json_path).rdbuf();
+    csv << std::ifstream(csv_path).rdbuf();
+    EXPECT_NE(json.str().find("\"counters\""), std::string::npos);
+    EXPECT_EQ(csv.str().rfind("kind,name,stat,value", 0), 0u);
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+TEST_F(ObsTest, ResetForTestClearsEverything)
+{
+    setEnabled(true);
+    counter("obs.test.reset_counter").add(9);
+    histogram("obs.test.reset_hist").record(1.0);
+    {
+        SpanGuard span("obs.test.reset_span");
+    }
+    resetForTest();
+    EXPECT_FALSE(enabled());
+    EXPECT_EQ(counter("obs.test.reset_counter").value(), 0u);
+    EXPECT_EQ(histogram("obs.test.reset_hist").count(), 0u);
+    EXPECT_EQ(traceJson().find("obs.test.reset_span"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, ConcurrentRecordingLosesNothing)
+{
+    setEnabled(true);
+    Counter &c = counter("obs.test.mt_counter");
+    Histogram &h = histogram("obs.test.mt_hist");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&c, &h, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add(1);
+                h.record(static_cast<double>(t + 1));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    // sum is an atomic double accumulation of integers small enough
+    // to be exact.
+    EXPECT_DOUBLE_EQ(h.sum(),
+                     kPerThread * (1.0 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST_F(ObsTest, ConcurrentSpansAllRecorded)
+{
+    setEnabled(true);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 100;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i) {
+                SpanGuard span("obs.test.mt_span");
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const std::string json = traceJson();
+    std::size_t events = 0;
+    for (std::size_t pos = json.find("obs.test.mt_span");
+         pos != std::string::npos;
+         pos = json.find("obs.test.mt_span", pos + 1))
+        ++events;
+    EXPECT_EQ(events,
+              static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+#if !defined(FAIRCO2_OBS_OFF)
+
+TEST_F(ObsTest, MacrosRecordThroughCachedSites)
+{
+    setEnabled(true);
+    for (int i = 0; i < 10; ++i) {
+        FAIRCO2_COUNT("obs.test.macro_counter", 2);
+        FAIRCO2_OBSERVE("obs.test.macro_hist", i);
+    }
+    {
+        FAIRCO2_TIME_NS("obs.test.macro_timer_ns");
+        FAIRCO2_SPAN("obs.test.macro_span");
+    }
+    EXPECT_EQ(counter("obs.test.macro_counter").value(), 20u);
+    EXPECT_EQ(histogram("obs.test.macro_hist").count(), 10u);
+    EXPECT_EQ(histogram("obs.test.macro_timer_ns").count(), 1u);
+    EXPECT_NE(traceJson().find("obs.test.macro_span"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, MacrosAreNoOpsWhileDisabled)
+{
+    FAIRCO2_COUNT("obs.test.macro_off_counter", 5);
+    FAIRCO2_OBSERVE("obs.test.macro_off_hist", 1.0);
+    EXPECT_EQ(counter("obs.test.macro_off_counter").value(), 0u);
+    EXPECT_EQ(histogram("obs.test.macro_off_hist").count(), 0u);
+}
+
+#endif // !FAIRCO2_OBS_OFF
+
+} // namespace
+} // namespace fairco2::obs

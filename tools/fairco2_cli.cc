@@ -23,6 +23,7 @@
 
 #include "common/csv.hh"
 #include "common/flags.hh"
+#include "common/obs.hh"
 #include "common/parallel.hh"
 #include "core/baselines.hh"
 #include "core/temporal.hh"
@@ -87,9 +88,13 @@ runSignal(int argc, char **argv)
     flags.addString("out", &out_path, "output CSV path");
     std::int64_t threads = 0;
     parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    obs::addObsFlags(flags, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
     parallel::applyThreadsFlag(threads);
+    obs::applyObsFlags(obs_flags);
+    FAIRCO2_SPAN("cli.signal");
     if (demand_path.empty() || pool_grams <= 0.0) {
         std::fprintf(stderr,
                      "error: --demand and a positive --pool-grams "
@@ -130,9 +135,13 @@ runBill(int argc, char **argv)
     flags.addString("out", &out_path, "output CSV path");
     std::int64_t threads = 0;
     parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    obs::addObsFlags(flags, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
     parallel::applyThreadsFlag(threads);
+    obs::applyObsFlags(obs_flags);
+    FAIRCO2_SPAN("cli.bill");
     if (signal_path.empty() || usage_path.empty()) {
         std::fprintf(stderr,
                      "error: --signal and --usage are required\n");
@@ -192,9 +201,13 @@ runForecast(int argc, char **argv)
     flags.addString("out", &out_path, "output CSV path");
     std::int64_t threads = 0;
     parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    obs::addObsFlags(flags, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
     parallel::applyThreadsFlag(threads);
+    obs::applyObsFlags(obs_flags);
+    FAIRCO2_SPAN("cli.forecast");
     if (demand_path.empty() || horizon_steps <= 0) {
         std::fprintf(stderr,
                      "error: --demand and a positive "

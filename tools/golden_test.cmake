@@ -1,0 +1,75 @@
+# CTest script: golden-file regression over the fairco2 CLI. The
+# checked-in fixtures under tests/golden/ pin the exact bytes of the
+# signal and bill outputs; any formatting or numerical drift fails
+# the diff. The signal pass is repeated under --threads 2 and with
+# the obs outputs enabled, so both the bit-identity guarantee of the
+# parallel layer and the never-perturb-results guarantee of the
+# observability layer are part of the contract.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(demand_csv ${GOLDEN_DIR}/demand.csv)
+set(usage_csv ${GOLDEN_DIR}/usage.csv)
+
+function(run_fairco2)
+    execute_process(COMMAND ${FAIRCO2_BIN} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out ERROR_VARIABLE out)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "fairco2 ${ARGN} failed: ${out}")
+    endif()
+endfunction()
+
+function(diff_against_golden produced golden what)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${produced} ${golden}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${what}: ${produced} differs from golden "
+                "${golden}")
+    endif()
+endfunction()
+
+# Serial reference run.
+run_fairco2(signal --demand ${demand_csv} --pool-grams 5000
+            --splits 4,6 --out ${WORK_DIR}/signal.csv)
+diff_against_golden(${WORK_DIR}/signal.csv
+                    ${GOLDEN_DIR}/expected_signal.csv
+                    "signal (serial)")
+
+run_fairco2(bill --signal ${WORK_DIR}/signal.csv
+            --usage ${usage_csv} --out ${WORK_DIR}/bills.csv)
+diff_against_golden(${WORK_DIR}/bills.csv
+                    ${GOLDEN_DIR}/expected_bills.csv "bill")
+
+# The same bytes must come out under a different thread count.
+run_fairco2(signal --demand ${demand_csv} --pool-grams 5000
+            --splits 4,6 --threads 2
+            --out ${WORK_DIR}/signal_t2.csv)
+diff_against_golden(${WORK_DIR}/signal_t2.csv
+                    ${GOLDEN_DIR}/expected_signal.csv
+                    "signal (--threads 2)")
+
+# ... and with observability enabled: instrumentation must never
+# change results. The dumps themselves just need to materialize.
+run_fairco2(signal --demand ${demand_csv} --pool-grams 5000
+            --splits 4,6
+            --metrics-out ${WORK_DIR}/metrics.json
+            --trace-out ${WORK_DIR}/trace.json
+            --out ${WORK_DIR}/signal_obs.csv)
+diff_against_golden(${WORK_DIR}/signal_obs.csv
+                    ${GOLDEN_DIR}/expected_signal.csv
+                    "signal (obs enabled)")
+foreach(dump metrics.json trace.json)
+    if(NOT EXISTS ${WORK_DIR}/${dump})
+        message(FATAL_ERROR "obs dump ${dump} was not written")
+    endif()
+endforeach()
+file(READ ${WORK_DIR}/trace.json trace_text)
+if(NOT trace_text MATCHES "traceEvents")
+    message(FATAL_ERROR "trace.json has no traceEvents array")
+endif()
+
+message(STATUS "fairco2 CLI golden outputs OK")
