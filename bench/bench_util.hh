@@ -23,6 +23,7 @@
 #include "common/flags.hh"
 #include "common/obs.hh"
 #include "common/parallel.hh"
+#include "resilience/checkpoint.hh"
 
 namespace fairco2::bench
 {
@@ -51,6 +52,49 @@ applyCommonFlags(std::int64_t threads, const obs::ObsFlags &obs_flags)
 {
     parallel::applyThreadsFlag(threads);
     obs::applyObsFlags(obs_flags);
+}
+
+/** Raw `--checkpoint`/`--resume`/`--chunk-trials` flag values. */
+struct CheckpointFlags
+{
+    std::string checkpoint;
+    std::string resume;
+    std::int64_t chunkTrials = 0;
+};
+
+/** Register the checkpoint/resume flags a Monte Carlo bench shares. */
+inline void
+addCheckpointFlags(FlagSet &flags, CheckpointFlags *values)
+{
+    flags.addString("checkpoint", &values->checkpoint,
+                    "write chunk snapshots to this file");
+    flags.addString("resume", &values->resume,
+                    "restore completed chunks from this file");
+    flags.addInt("chunk-trials", &values->chunkTrials,
+                 "trials per checkpoint chunk (0: one chunk)");
+}
+
+/**
+ * Validate and convert the parsed checkpoint flags. A negative chunk
+ * size or unwritable checkpoint path exits 2, like any malformed
+ * flag value.
+ */
+inline resilience::CheckpointOptions
+applyCheckpointFlags(const CheckpointFlags &values)
+{
+    if (values.chunkTrials < 0) {
+        std::fprintf(stderr,
+                     "error: --chunk-trials must be >= 0, got %lld\n",
+                     static_cast<long long>(values.chunkTrials));
+        std::exit(2);
+    }
+    requireWritableFlagPath("checkpoint", values.checkpoint);
+    resilience::CheckpointOptions options;
+    options.checkpointPath = values.checkpoint;
+    options.resumePath = values.resume;
+    options.chunkTrials =
+        static_cast<std::uint64_t>(values.chunkTrials);
+    return options;
 }
 
 /** CSV path under ./bench_out for a given series name. */
@@ -93,12 +137,14 @@ namespace detail
 /** One perf_summary.json entry, one line per entry. */
 inline std::string
 perfEntryLine(const std::string &bench, std::size_t trials,
-              std::size_t threads, double wall_seconds)
+              std::size_t threads, double wall_seconds,
+              std::uint64_t faults)
 {
     std::ostringstream line;
     line << "{\"bench\": \"" << bench << "\", \"trials\": " << trials
          << ", \"threads\": " << threads
-         << ", \"wall_s\": " << wall_seconds << "}";
+         << ", \"wall_s\": " << wall_seconds
+         << ", \"faults\": " << faults << "}";
     return line.str();
 }
 
@@ -126,11 +172,13 @@ matchesPerfKey(const std::string &line, const std::string &bench,
  *    full history across sessions.
  *
  * The thread count is read from the parallel layer, so callers only
- * pass what the layer cannot know.
+ * pass what the layer cannot know. @p faults is the number of faults
+ * a `--fault-plan` injected during the run (0 when no plan was
+ * active), so degraded runs are distinguishable in the trajectory.
  */
 inline void
 recordPerf(const std::string &bench, std::size_t trials,
-           double wall_seconds)
+           double wall_seconds, std::uint64_t faults = 0)
 {
     const std::size_t threads = parallel::threadCount();
 
@@ -150,8 +198,8 @@ recordPerf(const std::string &bench, std::size_t trials,
                 entries.push_back(line);
         }
     }
-    entries.push_back(
-        detail::perfEntryLine(bench, trials, threads, wall_seconds));
+    entries.push_back(detail::perfEntryLine(bench, trials, threads,
+                                            wall_seconds, faults));
     {
         std::ofstream out(summary_path);
         out << "[\n";
@@ -167,9 +215,9 @@ recordPerf(const std::string &bench, std::size_t trials,
     const bool fresh = !std::ifstream(trajectory_path).good();
     std::ofstream csv(trajectory_path, std::ios::app);
     if (fresh)
-        csv << "bench,trials,threads,wall_s\n";
+        csv << "bench,trials,threads,wall_s,faults\n";
     csv << bench << ',' << trials << ',' << threads << ','
-        << wall_seconds << '\n';
+        << wall_seconds << ',' << faults << '\n';
 
     std::printf("perf: %s trials=%zu threads=%zu wall=%.3f s "
                 "(-> %s)\n",

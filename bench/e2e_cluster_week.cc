@@ -23,6 +23,8 @@
 #include "common/table.hh"
 #include "core/baselines.hh"
 #include "core/temporal.hh"
+#include "resilience/faultplan.hh"
+#include "resilience/ingest.hh"
 #include "sim/simulator.hh"
 
 using namespace fairco2;
@@ -63,11 +65,16 @@ main(int argc, char **argv)
     flags.addDouble("days", &days, "simulated days");
     std::int64_t threads = 0;
     obs::ObsFlags obs_flags;
+    std::string fault_plan_text;
+    resilience::addFaultPlanFlag(flags, &fault_plan_text);
     bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
     bench::applyCommonFlags(threads, obs_flags);
+    const resilience::FaultPlan plan =
+        resilience::applyFaultPlanFlag(fault_plan_text);
 
+    const bench::WallTimer timer;
     const double horizon = days * 86400.0;
     Rng rng(static_cast<std::uint64_t>(seed));
     sim::VmWorkloadGenerator::Config gen_config;
@@ -88,7 +95,8 @@ main(int argc, char **argv)
                         sim::PlacementPolicy::WorstFit}) {
         sim::Cluster cluster(96.0, 192.0, policy);
         const sim::ClusterSimulator simulator(300.0);
-        auto result = simulator.run(vms, horizon, cluster);
+        auto result = simulator.run(vms, horizon, cluster,
+                                    plan.active() ? &plan : nullptr);
         policies.addRow(
             sim::placementPolicyName(policy),
             {static_cast<double>(result.peakNodesProvisioned),
@@ -100,6 +108,29 @@ main(int argc, char **argv)
             best_fit_result = std::move(result);
     }
     policies.print();
+
+    // Under a fault plan the telemetry itself degrades before it
+    // reaches attribution: drop/corrupt faults poison samples, then
+    // the same interpolation repair a production ingest pipeline
+    // would apply heals them.
+    if (plan.active()) {
+        best_fit_result.coreDemand = resilience::injectTelemetryFaults(
+            best_fit_result.coreDemand, plan);
+        resilience::IngestReport repair;
+        best_fit_result.coreDemand = resilience::repairSeries(
+            best_fit_result.coreDemand,
+            resilience::BadRowPolicy::Interpolate, "e2e telemetry",
+            &repair);
+        std::printf("fault plan '%s': %llu faults injected "
+                    "(%zu VMs preempted, %zu node evictions); "
+                    "telemetry repair: %s\n",
+                    plan.spec().c_str(),
+                    static_cast<unsigned long long>(
+                        plan.injectedCount()),
+                    best_fit_result.preemptedVms,
+                    best_fit_result.nodeFailureEvictions,
+                    repair.summary().c_str());
+    }
 
     // Attribution on the best-fit telemetry.
     const auto &result = best_fit_result;
@@ -173,5 +204,7 @@ main(int argc, char **argv)
     }
     std::printf("CSV written to %s\n",
                 bench::csvPath("e2e_cluster_week").c_str());
+    bench::recordPerf("e2e_cluster_week", result.records.size(),
+                      timer.seconds(), plan.injectedCount());
     return 0;
 }

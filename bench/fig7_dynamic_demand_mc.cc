@@ -67,10 +67,13 @@ main(int argc, char **argv)
     flags.addInt("min-slices", &min_slices, "minimum time slices");
     flags.addInt("max-slices", &max_slices, "maximum time slices");
     flags.addInt("seed", &seed, "RNG seed");
+    bench::CheckpointFlags ckpt_flags;
+    bench::addCheckpointFlags(flags, &ckpt_flags);
     bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
     bench::applyCommonFlags(threads, obs_flags);
+    const auto ckpt = bench::applyCheckpointFlags(ckpt_flags);
 
     montecarlo::DemandMcConfig config;
     config.trials = static_cast<std::size_t>(trials);
@@ -80,8 +83,29 @@ main(int argc, char **argv)
 
     Rng rng(static_cast<std::uint64_t>(seed));
     const bench::WallTimer timer;
-    const auto results =
-        montecarlo::runDemandMonteCarlo(config, rng);
+    std::vector<DemandTrialResult> results;
+    if (ckpt.checkpointPath.empty() && ckpt.resumePath.empty()) {
+        results = montecarlo::runDemandMonteCarlo(config, rng);
+    } else {
+        // Checkpointed path: byte-identical to the plain run, and a
+        // bad resume file is bad input (exit 2), not a crash.
+        try {
+            resilience::CheckpointRunResult outcome;
+            results = montecarlo::runDemandMonteCarlo(
+                config, rng, ckpt, &outcome);
+            std::printf("checkpoint: %llu/%llu chunks resumed, "
+                        "%llu computed\n",
+                        static_cast<unsigned long long>(
+                            outcome.resumedChunks),
+                        static_cast<unsigned long long>(
+                            outcome.totalChunks),
+                        static_cast<unsigned long long>(
+                            outcome.computedChunks));
+        } catch (const resilience::CheckpointError &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 2;
+        }
+    }
     const double wall_seconds = timer.seconds();
 
     // ---- Overall aggregation (panels a, e). ----

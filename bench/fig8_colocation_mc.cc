@@ -73,10 +73,13 @@ main(int argc, char **argv)
     flags.addInt("seed", &seed, "RNG seed");
     std::int64_t threads = 0;
     obs::ObsFlags obs_flags;
+    bench::CheckpointFlags ckpt_flags;
+    bench::addCheckpointFlags(flags, &ckpt_flags);
     bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
     bench::applyCommonFlags(threads, obs_flags);
+    const auto ckpt = bench::applyCheckpointFlags(ckpt_flags);
 
     montecarlo::ColocMcConfig config;
     config.trials = static_cast<std::size_t>(trials);
@@ -88,7 +91,28 @@ main(int argc, char **argv)
     const montecarlo::ColocationMonteCarlo mc;
     Rng rng(static_cast<std::uint64_t>(seed));
     const bench::WallTimer timer;
-    const auto out = mc.run(config, rng);
+    montecarlo::ColocMcOutput out;
+    if (ckpt.checkpointPath.empty() && ckpt.resumePath.empty()) {
+        out = mc.run(config, rng);
+    } else {
+        // Checkpointed path: byte-identical to the plain run, and a
+        // bad resume file is bad input (exit 2), not a crash.
+        try {
+            resilience::CheckpointRunResult outcome;
+            out = mc.run(config, rng, ckpt, &outcome);
+            std::printf("checkpoint: %llu/%llu chunks resumed, "
+                        "%llu computed\n",
+                        static_cast<unsigned long long>(
+                            outcome.resumedChunks),
+                        static_cast<unsigned long long>(
+                            outcome.totalChunks),
+                        static_cast<unsigned long long>(
+                            outcome.computedChunks));
+        } catch (const resilience::CheckpointError &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 2;
+        }
+    }
     const double wall_seconds = timer.seconds();
 
     // ---- Overall (panels a, e). ----

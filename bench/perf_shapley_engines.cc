@@ -16,6 +16,8 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/temporal.hh"
+#include "resilience/faultplan.hh"
+#include "resilience/ingest.hh"
 #include "shapley/exact.hh"
 #include "shapley/peak.hh"
 #include "shapley/sampling.hh"
@@ -25,6 +27,9 @@ using namespace fairco2;
 
 namespace
 {
+
+/** The shared `--fault-plan`; inactive unless the flag was given. */
+resilience::FaultPlan g_fault_plan;
 
 std::vector<double>
 randomPeaks(std::size_t n, std::uint64_t seed)
@@ -102,8 +107,16 @@ BM_TemporalShapleyMonth(benchmark::State &state)
     trace::AzureLikeGenerator::Config config;
     config.days = 30.0;
     Rng rng(42);
-    const auto demand =
+    auto demand =
         trace::AzureLikeGenerator(config).generate(rng);
+    if (g_fault_plan.active()) {
+        // Degraded variant: poison then repair the demand series,
+        // so the timing includes the resilience path.
+        demand = resilience::repairSeries(
+            resilience::injectTelemetryFaults(demand, g_fault_plan),
+            resilience::BadRowPolicy::Interpolate,
+            "perf_shapley_engines demand");
+    }
     const core::TemporalShapley engine;
     const std::vector<std::size_t> splits{10, 9, 8, 12};
     for (auto _ : state) {
@@ -142,21 +155,23 @@ namespace
 
 /**
  * Strip the common flags — `--threads N`, `--metrics-out PATH`,
- * `--trace-out PATH` (and their `=` forms) — before google-benchmark
- * takes ownership of the rest of the command line, then apply them.
- * Returns the new argc.
+ * `--trace-out PATH`, `--fault-plan SPEC` (and their `=` forms) —
+ * before google-benchmark takes ownership of the rest of the command
+ * line, then apply them. Returns the new argc.
  */
 int
 consumeCommonFlags(int argc, char **argv)
 {
     std::int64_t threads = 0;
     fairco2::obs::ObsFlags obs_flags;
+    std::string fault_plan_text;
     const struct {
         const char *name;
         std::string *value;
     } string_flags[] = {
         {"--metrics-out", &obs_flags.metricsOut},
         {"--trace-out", &obs_flags.traceOut},
+        {"--fault-plan", &fault_plan_text},
     };
     int out = 1;
     for (int i = 1; i < argc; ++i) {
@@ -186,6 +201,8 @@ consumeCommonFlags(int argc, char **argv)
             argv[out++] = argv[i];
     }
     fairco2::bench::applyCommonFlags(threads, obs_flags);
+    g_fault_plan =
+        fairco2::resilience::applyFaultPlanFlag(fault_plan_text);
     return out;
 }
 
@@ -214,6 +231,7 @@ main(int argc, char **argv)
                                std::size_t{1} << kHeadlinePlayers,
                                exact_timer.seconds());
     fairco2::bench::recordPerf("perf_shapley_engines", 1,
-                               suite_seconds);
+                               suite_seconds,
+                               g_fault_plan.injectedCount());
     return phi.empty() ? 1 : 0;
 }

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared error taxonomy for data-quality failures.
+ *
+ * A FatalDataError means the *input data* (not the command line and
+ * not a programming bug) is unusable under the active policy: a
+ * poisoned telemetry row in strict mode, a corrupt checkpoint, a
+ * non-finite value reaching an attribution kernel. Front ends catch
+ * it at the top level and exit with status 2 — the same convention
+ * FlagSet uses for malformed flag values — so "bad input" is
+ * distinguishable from "crash" (nonzero other than 2) in scripts.
+ */
+
+#ifndef FAIRCO2_COMMON_ERRORS_HH
+#define FAIRCO2_COMMON_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace fairco2
+{
+
+/** Unusable input data under the active policy; front ends exit 2. */
+class FatalDataError : public std::runtime_error
+{
+  public:
+    explicit FatalDataError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+} // namespace fairco2
+
+#endif // FAIRCO2_COMMON_ERRORS_HH

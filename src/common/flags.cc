@@ -1,9 +1,11 @@
 #include "common/flags.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 
 namespace fairco2
@@ -77,15 +79,26 @@ FlagSet::fail(const std::string &prog, const std::string &message) const
 bool
 FlagSet::assign(const Flag &flag, const std::string &text) const
 {
+    // Strict numerics: the whole token must parse ("10x" is not 10)
+    // and doubles must be finite — a sweep script's typo must not
+    // silently truncate into a valid-looking run.
+    std::size_t pos = 0;
     try {
         switch (flag.kind) {
-          case Kind::Int:
-            *static_cast<std::int64_t *>(flag.target) =
-                std::stoll(text);
+          case Kind::Int: {
+            const std::int64_t v = std::stoll(text, &pos);
+            if (pos != text.size())
+                return false;
+            *static_cast<std::int64_t *>(flag.target) = v;
             return true;
-          case Kind::Double:
-            *static_cast<double *>(flag.target) = std::stod(text);
+          }
+          case Kind::Double: {
+            const double v = std::stod(text, &pos);
+            if (pos != text.size() || !std::isfinite(v))
+                return false;
+            *static_cast<double *>(flag.target) = v;
             return true;
+          }
           case Kind::String:
             *static_cast<std::string *>(flag.target) = text;
             return true;
@@ -109,6 +122,7 @@ bool
 FlagSet::parse(int argc, char **argv)
 {
     const std::string prog = argc > 0 ? argv[0] : "prog";
+    std::set<std::string> seen;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -132,6 +146,10 @@ FlagSet::parse(int argc, char **argv)
         const auto it = flags_.find(name);
         if (it == flags_.end())
             fail(prog, "unknown flag: --" + name);
+        // Last-write-wins would hide which of two occurrences a
+        // sweep actually ran with; repeats are fatal instead.
+        if (!seen.insert(name).second)
+            fail(prog, "duplicate flag: --" + name);
 
         const Flag &flag = it->second;
         if (!has_value) {
@@ -172,6 +190,42 @@ requireWritableFlagPath(const std::string &flag_name,
                      flag_name.c_str(), path.c_str());
         std::exit(2);
     }
+}
+
+std::vector<std::size_t>
+parsePositiveIntList(const std::string &text)
+{
+    std::vector<std::size_t> values;
+    std::string token;
+    const auto flush = [&]() {
+        if (token.empty())
+            throw std::invalid_argument(
+                "empty entry in list '" + text + "'");
+        std::size_t pos = 0;
+        long long v = 0;
+        try {
+            v = std::stoll(token, &pos);
+        } catch (const std::exception &) {
+            throw std::invalid_argument("bad list entry '" + token +
+                                        "'");
+        }
+        if (pos != token.size())
+            throw std::invalid_argument("bad list entry '" + token +
+                                        "'");
+        if (v <= 0)
+            throw std::invalid_argument(
+                "list entry must be positive, got '" + token + "'");
+        values.push_back(static_cast<std::size_t>(v));
+        token.clear();
+    };
+    for (char c : text) {
+        if (c == ',')
+            flush();
+        else
+            token += c;
+    }
+    flush();
+    return values;
 }
 
 } // namespace fairco2

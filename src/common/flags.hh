@@ -43,8 +43,10 @@ class FlagSet
 
     /**
      * Parse argv. On --help prints usage and returns false (caller
-     * should exit 0). On a malformed or unknown flag prints an error
-     * and usage, then exits with status 2.
+     * should exit 0). On a malformed, unknown, or repeated flag
+     * prints an error and usage, then exits with status 2. Numeric
+     * values are parsed strictly: trailing garbage ("10x") and
+     * non-finite doubles are malformed, not truncated.
      */
     bool parse(int argc, char **argv);
 
@@ -82,6 +84,15 @@ class FlagSet
  */
 void requireWritableFlagPath(const std::string &flag_name,
                              const std::string &path);
+
+/**
+ * Parse a comma-separated list of strictly positive integers, e.g. a
+ * `--splits 4,6` value. Empty tokens ("10,,8"), non-numeric or
+ * partially numeric tokens ("4x"), zero, and negatives all throw
+ * std::invalid_argument naming the offending token — list flags must
+ * fail loudly, not silently skip entries.
+ */
+std::vector<std::size_t> parsePositiveIntList(const std::string &text);
 
 } // namespace fairco2
 

@@ -74,6 +74,16 @@ quantile(std::vector<double> values, double q)
 {
     assert(!values.empty());
     assert(q >= 0.0 && q <= 1.0);
+    // NaN has no order: sorting it in would put it at an arbitrary
+    // position and silently shift the quantile. Exclude non-finite
+    // samples; with nothing finite left, the quantile is NaN.
+    values.erase(std::remove_if(values.begin(), values.end(),
+                                [](double v) {
+                                    return !std::isfinite(v);
+                                }),
+                 values.end());
+    if (values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     std::sort(values.begin(), values.end());
     if (values.size() == 1)
         return values.front();
@@ -88,6 +98,12 @@ Summary
 Summary::of(std::vector<double> values)
 {
     Summary s;
+    const auto first_bad = std::remove_if(
+        values.begin(), values.end(),
+        [](double v) { return !std::isfinite(v); });
+    s.nanCount =
+        static_cast<std::size_t>(values.end() - first_bad);
+    values.erase(first_bad, values.end());
     if (values.empty())
         return s;
 
@@ -112,15 +128,24 @@ namespace
 
 /**
  * Walk paired actual/predicted values and feed absolute percentage
- * errors to the visitor, skipping zero-actual entries.
+ * errors to the visitor, skipping zero-actual entries. Non-finite
+ * pairs are skipped too and counted — an error metric built on a
+ * poisoned sample would itself be poison.
  */
 template <typename Visit>
 void
 forEachApe(const std::vector<double> &actual,
-           const std::vector<double> &predicted, Visit &&visit)
+           const std::vector<double> &predicted,
+           std::size_t *non_finite_skipped, Visit &&visit)
 {
     assert(actual.size() == predicted.size());
     for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (!std::isfinite(actual[i]) ||
+            !std::isfinite(predicted[i])) {
+            if (non_finite_skipped)
+                ++*non_finite_skipped;
+            continue;
+        }
         if (actual[i] == 0.0)
             continue;
         visit(std::abs((predicted[i] - actual[i]) / actual[i]) * 100.0);
@@ -131,19 +156,22 @@ forEachApe(const std::vector<double> &actual,
 
 double
 meanAbsolutePercentageError(const std::vector<double> &actual,
-                            const std::vector<double> &predicted)
+                            const std::vector<double> &predicted,
+                            std::size_t *non_finite_skipped)
 {
     OnlineStats acc;
-    forEachApe(actual, predicted, [&](double ape) { acc.add(ape); });
+    forEachApe(actual, predicted, non_finite_skipped,
+               [&](double ape) { acc.add(ape); });
     return acc.mean();
 }
 
 double
 worstAbsolutePercentageError(const std::vector<double> &actual,
-                             const std::vector<double> &predicted)
+                             const std::vector<double> &predicted,
+                             std::size_t *non_finite_skipped)
 {
     double worst = 0.0;
-    forEachApe(actual, predicted,
+    forEachApe(actual, predicted, non_finite_skipped,
                [&](double ape) { worst = std::max(worst, ape); });
     return worst;
 }

@@ -59,7 +59,8 @@ class OnlineStats
  */
 struct Summary
 {
-    std::size_t count = 0;
+    std::size_t count = 0;    //!< finite samples summarized
+    std::size_t nanCount = 0; //!< non-finite samples excluded
     double mean = 0.0;
     double stddev = 0.0;
     double min = 0.0;
@@ -69,29 +70,43 @@ struct Summary
     double p95 = 0.0;
     double max = 0.0;
 
-    /** Compute the summary of a sample (copied; input not modified). */
+    /**
+     * Compute the summary of a sample (copied; input not modified).
+     * Non-finite samples are excluded from every statistic and
+     * surfaced through nanCount — a poisoned sample can never shift
+     * a quantile silently.
+     */
     static Summary of(std::vector<double> values);
 };
 
 /**
  * Interpolated quantile of a sample. @p q must be in [0, 1]. The input
- * is copied and sorted internally.
+ * is copied and sorted internally. Non-finite samples are excluded
+ * (NaN has no order, so sorting it would yield an arbitrary wrong
+ * quantile); returns NaN when no finite sample remains.
  */
 double quantile(std::vector<double> values, double q);
 
 /**
  * Mean absolute percentage error between @p actual and @p predicted,
- * in percent. Entries where actual is zero are skipped.
+ * in percent. Entries where actual is zero, or where either value is
+ * non-finite, are skipped; the optional counter reports how many
+ * non-finite pairs were excluded.
  */
-double meanAbsolutePercentageError(const std::vector<double> &actual,
-                                   const std::vector<double> &predicted);
+double meanAbsolutePercentageError(
+    const std::vector<double> &actual,
+    const std::vector<double> &predicted,
+    std::size_t *non_finite_skipped = nullptr);
 
 /**
  * Largest absolute percentage error between @p actual and
- * @p predicted, in percent. Entries where actual is zero are skipped.
+ * @p predicted, in percent. Same skip rules and non-finite counter
+ * as meanAbsolutePercentageError.
  */
-double worstAbsolutePercentageError(const std::vector<double> &actual,
-                                    const std::vector<double> &predicted);
+double worstAbsolutePercentageError(
+    const std::vector<double> &actual,
+    const std::vector<double> &predicted,
+    std::size_t *non_finite_skipped = nullptr);
 
 } // namespace fairco2
 

@@ -1,7 +1,11 @@
 #include "core/baselines.hh"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "common/errors.hh"
 
 namespace fairco2::core
 {
@@ -43,8 +47,15 @@ attributeUsage(const trace::TimeSeries &intensity,
             "intensity/usage series shape mismatch");
     }
     double grams = 0.0;
-    for (std::size_t i = 0; i < usage.size(); ++i)
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+        // Billing must never absorb a poisoned sample silently.
+        if (!std::isfinite(intensity[i]) ||
+            !std::isfinite(usage[i]))
+            throw FatalDataError(
+                "billing: non-finite intensity/usage at sample " +
+                std::to_string(i));
         grams += intensity[i] * usage[i] * usage.stepSeconds();
+    }
     return grams;
 }
 

@@ -1,7 +1,10 @@
 #include "core/temporal.hh"
 
 #include <cassert>
+#include <cmath>
+#include <string>
 
+#include "common/errors.hh"
 #include "common/obs.hh"
 #include "shapley/peak.hh"
 
@@ -93,6 +96,18 @@ TemporalShapley::attribute(
     const std::vector<std::size_t> &split_counts) const
 {
     assert(total_grams >= 0.0);
+    // A poisoned sample would spread through every Shapley weight
+    // below it; refuse it here with a sample-level diagnostic
+    // instead of emitting NaN intensities.
+    if (!std::isfinite(total_grams))
+        throw FatalDataError(
+            "temporal attribution: total grams is not finite");
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        if (!std::isfinite(demand[i]))
+            throw FatalDataError(
+                "temporal attribution: demand sample " +
+                std::to_string(i) + " is not finite");
+    }
     FAIRCO2_SPAN("core.temporal.attribute");
     FAIRCO2_COUNT("core.temporal.attributions", 1);
     FAIRCO2_OBSERVE("core.temporal.samples", demand.size());

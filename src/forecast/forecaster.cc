@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <numbers>
 #include <stdexcept>
 
 #include "common/linalg.hh"
 #include "common/obs.hh"
+#include "resilience/ingest.hh"
 
 namespace fairco2::forecast
 {
@@ -18,6 +20,16 @@ namespace
 constexpr double kSecondsPerDay = 86400.0;
 constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+bool
+allFinite(const std::vector<double> &values)
+{
+    for (double v : values) {
+        if (!std::isfinite(v))
+            return false;
+    }
+    return true;
+}
 
 } // namespace
 
@@ -73,6 +85,12 @@ SeasonalForecaster::fit(const trace::TimeSeries &history)
 
     stepSeconds_ = history.stepSeconds();
     historyEndSeconds_ = history.durationSeconds();
+    degraded_ = false;
+
+    if (!allFinite(history.values())) {
+        fallbackTo(history, "history contains non-finite samples");
+        return;
+    }
 
     // Standardize the target so the ridge penalty is scale-free.
     double mean = 0.0;
@@ -105,16 +123,68 @@ SeasonalForecaster::fit(const trace::TimeSeries &history)
         // fit cost once the design matrix is built.
         FAIRCO2_SPAN("forecast.solve");
         FAIRCO2_TIME_NS("forecast.solve_ns");
-        weights_ =
-            ridgeRegression(design, target, config_.ridgeLambda);
+        try {
+            weights_ =
+                ridgeRegression(design, target, config_.ridgeLambda);
+        } catch (const std::runtime_error &) {
+            fallbackTo(history, "ridge solve failed");
+            return;
+        }
+    }
+    // A NaN on the Cholesky diagonal passes its `diag <= 0` check,
+    // so divergence can also surface as non-finite weights.
+    if (!allFinite(weights_)) {
+        fallbackTo(history, "ridge fit diverged");
+        return;
     }
     fitted_ = true;
+}
+
+void
+SeasonalForecaster::fallbackTo(const trace::TimeSeries &history,
+                               const char *reason)
+{
+    const std::size_t n = history.size();
+    const auto day_steps = static_cast<std::size_t>(
+        std::max(1.0, std::round(kSecondsPerDay / stepSeconds_)));
+    const std::size_t period = std::min(n, day_steps);
+
+    const auto &values = history.values();
+    fallbackPeriod_.assign(values.end() -
+                               static_cast<std::ptrdiff_t>(period),
+                           values.end());
+    fallbackStartSeconds_ =
+        static_cast<double>(n - period) * stepSeconds_;
+    // Throws (and aborts the fit) only when *no* finite sample
+    // exists to rebuild from.
+    resilience::repairNonFinite(fallbackPeriod_,
+                                resilience::BadRowPolicy::Interpolate,
+                                "forecast fallback history");
+
+    weights_.clear();
+    degraded_ = true;
+    fitted_ = true;
+    FAIRCO2_COUNT("forecast.fallback", 1);
+    std::fprintf(stderr,
+                 "warning: forecast: %s; falling back to "
+                 "seasonal-naive over the last %zu samples\n",
+                 reason, period);
 }
 
 double
 SeasonalForecaster::predictAt(double seconds) const
 {
     assert(fitted_);
+    if (degraded_) {
+        // Seasonal-naive: tile the stored period in both directions,
+        // phase-aligned with where it sat in the history.
+        const auto period =
+            static_cast<std::int64_t>(fallbackPeriod_.size());
+        const auto k = static_cast<std::int64_t>(std::floor(
+            (seconds - fallbackStartSeconds_) / stepSeconds_));
+        const std::int64_t idx = ((k % period) + period) % period;
+        return fallbackPeriod_[static_cast<std::size_t>(idx)];
+    }
     const auto f = featuresAt(seconds);
     double z = 0.0;
     for (std::size_t j = 0; j < f.size(); ++j)

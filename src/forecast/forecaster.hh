@@ -35,11 +35,22 @@ class SeasonalForecaster
     /**
      * Fit the model to a history starting at time zero. Requires at
      * least as many samples as model features.
+     *
+     * When the ridge fit diverges — the history contains non-finite
+     * samples, the Cholesky solve fails, or the solved weights are
+     * not finite — the forecaster downgrades itself to a
+     * seasonal-naive model (the last daily period of the history,
+     * interpolation-repaired, tiled forward), logs the downgrade,
+     * and bumps the `forecast.fallback` obs counter instead of
+     * emitting poisoned predictions.
      */
     void fit(const trace::TimeSeries &history);
 
     /** True after a successful fit(). */
     bool fitted() const { return fitted_; }
+
+    /** True when fit() fell back to the seasonal-naive model. */
+    bool degraded() const { return degraded_; }
 
     /** Model prediction at an absolute time in seconds. */
     double predictAt(double seconds) const;
@@ -62,9 +73,14 @@ class SeasonalForecaster
 
   private:
     std::vector<double> featuresAt(double seconds) const;
+    void fallbackTo(const trace::TimeSeries &history,
+                    const char *reason);
 
     Config config_;
     bool fitted_;
+    bool degraded_ = false;
+    std::vector<double> fallbackPeriod_; //!< last daily period
+    double fallbackStartSeconds_ = 0.0;
     std::vector<double> weights_;
     double yMean_;
     double yScale_;

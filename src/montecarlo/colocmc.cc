@@ -152,4 +152,73 @@ ColocationMonteCarlo::run(const ColocMcConfig &config, Rng &rng) const
     return out;
 }
 
+std::uint64_t
+colocConfigHash(const ColocMcConfig &config)
+{
+    using resilience::hashField;
+    std::uint64_t h = resilience::kFnvOffset;
+    h = hashField(h, static_cast<std::uint64_t>(config.trials));
+    h = hashField(h, static_cast<std::uint64_t>(config.minWorkloads));
+    h = hashField(h, static_cast<std::uint64_t>(config.maxWorkloads));
+    h = hashField(h, config.minGridCi);
+    h = hashField(h, config.maxGridCi);
+    h = hashField(h, static_cast<std::uint64_t>(config.minSamples));
+    h = hashField(h, static_cast<std::uint64_t>(config.maxSamples));
+    h = hashField(h,
+                  static_cast<std::uint64_t>(config.collectRecords));
+    return h;
+}
+
+ColocMcOutput
+ColocationMonteCarlo::run(
+    const ColocMcConfig &config, Rng &rng,
+    const resilience::CheckpointOptions &checkpoint,
+    resilience::CheckpointRunResult *run_result) const
+{
+    assert(config.minWorkloads >= 2);
+    assert(config.maxWorkloads >= config.minWorkloads);
+    assert(config.minSamples >= 1);
+    assert(config.maxSamples <= suite_.size() - 1);
+    if (config.collectRecords)
+        throw resilience::CheckpointError(
+            "checkpointing is not supported with per-workload "
+            "record collection");
+
+    // Same per-trial purity contract as the plain overload, with
+    // chunk commits through the checkpoint machinery.
+    const Rng base = rng.split();
+    FAIRCO2_SPAN("mc.coloc.run");
+    ColocMcOutput out;
+    const auto outcome =
+        resilience::runCheckpointedTrials<ColocTrialResult>(
+            checkpoint, base, colocConfigHash(config), config.trials,
+            out.trials, [&](std::uint64_t t) {
+                FAIRCO2_TIME_NS("mc.coloc.trial_ns");
+                Rng trial_rng = base.fork(t);
+                const auto n =
+                    static_cast<std::size_t>(trial_rng.uniformInt(
+                        static_cast<std::int64_t>(
+                            config.minWorkloads),
+                        static_cast<std::int64_t>(
+                            config.maxWorkloads)));
+                const double ci = trial_rng.uniform(
+                    config.minGridCi, config.maxGridCi);
+                const auto samples =
+                    static_cast<std::size_t>(trial_rng.uniformInt(
+                        static_cast<std::int64_t>(config.minSamples),
+                        static_cast<std::int64_t>(
+                            config.maxSamples)));
+                const auto r =
+                    runTrial(n, ci, samples, trial_rng, nullptr);
+                FAIRCO2_COUNT("mc.coloc.trials", 1);
+                FAIRCO2_OBSERVE("mc.coloc.workloads", n);
+                FAIRCO2_OBSERVE("mc.coloc.avg_fair_dev_pct",
+                                r.avgFairCo2);
+                return r;
+            });
+    if (run_result)
+        *run_result = outcome;
+    return out;
+}
+
 } // namespace fairco2::montecarlo

@@ -15,6 +15,7 @@
 #include "carbon/server.hh"
 #include "common/rng.hh"
 #include "core/colocgame.hh"
+#include "resilience/checkpoint.hh"
 #include "workload/interference.hh"
 #include "workload/suite.hh"
 
@@ -56,6 +57,9 @@ struct ColocWorkloadRecord
     double devFairCo2 = 0.0;
 };
 
+/** FNV-1a hash over every config field; checkpoint identity. */
+std::uint64_t colocConfigHash(const ColocMcConfig &config);
+
 /** Output of a Monte Carlo run. */
 struct ColocMcOutput
 {
@@ -81,6 +85,19 @@ class ColocationMonteCarlo
      * for any thread count.
      */
     ColocMcOutput run(const ColocMcConfig &config, Rng &rng) const;
+
+    /**
+     * Checkpointed variant: chunk snapshots to/from the given paths,
+     * byte-identical to the plain overload after resume. Requires
+     * config.collectRecords == false (per-workload records are
+     * variable-size and not checkpointable); throws
+     * resilience::CheckpointError otherwise, or on an unusable
+     * resume file.
+     */
+    ColocMcOutput run(const ColocMcConfig &config, Rng &rng,
+                      const resilience::CheckpointOptions &checkpoint,
+                      resilience::CheckpointRunResult *run_result =
+                          nullptr) const;
 
     /** Run a single scenario at the given knob values. */
     ColocTrialResult

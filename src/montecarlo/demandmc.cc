@@ -156,4 +156,57 @@ runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng)
     return results;
 }
 
+std::uint64_t
+demandConfigHash(const DemandMcConfig &config)
+{
+    using resilience::hashField;
+    std::uint64_t h = resilience::kFnvOffset;
+    h = hashField(h, static_cast<std::uint64_t>(config.trials));
+    h = hashField(h, static_cast<std::uint64_t>(config.maxWorkloads));
+    h = hashField(h,
+                  static_cast<std::uint64_t>(config.minTimeSlices));
+    h = hashField(h,
+                  static_cast<std::uint64_t>(config.maxTimeSlices));
+    h = hashField(h,
+                  static_cast<std::uint64_t>(config.maxConcurrent));
+    h = hashField(h, static_cast<std::uint64_t>(config.minDuration));
+    h = hashField(h, static_cast<std::uint64_t>(config.maxDuration));
+    h = hashField(h, config.sliceSeconds);
+    h = hashField(h, config.totalGrams);
+    return h;
+}
+
+std::vector<DemandTrialResult>
+runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng,
+                    const resilience::CheckpointOptions &checkpoint,
+                    resilience::CheckpointRunResult *run_result)
+{
+    // Same per-trial purity contract as the plain overload above, so
+    // the two produce byte-identical results; this one additionally
+    // commits completed chunks through the checkpoint machinery.
+    const Rng base = rng.split();
+    FAIRCO2_SPAN("mc.demand.run");
+    std::vector<DemandTrialResult> results;
+    const auto outcome =
+        resilience::runCheckpointedTrials<DemandTrialResult>(
+            checkpoint, base, demandConfigHash(config), config.trials,
+            results, [&](std::uint64_t t) {
+                FAIRCO2_TIME_NS("mc.demand.trial_ns");
+                Rng trial_rng = base.fork(t);
+                const auto schedule =
+                    randomSchedule(config, trial_rng);
+                const auto r =
+                    runDemandTrial(schedule, config.totalGrams);
+                FAIRCO2_COUNT("mc.demand.trials", 1);
+                FAIRCO2_OBSERVE("mc.demand.workloads",
+                                r.numWorkloads);
+                FAIRCO2_OBSERVE("mc.demand.avg_fair_dev_pct",
+                                r.avgFairCo2);
+                return r;
+            });
+    if (run_result)
+        *run_result = outcome;
+    return results;
+}
+
 } // namespace fairco2::montecarlo

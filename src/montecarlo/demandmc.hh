@@ -13,6 +13,7 @@
 
 #include "common/rng.hh"
 #include "core/demandgame.hh"
+#include "resilience/checkpoint.hh"
 
 namespace fairco2::montecarlo
 {
@@ -63,6 +64,23 @@ DemandTrialResult runDemandTrial(const core::Schedule &schedule,
  */
 std::vector<DemandTrialResult>
 runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng);
+
+/** FNV-1a hash over every config field; checkpoint identity. */
+std::uint64_t demandConfigHash(const DemandMcConfig &config);
+
+/**
+ * Checkpointed variant: snapshots completed trial chunks to
+ * @p checkpoint.checkpointPath and/or restores them from
+ * @p checkpoint.resumePath. Because trial t is a pure function of the
+ * forked base stream, a killed-and-resumed run returns byte-identical
+ * results to an uninterrupted one, for any `--threads N`. Throws
+ * resilience::CheckpointError on an unusable resume file.
+ */
+std::vector<DemandTrialResult>
+runDemandMonteCarlo(const DemandMcConfig &config, Rng &rng,
+                    const resilience::CheckpointOptions &checkpoint,
+                    resilience::CheckpointRunResult *run_result =
+                        nullptr);
 
 } // namespace fairco2::montecarlo
 

@@ -1,0 +1,202 @@
+#include "resilience/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace fairco2::resilience
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'F', 'C', '2', 'K'};
+constexpr std::size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(std::uint32_t) + 5 * sizeof(std::uint64_t);
+
+void
+appendBytes(std::vector<std::uint8_t> &out, const void *data,
+            std::size_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    out.insert(out.end(), bytes, bytes + size);
+}
+
+std::uint64_t
+readU64(const std::uint8_t *data)
+{
+    std::uint64_t value = 0;
+    std::memcpy(&value, data, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+std::uint64_t
+hashField(std::uint64_t hash, std::uint64_t value)
+{
+    return fnv1a64(&value, sizeof(value), hash);
+}
+
+std::uint64_t
+hashField(std::uint64_t hash, double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return hashField(hash, bits);
+}
+
+std::uint64_t
+checkpointFingerprint(const Rng &base)
+{
+    return base.fork(kFingerprintStream).next();
+}
+
+namespace detail
+{
+
+CheckpointImage
+readCheckpointFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CheckpointError("cannot read checkpoint file: " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        throw CheckpointError("cannot read checkpoint file: " + path);
+
+    if (bytes.size() < kHeaderBytes + sizeof(std::uint64_t))
+        throw CheckpointError("truncated checkpoint: " + path);
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        throw CheckpointError("not a checkpoint file: " + path);
+
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + sizeof(kMagic),
+                sizeof(version));
+    if (version != kCheckpointVersion)
+        throw CheckpointError(
+            "unsupported checkpoint version " +
+            std::to_string(version) + " (expected " +
+            std::to_string(kCheckpointVersion) + "): " + path);
+
+    const std::uint8_t *cursor =
+        bytes.data() + sizeof(kMagic) + sizeof(version);
+    CheckpointImage image;
+    image.fingerprint = readU64(cursor);
+    image.configHash = readU64(cursor + 8);
+    image.trials = readU64(cursor + 16);
+    image.chunkTrials = readU64(cursor + 24);
+    image.recordBytes = readU64(cursor + 32);
+
+    if (image.trials == 0 || image.chunkTrials == 0 ||
+        image.recordBytes == 0)
+        throw CheckpointError("corrupt checkpoint header: " + path);
+    const std::uint64_t chunks =
+        (image.trials + image.chunkTrials - 1) / image.chunkTrials;
+    const std::uint64_t bitmap_bytes = (chunks + 7) / 8;
+    const std::uint64_t payload_bytes =
+        image.trials * image.recordBytes;
+    const std::uint64_t expected = kHeaderBytes + bitmap_bytes +
+        payload_bytes + sizeof(std::uint64_t);
+    if (bytes.size() != expected)
+        throw CheckpointError("truncated checkpoint: " + path);
+
+    const std::uint64_t stored =
+        readU64(bytes.data() + bytes.size() - sizeof(std::uint64_t));
+    const std::uint64_t actual =
+        fnv1a64(bytes.data(), bytes.size() - sizeof(std::uint64_t));
+    if (stored != actual)
+        throw CheckpointError("checkpoint checksum mismatch: " + path);
+
+    const std::uint8_t *body = bytes.data() + kHeaderBytes;
+    image.bitmap.assign(body, body + bitmap_bytes);
+    image.payload.assign(body + bitmap_bytes,
+                         body + bitmap_bytes + payload_bytes);
+    return image;
+}
+
+void
+writeCheckpointFile(const std::string &path,
+                    const CheckpointImage &image)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(kHeaderBytes + image.bitmap.size() +
+                  image.payload.size() + sizeof(std::uint64_t));
+    appendBytes(bytes, kMagic, sizeof(kMagic));
+    appendBytes(bytes, &kCheckpointVersion,
+                sizeof(kCheckpointVersion));
+    appendBytes(bytes, &image.fingerprint, sizeof(std::uint64_t));
+    appendBytes(bytes, &image.configHash, sizeof(std::uint64_t));
+    appendBytes(bytes, &image.trials, sizeof(std::uint64_t));
+    appendBytes(bytes, &image.chunkTrials, sizeof(std::uint64_t));
+    appendBytes(bytes, &image.recordBytes, sizeof(std::uint64_t));
+    appendBytes(bytes, image.bitmap.data(), image.bitmap.size());
+    appendBytes(bytes, image.payload.data(), image.payload.size());
+    const std::uint64_t checksum =
+        fnv1a64(bytes.data(), bytes.size());
+    appendBytes(bytes, &checksum, sizeof(checksum));
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw CheckpointError("cannot write checkpoint file: " +
+                                  tmp);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            throw CheckpointError("cannot write checkpoint file: " +
+                                  tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw CheckpointError("cannot replace checkpoint file: " +
+                              path);
+}
+
+void
+validateCheckpoint(const CheckpointImage &image,
+                   const std::string &path, std::uint64_t fingerprint,
+                   std::uint64_t config_hash, std::uint64_t trials,
+                   std::uint64_t chunk_trials,
+                   std::uint64_t record_bytes)
+{
+    if (image.fingerprint != fingerprint)
+        throw CheckpointError(
+            "checkpoint seed fingerprint does not match this run: " +
+            path);
+    if (image.configHash != config_hash)
+        throw CheckpointError(
+            "checkpoint configuration does not match this run: " +
+            path);
+    if (image.trials != trials)
+        throw CheckpointError(
+            "checkpoint trial count " +
+            std::to_string(image.trials) + " does not match " +
+            std::to_string(trials) + ": " + path);
+    if (image.chunkTrials != chunk_trials)
+        throw CheckpointError(
+            "checkpoint chunk size " +
+            std::to_string(image.chunkTrials) + " does not match " +
+            std::to_string(chunk_trials) + ": " + path);
+    if (image.recordBytes != record_bytes)
+        throw CheckpointError(
+            "checkpoint record size " +
+            std::to_string(image.recordBytes) + " does not match " +
+            std::to_string(record_bytes) + ": " + path);
+}
+
+} // namespace detail
+
+} // namespace fairco2::resilience

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Hardened telemetry ingestion: strict-vs-recover policies for bad
+ * CSV rows and non-finite samples.
+ *
+ * Production telemetry is not pristine — rows go missing, cells hold
+ * garbage, sensors emit NaN. This module is the single choke point
+ * where such defects are either *repaired and counted* or the run is
+ * aborted with a row-level diagnostic; a poisoned sample never flows
+ * silently into attribution. The policy is selected with the shared
+ * `--on-bad-row={fail,skip,interpolate}` flag:
+ *
+ *  - fail: first defect throws IngestError naming the row and cause
+ *    (front ends exit 2);
+ *  - skip: defective samples are dropped (the time base compresses —
+ *    use only when gaps are tolerable);
+ *  - interpolate: defective samples are rebuilt by linear
+ *    interpolation between the nearest good neighbours (edges take
+ *    the nearest good value).
+ *
+ * Every defect and repair is counted in the IngestReport and in obs
+ * counters under `resilience.ingest.*`.
+ */
+
+#ifndef FAIRCO2_RESILIENCE_INGEST_HH
+#define FAIRCO2_RESILIENCE_INGEST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/errors.hh"
+#include "resilience/faultplan.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2
+{
+
+class FlagSet;
+
+namespace resilience
+{
+
+/** What to do with a defective row/sample. */
+enum class BadRowPolicy
+{
+    Fail,        //!< abort with a row-level diagnostic (exit 2)
+    Skip,        //!< drop the sample
+    Interpolate, //!< rebuild from the nearest good neighbours
+};
+
+/** Parse "fail" / "skip" / "interpolate"; throws invalid_argument. */
+BadRowPolicy parseBadRowPolicy(const std::string &text);
+
+/** Policy name for diagnostics. */
+const char *badRowPolicyName(BadRowPolicy policy);
+
+/** Register the shared `--on-bad-row` flag (default "fail"). */
+void addBadRowFlag(FlagSet &flags, std::string *value);
+
+/**
+ * Parse a `--on-bad-row` value; on an unknown policy prints an error
+ * and exits 2, mirroring FlagSet's handling of bad flag values.
+ */
+BadRowPolicy applyBadRowFlag(const std::string &value);
+
+/** Defect and repair accounting for one ingestion pass. */
+struct IngestReport
+{
+    std::size_t rowsTotal = 0;       //!< data rows examined
+    std::size_t rowsBad = 0;         //!< rows with any defect
+    std::size_t parseErrors = 0;     //!< non-numeric cell text
+    std::size_t missingCells = 0;    //!< empty cell or short row
+    std::size_t nonFinite = 0;       //!< NaN/Inf values
+    std::size_t injectedDrops = 0;   //!< fault-plan injected losses
+    std::size_t injectedCorruptions = 0; //!< fault-plan corruptions
+    std::size_t repaired = 0;        //!< samples interpolated
+    std::size_t skipped = 0;         //!< samples dropped
+
+    /** Merge another pass (e.g. one per usage column). */
+    void merge(const IngestReport &other);
+
+    /** One-line human summary, e.g. for CLI footers. */
+    std::string summary() const;
+};
+
+/** A defective row under the Fail policy; front ends exit 2. */
+class IngestError : public FatalDataError
+{
+  public:
+    IngestError(const std::string &context, std::size_t row,
+                const std::string &cause);
+
+    /** 1-based data row index (header excluded). */
+    std::size_t row() const { return row_; }
+
+  private:
+    std::size_t row_;
+};
+
+/**
+ * Extract one numeric column from a parsed CSV table under the given
+ * policy. Cells are parsed strictly (full consumption — "12x" is a
+ * parse error, not 12); defects are repaired, skipped, or fatal per
+ * @p policy. An optional fault plan poisons rows deterministically
+ * *before* validation, so injected faults flow through exactly the
+ * recovery machinery real defects do. Throws IngestError (Fail
+ * policy, or when no valid sample remains) and std::runtime_error
+ * when the column is missing.
+ *
+ * @param context used in diagnostics, e.g. "demand.csv:demand".
+ */
+std::vector<double>
+numericColumnWithPolicy(const CsvTable &table,
+                        const std::string &column,
+                        BadRowPolicy policy,
+                        const FaultPlan *plan = nullptr,
+                        IngestReport *report = nullptr,
+                        const std::string &context = "");
+
+/**
+ * Read a CSV file and extract @p column as a TimeSeries with the
+ * given step width, under @p policy. The common entry point for the
+ * CLI and benches.
+ */
+trace::TimeSeries
+loadSeriesColumn(const std::string &path, const std::string &column,
+                 double step_seconds, BadRowPolicy policy,
+                 const FaultPlan *plan = nullptr,
+                 IngestReport *report = nullptr);
+
+/**
+ * Repair non-finite samples already in memory (e.g. after telemetry
+ * fault injection) under @p policy. Fail throws IngestError;
+ * Interpolate rebuilds in place; Skip removes the samples. Returns
+ * the number of samples repaired or removed.
+ */
+std::size_t repairNonFinite(std::vector<double> &values,
+                            BadRowPolicy policy,
+                            const std::string &context,
+                            IngestReport *report = nullptr);
+
+/** Convenience overload over a TimeSeries (returns the repaired copy). */
+trace::TimeSeries repairSeries(const trace::TimeSeries &series,
+                               BadRowPolicy policy,
+                               const std::string &context,
+                               IngestReport *report = nullptr);
+
+} // namespace resilience
+} // namespace fairco2
+
+#endif // FAIRCO2_RESILIENCE_INGEST_HH

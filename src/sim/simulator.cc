@@ -32,8 +32,8 @@ ClusterSimulator::ClusterSimulator(double step_seconds)
 
 SimulationResult
 ClusterSimulator::run(const std::vector<VmSpec> &vms,
-                      double horizon_seconds,
-                      Cluster &cluster) const
+                      double horizon_seconds, Cluster &cluster,
+                      const resilience::FaultPlan *fault_plan) const
 {
     assert(horizon_seconds > 0.0);
 
@@ -102,6 +102,33 @@ ClusterSimulator::run(const std::vector<VmSpec> &vms,
             record.endSeconds =
                 std::min(vm.departureSeconds(), horizon_seconds);
             record.nodeIndex = cluster.place(vm);
+            if (fault_plan && fault_plan->active()) {
+                // Preemption keeps only a plan-drawn fraction of the
+                // lifetime; a node failure evicts every resident VM
+                // at the node's deterministic failure time.
+                const double frac =
+                    fault_plan->vmPreemptionFraction(vm.id);
+                if (frac >= 0.0) {
+                    record.endSeconds = vm.arrivalSeconds +
+                        frac * (record.endSeconds -
+                                vm.arrivalSeconds);
+                    record.truncatedByFault = true;
+                    ++result.preemptedVms;
+                    fault_plan->noteInjected();
+                    FAIRCO2_COUNT("resilience.fault.vm_preempted", 1);
+                }
+                const double fail_time = fault_plan->nodeFailureTime(
+                    record.nodeIndex, horizon_seconds);
+                if (fail_time >= 0.0 &&
+                    fail_time < record.endSeconds) {
+                    record.endSeconds = std::max(vm.arrivalSeconds,
+                                                 fail_time);
+                    record.truncatedByFault = true;
+                    ++result.nodeFailureEvictions;
+                    fault_plan->noteInjected();
+                    FAIRCO2_COUNT("resilience.fault.node_evicted", 1);
+                }
+            }
             FAIRCO2_COUNT("sim.placements", 1);
             FAIRCO2_OBSERVE("sim.placement_cores", vm.cores);
             result.records.push_back(record);

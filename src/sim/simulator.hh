@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "resilience/faultplan.hh"
 #include "sim/cluster.hh"
 #include "sim/vm.hh"
 #include "trace/timeseries.hh"
@@ -26,6 +27,8 @@ struct VmRecord
     std::size_t nodeIndex = 0;
     /** Departure clamped to the simulation horizon. */
     double endSeconds = 0.0;
+    /** True when a fault plan cut this VM short. */
+    bool truncatedByFault = false;
 
     /** Core-seconds actually held within the horizon. */
     double coreSeconds() const
@@ -45,6 +48,10 @@ struct SimulationResult
     std::size_t peakNodesProvisioned = 0;
     std::size_t peakNodesInUse = 0;
     double peakCores = 0.0;
+    /** VMs cut short by an injected preemption. */
+    std::size_t preemptedVms = 0;
+    /** VMs cut short by an injected node failure. */
+    std::size_t nodeFailureEvictions = 0;
 
     /**
      * Usage series (cores held per sample step) for one record,
@@ -67,10 +74,18 @@ class ClusterSimulator
      * Run the full arrival/departure schedule on @p cluster.
      * @p vms must be sorted by arrival time (the generator's
      * output order). VMs alive at the horizon are clamped.
+     *
+     * An active @p fault_plan injects node failures (every VM placed
+     * on the node before its deterministic failure time is evicted
+     * then; VMs arriving after it hold zero residency) and VM
+     * preemptions (the VM keeps only its plan-drawn fraction of its
+     * lifetime). Decisions are pure per node/VM id, so fault patterns
+     * are bit-identical for any `--threads N`.
      */
     SimulationResult run(const std::vector<VmSpec> &vms,
-                         double horizon_seconds,
-                         Cluster &cluster) const;
+                         double horizon_seconds, Cluster &cluster,
+                         const resilience::FaultPlan *fault_plan =
+                             nullptr) const;
 
   private:
     double stepSeconds_;

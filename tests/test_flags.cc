@@ -124,6 +124,84 @@ TEST(FlagsDeathTest, MissingValueExits)
                 ::testing::ExitedWithCode(2), "needs a value");
 }
 
+TEST(FlagsDeathTest, DuplicateFlagExits)
+{
+    // Passing the same flag twice is almost always a typo'd command
+    // line; silently keeping the last value hides it.
+    std::int64_t n = 0;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog", "--n", "1", "--n", "2"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "duplicate flag: --n");
+}
+
+TEST(FlagsDeathTest, DuplicateMixedFormsExit)
+{
+    std::int64_t n = 0;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog", "--n=1", "--n", "2"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "duplicate flag");
+}
+
+TEST(FlagsDeathTest, TrailingGarbageIntExits)
+{
+    // "10x" must not partial-parse to 10.
+    std::int64_t n = 0;
+    FlagSet flags("test");
+    flags.addInt("n", &n, "count");
+    Argv argv({"prog", "--n", "10x"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(FlagsDeathTest, TrailingGarbageDoubleExits)
+{
+    double ci = 0.0;
+    FlagSet flags("test");
+    flags.addDouble("ci", &ci, "grid ci");
+    Argv argv({"prog", "--ci", "1.5oops"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(FlagsDeathTest, NonFiniteDoubleExits)
+{
+    double ci = 0.0;
+    FlagSet flags("test");
+    flags.addDouble("ci", &ci, "grid ci");
+    Argv argv({"prog", "--ci", "inf"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(Flags, ParsePositiveIntListAcceptsWellFormed)
+{
+    EXPECT_EQ(parsePositiveIntList("10,9,8,12"),
+              (std::vector<std::size_t>{10, 9, 8, 12}));
+    EXPECT_EQ(parsePositiveIntList("7"),
+              (std::vector<std::size_t>{7}));
+}
+
+TEST(Flags, ParsePositiveIntListRejectsMalformed)
+{
+    // The regression that motivated this: "10,,8" silently became
+    // {10, 8} with the lenient parser.
+    EXPECT_THROW(parsePositiveIntList("10,,8"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveIntList("10,9x"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveIntList("10,0"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveIntList("10,-3"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveIntList(""), std::invalid_argument);
+    EXPECT_THROW(parsePositiveIntList("10,"),
+                 std::invalid_argument);
+}
+
 TEST(FlagsDeathTest, UnwritableFlagPathExits)
 {
     // Matches the --threads convention: a malformed flag value is a

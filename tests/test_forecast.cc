@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "common/rng.hh"
@@ -120,6 +121,72 @@ TEST(SeasonalForecaster, ConstantSeriesForecastsConstant)
     const auto horizon = forecaster.forecast(24);
     for (std::size_t i = 0; i < horizon.size(); ++i)
         EXPECT_NEAR(horizon[i], 42.0, 1.0);
+}
+
+TEST(SeasonalForecaster, CleanFitIsNotDegraded)
+{
+    const auto history = syntheticSignal(14.0, 3600.0);
+    SeasonalForecaster forecaster;
+    forecaster.fit(history);
+    EXPECT_TRUE(forecaster.fitted());
+    EXPECT_FALSE(forecaster.degraded());
+}
+
+TEST(SeasonalForecaster, NonFiniteHistoryFallsBackSeasonalNaive)
+{
+    auto values = syntheticSignal(14.0, 3600.0).values();
+    values[3] = std::numeric_limits<double>::quiet_NaN();
+    values[100] = std::numeric_limits<double>::infinity();
+    const trace::TimeSeries history(std::move(values), 3600.0);
+
+    SeasonalForecaster forecaster;
+    forecaster.fit(history);
+    EXPECT_TRUE(forecaster.fitted());
+    EXPECT_TRUE(forecaster.degraded());
+
+    // Seasonal-naive: the forecast tiles the last (repaired) day.
+    const auto horizon = forecaster.forecast(48);
+    ASSERT_EQ(horizon.size(), 48u);
+    const auto &h = history.values();
+    for (std::size_t i = 0; i < horizon.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(horizon[i]));
+        const double expected = std::max(
+            0.0, h[h.size() - 24 + (i % 24)]);
+        EXPECT_DOUBLE_EQ(horizon[i], expected) << "step " << i;
+    }
+}
+
+TEST(SeasonalForecaster, FallbackRepairsPoisonedTailSamples)
+{
+    auto values = syntheticSignal(14.0, 3600.0).values();
+    // Poison one sample inside the final day, which feeds the
+    // fallback period: the forecast must interpolate it, never emit
+    // NaN.
+    const std::size_t n = values.size();
+    values[n - 10] = std::numeric_limits<double>::quiet_NaN();
+    const trace::TimeSeries history(std::move(values), 3600.0);
+
+    SeasonalForecaster forecaster;
+    forecaster.fit(history);
+    EXPECT_TRUE(forecaster.degraded());
+    const auto horizon = forecaster.forecast(24);
+    for (std::size_t i = 0; i < horizon.size(); ++i)
+        ASSERT_TRUE(std::isfinite(horizon[i])) << "step " << i;
+}
+
+TEST(SeasonalForecaster, DegradedExtendStillBlends)
+{
+    auto values = syntheticSignal(10.0, 3600.0).values();
+    values[0] = std::numeric_limits<double>::quiet_NaN();
+    const trace::TimeSeries history(std::move(values), 3600.0);
+    SeasonalForecaster forecaster;
+    const auto extended = forecaster.extendWithForecast(history, 24);
+    ASSERT_EQ(extended.size(), history.size() + 24);
+    EXPECT_TRUE(forecaster.degraded());
+    // History is kept verbatim (including the NaN: callers choose
+    // their own ingest policy); the forecast itself is finite.
+    for (std::size_t i = history.size(); i < extended.size(); ++i)
+        ASSERT_TRUE(std::isfinite(extended[i]));
 }
 
 TEST(SeasonalForecaster, HarmonicCountsAreConfigurable)

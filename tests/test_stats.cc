@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/stats.hh"
 
@@ -137,6 +138,59 @@ TEST(Mape, SkipsZeroActuals)
     const std::vector<double> pred{5, 150};
     EXPECT_NEAR(meanAbsolutePercentageError(actual, pred), 50.0,
                 1e-12);
+}
+
+TEST(Quantile, ExcludesNonFiniteSamples)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    // The finite subset is {1, 2, 3, 4}; NaN must not shift the
+    // median by sorting to an arbitrary position.
+    EXPECT_DOUBLE_EQ(quantile({1, nan, 2, 3, inf, 4}, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile({nan, 5.0}, 0.9), 5.0);
+}
+
+TEST(Quantile, AllNonFiniteReturnsNaN)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(quantile({nan, nan}, 0.5)));
+}
+
+TEST(Summary, CountsNonFiniteSamples)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const auto s = Summary::of({1.0, nan, 3.0, -inf, 5.0});
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.nanCount, 2u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, AllNonFinite)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const auto s = Summary::of({nan, nan});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.nanCount, 2u);
+}
+
+TEST(Mape, SkipsAndCountsNonFinitePairs)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<double> actual{100, nan, 200, 300};
+    const std::vector<double> pred{110, 5, inf, 270};
+    std::size_t skipped = 0;
+    EXPECT_NEAR(meanAbsolutePercentageError(actual, pred, &skipped),
+                10.0, 1e-12);
+    EXPECT_EQ(skipped, 2u);
+
+    skipped = 0;
+    EXPECT_NEAR(worstAbsolutePercentageError(actual, pred, &skipped),
+                10.0, 1e-12);
+    EXPECT_EQ(skipped, 2u);
 }
 
 } // namespace

@@ -15,6 +15,11 @@
  * `signal` turns a demand series into a Temporal Shapley intensity
  * signal; `bill` integrates per-consumer usage columns against a
  * signal; `forecast` extends a demand series Prophet-style.
+ *
+ * All commands accept `--on-bad-row={fail,skip,interpolate}` for
+ * defective telemetry rows and `--fault-plan <spec>` for
+ * deterministic fault injection; exit status 2 means bad input (a
+ * malformed flag or unusable data), distinct from a crash.
  */
 
 #include <cstdio>
@@ -22,12 +27,15 @@
 #include <vector>
 
 #include "common/csv.hh"
+#include "common/errors.hh"
 #include "common/flags.hh"
 #include "common/obs.hh"
 #include "common/parallel.hh"
 #include "core/baselines.hh"
 #include "core/temporal.hh"
 #include "forecast/forecaster.hh"
+#include "resilience/faultplan.hh"
+#include "resilience/ingest.hh"
 #include "trace/timeseries.hh"
 
 using namespace fairco2;
@@ -35,36 +43,55 @@ using namespace fairco2;
 namespace
 {
 
-/** Parse "10,9,8,12" into split counts. */
+/** Parse "10,9,8,12" into split counts; malformed lists exit 2. */
 std::vector<std::size_t>
 parseSplits(const std::string &text)
 {
-    std::vector<std::size_t> splits;
-    std::string token;
-    for (char c : text + ",") {
-        if (c == ',') {
-            if (!token.empty()) {
-                const long v = std::stol(token);
-                if (v <= 0)
-                    throw std::invalid_argument(
-                        "split counts must be positive");
-                splits.push_back(static_cast<std::size_t>(v));
-                token.clear();
-            }
-        } else {
-            token += c;
-        }
+    try {
+        return parsePositiveIntList(text);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: --splits: %s\n", error.what());
+        std::exit(2);
     }
-    return splits;
 }
+
+/** Shared ingestion/fault flags and their parsed forms. */
+struct ResilienceFlags
+{
+    std::string badRowText = "fail";
+    std::string faultPlanText;
+    resilience::BadRowPolicy policy = resilience::BadRowPolicy::Fail;
+    resilience::FaultPlan plan;
+    resilience::IngestReport report;
+
+    void add(FlagSet &flags)
+    {
+        resilience::addBadRowFlag(flags, &badRowText);
+        resilience::addFaultPlanFlag(flags, &faultPlanText);
+    }
+
+    void apply()
+    {
+        policy = resilience::applyBadRowFlag(badRowText);
+        plan = resilience::applyFaultPlanFlag(faultPlanText);
+    }
+
+    /** Log the ingest outcome when anything was defective. */
+    void note() const
+    {
+        if (report.rowsBad > 0)
+            std::fprintf(stderr, "ingest: %s\n",
+                         report.summary().c_str());
+    }
+};
 
 trace::TimeSeries
 loadColumn(const std::string &path, const std::string &column,
-           double step_seconds)
+           double step_seconds, ResilienceFlags &res)
 {
-    const auto table = readCsv(path);
-    return trace::TimeSeries(table.numericColumn(column),
-                             step_seconds);
+    return resilience::loadSeriesColumn(path, column, step_seconds,
+                                        res.policy, &res.plan,
+                                        &res.report);
 }
 
 int
@@ -90,10 +117,13 @@ runSignal(int argc, char **argv)
     parallel::addThreadsFlag(flags, &threads);
     obs::ObsFlags obs_flags;
     obs::addObsFlags(flags, &obs_flags);
+    ResilienceFlags res;
+    res.add(flags);
     if (!flags.parse(argc, argv))
         return 0;
     parallel::applyThreadsFlag(threads);
     obs::applyObsFlags(obs_flags);
+    res.apply();
     FAIRCO2_SPAN("cli.signal");
     if (demand_path.empty() || pool_grams <= 0.0) {
         std::fprintf(stderr,
@@ -103,7 +133,8 @@ runSignal(int argc, char **argv)
     }
 
     const auto demand =
-        loadColumn(demand_path, column, step_seconds);
+        loadColumn(demand_path, column, step_seconds, res);
+    res.note();
     const auto result = core::TemporalShapley().attribute(
         demand, pool_grams, parseSplits(splits_text));
 
@@ -137,10 +168,13 @@ runBill(int argc, char **argv)
     parallel::addThreadsFlag(flags, &threads);
     obs::ObsFlags obs_flags;
     obs::addObsFlags(flags, &obs_flags);
+    ResilienceFlags res;
+    res.add(flags);
     if (!flags.parse(argc, argv))
         return 0;
     parallel::applyThreadsFlag(threads);
     obs::applyObsFlags(obs_flags);
+    res.apply();
     FAIRCO2_SPAN("cli.bill");
     if (signal_path.empty() || usage_path.empty()) {
         std::fprintf(stderr,
@@ -154,7 +188,10 @@ runBill(int argc, char **argv)
         ? step_col[1] - step_col[0]
         : 1.0;
     const trace::TimeSeries intensity(
-        signal_table.numericColumn("intensity_g_per_unit_s"),
+        resilience::numericColumnWithPolicy(
+            signal_table, "intensity_g_per_unit_s", res.policy,
+            &res.plan, &res.report,
+            signal_path + ":intensity_g_per_unit_s"),
         step);
 
     const auto usage_table = readCsv(usage_path);
@@ -163,7 +200,10 @@ runBill(int argc, char **argv)
     double total = 0.0;
     for (const auto &consumer : usage_table.header) {
         const trace::TimeSeries usage(
-            usage_table.numericColumn(consumer), step);
+            resilience::numericColumnWithPolicy(
+                usage_table, consumer, res.policy, &res.plan,
+                &res.report, usage_path + ":" + consumer),
+            step);
         if (usage.size() != intensity.size()) {
             std::fprintf(stderr,
                          "error: usage column '%s' has %zu rows; "
@@ -177,6 +217,7 @@ runBill(int argc, char **argv)
         csv.writeRow(consumer, {grams});
         total += grams;
     }
+    res.note();
     std::printf("bill: %zu consumers, %.6g g total -> %s\n",
                 usage_table.header.size(), total,
                 out_path.c_str());
@@ -203,10 +244,13 @@ runForecast(int argc, char **argv)
     parallel::addThreadsFlag(flags, &threads);
     obs::ObsFlags obs_flags;
     obs::addObsFlags(flags, &obs_flags);
+    ResilienceFlags res;
+    res.add(flags);
     if (!flags.parse(argc, argv))
         return 0;
     parallel::applyThreadsFlag(threads);
     obs::applyObsFlags(obs_flags);
+    res.apply();
     FAIRCO2_SPAN("cli.forecast");
     if (demand_path.empty() || horizon_steps <= 0) {
         std::fprintf(stderr,
@@ -216,7 +260,8 @@ runForecast(int argc, char **argv)
     }
 
     const auto history =
-        loadColumn(demand_path, column, step_seconds);
+        loadColumn(demand_path, column, step_seconds, res);
+    res.note();
     forecast::SeasonalForecaster forecaster;
     const auto blended = forecaster.extendWithForecast(
         history, static_cast<std::size_t>(horizon_steps));
@@ -272,6 +317,11 @@ main(int argc, char **argv)
             usage();
             return 0;
         }
+    } catch (const FatalDataError &error) {
+        // Unusable input under the active policy — same exit code
+        // as a malformed flag, so scripts can tell it from a crash.
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
     } catch (const std::exception &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

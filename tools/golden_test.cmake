@@ -72,4 +72,24 @@ if(NOT trace_text MATCHES "traceEvents")
     message(FATAL_ERROR "trace.json has no traceEvents array")
 endif()
 
+# Degraded-mode regression: a fixture with dropouts, corrupt cells,
+# and non-finite values must interpolate to the exact checked-in
+# bytes — recovery is deterministic, not best-effort. Repeated at
+# --threads 2: the repair happens before the parallel attribution,
+# so thread count must not perturb a single byte.
+set(degraded_csv ${GOLDEN_DIR}/demand_degraded.csv)
+run_fairco2(signal --demand ${degraded_csv} --pool-grams 5000
+            --splits 4,6 --on-bad-row=interpolate
+            --out ${WORK_DIR}/signal_degraded.csv)
+diff_against_golden(${WORK_DIR}/signal_degraded.csv
+                    ${GOLDEN_DIR}/expected_signal_degraded.csv
+                    "signal (degraded, interpolate)")
+
+run_fairco2(signal --demand ${degraded_csv} --pool-grams 5000
+            --splits 4,6 --on-bad-row=interpolate --threads 2
+            --out ${WORK_DIR}/signal_degraded_t2.csv)
+diff_against_golden(${WORK_DIR}/signal_degraded_t2.csv
+                    ${GOLDEN_DIR}/expected_signal_degraded.csv
+                    "signal (degraded, --threads 2)")
+
 message(STATUS "fairco2 CLI golden outputs OK")
