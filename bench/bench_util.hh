@@ -60,6 +60,7 @@ struct CheckpointFlags
     std::string checkpoint;
     std::string resume;
     std::int64_t chunkTrials = 0;
+    std::int64_t stopAfterChunks = 0;
 };
 
 /** Register the checkpoint/resume flags a Monte Carlo bench shares. */
@@ -72,6 +73,9 @@ addCheckpointFlags(FlagSet &flags, CheckpointFlags *values)
                     "restore completed chunks from this file");
     flags.addInt("chunk-trials", &values->chunkTrials,
                  "trials per checkpoint chunk (0: one chunk)");
+    flags.addInt("stop-after-chunks", &values->stopAfterChunks,
+                 "test hook: stop after computing this many chunks, "
+                 "simulating a kill (0: run to completion)");
 }
 
 /**
@@ -82,10 +86,10 @@ addCheckpointFlags(FlagSet &flags, CheckpointFlags *values)
 inline resilience::CheckpointOptions
 applyCheckpointFlags(const CheckpointFlags &values)
 {
-    if (values.chunkTrials < 0) {
+    if (values.chunkTrials < 0 || values.stopAfterChunks < 0) {
         std::fprintf(stderr,
-                     "error: --chunk-trials must be >= 0, got %lld\n",
-                     static_cast<long long>(values.chunkTrials));
+                     "error: --chunk-trials and --stop-after-chunks "
+                     "must be >= 0\n");
         std::exit(2);
     }
     requireWritableFlagPath("checkpoint", values.checkpoint);
@@ -94,7 +98,39 @@ applyCheckpointFlags(const CheckpointFlags &values)
     options.resumePath = values.resume;
     options.chunkTrials =
         static_cast<std::uint64_t>(values.chunkTrials);
+    options.stopAfterChunks =
+        static_cast<std::uint64_t>(values.stopAfterChunks);
     return options;
+}
+
+/**
+ * Report a checkpointed run's outcome and decide the process exit.
+ * Returns -1 when the run is complete and the bench should carry on
+ * to its normal reporting; otherwise the exit code the bench owes:
+ * kInterruptExitCode (130) when a shutdown signal stopped the run
+ * (the checkpoint on disk ends at a chunk boundary and is ready to
+ * resume), 0 for a deliberate partial run via --stop-after-chunks.
+ */
+inline int
+checkpointExitStatus(const resilience::CheckpointRunResult &outcome)
+{
+    std::printf("checkpoint: %llu/%llu chunks resumed, "
+                "%llu computed\n",
+                static_cast<unsigned long long>(
+                    outcome.resumedChunks),
+                static_cast<unsigned long long>(outcome.totalChunks),
+                static_cast<unsigned long long>(
+                    outcome.computedChunks));
+    if (outcome.complete)
+        return -1;
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "interrupted: checkpoint flushed at a chunk "
+                     "boundary; re-run with --resume to continue\n");
+        return resilience::kInterruptExitCode;
+    }
+    std::printf("partial run: re-run with --resume to continue\n");
+    return 0;
 }
 
 /** CSV path under ./bench_out for a given series name. */

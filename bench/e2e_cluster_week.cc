@@ -6,6 +6,12 @@
  * intensity signal in O(1) per VM — the deployment shape the paper
  * claims makes Fair-CO2 practical at fleet scale. Also compares
  * placement policies' peak provisioning (capacity = embodied).
+ *
+ * The per-VM billing pass supports `--checkpoint`/`--resume`: bills
+ * are chunked through the same checkpoint machinery as the Monte
+ * Carlo benches, so a killed billing run restarts from the last
+ * committed chunk and reproduces the uninterrupted bills byte for
+ * byte. The bills land in bench_out/e2e_vm_bills.csv.
  */
 
 #include <algorithm>
@@ -23,14 +29,23 @@
 #include "common/table.hh"
 #include "core/baselines.hh"
 #include "core/temporal.hh"
+#include "resilience/checkpoint.hh"
 #include "resilience/faultplan.hh"
 #include "resilience/ingest.hh"
+#include "resilience/signals.hh"
 #include "sim/simulator.hh"
 
 using namespace fairco2;
 
 namespace
 {
+
+/** One VM's bill under both schemes; a raw-copyable checkpoint record. */
+struct BillRecord
+{
+    double fair = 0.0;
+    double rup = 0.0;
+};
 
 /** Bill one VM record against an intensity signal. */
 double
@@ -67,12 +82,16 @@ main(int argc, char **argv)
     obs::ObsFlags obs_flags;
     std::string fault_plan_text;
     resilience::addFaultPlanFlag(flags, &fault_plan_text);
+    bench::CheckpointFlags ckpt_flags;
+    bench::addCheckpointFlags(flags, &ckpt_flags);
     bench::addCommonFlags(flags, &threads, &obs_flags);
     if (!flags.parse(argc, argv))
         return 0;
     bench::applyCommonFlags(threads, obs_flags);
     const resilience::FaultPlan plan =
         resilience::applyFaultPlanFlag(fault_plan_text);
+    const auto ckpt = bench::applyCheckpointFlags(ckpt_flags);
+    resilience::installShutdownHandler();
 
     const bench::WallTimer timer;
     const double horizon = days * 86400.0;
@@ -142,16 +161,55 @@ main(int argc, char **argv)
     const auto flat =
         core::rupIntensity(result.coreDemand, week_pool);
 
+    // Per-VM billing, checkpointable: each bill is a pure function
+    // of its trial index, so a killed run resumes at the last
+    // committed chunk and reproduces the same bills byte for byte.
+    std::uint64_t config_hash = resilience::kFnvOffset;
+    config_hash = resilience::hashField(
+        config_hash, static_cast<std::uint64_t>(seed));
+    config_hash = resilience::hashField(config_hash,
+                                        arrivals_per_hour);
+    config_hash = resilience::hashField(config_hash, days);
+    config_hash = resilience::hashField(
+        config_hash,
+        static_cast<std::uint64_t>(result.records.size()));
+    config_hash = resilience::hashField(config_hash, week_pool);
+
+    const Rng bill_base(static_cast<std::uint64_t>(seed));
+    std::vector<BillRecord> bills;
+    resilience::CheckpointRunResult outcome;
+    try {
+        outcome = resilience::runCheckpointedTrials(
+            ckpt, bill_base, config_hash,
+            static_cast<std::uint64_t>(result.records.size()),
+            bills, [&](std::uint64_t t) {
+                const auto &record = result.records[t];
+                return BillRecord{billVm(signal.intensity, record),
+                                  billVm(flat, record)};
+            });
+    } catch (const resilience::CheckpointError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+    if (!ckpt.checkpointPath.empty() || !ckpt.resumePath.empty()) {
+        const int status = bench::checkpointExitStatus(outcome);
+        if (status >= 0)
+            return status;
+    } else if (!outcome.complete) {
+        std::fprintf(stderr,
+                     "interrupted: no --checkpoint, partial bills "
+                     "discarded\n");
+        return resilience::kInterruptExitCode;
+    }
+
     double fair_total = 0.0, flat_total = 0.0;
     OnlineStats ratio;
     double biggest_markup = 0.0, biggest_discount = 0.0;
-    for (const auto &record : result.records) {
-        const double fair = billVm(signal.intensity, record);
-        const double rup = billVm(flat, record);
-        fair_total += fair;
-        flat_total += rup;
-        if (rup > 0.0) {
-            const double r = fair / rup;
+    for (const auto &bill : bills) {
+        fair_total += bill.fair;
+        flat_total += bill.rup;
+        if (bill.rup > 0.0) {
+            const double r = bill.fair / bill.rup;
             ratio.add(r);
             biggest_markup = std::max(biggest_markup, r);
             biggest_discount =
@@ -204,6 +262,19 @@ main(int argc, char **argv)
     }
     std::printf("CSV written to %s\n",
                 bench::csvPath("e2e_cluster_week").c_str());
+
+    CsvWriter bills_csv(bench::csvPath("e2e_vm_bills"));
+    bills_csv.writeRow({"vm", "arrival_s", "end_s", "cores",
+                        "fair_grams", "rup_grams"});
+    for (std::size_t i = 0; i < bills.size(); ++i) {
+        const auto &record = result.records[i];
+        bills_csv.writeNumericRow(
+            {static_cast<double>(i), record.vm.arrivalSeconds,
+             record.endSeconds, record.vm.cores, bills[i].fair,
+             bills[i].rup});
+    }
+    std::printf("CSV written to %s\n",
+                bench::csvPath("e2e_vm_bills").c_str());
     bench::recordPerf("e2e_cluster_week", result.records.size(),
                       timer.seconds(), plan.injectedCount());
     return 0;

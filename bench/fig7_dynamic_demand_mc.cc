@@ -22,6 +22,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "montecarlo/demandmc.hh"
+#include "resilience/signals.hh"
 
 using namespace fairco2;
 using montecarlo::DemandTrialResult;
@@ -74,6 +75,7 @@ main(int argc, char **argv)
         return 0;
     bench::applyCommonFlags(threads, obs_flags);
     const auto ckpt = bench::applyCheckpointFlags(ckpt_flags);
+    resilience::installShutdownHandler();
 
     montecarlo::DemandMcConfig config;
     config.trials = static_cast<std::size_t>(trials);
@@ -86,21 +88,24 @@ main(int argc, char **argv)
     std::vector<DemandTrialResult> results;
     if (ckpt.checkpointPath.empty() && ckpt.resumePath.empty()) {
         results = montecarlo::runDemandMonteCarlo(config, rng);
+        if (resilience::shutdownRequested()) {
+            std::fprintf(stderr,
+                         "interrupted: no --checkpoint, partial "
+                         "results discarded\n");
+            return resilience::kInterruptExitCode;
+        }
     } else {
         // Checkpointed path: byte-identical to the plain run, and a
-        // bad resume file is bad input (exit 2), not a crash.
+        // bad resume file is bad input (exit 2), not a crash. A
+        // shutdown signal or --stop-after-chunks ends the run at a
+        // chunk boundary with the checkpoint flushed.
         try {
             resilience::CheckpointRunResult outcome;
             results = montecarlo::runDemandMonteCarlo(
                 config, rng, ckpt, &outcome);
-            std::printf("checkpoint: %llu/%llu chunks resumed, "
-                        "%llu computed\n",
-                        static_cast<unsigned long long>(
-                            outcome.resumedChunks),
-                        static_cast<unsigned long long>(
-                            outcome.totalChunks),
-                        static_cast<unsigned long long>(
-                            outcome.computedChunks));
+            const int status = bench::checkpointExitStatus(outcome);
+            if (status >= 0)
+                return status;
         } catch (const resilience::CheckpointError &error) {
             std::fprintf(stderr, "error: %s\n", error.what());
             return 2;

@@ -20,6 +20,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "montecarlo/colocmc.hh"
+#include "resilience/signals.hh"
 
 using namespace fairco2;
 
@@ -80,6 +81,7 @@ main(int argc, char **argv)
         return 0;
     bench::applyCommonFlags(threads, obs_flags);
     const auto ckpt = bench::applyCheckpointFlags(ckpt_flags);
+    resilience::installShutdownHandler();
 
     montecarlo::ColocMcConfig config;
     config.trials = static_cast<std::size_t>(trials);
@@ -94,20 +96,23 @@ main(int argc, char **argv)
     montecarlo::ColocMcOutput out;
     if (ckpt.checkpointPath.empty() && ckpt.resumePath.empty()) {
         out = mc.run(config, rng);
+        if (resilience::shutdownRequested()) {
+            std::fprintf(stderr,
+                         "interrupted: no --checkpoint, partial "
+                         "results discarded\n");
+            return resilience::kInterruptExitCode;
+        }
     } else {
         // Checkpointed path: byte-identical to the plain run, and a
-        // bad resume file is bad input (exit 2), not a crash.
+        // bad resume file is bad input (exit 2), not a crash. A
+        // shutdown signal or --stop-after-chunks ends the run at a
+        // chunk boundary with the checkpoint flushed.
         try {
             resilience::CheckpointRunResult outcome;
             out = mc.run(config, rng, ckpt, &outcome);
-            std::printf("checkpoint: %llu/%llu chunks resumed, "
-                        "%llu computed\n",
-                        static_cast<unsigned long long>(
-                            outcome.resumedChunks),
-                        static_cast<unsigned long long>(
-                            outcome.totalChunks),
-                        static_cast<unsigned long long>(
-                            outcome.computedChunks));
+            const int status = bench::checkpointExitStatus(outcome);
+            if (status >= 0)
+                return status;
         } catch (const resilience::CheckpointError &error) {
             std::fprintf(stderr, "error: %s\n", error.what());
             return 2;

@@ -58,6 +58,18 @@ class LiveIntensityService
     std::size_t refits() const { return refits_; }
 
     /**
+     * True while the service is running on a degraded forecaster —
+     * the last refit fell back to the seasonal-naive model, so the
+     * projected horizon (and hence the published intensity tail) is
+     * lower-fidelity. Health reporting surfaces this so consumers of
+     * the live signal can tell full-model from fallback output.
+     */
+    bool forecastDegraded() const
+    {
+        return forecasterReady_ && forecaster_.degraded();
+    }
+
+    /**
      * Intensity for the current (latest) sample, grams per
      * resource-second. Requires ready().
      */

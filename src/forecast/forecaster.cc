@@ -141,8 +141,19 @@ SeasonalForecaster::fit(const trace::TimeSeries &history)
 }
 
 void
-SeasonalForecaster::fallbackTo(const trace::TimeSeries &history,
-                               const char *reason)
+SeasonalForecaster::fitNaive(const trace::TimeSeries &history)
+{
+    if (history.empty())
+        throw std::invalid_argument(
+            "fitNaive requires a non-empty history");
+    stepSeconds_ = history.stepSeconds();
+    historyEndSeconds_ = history.durationSeconds();
+    applyNaive(history);
+    FAIRCO2_COUNT("forecast.naive_fits", 1);
+}
+
+void
+SeasonalForecaster::applyNaive(const trace::TimeSeries &history)
 {
     const std::size_t n = history.size();
     const auto day_steps = static_cast<std::size_t>(
@@ -164,11 +175,18 @@ SeasonalForecaster::fallbackTo(const trace::TimeSeries &history,
     weights_.clear();
     degraded_ = true;
     fitted_ = true;
+}
+
+void
+SeasonalForecaster::fallbackTo(const trace::TimeSeries &history,
+                               const char *reason)
+{
+    applyNaive(history);
     FAIRCO2_COUNT("forecast.fallback", 1);
     std::fprintf(stderr,
                  "warning: forecast: %s; falling back to "
                  "seasonal-naive over the last %zu samples\n",
-                 reason, period);
+                 reason, fallbackPeriod_.size());
 }
 
 double

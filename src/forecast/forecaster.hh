@@ -46,6 +46,17 @@ class SeasonalForecaster
      */
     void fit(const trace::TimeSeries &history);
 
+    /**
+     * Fit the seasonal-naive fallback model directly — the last
+     * daily period of @p history, interpolation-repaired, tiled
+     * forward — without attempting the ridge fit at all. This is the
+     * degraded forecast mode the pipeline supervisor drops to when
+     * the full fit keeps failing or the stage runs out of deadline
+     * budget; the forecaster reports degraded() afterwards. Requires
+     * a non-empty history (throws std::invalid_argument otherwise).
+     */
+    void fitNaive(const trace::TimeSeries &history);
+
     /** True after a successful fit(). */
     bool fitted() const { return fitted_; }
 
@@ -73,6 +84,7 @@ class SeasonalForecaster
 
   private:
     std::vector<double> featuresAt(double seconds) const;
+    void applyNaive(const trace::TimeSeries &history);
     void fallbackTo(const trace::TimeSeries &history,
                     const char *reason);
 

@@ -5,6 +5,7 @@
 #include "common/obs.hh"
 #include "common/parallel.hh"
 #include "montecarlo/metrics.hh"
+#include "resilience/signals.hh"
 
 namespace fairco2::montecarlo
 {
@@ -120,6 +121,10 @@ ColocationMonteCarlo::run(const ColocMcConfig &config, Rng &rng) const
     parallel::parallelFor(
         0, config.trials, 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t t = lo; t < hi; ++t) {
+                // Uncheckpointed trials have nothing to flush on
+                // shutdown, so just stop drawing new work.
+                if (resilience::shutdownRequested())
+                    return;
                 FAIRCO2_TIME_NS("mc.coloc.trial_ns");
                 Rng trial_rng = base.fork(t);
                 const auto n =

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Shapley stage's degradation ladder.
+ *
+ * Three rungs, all of which preserve the efficiency axiom (attributed
+ * + unattributed == pool) by construction:
+ *
+ *  - level 0, exact: the full hierarchical Temporal Shapley
+ *    attribution (TemporalShapley::attribute) — the paper's signal.
+ *  - level 1, sampled: a single-level peak game over at most
+ *    kSampledMaxPeriods coarse periods, solved by permutation
+ *    sampling with a trial budget the supervisor shrinks as the
+ *    deadline drains; intensities are normalized per Eq. 5
+ *    (y_i = phi_i * C / sum_k phi_k q_k), so usage-weighted mass
+ *    still sums to the pool.
+ *  - level 2, proportional: the RUP baseline's constant intensity —
+ *    no game at all, but still exactly efficient.
+ *
+ * The property tests assert the axiom at every rung within
+ * kEfficiencyTolerance (relative); the chaos soak re-asserts it on
+ * every degraded scenario.
+ */
+
+#ifndef FAIRCO2_PIPELINE_ATTRIBUTION_HH
+#define FAIRCO2_PIPELINE_ATTRIBUTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2::pipeline
+{
+
+/** Ladder depth of the Shapley stage (levels 0..2). */
+constexpr std::uint32_t kShapleyMaxLevel = 2;
+
+/** Players in the level-1 sampled peak game (must stay <= 64,
+ *  the CoalitionGame mask width). */
+constexpr std::size_t kSampledMaxPeriods = 60;
+
+/** Relative efficiency tolerance every rung is tested against:
+ *  |attributed + unattributed - pool| <= tol * pool. Level 0 and 2
+ *  are exact up to rounding; level 1 normalizes sampled values, so
+ *  all three sit far inside this bound. */
+constexpr double kEfficiencyTolerance = 1e-6;
+
+/** What every ladder rung produces. */
+struct AttributionOutput
+{
+    trace::TimeSeries intensity; //!< g per resource-second, per step
+    double attributedGrams = 0.0;
+    double unattributedGrams = 0.0; //!< pool minus attributed
+    std::size_t leafPeriods = 0;    //!< attribution granularity
+    std::uint64_t operations = 0;   //!< solver work (level 0 only)
+};
+
+/** Level 0: exact hierarchical Temporal Shapley. */
+AttributionOutput
+attributeExact(const trace::TimeSeries &window, double pool_grams,
+               const std::vector<std::size_t> &splits);
+
+/**
+ * Level 1: single-level sampled peak game over at most @p periods
+ * coarse periods with @p permutations sampled permutations (clamped
+ * to >= 1). Randomness comes from forked streams of @p base, so the
+ * result is pure in (window, pool, periods, permutations, seed).
+ */
+AttributionOutput
+attributeSampled(const trace::TimeSeries &window, double pool_grams,
+                 std::size_t periods, std::size_t permutations,
+                 const Rng &base);
+
+/** Level 2: RUP-baseline constant intensity. */
+AttributionOutput
+attributeProportional(const trace::TimeSeries &window,
+                      double pool_grams);
+
+} // namespace fairco2::pipeline
+
+#endif // FAIRCO2_PIPELINE_ATTRIBUTION_HH

@@ -1,0 +1,33 @@
+#include "pipeline/backoff.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairco2::pipeline
+{
+
+std::uint64_t
+backoffStream(std::uint32_t stage, std::uint32_t attempt)
+{
+    return (std::uint64_t{0xB0} << 56) |
+        (static_cast<std::uint64_t>(stage) << 24) | attempt;
+}
+
+std::uint64_t
+backoffDelayMs(const BackoffPolicy &policy, const Rng &base,
+               std::uint32_t stage, std::uint32_t attempt)
+{
+    const std::uint32_t retries = attempt > 0 ? attempt - 1 : 0;
+    double exp = static_cast<double>(policy.baseMs) *
+        std::pow(policy.multiplier, static_cast<double>(retries));
+    exp = std::min(exp, static_cast<double>(policy.capMs));
+
+    Rng jitter = base.fork(backoffStream(stage, attempt));
+    const double factor =
+        1.0 + policy.jitterFraction * (jitter.uniform() - 0.5);
+    const double delay = std::round(exp * factor);
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(delay));
+}
+
+} // namespace fairco2::pipeline

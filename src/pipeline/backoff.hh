@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic exponential backoff with seeded jitter.
+ *
+ * Retry delay for attempt a (1-based) of stage s:
+ *
+ *     exp(a)   = min(capMs, baseMs * multiplier^(a-1))
+ *     delay(a) = round(exp(a) * (1 + jitterFraction * (u - 0.5)))
+ *
+ * where u in [0, 1) is drawn from `base.fork(stream(s, a))` — a pure
+ * function of the run seed and the (stage, attempt) pair, exactly the
+ * counter-RNG discipline the Monte Carlo harnesses use. The schedule
+ * is therefore bit-identical for any `--threads N` and independent of
+ * when the retry happens to be issued; the property tests assert
+ * byte-identical schedules across thread counts.
+ */
+
+#ifndef FAIRCO2_PIPELINE_BACKOFF_HH
+#define FAIRCO2_PIPELINE_BACKOFF_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace fairco2::pipeline
+{
+
+/** Exponential backoff shape; defaults give 100, 200, 400, ... ms. */
+struct BackoffPolicy
+{
+    std::uint64_t baseMs = 100;  //!< first retry delay before jitter
+    double multiplier = 2.0;     //!< growth per retry
+    std::uint64_t capMs = 5000;  //!< exponential ceiling
+    double jitterFraction = 0.5; //!< +/- half this fraction of exp
+};
+
+/**
+ * The Rng stream carrying the jitter draw for (stage, attempt). The
+ * 0xB0 tag byte keeps backoff streams disjoint from trial streams
+ * (low indices) and the checkpoint fingerprint (bit 63 only).
+ */
+std::uint64_t backoffStream(std::uint32_t stage, std::uint32_t attempt);
+
+/**
+ * Jittered delay in ms before retrying @p attempt (1-based count of
+ * attempts already made) of stage @p stage. Pure in (policy, base
+ * seed, stage, attempt); always at least 1 ms.
+ */
+std::uint64_t backoffDelayMs(const BackoffPolicy &policy,
+                             const Rng &base, std::uint32_t stage,
+                             std::uint32_t attempt);
+
+} // namespace fairco2::pipeline
+
+#endif // FAIRCO2_PIPELINE_BACKOFF_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-stage circuit breaker.
+ *
+ * A stage that keeps crashing should stop being hammered at full
+ * fidelity: after `failureThreshold` *consecutive* failures the
+ * breaker trips open and rejects attempts until `cooldownMs` of
+ * simulated time has passed, at which point one half-open probe is
+ * allowed — success re-closes the breaker, another failure trips it
+ * again. The supervisor responds to an open breaker by descending the
+ * degradation ladder when a cheaper rung exists, and by waiting out
+ * the cooldown only on the final rung (which is exempt from the
+ * stage deadline). All timing is SimClock virtual milliseconds, so
+ * trip/close points are deterministic.
+ */
+
+#ifndef FAIRCO2_PIPELINE_BREAKER_HH
+#define FAIRCO2_PIPELINE_BREAKER_HH
+
+#include <cstdint>
+
+namespace fairco2::pipeline
+{
+
+/** Consecutive-failure circuit breaker on the simulated clock. */
+class CircuitBreaker
+{
+  public:
+    struct Config
+    {
+        std::uint32_t failureThreshold = 3; //!< trips after K in a row
+        std::uint64_t cooldownMs = 1000;    //!< open -> half-open delay
+    };
+
+    CircuitBreaker() = default;
+    explicit CircuitBreaker(const Config &config) : config_(config) {}
+
+    /** May an attempt run at @p now_ms? (closed, or cooldown over) */
+    bool allows(std::uint64_t now_ms) const
+    {
+        return !open_ || now_ms >= retryAtMs_;
+    }
+
+    /** Currently open (even if the cooldown has expired)? */
+    bool open() const { return open_; }
+
+    /** Times the breaker has tripped so far. */
+    std::uint32_t trips() const { return trips_; }
+
+    /** Earliest time an attempt is allowed while open. */
+    std::uint64_t retryAtMs() const { return retryAtMs_; }
+
+    /** Record a successful attempt: close and reset the streak. */
+    void recordSuccess()
+    {
+        consecutive_ = 0;
+        open_ = false;
+        retryAtMs_ = 0;
+    }
+
+    /** Record a failed attempt at @p now_ms; may trip the breaker. */
+    void recordFailure(std::uint64_t now_ms)
+    {
+        ++consecutive_;
+        if (consecutive_ >= config_.failureThreshold) {
+            open_ = true;
+            ++trips_;
+            retryAtMs_ = now_ms + config_.cooldownMs;
+            // A fresh streak starts after the next (half-open)
+            // attempt; one more failure there trips again.
+            consecutive_ = config_.failureThreshold - 1;
+        }
+    }
+
+  private:
+    Config config_;
+    std::uint32_t consecutive_ = 0;
+    std::uint32_t trips_ = 0;
+    bool open_ = false;
+    std::uint64_t retryAtMs_ = 0;
+};
+
+} // namespace fairco2::pipeline
+
+#endif // FAIRCO2_PIPELINE_BREAKER_HH

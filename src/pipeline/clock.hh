@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Simulated clock for the pipeline supervisor.
+ *
+ * Deadlines, backoff delays, stalls, and breaker cooldowns are all
+ * accounted in *virtual* milliseconds on a SimClock rather than wall
+ * time: stage bodies charge a deterministic cost derived from their
+ * input sizes, and waits advance the clock instantly. This keeps the
+ * whole supervision schedule — which attempt timed out, how long each
+ * backoff was, when a breaker re-closed — a pure function of the
+ * configuration and seed, so the chaos-soak harness can replay
+ * hundreds of failure scenarios bit-identically at any `--threads N`
+ * and a health report never depends on machine load.
+ */
+
+#ifndef FAIRCO2_PIPELINE_CLOCK_HH
+#define FAIRCO2_PIPELINE_CLOCK_HH
+
+#include <cstdint>
+
+namespace fairco2::pipeline
+{
+
+/** Virtual millisecond clock; starts at zero, only moves forward. */
+class SimClock
+{
+  public:
+    /** Current virtual time in milliseconds. */
+    std::uint64_t nowMs() const { return nowMs_; }
+
+    /** Advance the clock by @p ms virtual milliseconds. */
+    void advance(std::uint64_t ms) { nowMs_ += ms; }
+
+  private:
+    std::uint64_t nowMs_ = 0;
+};
+
+} // namespace fairco2::pipeline
+
+#endif // FAIRCO2_PIPELINE_CLOCK_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Machine-readable run-health reporting.
+ *
+ * A degraded attribution number is only defensible if the degradation
+ * is *declared*: RunHealth records, per stage, how many attempts and
+ * retries it took, which faults were injected, whether the circuit
+ * breaker tripped, and which degradation-ladder rung finally produced
+ * output. The report is serialized as JSON (`--health-out`) and is a
+ * pure function of the run configuration and seed — no wall-clock
+ * timestamps, only SimClock virtual milliseconds — so the chaos-soak
+ * harness can assert it byte-for-byte against the injected fault
+ * schedule, and two runs at different `--threads N` emit identical
+ * reports.
+ */
+
+#ifndef FAIRCO2_PIPELINE_HEALTH_HH
+#define FAIRCO2_PIPELINE_HEALTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fairco2::pipeline
+{
+
+/** How a stage ended. */
+enum class StageStatus
+{
+    Skipped,  //!< never ran (disabled, or an earlier stage failed)
+    Ok,       //!< produced full-fidelity output
+    Degraded, //!< produced output on a lower ladder rung
+    Failed,   //!< exhausted every rung and retry without output
+};
+
+/** Lower-case status name used in the JSON report. */
+const char *stageStatusName(StageStatus status);
+
+/** Supervision record for one pipeline stage. */
+struct StageHealth
+{
+    std::string name;
+    StageStatus status = StageStatus::Skipped;
+    std::uint32_t attempts = 0; //!< bodies started (incl. injected)
+    std::uint32_t retries = 0;  //!< backoff-delayed re-attempts
+    std::uint32_t crashes = 0;  //!< failed attempts (real + injected)
+    std::uint32_t timeouts = 0; //!< attempts that blew the deadline
+    std::uint64_t injectedCrashes = 0;  //!< from the fault plan
+    std::uint64_t injectedStalls = 0;   //!< from the fault plan
+    std::uint64_t injectedTimeouts = 0; //!< from the fault plan
+    std::uint32_t breakerTrips = 0;
+    std::uint32_t degradationLevel = 0; //!< ladder rung that ended it
+    std::uint64_t deadlineMs = 0;
+    std::uint64_t startMs = 0; //!< SimClock at stage entry
+    std::uint64_t endMs = 0;   //!< SimClock at stage exit
+    std::vector<std::uint64_t> backoffMs; //!< each retry's delay
+    std::string note; //!< human-readable cause trail (may be empty)
+};
+
+/** Whole-run supervision record. */
+struct RunHealth
+{
+    bool ok = false;       //!< produced, full fidelity, no failures
+    bool produced = false; //!< an attribution vector was emitted
+    bool degraded = false; //!< any stage ran below full fidelity
+    bool interrupted = false; //!< stopped on SIGINT/SIGTERM
+    int exitCode = 1;      //!< the process exit the front end owes
+    std::uint64_t seed = 0;
+    std::string faultPlan; //!< spec string ("" when inactive)
+    std::vector<StageHealth> stages;
+
+    /** Stage record by name, or nullptr. */
+    const StageHealth *find(const std::string &name) const;
+
+    /** Serialize as pretty-printed JSON (stable field order). */
+    std::string toJson() const;
+};
+
+/**
+ * Write @p health as JSON to @p path (atomic tmp + rename, so a kill
+ * mid-write never leaves a truncated report). Throws
+ * std::runtime_error when the path is unwritable — front ends
+ * preflight it at startup with requireWritableFlagPath.
+ */
+void writeRunHealth(const std::string &path, const RunHealth &health);
+
+} // namespace fairco2::pipeline
+
+#endif // FAIRCO2_PIPELINE_HEALTH_HH

@@ -1,0 +1,263 @@
+#include "pipeline/supervisor.hh"
+
+#include "common/errors.hh"
+#include "common/obs.hh"
+#include "resilience/signals.hh"
+
+namespace fairco2::pipeline
+{
+
+namespace
+{
+
+using resilience::FaultSite;
+
+/** Fault-plan index for attempt @p attempt of stage @p stage. */
+std::uint64_t
+attemptKey(std::uint32_t stage, std::uint32_t attempt)
+{
+    return (static_cast<std::uint64_t>(stage) << 16) | attempt;
+}
+
+void
+appendNote(StageHealth &stage, const std::string &note)
+{
+    if (note.empty())
+        return;
+    if (!stage.note.empty())
+        stage.note += "; ";
+    stage.note += note;
+}
+
+} // namespace
+
+Supervisor::Supervisor(const SupervisorConfig &config)
+    : config_(config), backoffBase_(config.seed)
+{
+    health_.seed = config.seed;
+    health_.faultPlan = config.faultPlan.spec();
+}
+
+void
+Supervisor::skipStage(const std::string &name, const std::string &note)
+{
+    StageHealth stage;
+    stage.name = name;
+    stage.status = StageStatus::Skipped;
+    stage.note = note;
+    stage.deadlineMs = config_.stageDeadlineMs;
+    stage.startMs = clock_.nowMs();
+    stage.endMs = clock_.nowMs();
+    health_.stages.push_back(std::move(stage));
+}
+
+bool
+Supervisor::runStage(const std::string &name, std::uint32_t max_level,
+                     const StageBody &body)
+{
+    FAIRCO2_SPAN("pipeline.stage");
+    const auto stage_index =
+        static_cast<std::uint32_t>(health_.stages.size());
+    health_.stages.emplace_back();
+    StageHealth &stage = health_.stages.back();
+    stage.name = name;
+    stage.deadlineMs = config_.stageDeadlineMs;
+    stage.startMs = clock_.nowMs();
+
+    const resilience::FaultPlan &plan = config_.faultPlan;
+    CircuitBreaker breaker(config_.breaker);
+
+    std::uint32_t level = 0;
+    std::uint32_t attempt = 0;
+    std::uint32_t attempts_at_level = 0;
+    const std::uint32_t attempts_per_level = 1 + config_.maxRetries;
+
+    const auto elapsed = [&] { return clock_.nowMs() - stage.startMs; };
+    const auto remaining = [&]() -> std::uint64_t {
+        const std::uint64_t e = elapsed();
+        return e >= stage.deadlineMs ? 0 : stage.deadlineMs - e;
+    };
+    const auto descend = [&](const char *why) {
+        appendNote(stage, std::string(why) + " -> level " +
+                              std::to_string(level + 1));
+        ++level;
+        attempts_at_level = 0;
+        FAIRCO2_COUNT("pipeline.descend", 1);
+    };
+    const auto finish = [&](StageStatus status) {
+        stage.status = status;
+        stage.degradationLevel = level;
+        stage.endMs = clock_.nowMs();
+        stage.breakerTrips = breaker.trips();
+    };
+
+    while (true) {
+        if (resilience::shutdownRequested()) {
+            appendNote(stage, "interrupted");
+            health_.interrupted = true;
+            finish(StageStatus::Failed);
+            return false;
+        }
+
+        const bool floor = level >= max_level;
+        ++attempt;
+        ++attempts_at_level;
+        ++stage.attempts;
+        FAIRCO2_COUNT("pipeline.attempts", 1);
+        const std::uint64_t key = attemptKey(stage_index, attempt);
+
+        // Injected stall: charge a deterministic slice of the
+        // deadline before the attempt does anything.
+        if (plan.fires(FaultSite::StageStall, key)) {
+            const double frac =
+                plan.draw(FaultSite::StageStallMs, key, 0.1, 0.6);
+            const auto stall = static_cast<std::uint64_t>(
+                frac * static_cast<double>(stage.deadlineMs));
+            clock_.advance(stall);
+            ++stage.injectedStalls;
+            plan.noteInjected();
+            FAIRCO2_COUNT("pipeline.fault.stall", 1);
+        }
+
+        bool crashed = false;
+        bool timed_out = false;
+        std::string crash_note;
+
+        const bool inject_crash =
+            plan.fires(FaultSite::StageCrash, key);
+        const bool inject_timeout = !inject_crash &&
+            plan.fires(FaultSite::StageTimeout, key);
+        if (inject_crash) {
+            ++stage.injectedCrashes;
+            ++stage.crashes;
+            plan.noteInjected();
+            FAIRCO2_COUNT("pipeline.fault.crash", 1);
+            crashed = true;
+            crash_note = "injected crash";
+        } else {
+            if (inject_timeout) {
+                // Burn whatever budget is left. On the floor rung
+                // the deadline is not enforced, so the attempt still
+                // runs — that is the "always publish" guarantee.
+                clock_.advance(remaining());
+                ++stage.injectedTimeouts;
+                plan.noteInjected();
+                FAIRCO2_COUNT("pipeline.fault.timeout", 1);
+                if (!floor) {
+                    ++stage.timeouts;
+                    timed_out = true;
+                }
+            }
+            if (!timed_out) {
+                try {
+                    StageAttempt info;
+                    info.level = level;
+                    info.maxLevel = max_level;
+                    info.attempt = attempt;
+                    info.attemptAtLevel = attempts_at_level;
+                    info.deadlineMs = stage.deadlineMs;
+                    info.remainingMs = remaining();
+                    const StageBodyResult r = body(info);
+                    clock_.advance(r.costMs);
+                    if (!floor && elapsed() > stage.deadlineMs) {
+                        ++stage.timeouts;
+                        timed_out = true;
+                    } else if (!r.ok) {
+                        ++stage.crashes;
+                        crashed = true;
+                        crash_note = r.note;
+                    } else {
+                        appendNote(stage, r.note);
+                        breaker.recordSuccess();
+                        finish(level > 0 || r.degraded
+                                   ? StageStatus::Degraded
+                                   : StageStatus::Ok);
+                        return true;
+                    }
+                } catch (const FatalDataError &error) {
+                    // Bad input is not a transient fault: no retry,
+                    // no ladder — surface it for the exit-2 path.
+                    appendNote(stage, error.what());
+                    finish(StageStatus::Failed);
+                    throw;
+                } catch (const std::exception &error) {
+                    ++stage.crashes;
+                    crashed = true;
+                    crash_note = error.what();
+                }
+            }
+        }
+
+        if (timed_out) {
+            // Retrying identical work would blow the same budget;
+            // the cheaper rung below is the timeout response.
+            descend("timeout");
+            continue;
+        }
+
+        // Crash path.
+        (void)crashed;
+        breaker.recordFailure(clock_.nowMs());
+        stage.breakerTrips = breaker.trips();
+        if (attempts_at_level >= attempts_per_level) {
+            if (!floor) {
+                descend("retries exhausted");
+                continue;
+            }
+            appendNote(stage, crash_note);
+            appendNote(stage, "retries exhausted on floor rung");
+            finish(StageStatus::Failed);
+            FAIRCO2_COUNT("pipeline.stage_failed", 1);
+            return false;
+        }
+        if (breaker.open()) {
+            if (!floor) {
+                descend("breaker open");
+                continue;
+            }
+            // Floor rung: wait out the cooldown (deadline-exempt)
+            // and probe half-open.
+            const std::uint64_t now = clock_.nowMs();
+            if (breaker.retryAtMs() > now)
+                clock_.advance(breaker.retryAtMs() - now);
+            continue;
+        }
+        const std::uint64_t delay = backoffDelayMs(
+            config_.backoff, backoffBase_, stage_index, attempt);
+        if (!floor && delay > remaining()) {
+            descend("no budget for backoff");
+            continue;
+        }
+        clock_.advance(delay);
+        stage.backoffMs.push_back(delay);
+        ++stage.retries;
+        FAIRCO2_COUNT("pipeline.retries", 1);
+    }
+}
+
+void
+Supervisor::finalize(bool produced)
+{
+    health_.produced = produced;
+    if (resilience::shutdownRequested())
+        health_.interrupted = true;
+    health_.degraded = false;
+    bool any_failed = false;
+    for (const auto &stage : health_.stages) {
+        if (stage.status == StageStatus::Degraded)
+            health_.degraded = true;
+        if (stage.status == StageStatus::Failed)
+            any_failed = true;
+    }
+    health_.ok = produced && !any_failed && !health_.degraded &&
+        !health_.interrupted;
+    if (health_.interrupted)
+        health_.exitCode = resilience::kInterruptExitCode;
+    else
+        health_.exitCode = produced ? 0 : 1;
+    FAIRCO2_COUNT("pipeline.runs", 1);
+    if (health_.degraded)
+        FAIRCO2_COUNT("pipeline.degraded_runs", 1);
+}
+
+} // namespace fairco2::pipeline

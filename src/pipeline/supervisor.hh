@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic stage supervisor: deadlines, retries, breakers, and
+ * the degradation ladder.
+ *
+ * The supervisor runs each pipeline stage as a sequence of *attempts*
+ * on a SimClock. Per attempt it:
+ *
+ *  1. applies the fault plan's stage-level injections — a stall
+ *     charges part of the deadline budget up front, a crash fails the
+ *     attempt outright, a timeout burns the whole remaining budget;
+ *  2. otherwise executes the stage body at the current ladder level
+ *     and charges the body's deterministic simulated cost;
+ *  3. classifies the outcome: success ends the stage (Ok at level 0,
+ *     Degraded below), a deadline overrun *descends* the ladder
+ *     immediately (retrying identical work would blow the same
+ *     budget — descending is what shrinks it), and a crash retries
+ *     after a deterministic jittered backoff until the per-level
+ *     retry budget is spent or the circuit breaker trips, then
+ *     descends.
+ *
+ * The final ladder rung is exempt from the deadline — the service's
+ * "always publish a number" guarantee — so a stage only Fails when
+ * crashes exhaust the retry budget on the floor rung. Every decision
+ * point (fault draws, backoff jitter, simulated costs) is a pure
+ * function of the configuration and seed, so the full supervision
+ * history in RunHealth is bit-identical for any `--threads N`.
+ *
+ * Fault-injection keying: attempt a (1-based, monotone across ladder
+ * levels) of stage s queries the plan at index (s << 16) | a. The
+ * chaos-soak harness recomputes the expected injection counts from
+ * the reported attempt counts and the plan's purity and asserts they
+ * match the health report.
+ */
+
+#ifndef FAIRCO2_PIPELINE_SUPERVISOR_HH
+#define FAIRCO2_PIPELINE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.hh"
+#include "pipeline/backoff.hh"
+#include "pipeline/breaker.hh"
+#include "pipeline/clock.hh"
+#include "pipeline/health.hh"
+#include "resilience/faultplan.hh"
+
+namespace fairco2::pipeline
+{
+
+/** What the supervisor tells a stage body about this attempt. */
+struct StageAttempt
+{
+    std::uint32_t level = 0;      //!< current degradation rung
+    std::uint32_t maxLevel = 0;   //!< floor rung for this stage
+    std::uint32_t attempt = 0;    //!< 1-based, monotone across levels
+    std::uint32_t attemptAtLevel = 0; //!< 1-based within this rung
+    std::uint64_t deadlineMs = 0; //!< the stage's full budget
+    std::uint64_t remainingMs = 0; //!< budget left at attempt start
+};
+
+/** What a stage body reports back. */
+struct StageBodyResult
+{
+    bool ok = true;        //!< attempt produced output
+    bool degraded = false; //!< output below full fidelity
+    std::uint64_t costMs = 0; //!< deterministic simulated cost
+    std::string note;      //!< appended to the stage's note trail
+};
+
+/** A stage body: run one attempt at the given rung. May throw —
+ *  FatalDataError propagates (bad input, exit 2), anything else is
+ *  treated as a crash of this attempt. */
+using StageBody = std::function<StageBodyResult(const StageAttempt &)>;
+
+/** Supervision knobs shared by every stage of a run. */
+struct SupervisorConfig
+{
+    std::uint64_t stageDeadlineMs = 2000; //!< per-stage budget
+    std::uint32_t maxRetries = 3; //!< extra attempts per ladder rung
+    BackoffPolicy backoff;
+    CircuitBreaker::Config breaker;
+    std::uint64_t seed = 42; //!< backoff-jitter stream root
+    resilience::FaultPlan faultPlan;
+};
+
+/**
+ * Runs stages in order, accumulating a RunHealth report. One
+ * Supervisor per run; stages share the SimClock but each gets a
+ * fresh deadline budget and circuit breaker.
+ */
+class Supervisor
+{
+  public:
+    explicit Supervisor(const SupervisorConfig &config);
+
+    /**
+     * Run one stage through the attempt/retry/descend machine.
+     * @param name stage name in the health report.
+     * @param max_level deepest ladder rung (0 = no ladder).
+     * @param body the per-attempt work.
+     * @return true when the stage produced output (Ok or Degraded).
+     */
+    bool runStage(const std::string &name, std::uint32_t max_level,
+                  const StageBody &body);
+
+    /**
+     * Record @p name as Skipped (with an optional note) without
+     * running anything — used for disabled stages and for stages
+     * after a required-stage failure.
+     */
+    void skipStage(const std::string &name, const std::string &note);
+
+    /**
+     * Close out the report: set produced/ok/degraded/exitCode from
+     * the stage records. @p produced is whether the run emitted an
+     * attribution vector (all required stages succeeded).
+     */
+    void finalize(bool produced);
+
+    const SupervisorConfig &config() const { return config_; }
+    SimClock &clock() { return clock_; }
+    RunHealth &health() { return health_; }
+    const RunHealth &health() const { return health_; }
+
+  private:
+    SupervisorConfig config_;
+    Rng backoffBase_;
+    SimClock clock_;
+    RunHealth health_;
+};
+
+} // namespace fairco2::pipeline
+
+#endif // FAIRCO2_PIPELINE_SUPERVISOR_HH

@@ -45,6 +45,7 @@
 #include "common/errors.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "resilience/signals.hh"
 
 namespace fairco2::resilience
 {
@@ -108,6 +109,7 @@ struct CheckpointRunResult
     std::uint64_t resumedChunks = 0;  //!< restored from the file
     std::uint64_t computedChunks = 0; //!< computed this run
     bool complete = false;            //!< every chunk is done
+    bool interrupted = false; //!< stopped early on SIGINT/SIGTERM
 };
 
 namespace detail
@@ -238,6 +240,11 @@ runCheckpointedTrials(const CheckpointOptions &options, const Rng &base,
     const auto run_chunk = [&](std::uint64_t c) {
         if (detail::bitmapGet(resumed, c))
             return;
+        // A shutdown signal stops *before* the next chunk starts;
+        // chunks already in flight finish and commit normally, so
+        // the checkpoint on disk always ends at a chunk boundary.
+        if (shutdownRequested())
+            return;
         if (options.stopAfterChunks > 0 &&
             reserved.fetch_add(1) >= options.stopAfterChunks)
             return;
@@ -275,6 +282,7 @@ runCheckpointedTrials(const CheckpointOptions &options, const Rng &base,
             break;
         }
     }
+    result.interrupted = !result.complete && shutdownRequested();
     return result;
 }
 

@@ -63,6 +63,9 @@ FaultPlan::operator=(const FaultPlan &other)
     nan_ = other.nan_;
     nodeFail_ = other.nodeFail_;
     vmPreempt_ = other.vmPreempt_;
+    stageCrash_ = other.stageCrash_;
+    stageStall_ = other.stageStall_;
+    stageTimeout_ = other.stageTimeout_;
     injected_.store(other.injected_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
     return *this;
@@ -112,11 +115,18 @@ FaultPlan::parse(const std::string &spec)
             plan.nodeFail_ = probability(key, value);
         } else if (key == "vm-preempt") {
             plan.vmPreempt_ = probability(key, value);
+        } else if (key == "stage-crash") {
+            plan.stageCrash_ = probability(key, value);
+        } else if (key == "stage-stall") {
+            plan.stageStall_ = probability(key, value);
+        } else if (key == "stage-timeout") {
+            plan.stageTimeout_ = probability(key, value);
         } else {
             throw std::invalid_argument(
                 "unknown fault-plan key '" + key +
                 "' (known: seed, drop, corrupt, nan, node-fail, "
-                "vm-preempt)");
+                "vm-preempt, stage-crash, stage-stall, "
+                "stage-timeout)");
         }
     }
 
@@ -124,7 +134,8 @@ FaultPlan::parse(const std::string &spec)
     plan.root_ = Rng(seed ^ 0x9d5af0c6b2e17d35ULL);
     plan.active_ = plan.drop_ > 0.0 || plan.corrupt_ > 0.0 ||
         plan.nan_ > 0.0 || plan.nodeFail_ > 0.0 ||
-        plan.vmPreempt_ > 0.0;
+        plan.vmPreempt_ > 0.0 || plan.stageCrash_ > 0.0 ||
+        plan.stageStall_ > 0.0 || plan.stageTimeout_ > 0.0;
     return plan;
 }
 
@@ -144,6 +155,12 @@ FaultPlan::probabilityFor(FaultSite site) const
         return nodeFail_;
       case FaultSite::VmPreempt:
         return vmPreempt_;
+      case FaultSite::StageCrash:
+        return stageCrash_;
+      case FaultSite::StageStall:
+        return stageStall_;
+      case FaultSite::StageTimeout:
+        return stageTimeout_;
       default:
         return 0.0;
     }

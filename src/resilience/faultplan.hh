@@ -15,12 +15,18 @@
  * Spec grammar (comma-separated key=value, all keys optional):
  *
  *     seed=42,drop=0.01,corrupt=0.005,nan=0.001,
- *     node-fail=0.02,vm-preempt=0.01
+ *     node-fail=0.02,vm-preempt=0.01,
+ *     stage-crash=0.1,stage-stall=0.1,stage-timeout=0.05
  *
  * `drop`/`corrupt` poison telemetry samples and ingested CSV rows,
  * `nan` perturbs values at module boundaries, `node-fail` is the
  * per-node probability of one failure during a simulated horizon,
  * and `vm-preempt` is the per-VM probability of early termination.
+ * The `stage-*` keys drive the pipeline supervisor
+ * (fairco2::pipeline): per stage *attempt*, `stage-crash` makes the
+ * attempt fail outright, `stage-stall` charges a deterministic chunk
+ * of the stage's simulated deadline budget before the attempt runs,
+ * and `stage-timeout` burns the attempt's whole remaining budget.
  * Probabilities must be in [0, 1]; a malformed spec throws
  * std::invalid_argument (front ends turn that into exit 2).
  */
@@ -57,6 +63,10 @@ enum class FaultSite : std::uint64_t
     VmPreempt = 8,        //!< simulated VM preempted early
     VmPreemptTime = 9,    //!< how much of its lifetime survives
     CorruptValue = 10,    //!< replacement factor for corruption
+    StageCrash = 11,      //!< pipeline stage attempt fails outright
+    StageStall = 12,      //!< stage attempt stalls first
+    StageTimeout = 13,    //!< stage attempt burns its whole budget
+    StageStallMs = 14,    //!< stall length (fraction of deadline)
 };
 
 /** Deterministic, thread-safe fault decision source. */
@@ -114,6 +124,9 @@ class FaultPlan
     double nanProbability() const { return nan_; }
     double nodeFailProbability() const { return nodeFail_; }
     double vmPreemptProbability() const { return vmPreempt_; }
+    double stageCrashProbability() const { return stageCrash_; }
+    double stageStallProbability() const { return stageStall_; }
+    double stageTimeoutProbability() const { return stageTimeout_; }
 
     FaultPlan(const FaultPlan &other) { *this = other; }
     FaultPlan &operator=(const FaultPlan &other);
@@ -129,6 +142,9 @@ class FaultPlan
     double nan_ = 0.0;
     double nodeFail_ = 0.0;
     double vmPreempt_ = 0.0;
+    double stageCrash_ = 0.0;
+    double stageStall_ = 0.0;
+    double stageTimeout_ = 0.0;
     mutable std::atomic<std::uint64_t> injected_{0};
 };
 

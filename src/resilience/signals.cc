@@ -1,0 +1,55 @@
+#include "resilience/signals.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace fairco2::resilience
+{
+
+namespace
+{
+
+// sig_atomic_t-compatible and lock-free: the handler may only touch
+// async-signal-safe state, so the flag is a relaxed atomic int.
+std::atomic<int> g_signal{0};
+
+extern "C" void
+onShutdownSignal(int signum)
+{
+    g_signal.store(signum, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installShutdownHandler()
+{
+    struct sigaction action = {};
+    action.sa_handler = onShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESTART: a blocked read should come back with EINTR so
+    // the front end reaches its next shutdownRequested() poll.
+    action.sa_flags = 0;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+shutdownSignal()
+{
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+void
+resetShutdownForTest()
+{
+    g_signal.store(0, std::memory_order_relaxed);
+}
+
+} // namespace fairco2::resilience

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the supervised attribution pipeline: deterministic
+ * backoff schedules (byte-identical across thread counts), circuit
+ * breaker semantics, the degradation ladder's efficiency axiom at
+ * every rung, deadline-forced degradation, crash exhaustion, and
+ * the RunHealth JSON contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "pipeline/attribution.hh"
+#include "pipeline/backoff.hh"
+#include "pipeline/breaker.hh"
+#include "pipeline/health.hh"
+#include "pipeline/runner.hh"
+#include "pipeline/supervisor.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2::pipeline
+{
+namespace
+{
+
+/** RAII thread-count override so a failure can't leak the setting. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(std::size_t n)
+        : saved_(parallel::threadCount())
+    {
+        parallel::setThreadCount(n);
+    }
+    ~ScopedThreads() { parallel::setThreadCount(saved_); }
+
+  private:
+    std::size_t saved_;
+};
+
+/** A bumpy but deterministic demand trace. */
+trace::TimeSeries
+demandTrace(std::size_t steps)
+{
+    std::vector<double> values(steps);
+    for (std::size_t i = 0; i < steps; ++i) {
+        values[i] = 100.0 + 40.0 * std::sin(0.13 * double(i)) +
+            (i % 7 == 0 ? 25.0 : 0.0);
+    }
+    return trace::TimeSeries(std::move(values), 300.0);
+}
+
+PipelineConfig
+baseConfig()
+{
+    PipelineConfig config;
+    config.demandSeries = demandTrace(288);
+    config.poolGrams = 5.0e5;
+    config.splits = {6, 6, 8};
+    config.horizonSteps = 24;
+    config.sampledPermutations = 64;
+    config.usageSeries.emplace_back("a", demandTrace(288));
+    config.supervisor.stageDeadlineMs = 10000;
+    config.supervisor.maxRetries = 2;
+    config.supervisor.seed = 42;
+    return config;
+}
+
+TEST(Backoff, DeterministicAndCapped)
+{
+    const BackoffPolicy policy;
+    const Rng base(7);
+    for (std::uint32_t a = 1; a <= 12; ++a) {
+        const auto delay = backoffDelayMs(policy, base, 3, a);
+        EXPECT_EQ(delay, backoffDelayMs(policy, base, 3, a));
+        EXPECT_GE(delay, 1u);
+        // Jitter is +/- jitterFraction/2 of the exponential term,
+        // which is itself capped.
+        const double exp_ms = std::min(
+            double(policy.capMs),
+            double(policy.baseMs) * std::pow(policy.multiplier, a - 1));
+        EXPECT_LE(delay, std::uint64_t(
+                             exp_ms * (1.0 + policy.jitterFraction)));
+    }
+}
+
+TEST(Backoff, StreamsDisjointAcrossStagesAndAttempts)
+{
+    EXPECT_NE(backoffStream(0, 1), backoffStream(0, 2));
+    EXPECT_NE(backoffStream(0, 1), backoffStream(1, 1));
+    EXPECT_NE(backoffStream(2, 3), backoffStream(3, 2));
+}
+
+TEST(Backoff, ScheduleIdenticalAcrossThreadCounts)
+{
+    const BackoffPolicy policy;
+    const Rng base(42);
+    std::vector<std::uint64_t> schedules[3];
+    const std::size_t threads[3] = {1, 2, 8};
+    for (int i = 0; i < 3; ++i) {
+        ScopedThreads scoped(threads[i]);
+        for (std::uint32_t s = 0; s < 5; ++s)
+            for (std::uint32_t a = 1; a <= 8; ++a)
+                schedules[i].push_back(
+                    backoffDelayMs(policy, base, s, a));
+    }
+    EXPECT_EQ(schedules[0], schedules[1]);
+    EXPECT_EQ(schedules[0], schedules[2]);
+}
+
+TEST(Breaker, TripsAfterConsecutiveFailures)
+{
+    CircuitBreaker breaker({3, 1000});
+    breaker.recordFailure(10);
+    breaker.recordFailure(20);
+    EXPECT_FALSE(breaker.open());
+    breaker.recordFailure(30);
+    EXPECT_TRUE(breaker.open());
+    EXPECT_EQ(breaker.trips(), 1u);
+    EXPECT_FALSE(breaker.allows(30));
+    EXPECT_FALSE(breaker.allows(1029));
+    EXPECT_TRUE(breaker.allows(1030)); // cooldown over: half-open
+}
+
+TEST(Breaker, HalfOpenFailureRetrips)
+{
+    CircuitBreaker breaker({3, 1000});
+    for (int i = 0; i < 3; ++i)
+        breaker.recordFailure(0);
+    ASSERT_TRUE(breaker.open());
+    // One more failure at the half-open probe trips again
+    // immediately — the streak does not restart from zero.
+    breaker.recordFailure(1000);
+    EXPECT_TRUE(breaker.open());
+    EXPECT_EQ(breaker.trips(), 2u);
+    EXPECT_EQ(breaker.retryAtMs(), 2000u);
+}
+
+TEST(Breaker, SuccessCloses)
+{
+    CircuitBreaker breaker({2, 500});
+    breaker.recordFailure(0);
+    breaker.recordFailure(0);
+    ASSERT_TRUE(breaker.open());
+    breaker.recordSuccess();
+    EXPECT_FALSE(breaker.open());
+    EXPECT_TRUE(breaker.allows(0));
+    EXPECT_EQ(breaker.trips(), 1u); // history is kept
+}
+
+/** |attributed + unattributed - pool| must stay within tolerance. */
+void
+expectEfficient(const AttributionOutput &out, double pool)
+{
+    EXPECT_NEAR(out.attributedGrams + out.unattributedGrams, pool,
+                kEfficiencyTolerance * pool);
+    // The usage-weighted intensity mass must itself re-integrate to
+    // the attributed grams (the signal is the billing instrument).
+    EXPECT_GT(out.intensity.size(), 0u);
+}
+
+TEST(Ladder, EveryRungPreservesEfficiency)
+{
+    const auto window = demandTrace(288);
+    const double pool = 1.0e6;
+
+    expectEfficient(attributeExact(window, pool, {6, 6, 8}), pool);
+    const Rng base(42);
+    expectEfficient(
+        attributeSampled(window, pool, kSampledMaxPeriods, 64, base),
+        pool);
+    expectEfficient(attributeSampled(window, pool, 16, 1, base),
+                    pool); // minimum budget still efficient
+    expectEfficient(attributeProportional(window, pool), pool);
+}
+
+TEST(Ladder, SampledIsDeterministicInSeed)
+{
+    const auto window = demandTrace(200);
+    const Rng base(9);
+    const auto a = attributeSampled(window, 1e5, 40, 32, base);
+    const auto b = attributeSampled(window, 1e5, 40, 32, base);
+    ASSERT_EQ(a.intensity.size(), b.intensity.size());
+    for (std::size_t i = 0; i < a.intensity.size(); ++i)
+        EXPECT_EQ(a.intensity[i], b.intensity[i]);
+}
+
+TEST(Pipeline, FaultFreeRunIsHealthy)
+{
+    const auto result = runAttributionPipeline(baseConfig());
+    EXPECT_TRUE(result.health.ok);
+    EXPECT_TRUE(result.health.produced);
+    EXPECT_FALSE(result.health.degraded);
+    EXPECT_EQ(result.health.exitCode, 0);
+    const auto *shapley = result.health.find("shapley");
+    ASSERT_NE(shapley, nullptr);
+    EXPECT_EQ(shapley->status, StageStatus::Ok);
+    EXPECT_EQ(shapley->degradationLevel, 0u);
+    EXPECT_EQ(shapley->retries, 0u);
+    // Efficiency holds end to end.
+    const double pool = 5.0e5;
+    EXPECT_NEAR(result.attribution.attributedGrams +
+                    result.attribution.unattributedGrams,
+                pool, kEfficiencyTolerance * pool);
+}
+
+TEST(Pipeline, TinyDeadlineDegradesButStillPublishes)
+{
+    auto config = baseConfig();
+    // Far below the exact stage's simulated cost: the ladder must
+    // descend, but the floor rung is deadline-exempt, so a signal
+    // still comes out.
+    config.supervisor.stageDeadlineMs = 1;
+    const auto result = runAttributionPipeline(config);
+    EXPECT_TRUE(result.health.produced);
+    EXPECT_TRUE(result.health.degraded);
+    EXPECT_EQ(result.health.exitCode, 0);
+    const auto *shapley = result.health.find("shapley");
+    ASSERT_NE(shapley, nullptr);
+    EXPECT_EQ(shapley->status, StageStatus::Degraded);
+    EXPECT_GT(shapley->degradationLevel, 0u);
+    EXPECT_GT(shapley->timeouts, 0u);
+    // Degraded output still satisfies the axiom.
+    EXPECT_NEAR(result.attribution.attributedGrams +
+                    result.attribution.unattributedGrams,
+                config.poolGrams,
+                kEfficiencyTolerance * config.poolGrams);
+}
+
+TEST(Pipeline, CertainCrashesExhaustLadderAndFail)
+{
+    auto config = baseConfig();
+    config.supervisor.faultPlan =
+        resilience::FaultPlan::parse("stage-crash=1.0,seed=5");
+    const auto result = runAttributionPipeline(config);
+    EXPECT_FALSE(result.health.produced);
+    EXPECT_FALSE(result.health.ok);
+    EXPECT_EQ(result.health.exitCode, 1);
+    const auto *ingest = result.health.find("ingest");
+    ASSERT_NE(ingest, nullptr);
+    EXPECT_EQ(ingest->status, StageStatus::Failed);
+    EXPECT_GT(ingest->crashes, 0u);
+    EXPECT_GT(ingest->breakerTrips, 0u);
+    EXPECT_EQ(ingest->injectedCrashes, ingest->attempts);
+    // Later required stages are skipped, not attempted.
+    const auto *report = result.health.find("report");
+    ASSERT_NE(report, nullptr);
+    EXPECT_EQ(report->status, StageStatus::Skipped);
+}
+
+TEST(Pipeline, RetriesRecordBackoffSchedule)
+{
+    auto config = baseConfig();
+    config.supervisor.faultPlan =
+        resilience::FaultPlan::parse("stage-crash=0.5,seed=11");
+    const auto result = runAttributionPipeline(config);
+    std::uint32_t retries = 0;
+    std::size_t delays = 0;
+    for (const auto &stage : result.health.stages) {
+        retries += stage.retries;
+        delays += stage.backoffMs.size();
+        for (const auto ms : stage.backoffMs)
+            EXPECT_GE(ms, 1u);
+    }
+    EXPECT_EQ(delays, retries);
+    EXPECT_GT(retries, 0u); // p=0.5 over dozens of attempts
+}
+
+TEST(Pipeline, HealthJsonIdenticalAcrossThreadCounts)
+{
+    auto config = baseConfig();
+    config.supervisor.faultPlan = resilience::FaultPlan::parse(
+        "stage-crash=0.3,stage-stall=0.3,stage-timeout=0.2,seed=3");
+    std::string reports[3];
+    const std::size_t threads[3] = {1, 2, 8};
+    for (int i = 0; i < 3; ++i) {
+        ScopedThreads scoped(threads[i]);
+        reports[i] = runAttributionPipeline(config).health.toJson();
+    }
+    EXPECT_EQ(reports[0], reports[1]);
+    EXPECT_EQ(reports[0], reports[2]);
+}
+
+TEST(Health, JsonCarriesSchemaAndStages)
+{
+    const auto result = runAttributionPipeline(baseConfig());
+    const std::string json = result.health.toJson();
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+    for (const char *name :
+         {"ingest", "forecast", "shapley", "interference", "report"})
+        EXPECT_NE(json.find(std::string("\"name\": \"") + name),
+                  std::string::npos)
+            << name;
+    // No wall-clock anywhere: the same config yields the same bytes.
+    EXPECT_EQ(json, runAttributionPipeline(baseConfig()).health.toJson());
+}
+
+TEST(Supervisor, TimeoutDescendsWithoutBackoff)
+{
+    SupervisorConfig config;
+    config.stageDeadlineMs = 100;
+    config.maxRetries = 3;
+    Supervisor supervisor(config);
+    std::vector<std::uint32_t> levels;
+    const bool produced = supervisor.runStage(
+        "stage", 2, [&](const StageAttempt &attempt) {
+            levels.push_back(attempt.level);
+            StageBodyResult r;
+            r.ok = true;
+            r.degraded = attempt.level > 0;
+            // Blow the budget at level 0 and 1; fit at the floor.
+            r.costMs = attempt.level < 2 ? 1000 : 10;
+            return r;
+        });
+    EXPECT_TRUE(produced);
+    // One attempt per rung: timeouts descend immediately.
+    EXPECT_EQ(levels, (std::vector<std::uint32_t>{0, 1, 2}));
+    const auto *stage = supervisor.health().find("stage");
+    ASSERT_NE(stage, nullptr);
+    EXPECT_EQ(stage->status, StageStatus::Degraded);
+    EXPECT_EQ(stage->timeouts, 2u);
+    EXPECT_EQ(stage->retries, 0u);
+    EXPECT_TRUE(stage->backoffMs.empty());
+}
+
+TEST(Supervisor, FloorRungIsDeadlineExempt)
+{
+    SupervisorConfig config;
+    config.stageDeadlineMs = 5;
+    Supervisor supervisor(config);
+    const bool produced = supervisor.runStage(
+        "stage", 0, [&](const StageAttempt &) {
+            StageBodyResult r;
+            r.costMs = 100000; // way past the deadline
+            return r;
+        });
+    // max_level == 0 means the only rung is the floor: it must be
+    // allowed to finish regardless of cost.
+    EXPECT_TRUE(produced);
+    const auto *stage = supervisor.health().find("stage");
+    ASSERT_NE(stage, nullptr);
+    EXPECT_EQ(stage->status, StageStatus::Ok);
+}
+
+} // namespace
+} // namespace fairco2::pipeline

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Chaos-soak harness for the supervised attribution pipeline.
+ *
+ *   chaos_soak --scenarios 200 --seed 42 [--threads N] [--verbose]
+ *
+ * Each scenario derives a fault plan, supervision knobs, and a
+ * synthetic demand window from `Rng(seed).fork(scenario)`, runs the
+ * full pipeline in-process, and asserts the robustness invariants:
+ *
+ *  I1  no exception escapes a supervised run;
+ *  I2  the exit-code contract holds (0 iff an attribution vector was
+ *      produced; interrupted/fatal paths never appear here);
+ *  I3  the health report is arithmetically consistent (backoff list
+ *      length == retries, retries < attempts, level <= floor, ...);
+ *  I4  the injected-fault counts in the health report match an
+ *      independent recomputation from the fault plan's purity —
+ *      attempt a of stage s queries index (s << 16) | a, so the
+ *      expected counts follow from the reported attempt counts;
+ *  I5  a fault-free scenario is fully Ok (no degradation, exit 0);
+ *  I6  whenever output was produced — at any ladder rung — the
+ *      efficiency axiom holds: |attributed + unattributed - pool|
+ *      <= 1e-6 * pool, and per-consumer bills are finite;
+ *  I7  the run is deterministic: re-running a scenario yields a
+ *      byte-identical health report.
+ *
+ * Exit status: 0 when every scenario satisfies every invariant,
+ * 1 otherwise (each violation is printed).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hh"
+#include "common/parallel.hh"
+#include "pipeline/runner.hh"
+#include "resilience/faultplan.hh"
+#include "trace/generators.hh"
+
+using namespace fairco2;
+
+namespace
+{
+
+struct ScenarioStats
+{
+    std::size_t produced = 0;
+    std::size_t degraded = 0;
+    std::size_t failed = 0;
+    std::size_t faultFree = 0;
+    std::uint64_t injected = 0;
+    std::size_t violations = 0;
+};
+
+bool verbose_output = false;
+
+void
+violation(ScenarioStats &stats, std::size_t scenario,
+          const std::string &what)
+{
+    ++stats.violations;
+    std::fprintf(stderr, "VIOLATION scenario %zu: %s\n", scenario,
+                 what.c_str());
+}
+
+/** Draw a probability that is zero in ~40% of scenarios. */
+double
+maybeProbability(Rng &rng, double max_p)
+{
+    if (rng.uniform() < 0.4)
+        return 0.0;
+    return rng.uniform(0.0, max_p);
+}
+
+std::string
+formatProbability(double p)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", p);
+    return buf;
+}
+
+/** Compose a fault-plan spec for this scenario (may be fault-free). */
+std::string
+scenarioFaultSpec(Rng &rng, std::uint64_t plan_seed)
+{
+    // Every ~6th scenario is deliberately fault-free so the pristine
+    // path (I5) is swept too, not just the chaos paths.
+    if (rng.uniform() < 0.15)
+        return "";
+    const double crash = maybeProbability(rng, 0.5);
+    const double stall = maybeProbability(rng, 0.5);
+    const double timeout = maybeProbability(rng, 0.35);
+    const double drop = maybeProbability(rng, 0.05);
+    const double nan = maybeProbability(rng, 0.02);
+    if (crash + stall + timeout + drop + nan == 0.0)
+        return "";
+    std::string spec = "seed=" + std::to_string(plan_seed);
+    if (crash > 0.0)
+        spec += ",stage-crash=" + formatProbability(crash);
+    if (stall > 0.0)
+        spec += ",stage-stall=" + formatProbability(stall);
+    if (timeout > 0.0)
+        spec += ",stage-timeout=" + formatProbability(timeout);
+    if (drop > 0.0)
+        spec += ",drop=" + formatProbability(drop);
+    if (nan > 0.0)
+        spec += ",nan=" + formatProbability(nan);
+    return spec;
+}
+
+/** I3 + I4: health internals vs an independent plan recomputation. */
+void
+checkHealth(ScenarioStats &stats, std::size_t scenario,
+            const pipeline::RunHealth &health,
+            const resilience::FaultPlan &plan)
+{
+    using resilience::FaultSite;
+    for (std::size_t i = 0; i < health.stages.size(); ++i) {
+        const auto &stage = health.stages[i];
+        const std::string where =
+            "stage '" + stage.name + "': ";
+        if (stage.status == pipeline::StageStatus::Skipped) {
+            if (stage.attempts != 0)
+                violation(stats, scenario,
+                          where + "skipped but attempted");
+            continue;
+        }
+        if (stage.attempts == 0) {
+            violation(stats, scenario, where + "ran with 0 attempts");
+            continue;
+        }
+        if (stage.backoffMs.size() != stage.retries)
+            violation(stats, scenario,
+                      where + "backoff list does not match retries");
+        if (stage.retries >= stage.attempts)
+            violation(stats, scenario,
+                      where + "more retries than attempts allow");
+        if (stage.endMs < stage.startMs)
+            violation(stats, scenario, where + "negative duration");
+
+        std::uint64_t want_crashes = 0, want_stalls = 0,
+                      want_timeouts = 0;
+        for (std::uint32_t a = 1; a <= stage.attempts; ++a) {
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(i) << 16) | a;
+            if (plan.fires(FaultSite::StageStall, key))
+                ++want_stalls;
+            const bool crash =
+                plan.fires(FaultSite::StageCrash, key);
+            if (crash)
+                ++want_crashes;
+            else if (plan.fires(FaultSite::StageTimeout, key))
+                ++want_timeouts;
+        }
+        if (stage.injectedCrashes != want_crashes)
+            violation(stats, scenario,
+                      where + "injected crashes " +
+                          std::to_string(stage.injectedCrashes) +
+                          " != plan schedule " +
+                          std::to_string(want_crashes));
+        if (stage.injectedStalls != want_stalls)
+            violation(stats, scenario,
+                      where + "injected stalls " +
+                          std::to_string(stage.injectedStalls) +
+                          " != plan schedule " +
+                          std::to_string(want_stalls));
+        if (stage.injectedTimeouts != want_timeouts)
+            violation(stats, scenario,
+                      where + "injected timeouts " +
+                          std::to_string(stage.injectedTimeouts) +
+                          " != plan schedule " +
+                          std::to_string(want_timeouts));
+    }
+}
+
+void
+runScenario(std::size_t scenario, const Rng &root,
+            ScenarioStats &stats)
+{
+    Rng rng = root.fork(scenario);
+
+    // A small but realistic window: 2 days of 5-minute samples at a
+    // modest fleet scale, plus a quarter-day forecast horizon.
+    trace::AzureLikeGenerator::Config gen;
+    gen.days = 2.0;
+    gen.baseCores = 2000.0;
+    trace::AzureLikeGenerator generator(gen);
+    Rng demand_rng = rng.fork(1);
+    const auto demand = generator.generate(demand_rng);
+
+    pipeline::PipelineConfig config;
+    config.demandSeries = demand;
+    config.poolGrams = 1e6;
+    config.splits = {6, 4, 4};
+    config.horizonSteps = 72;
+    config.sampledPermutations = 128;
+    config.badRowPolicy = resilience::BadRowPolicy::Interpolate;
+
+    // Two consumers sharing the window's demand 60/40.
+    std::vector<double> heavy(demand.size()), light(demand.size());
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        heavy[i] = 0.6 * demand[i];
+        light[i] = 0.4 * demand[i];
+    }
+    config.usageSeries.emplace_back(
+        "heavy", trace::TimeSeries(heavy, demand.stepSeconds()));
+    config.usageSeries.emplace_back(
+        "light", trace::TimeSeries(light, demand.stepSeconds()));
+
+    Rng knobs = rng.fork(2);
+    config.supervisor.seed = knobs.next();
+    config.supervisor.stageDeadlineMs =
+        static_cast<std::uint64_t>(knobs.uniformInt(50, 3000));
+    config.supervisor.maxRetries =
+        static_cast<std::uint32_t>(knobs.uniformInt(0, 4));
+    const std::string spec =
+        scenarioFaultSpec(knobs, knobs.next() & 0xffffff);
+    if (!spec.empty())
+        config.supervisor.faultPlan =
+            resilience::FaultPlan::parse(spec);
+    const bool fault_free = spec.empty();
+    if (fault_free) {
+        ++stats.faultFree;
+        // A tight deadline degrades a run all by itself (that is the
+        // ladder working as designed), so the pristine-path check
+        // needs a budget every stage can meet at full fidelity.
+        config.supervisor.stageDeadlineMs = std::max<std::uint64_t>(
+            config.supervisor.stageDeadlineMs, 2000);
+    }
+
+    pipeline::PipelineResult result;
+    try {
+        result = pipeline::runAttributionPipeline(config);
+    } catch (const std::exception &error) {
+        // I1: nothing may escape a supervised run on clean input.
+        violation(stats, scenario,
+                  std::string("exception escaped: ") + error.what());
+        return;
+    }
+    const auto &health = result.health;
+    stats.injected += config.supervisor.faultPlan.injectedCount();
+
+    // I2: exit-code contract.
+    if (health.exitCode != 0 && health.exitCode != 1)
+        violation(stats, scenario,
+                  "unexpected exit code " +
+                      std::to_string(health.exitCode));
+    if ((health.exitCode == 0) != health.produced)
+        violation(stats, scenario,
+                  "exit code disagrees with produced flag");
+
+    if (health.produced)
+        ++stats.produced;
+    else
+        ++stats.failed;
+    if (health.degraded)
+        ++stats.degraded;
+
+    // I3 + I4.
+    checkHealth(stats, scenario, health,
+                config.supervisor.faultPlan);
+
+    // I5: a fault-free scenario must be pristine.
+    if (fault_free &&
+        (!health.ok || health.degraded || health.exitCode != 0))
+        violation(stats, scenario,
+                  "fault-free scenario did not end fully Ok");
+
+    // I6: efficiency axiom at whatever rung produced the output.
+    if (health.produced) {
+        const double pool = config.poolGrams;
+        const double closure = result.attribution.attributedGrams +
+            result.attribution.unattributedGrams - pool;
+        if (!(std::fabs(closure) <=
+              pipeline::kEfficiencyTolerance * pool))
+            violation(stats, scenario,
+                      "efficiency axiom violated by " +
+                          std::to_string(closure) + " g");
+        for (std::size_t i = 0; i < result.fairGrams.size(); ++i) {
+            if (!std::isfinite(result.fairGrams[i]) ||
+                !std::isfinite(result.rupGrams[i]))
+                violation(stats, scenario,
+                          "non-finite bill for consumer " +
+                              result.consumers[i]);
+        }
+    }
+
+    // I7: byte-identical health on a re-run.
+    auto config2 = config;
+    try {
+        const auto rerun = pipeline::runAttributionPipeline(config2);
+        if (rerun.health.toJson() != health.toJson())
+            violation(stats, scenario,
+                      "health report not deterministic");
+    } catch (const std::exception &error) {
+        violation(stats, scenario,
+                  std::string("exception on re-run: ") +
+                      error.what());
+    }
+
+    if (verbose_output) {
+        std::printf("scenario %zu: %s%s plan='%s' deadline=%llu\n",
+                    scenario,
+                    health.produced ? "produced" : "FAILED",
+                    health.degraded ? " degraded" : "",
+                    spec.c_str(),
+                    static_cast<unsigned long long>(
+                        config.supervisor.stageDeadlineMs));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t scenarios = 200;
+    std::int64_t seed = 42;
+    FlagSet flags("chaos_soak: seeded fault-scenario sweep over the "
+                  "supervised attribution pipeline");
+    flags.addInt("scenarios", &scenarios, "scenarios to sweep");
+    flags.addInt("seed", &seed, "root scenario seed");
+    flags.addBool("verbose", &verbose_output,
+                  "print one line per scenario");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
+    if (!flags.parse(argc, argv))
+        return 0;
+    parallel::applyThreadsFlag(threads);
+    if (scenarios <= 0 || seed < 0) {
+        std::fprintf(stderr,
+                     "error: --scenarios must be positive and "
+                     "--seed non-negative\n");
+        return 2;
+    }
+
+    const Rng root(static_cast<std::uint64_t>(seed));
+    ScenarioStats stats;
+    for (std::size_t s = 0;
+         s < static_cast<std::size_t>(scenarios); ++s)
+        runScenario(s, root, stats);
+
+    std::printf("chaos_soak: %lld scenarios (%zu fault-free) | "
+                "%zu produced (%zu degraded), %zu failed | "
+                "%llu faults injected | %zu violations\n",
+                static_cast<long long>(scenarios), stats.faultFree,
+                stats.produced, stats.degraded, stats.failed,
+                static_cast<unsigned long long>(stats.injected),
+                stats.violations);
+    return stats.violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+# CTest script: checkpoint/resume for the end-to-end bench's per-VM
+# billing pass. A run stopped after its first chunk
+# (--stop-after-chunks, the deterministic stand-in for a kill) and
+# later resumed must write bench_out/e2e_vm_bills.csv byte-identical
+# to the uninterrupted run's — including when the resume runs at a
+# different thread count.
+
+set(args --days 0.5 --arrivals-per-hour 120 --chunk-trials 50)
+
+function(run_e2e label dir expected_rc)
+    execute_process(COMMAND ${E2E_BIN} ${ARGN}
+        WORKING_DIRECTORY ${dir}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT rc EQUAL ${expected_rc})
+        message(FATAL_ERROR
+                "${label}: expected exit ${expected_rc}, got ${rc}\n"
+                "stdout: ${out}\nstderr: ${err}")
+    endif()
+endfunction()
+
+foreach(dir full resumed threaded)
+    file(REMOVE_RECURSE ${WORK_DIR}/${dir})
+    file(MAKE_DIRECTORY ${WORK_DIR}/${dir})
+endforeach()
+
+# Reference: one uninterrupted run.
+run_e2e("uninterrupted" ${WORK_DIR}/full 0 ${args})
+
+# Stop after the first committed chunk, then resume to completion.
+run_e2e("partial" ${WORK_DIR}/resumed 0
+    ${args} --checkpoint ck --stop-after-chunks 1)
+if(EXISTS ${WORK_DIR}/resumed/bench_out/e2e_vm_bills.csv)
+    message(FATAL_ERROR "partial run must not write bills")
+endif()
+run_e2e("resume" ${WORK_DIR}/resumed 0
+    ${args} --checkpoint ck --resume ck)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/full/bench_out/e2e_vm_bills.csv
+    ${WORK_DIR}/resumed/bench_out/e2e_vm_bills.csv
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "resumed bills differ from uninterrupted run")
+endif()
+
+# Same dance at --threads 2: chunk scheduling must not leak into the
+# bills.
+run_e2e("partial t2" ${WORK_DIR}/threaded 0
+    ${args} --threads 2 --checkpoint ck --stop-after-chunks 1)
+run_e2e("resume t2" ${WORK_DIR}/threaded 0
+    ${args} --threads 2 --checkpoint ck --resume ck)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/full/bench_out/e2e_vm_bills.csv
+    ${WORK_DIR}/threaded/bench_out/e2e_vm_bills.csv
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "threaded resume bills differ")
+endif()
+
+message(STATUS "e2e checkpoint/resume bills are byte-identical")

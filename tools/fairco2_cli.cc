@@ -11,15 +11,27 @@
  *   fairco2 forecast --demand demand.csv --horizon-steps 2592
  *                    [--column demand] [--step-seconds 300]
  *                    --out forecast.csv
+ *   fairco2 run      --demand demand.csv --pool-grams 1e6
+ *                    [--usage usage.csv] [--horizon-steps 288]
+ *                    [--deadline-ms 2000] [--max-retries 3]
+ *                    [--health-out health.json] [--seed 42]
+ *                    --out signal.csv [--bills-out bills.csv]
  *
  * `signal` turns a demand series into a Temporal Shapley intensity
  * signal; `bill` integrates per-consumer usage columns against a
- * signal; `forecast` extends a demand series Prophet-style.
+ * signal; `forecast` extends a demand series Prophet-style. `run`
+ * drives the whole flow (ingest -> forecast -> Shapley ->
+ * interference billing -> report) under the fairco2::pipeline
+ * supervisor: per-stage deadlines on a simulated clock, bounded
+ * deterministic retries, circuit breakers, and the degradation
+ * ladder, with an honest RunHealth JSON written to `--health-out`.
  *
  * All commands accept `--on-bad-row={fail,skip,interpolate}` for
  * defective telemetry rows and `--fault-plan <spec>` for
  * deterministic fault injection; exit status 2 means bad input (a
- * malformed flag or unusable data), distinct from a crash.
+ * malformed flag or unusable data), distinct from a crash. SIGINT/
+ * SIGTERM stop the run at the next supervision boundary, still flush
+ * the health report, and exit 130.
  */
 
 #include <cstdio>
@@ -34,8 +46,11 @@
 #include "core/baselines.hh"
 #include "core/temporal.hh"
 #include "forecast/forecaster.hh"
+#include "pipeline/health.hh"
+#include "pipeline/runner.hh"
 #include "resilience/faultplan.hh"
 #include "resilience/ingest.hh"
+#include "resilience/signals.hh"
 #include "trace/timeseries.hh"
 
 using namespace fairco2;
@@ -281,6 +296,111 @@ runForecast(int argc, char **argv)
     return 0;
 }
 
+int
+runPipeline(int argc, char **argv)
+{
+    pipeline::PipelineConfig config;
+    std::string splits_text = "10,9,8,12";
+    std::string health_out;
+    std::int64_t horizon_steps = 0;
+    std::int64_t deadline_ms = 2000;
+    std::int64_t max_retries = 3;
+    std::int64_t seed = 42;
+    FlagSet flags("fairco2 run: supervised end-to-end attribution "
+                  "(ingest -> forecast -> Shapley -> billing -> "
+                  "report)");
+    flags.addString("demand", &config.demandPath,
+                    "input demand CSV");
+    flags.addString("column", &config.demandColumn,
+                    "demand column name");
+    flags.addString("usage", &config.usagePath,
+                    "optional usage CSV: one column per consumer");
+    flags.addDouble("step-seconds", &config.stepSeconds,
+                    "sample width of the input");
+    flags.addDouble("pool-grams", &config.poolGrams,
+                    "fixed carbon to attribute over the window");
+    flags.addString("splits", &splits_text,
+                    "hierarchical split counts, comma-separated");
+    flags.addInt("horizon-steps", &horizon_steps,
+                 "forecast steps appended to the window (0: none)");
+    flags.addInt("deadline-ms", &deadline_ms,
+                 "per-stage deadline budget, simulated ms");
+    flags.addInt("max-retries", &max_retries,
+                 "extra attempts per degradation-ladder rung");
+    flags.addInt("seed", &seed,
+                 "run seed (backoff jitter, sampled attribution)");
+    flags.addString("out", &config.signalOutPath,
+                    "signal output CSV path");
+    flags.addString("bills-out", &config.billsOutPath,
+                    "per-consumer bills output CSV path");
+    flags.addString("health-out", &health_out,
+                    "RunHealth JSON output path");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    obs::addObsFlags(flags, &obs_flags);
+    ResilienceFlags res;
+    res.add(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+    parallel::applyThreadsFlag(threads);
+    obs::applyObsFlags(obs_flags);
+    res.apply();
+    FAIRCO2_SPAN("cli.run");
+    if (config.demandPath.empty() || config.poolGrams <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --demand and a positive --pool-grams "
+                     "are required\n");
+        return 2;
+    }
+    if (deadline_ms <= 0 || max_retries < 0 || horizon_steps < 0 ||
+        seed < 0) {
+        std::fprintf(stderr,
+                     "error: --deadline-ms must be positive; "
+                     "--max-retries, --horizon-steps, and --seed "
+                     "must be non-negative\n");
+        return 2;
+    }
+    // Fail fast on unwritable outputs — before any stage runs, not
+    // after the attribution is already computed.
+    requireWritableFlagPath("health-out", health_out);
+    requireWritableFlagPath("out", config.signalOutPath);
+    requireWritableFlagPath("bills-out", config.billsOutPath);
+
+    config.splits = parseSplits(splits_text);
+    config.horizonSteps = static_cast<std::size_t>(horizon_steps);
+    config.badRowPolicy = res.policy;
+    config.supervisor.stageDeadlineMs =
+        static_cast<std::uint64_t>(deadline_ms);
+    config.supervisor.maxRetries =
+        static_cast<std::uint32_t>(max_retries);
+    config.supervisor.seed = static_cast<std::uint64_t>(seed);
+    config.supervisor.faultPlan = res.plan;
+
+    resilience::installShutdownHandler();
+    const auto result = pipeline::runAttributionPipeline(config);
+    if (result.ingest.rowsBad > 0)
+        std::fprintf(stderr, "ingest: %s\n",
+                     result.ingest.summary().c_str());
+    if (!health_out.empty())
+        pipeline::writeRunHealth(health_out, result.health);
+
+    const auto &health = result.health;
+    std::printf("run: %s%s | %zu window samples, %.6g g attributed "
+                "(%.6g g dropped)",
+                health.produced ? "produced" : "no output",
+                health.degraded ? " (degraded)" : "",
+                result.window.size(),
+                result.attribution.attributedGrams,
+                result.attribution.unattributedGrams);
+    for (const auto &stage : health.stages) {
+        std::printf(" | %s=%s", stage.name.c_str(),
+                    pipeline::stageStatusName(stage.status));
+    }
+    std::printf("\n");
+    return health.exitCode;
+}
+
 void
 usage()
 {
@@ -291,6 +411,8 @@ usage()
         "  bill      usage CSV x intensity CSV -> per-consumer "
         "carbon\n"
         "  forecast  extend a demand CSV with a seasonal forecast\n"
+        "  run       supervised end-to-end pipeline with deadlines,\n"
+        "            retries, breakers, and a degradation ladder\n"
         "\nRun `fairco2 <command> --help` for command flags.\n");
 }
 
@@ -313,6 +435,8 @@ main(int argc, char **argv)
             return runBill(argc - 1, argv + 1);
         if (command == "forecast")
             return runForecast(argc - 1, argv + 1);
+        if (command == "run")
+            return runPipeline(argc - 1, argv + 1);
         if (command == "--help" || command == "-h") {
             usage();
             return 0;

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kill-signal contract for the checkpointed Monte Carlo benches:
+# SIGTERM mid-run must (1) let the in-flight chunk finish and flush
+# the checkpoint, (2) exit with 130, and (3) leave a checkpoint a
+# later --resume run completes into output byte-identical to an
+# uninterrupted run. Driven by ctest (label: resilience).
+#
+# Usage: kill_signal_test.sh <fig7_binary> <work_dir>
+set -u
+
+bin="$1"
+work="$2"
+
+rm -rf "$work"
+mkdir -p "$work"
+cd "$work"
+
+# Sized so the run takes seconds: the kill always lands mid-flight,
+# never after completion.
+args=(--trials 3000 --max-workloads 19 --chunk-trials 20 --threads 2)
+
+"$bin" "${args[@]}" --checkpoint ck >interrupted.log 2>&1 &
+pid=$!
+# Wait for the first committed chunk, then pull the plug.
+for _ in $(seq 1 200); do
+    [ -f ck ] && break
+    sleep 0.05
+done
+if ! [ -f ck ]; then
+    echo "FAIL: no checkpoint file appeared within 10s"
+    kill -KILL "$pid" 2>/dev/null
+    exit 1
+fi
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+if [ "$rc" -ne 130 ]; then
+    echo "FAIL: expected exit 130 after SIGTERM, got $rc"
+    cat interrupted.log
+    exit 1
+fi
+if ! grep -q "interrupted: checkpoint flushed" interrupted.log; then
+    echo "FAIL: missing flush note in interrupted run"
+    cat interrupted.log
+    exit 1
+fi
+
+"$bin" "${args[@]}" --checkpoint ck --resume ck >resumed.log 2>&1
+rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: resume expected exit 0, got $rc"
+    cat resumed.log
+    exit 1
+fi
+if ! grep -q "chunks resumed" resumed.log; then
+    echo "FAIL: resume did not restore any chunks"
+    cat resumed.log
+    exit 1
+fi
+
+"$bin" "${args[@]}" >plain.log 2>&1
+rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: uninterrupted run expected exit 0, got $rc"
+    cat plain.log
+    exit 1
+fi
+
+# Identical output modulo the checkpoint-status and wall-clock perf
+# lines.
+if ! diff <(grep -v 'checkpoint:\|perf:' resumed.log) \
+          <(grep -v 'perf:' plain.log); then
+    echo "FAIL: resumed output differs from uninterrupted run"
+    exit 1
+fi
+
+echo "PASS: kill -> 130 -> resume is byte-identical"
