@@ -170,17 +170,22 @@ class WallTimer
 namespace detail
 {
 
-/** One perf_summary.json entry, one line per entry. */
+/** One perf_summary.json entry, one line per entry. @p extra is
+ *  either empty or additional `"key": value` JSON members to splice
+ *  in before the closing brace (e.g. a measured speedup). */
 inline std::string
 perfEntryLine(const std::string &bench, std::size_t trials,
               std::size_t threads, double wall_seconds,
-              std::uint64_t faults)
+              std::uint64_t faults, const std::string &extra = "")
 {
     std::ostringstream line;
     line << "{\"bench\": \"" << bench << "\", \"trials\": " << trials
          << ", \"threads\": " << threads
          << ", \"wall_s\": " << wall_seconds
-         << ", \"faults\": " << faults << "}";
+         << ", \"faults\": " << faults;
+    if (!extra.empty())
+        line << ", " << extra;
+    line << "}";
     return line.str();
 }
 
@@ -211,10 +216,13 @@ matchesPerfKey(const std::string &line, const std::string &bench,
  * pass what the layer cannot know. @p faults is the number of faults
  * a `--fault-plan` injected during the run (0 when no plan was
  * active), so degraded runs are distinguishable in the trajectory.
+ * @p extra optionally splices additional `"key": value` JSON members
+ * into the summary entry (they do not appear in the CSV trajectory).
  */
 inline void
 recordPerf(const std::string &bench, std::size_t trials,
-           double wall_seconds, std::uint64_t faults = 0)
+           double wall_seconds, std::uint64_t faults = 0,
+           const std::string &extra = "")
 {
     const std::size_t threads = parallel::threadCount();
 
@@ -234,8 +242,8 @@ recordPerf(const std::string &bench, std::size_t trials,
                 entries.push_back(line);
         }
     }
-    entries.push_back(detail::perfEntryLine(bench, trials, threads,
-                                            wall_seconds, faults));
+    entries.push_back(detail::perfEntryLine(
+        bench, trials, threads, wall_seconds, faults, extra));
     {
         std::ofstream out(summary_path);
         out << "[\n";

@@ -121,7 +121,12 @@ FlagSet::assign(const Flag &flag, const std::string &text) const
 bool
 FlagSet::parse(int argc, char **argv)
 {
-    const std::string prog = argc > 0 ? argv[0] : "prog";
+    // Basename only: the usage text must not depend on how the
+    // binary was invoked (the help-golden test diffs it bytewise).
+    std::string prog = argc > 0 ? argv[0] : "prog";
+    const auto slash = prog.find_last_of('/');
+    if (slash != std::string::npos)
+        prog = prog.substr(slash + 1);
     std::set<std::string> seen;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];

@@ -23,12 +23,31 @@ LiveIntensityService::LiveIntensityService(const Config &config)
     assert(config.warmupSteps <= config.historySteps);
     assert(config.refitIntervalSteps > 0);
     assert(config.poolGramsPerSecond >= 0.0);
-    history_.reserve(config.historySteps);
+    if (config_.incrementalWindowPeriods > 0) {
+        shapley::IncrementalTemporalEngine::Config engine_config;
+        engine_config.windowPeriods =
+            config_.incrementalWindowPeriods;
+        engine_config.periodSamples =
+            config_.incrementalPeriodSamples;
+        engine_config.stepSeconds = config_.stepSeconds;
+        if (config_.splits.size() > 1)
+            engine_config.innerSplits.assign(
+                config_.splits.begin() + 1, config_.splits.end());
+        engine_config.cacheCapacity =
+            config_.incrementalCacheCapacity;
+        engine_ =
+            std::make_unique<shapley::IncrementalTemporalEngine>(
+                engine_config);
+    } else {
+        history_.reserve(config.historySteps);
+    }
 }
 
 bool
 LiveIntensityService::ready() const
 {
+    if (engine_)
+        return engine_->windowReady();
     return samplesSeen_ >= config_.warmupSteps;
 }
 
@@ -79,9 +98,33 @@ LiveIntensityService::recompute()
 }
 
 void
+LiveIntensityService::pushIncremental(double demand_sample)
+{
+    engine_->pushSample(demand_sample);
+    ++samplesSeen_;
+    if (!engine_->windowReady())
+        return;
+    // Publish the full window on every push: with a warm cache this
+    // is one period solve at most (all other sub-games hit), so the
+    // classic "recompute per push" contract stays affordable.
+    const std::size_t window_samples =
+        config_.incrementalWindowPeriods *
+        config_.incrementalPeriodSamples;
+    const double pool = config_.poolGramsPerSecond *
+        static_cast<double>(window_samples) * config_.stepSeconds;
+    auto result = engine_->computeWindow(pool);
+    windowIntensity_ = std::move(result.intensity);
+    historyLenAtCompute_ = window_samples;
+}
+
+void
 LiveIntensityService::push(double demand_sample)
 {
     assert(demand_sample >= 0.0);
+    if (engine_) {
+        pushIncremental(demand_sample);
+        return;
+    }
     if (history_.size() == config_.historySteps)
         history_.erase(history_.begin());
     history_.push_back(demand_sample);

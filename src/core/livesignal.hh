@@ -5,15 +5,28 @@
  * periodically refit forecaster extends the window into the future,
  * and Temporal Shapley turns the blended window into a current and
  * projected intensity signal that carbon-aware schedulers can poll.
+ *
+ * Two deployment modes share the same surface:
+ *
+ *  - classic (incrementalWindowPeriods == 0): ring-buffered history,
+ *    periodic forecaster refits, full TemporalShapley recompute on
+ *    every push.
+ *  - incremental (incrementalWindowPeriods > 0): the samples stream
+ *    through a shapley::IncrementalTemporalEngine whose memoized
+ *    sub-games make each window advance cost one fresh period solve;
+ *    the forecast horizon is skipped (the engine attributes measured
+ *    demand only) and projectedIntensity() is empty.
  */
 
 #ifndef FAIRCO2_CORE_LIVESIGNAL_HH
 #define FAIRCO2_CORE_LIVESIGNAL_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "forecast/forecaster.hh"
+#include "shapley/incremental.hh"
 #include "trace/timeseries.hh"
 
 namespace fairco2::core
@@ -40,6 +53,15 @@ class LiveIntensityService
         /** Fleet fixed-carbon rate amortized into the window,
          *  grams per second of wall-clock time. */
         double poolGramsPerSecond = 1.0;
+
+        /** Sliding-window size, in periods, for incremental mode;
+         *  0 keeps the classic full-recompute service. */
+        std::size_t incrementalWindowPeriods = 0;
+        /** Samples per period in incremental mode. */
+        std::size_t incrementalPeriodSamples = 12;
+        /** Sub-game LRU capacity in incremental mode (0 disables
+         *  memoization). */
+        std::size_t incrementalCacheCapacity = 64;
     };
 
     LiveIntensityService();
@@ -86,9 +108,17 @@ class LiveIntensityService
 
     const Config &config() const { return config_; }
 
+    /** Incremental mode only: the engine's cache counters; null in
+     *  classic mode. */
+    const shapley::CacheStats *cacheStats() const
+    {
+        return engine_ ? &engine_->cacheStats() : nullptr;
+    }
+
   private:
     void refit();
     void recompute();
+    void pushIncremental(double demand_sample);
 
     Config config_;
     std::vector<double> history_;
@@ -102,6 +132,8 @@ class LiveIntensityService
     std::size_t fitStartGlobal_;
     trace::TimeSeries windowIntensity_;
     std::size_t historyLenAtCompute_;
+    /** Engaged only in incremental mode. */
+    std::unique_ptr<shapley::IncrementalTemporalEngine> engine_;
 };
 
 } // namespace fairco2::core

@@ -2,19 +2,25 @@
  * @file
  * The Shapley stage's degradation ladder.
  *
- * Three rungs, all of which preserve the efficiency axiom (attributed
- * + unattributed == pool) by construction:
+ * Up to four rungs, all of which preserve the efficiency axiom
+ * (attributed + unattributed == pool) by construction:
  *
- *  - level 0, exact: the full hierarchical Temporal Shapley
- *    attribution (TemporalShapley::attribute) — the paper's signal.
- *  - level 1, sampled: a single-level peak game over at most
+ *  - incremental (only when PipelineConfig enables it): the
+ *    sliding-window IncrementalTemporalEngine streams the demand
+ *    window period by period, memoizing sub-game solves; a
+ *    CacheIntegrityError (e.g. from the fault plan's `cache-corrupt`
+ *    key) crashes the attempt and descends to the next rung.
+ *  - exact: the full hierarchical Temporal Shapley attribution
+ *    (TemporalShapley::attribute) — the paper's signal. Level 0 when
+ *    incremental mode is off, the full-recompute fallback otherwise.
+ *  - sampled: a single-level peak game over at most
  *    kSampledMaxPeriods coarse periods, solved by permutation
  *    sampling with a trial budget the supervisor shrinks as the
  *    deadline drains; intensities are normalized per Eq. 5
  *    (y_i = phi_i * C / sum_k phi_k q_k), so usage-weighted mass
  *    still sums to the pool.
- *  - level 2, proportional: the RUP baseline's constant intensity —
- *    no game at all, but still exactly efficient.
+ *  - proportional: the RUP baseline's constant intensity — no game
+ *    at all, but still exactly efficient.
  *
  * The property tests assert the axiom at every rung within
  * kEfficiencyTolerance (relative); the chaos soak re-asserts it on
@@ -31,10 +37,16 @@
 #include "common/rng.hh"
 #include "trace/timeseries.hh"
 
+namespace fairco2::resilience
+{
+class FaultPlan;
+}
+
 namespace fairco2::pipeline
 {
 
-/** Ladder depth of the Shapley stage (levels 0..2). */
+/** Ladder depth of the Shapley stage without the incremental rung
+ *  (levels 0..2); incremental mode prepends one more level. */
 constexpr std::uint32_t kShapleyMaxLevel = 2;
 
 /** Players in the level-1 sampled peak game (must stay <= 64,
@@ -77,6 +89,30 @@ attributeSampled(const trace::TimeSeries &window, double pool_grams,
 AttributionOutput
 attributeProportional(const trace::TimeSeries &window,
                       double pool_grams);
+
+/**
+ * Incremental rung: stream @p window through a sliding
+ * IncrementalTemporalEngine of @p window_periods periods of
+ * @p period_samples samples each (0 derives a period size that makes
+ * the window span half the trace, so the replay always slides) and
+ * publish the newest period's intensity on every advance. Attribution covers the samples the sliding window visits
+ * (a multiple of the period size); the pool share of any tail samples
+ * stays unattributed, so attributed + unattributed == pool by
+ * construction. @p inner_splits shape each period's inner hierarchy
+ * and @p cache_capacity bounds the sub-game LRU (0 = memoization
+ * off). When @p plan carries a nonzero `cache-corrupt` probability,
+ * cache entries are deterministically corrupted before some advances;
+ * the resulting CacheIntegrityError propagates to the caller (the
+ * supervisor turns it into a stage crash and falls back to
+ * attributeExact).
+ */
+AttributionOutput
+attributeIncremental(const trace::TimeSeries &window,
+                     double pool_grams, std::size_t window_periods,
+                     std::size_t period_samples,
+                     const std::vector<std::size_t> &inner_splits,
+                     std::size_t cache_capacity,
+                     const resilience::FaultPlan *plan = nullptr);
 
 } // namespace fairco2::pipeline
 

@@ -119,15 +119,39 @@ runAttributionPipeline(const PipelineConfig &config)
     }
 
     // --- stage 3: shapley ------------------------------------------
+    // With incremental mode on, the ladder grows one rung at the
+    // top; `rung` numbers the shared ladder so the bodies below stay
+    // identical either way (1 exact, 2 sampled, 3 proportional).
+    const bool incremental = config.incrementalWindowPeriods > 0;
+    const std::uint32_t shapley_max_level =
+        incremental ? kShapleyMaxLevel + 1 : kShapleyMaxLevel;
     const bool attributed = supervisor.runStage(
-        "shapley", kShapleyMaxLevel, [&](const StageAttempt &a) {
+        "shapley", shapley_max_level, [&](const StageAttempt &a) {
             StageBodyResult r;
-            if (a.level == 0) {
+            const std::uint32_t rung =
+                incremental ? a.level : a.level + 1;
+            if (rung == 0) {
+                // Periods are leaves of the per-period hierarchy
+                // shaped by the splits below the top level.
+                std::vector<std::size_t> inner_splits;
+                if (config.splits.size() > 1)
+                    inner_splits.assign(config.splits.begin() + 1,
+                                        config.splits.end());
+                result.attribution = attributeIncremental(
+                    result.window, config.poolGrams,
+                    config.incrementalWindowPeriods, 0,
+                    inner_splits,
+                    config.incrementalCacheCapacity,
+                    &config.supervisor.faultPlan);
+                r.note = "incremental sliding-window attribution";
+                r.costMs = costMsFor(
+                    result.attribution.operations, 2, 5);
+            } else if (rung == 1) {
                 result.attribution = attributeExact(
                     result.window, config.poolGrams, config.splits);
                 r.costMs = costMsFor(
                     result.attribution.operations, 2, 10);
-            } else if (a.level == 1) {
+            } else if (rung == 2) {
                 // Shrinking trial budget: scale the permutation
                 // count by the remaining share of the deadline and
                 // halve it on every extra attempt at this rung.

@@ -14,10 +14,15 @@
  *                    stage is optional: even a Failed forecast only
  *                    shrinks the window back to the history.
  *  3. shapley      — attribute the pool over the window. Ladder:
- *                    exact hierarchical -> sampled with a permutation
+ *                    [incremental sliding-window, only when
+ *                    incrementalWindowPeriods > 0] -> exact
+ *                    hierarchical -> sampled with a permutation
  *                    budget that shrinks with the remaining deadline
  *                    and the attempt count -> proportional (RUP)
- *                    baseline. Required.
+ *                    baseline. A cache-integrity failure on the
+ *                    incremental rung (see the fault plan's
+ *                    `cache-corrupt` key) crashes the attempt and
+ *                    descends to the exact full recompute. Required.
  *  4. interference — bill each usage column against the intensity
  *                    signal (and against the RUP baseline for
  *                    comparison). Required when usage is configured,
@@ -64,7 +69,14 @@ struct PipelineConfig
     double poolGrams = 0.0;
     std::vector<std::size_t> splits{10, 9, 8, 12};
     std::size_t horizonSteps = 0; //!< 0 skips the forecast stage
-    std::size_t sampledPermutations = 256; //!< level-1 full budget
+    std::size_t sampledPermutations = 256; //!< sampled-rung budget
+
+    /** Sliding-window size, in periods, for the incremental Shapley
+     *  rung; 0 keeps the classic exact-first ladder. */
+    std::size_t incrementalWindowPeriods = 0;
+    /** Sub-game LRU capacity for the incremental rung (0 disables
+     *  memoization — useful only for differential testing). */
+    std::size_t incrementalCacheCapacity = 64;
 
     /** Output CSV paths; empty keeps results in memory only. */
     std::string signalOutPath;

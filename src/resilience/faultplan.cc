@@ -66,6 +66,7 @@ FaultPlan::operator=(const FaultPlan &other)
     stageCrash_ = other.stageCrash_;
     stageStall_ = other.stageStall_;
     stageTimeout_ = other.stageTimeout_;
+    cacheCorrupt_ = other.cacheCorrupt_;
     injected_.store(other.injected_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
     return *this;
@@ -121,12 +122,14 @@ FaultPlan::parse(const std::string &spec)
             plan.stageStall_ = probability(key, value);
         } else if (key == "stage-timeout") {
             plan.stageTimeout_ = probability(key, value);
+        } else if (key == "cache-corrupt") {
+            plan.cacheCorrupt_ = probability(key, value);
         } else {
             throw std::invalid_argument(
                 "unknown fault-plan key '" + key +
                 "' (known: seed, drop, corrupt, nan, node-fail, "
                 "vm-preempt, stage-crash, stage-stall, "
-                "stage-timeout)");
+                "stage-timeout, cache-corrupt)");
         }
     }
 
@@ -135,7 +138,8 @@ FaultPlan::parse(const std::string &spec)
     plan.active_ = plan.drop_ > 0.0 || plan.corrupt_ > 0.0 ||
         plan.nan_ > 0.0 || plan.nodeFail_ > 0.0 ||
         plan.vmPreempt_ > 0.0 || plan.stageCrash_ > 0.0 ||
-        plan.stageStall_ > 0.0 || plan.stageTimeout_ > 0.0;
+        plan.stageStall_ > 0.0 || plan.stageTimeout_ > 0.0 ||
+        plan.cacheCorrupt_ > 0.0;
     return plan;
 }
 
@@ -161,6 +165,8 @@ FaultPlan::probabilityFor(FaultSite site) const
         return stageStall_;
       case FaultSite::StageTimeout:
         return stageTimeout_;
+      case FaultSite::CacheCorrupt:
+        return cacheCorrupt_;
       default:
         return 0.0;
     }

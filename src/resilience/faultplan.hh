@@ -16,7 +16,8 @@
  *
  *     seed=42,drop=0.01,corrupt=0.005,nan=0.001,
  *     node-fail=0.02,vm-preempt=0.01,
- *     stage-crash=0.1,stage-stall=0.1,stage-timeout=0.05
+ *     stage-crash=0.1,stage-stall=0.1,stage-timeout=0.05,
+ *     cache-corrupt=0.1
  *
  * `drop`/`corrupt` poison telemetry samples and ingested CSV rows,
  * `nan` perturbs values at module boundaries, `node-fail` is the
@@ -27,6 +28,10 @@
  * attempt fail outright, `stage-stall` charges a deterministic chunk
  * of the stage's simulated deadline budget before the attempt runs,
  * and `stage-timeout` burns the attempt's whole remaining budget.
+ * `cache-corrupt` flips one payload bit in the incremental Shapley
+ * engine's sub-game cache before a window advance, so the engine's
+ * checksum verification trips and the supervisor exercises the
+ * incremental -> full-recompute degradation rung.
  * Probabilities must be in [0, 1]; a malformed spec throws
  * std::invalid_argument (front ends turn that into exit 2).
  */
@@ -67,6 +72,7 @@ enum class FaultSite : std::uint64_t
     StageStall = 12,      //!< stage attempt stalls first
     StageTimeout = 13,    //!< stage attempt burns its whole budget
     StageStallMs = 14,    //!< stall length (fraction of deadline)
+    CacheCorrupt = 15,    //!< incremental sub-game cache entry flips
 };
 
 /** Deterministic, thread-safe fault decision source. */
@@ -127,6 +133,7 @@ class FaultPlan
     double stageCrashProbability() const { return stageCrash_; }
     double stageStallProbability() const { return stageStall_; }
     double stageTimeoutProbability() const { return stageTimeout_; }
+    double cacheCorruptProbability() const { return cacheCorrupt_; }
 
     FaultPlan(const FaultPlan &other) { *this = other; }
     FaultPlan &operator=(const FaultPlan &other);
@@ -145,6 +152,7 @@ class FaultPlan
     double stageCrash_ = 0.0;
     double stageStall_ = 0.0;
     double stageTimeout_ = 0.0;
+    double cacheCorrupt_ = 0.0;
     mutable std::atomic<std::uint64_t> injected_{0};
 };
 

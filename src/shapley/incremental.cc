@@ -1,0 +1,561 @@
+#include "shapley/incremental.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/errors.hh"
+#include "common/obs.hh"
+#include "common/parallel.hh"
+#include "shapley/peak.hh"
+
+namespace fairco2::shapley
+{
+
+namespace
+{
+
+/** Permutations per parallel chunk in the sampled sweep; fixed so
+ *  the chunk grid and fold order never depend on `--threads N`. */
+constexpr std::size_t kPermChunk = 16;
+
+/** FNV-1a-style accumulator (64-bit words per step, so verifying a
+ *  cached payload stays much cheaper than re-solving it) used for
+ *  both the canonical coalition hash and the payload checksums. */
+struct Fnv1a
+{
+    std::uint64_t state = 14695981039346656037ULL;
+
+    void
+    feed(std::uint64_t word)
+    {
+        state ^= word;
+        state *= 1099511628211ULL;
+    }
+
+    void feed(double value) { feed(std::bit_cast<std::uint64_t>(value)); }
+};
+
+} // namespace
+
+IncrementalTemporalEngine::IncrementalTemporalEngine(
+    const Config &config)
+    : config_(config), rngBase_(config.seed)
+{
+    if (config_.windowPeriods == 0)
+        throw std::invalid_argument(
+            "incremental engine: windowPeriods must be >= 1");
+    if (config_.periodSamples == 0)
+        throw std::invalid_argument(
+            "incremental engine: periodSamples must be >= 1");
+    if (!(config_.stepSeconds > 0.0))
+        throw std::invalid_argument(
+            "incremental engine: stepSeconds must be positive");
+    for (const std::size_t split : config_.innerSplits) {
+        if (split == 0)
+            throw std::invalid_argument(
+                "incremental engine: inner split counts must be "
+                ">= 1");
+    }
+    partialPeriod_.reserve(config_.periodSamples);
+}
+
+void
+IncrementalTemporalEngine::pushSample(double demand)
+{
+    // Mirrors TemporalShapley::attribute's sample guard: a poisoned
+    // sample would spread through every cached Shapley weight below
+    // it, so refuse it at the door with a sample-level diagnostic.
+    if (!std::isfinite(demand))
+        throw FatalDataError(
+            "incremental attribution: demand sample " +
+            std::to_string(samplesSeen_) + " is not finite");
+    partialPeriod_.push_back(demand);
+    ++samplesSeen_;
+    if (partialPeriod_.size() == config_.periodSamples)
+        closePeriod();
+}
+
+void
+IncrementalTemporalEngine::closePeriod()
+{
+    windowSamples_.push_back(std::move(partialPeriod_));
+    partialPeriod_ = std::vector<double>();
+    partialPeriod_.reserve(config_.periodSamples);
+    ++periodsClosed_;
+    if (windowSamples_.size() > config_.windowPeriods) {
+        const std::uint64_t evicted = firstPeriod_;
+        windowSamples_.pop_front();
+        ++firstPeriod_;
+        invalidatePeriod(evicted);
+    }
+}
+
+bool
+IncrementalTemporalEngine::windowReady() const
+{
+    return windowSamples_.size() == config_.windowPeriods;
+}
+
+void
+IncrementalTemporalEngine::invalidatePeriod(std::uint64_t period)
+{
+    // Exact invalidation: only entries whose coalition involves the
+    // period that just slid out of the window. The newly added
+    // period has no entry yet, so it simply misses on next use.
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        const bool involved =
+            std::find(it->members.begin(), it->members.end(),
+                      period) != it->members.end();
+        if (!involved) {
+            ++it;
+            continue;
+        }
+        index_.erase(it->key);
+        it = lru_.erase(it);
+        ++stats_.invalidations;
+        FAIRCO2_COUNT("shapley.cache.invalidate", 1);
+    }
+}
+
+std::uint64_t
+IncrementalTemporalEngine::coalitionHash(
+    EntryKind kind, const std::vector<std::uint64_t> &members)
+{
+    Fnv1a hash;
+    hash.feed(static_cast<std::uint64_t>(kind));
+    hash.feed(static_cast<std::uint64_t>(members.size()));
+    for (const std::uint64_t member : members)
+        hash.feed(member);
+    return hash.state;
+}
+
+std::uint64_t
+IncrementalTemporalEngine::payloadChecksum(const CacheEntry &entry)
+{
+    Fnv1a hash;
+    hash.feed(static_cast<std::uint64_t>(entry.kind));
+    hash.feed(static_cast<std::uint64_t>(entry.members.size()));
+    for (const std::uint64_t member : entry.members)
+        hash.feed(member);
+    if (entry.kind == EntryKind::WindowPhi) {
+        hash.feed(static_cast<std::uint64_t>(entry.phi.size()));
+        for (const double v : entry.phi)
+            hash.feed(v);
+        return hash.state;
+    }
+    hash.feed(entry.solve.peak);
+    hash.feed(entry.solve.usage);
+    hash.feed(static_cast<std::uint64_t>(entry.solve.leafCount));
+    hash.feed(entry.solve.operations);
+    // Allocation-free preorder walk over the solve tree — this runs
+    // on every cache hit, so it must stay much cheaper than the
+    // solve it verifies.
+    const auto walk = [&hash](const SolveNode &node,
+                              const auto &self) -> void {
+        hash.feed(static_cast<std::uint64_t>(node.begin));
+        hash.feed(static_cast<std::uint64_t>(node.end));
+        hash.feed(node.usage);
+        hash.feed(node.childDenom);
+        hash.feed(static_cast<std::uint64_t>(node.childPhi.size()));
+        for (const double v : node.childPhi)
+            hash.feed(v);
+        for (const double v : node.childUsages)
+            hash.feed(v);
+        for (const SolveNode &child : node.children)
+            self(child, self);
+    };
+    walk(entry.solve.root, walk);
+    return hash.state;
+}
+
+IncrementalTemporalEngine::CacheEntry *
+IncrementalTemporalEngine::lookup(
+    std::uint64_t key, EntryKind kind,
+    const std::vector<std::uint64_t> &members)
+{
+    if (config_.cacheCapacity == 0) {
+        ++stats_.misses;
+        FAIRCO2_COUNT("shapley.cache.miss", 1);
+        return nullptr;
+    }
+    const auto it = index_.find(key);
+    if (it == index_.end() || it->second->kind != kind ||
+        it->second->members != members) {
+        ++stats_.misses;
+        FAIRCO2_COUNT("shapley.cache.miss", 1);
+        return nullptr;
+    }
+    CacheEntry &entry = *it->second;
+    if (payloadChecksum(entry) != entry.checksum)
+        throw CacheIntegrityError(
+            "incremental attribution: sub-game cache entry for "
+            "coalition hash " + std::to_string(key) +
+            " failed its checksum");
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+    ++stats_.hits;
+    FAIRCO2_COUNT("shapley.cache.hit", 1);
+    return &entry;
+}
+
+IncrementalTemporalEngine::CacheEntry &
+IncrementalTemporalEngine::insert(CacheEntry entry)
+{
+    while (lru_.size() >= config_.cacheCapacity) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+        FAIRCO2_COUNT("shapley.cache.evict", 1);
+    }
+    entry.checksum = payloadChecksum(entry);
+    lru_.push_front(std::move(entry));
+    index_[lru_.front().key] = lru_.begin();
+    return lru_.front();
+}
+
+IncrementalTemporalEngine::SolveNode
+IncrementalTemporalEngine::solveRange(
+    const std::vector<double> &samples, std::size_t begin,
+    std::size_t end, std::size_t level, PeriodSolve &out) const
+{
+    SolveNode node;
+    node.begin = begin;
+    node.end = end;
+
+    if (level == config_.innerSplits.size()) {
+        // Leaf period: mirrors TimeSeries::integral — sum first,
+        // scale by the step once.
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            sum += samples[i];
+        node.usage = sum * config_.stepSeconds;
+        ++out.leafCount;
+        return node;
+    }
+
+    const std::size_t span = end - begin;
+    const std::size_t chunks =
+        std::min(config_.innerSplits[level], span);
+
+    // Near-equal contiguous chunks covering [begin, end), with the
+    // same bounds arithmetic as TemporalShapley::attributeRange.
+    std::vector<std::size_t> bounds(chunks + 1);
+    for (std::size_t c = 0; c <= chunks; ++c)
+        bounds[c] = begin + span * c / chunks;
+
+    std::vector<double> peaks(chunks);
+    node.childUsages.assign(chunks, 0.0);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        double best = 0.0;
+        double sum = 0.0;
+        for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+            best = std::max(best, samples[i]);
+            sum += samples[i];
+        }
+        peaks[c] = best;
+        node.childUsages[c] = sum * config_.stepSeconds;
+    }
+
+    out.operations += static_cast<std::uint64_t>(chunks) * chunks;
+
+    node.childPhi = peakGameShapley(peaks);
+    node.childDenom = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c)
+        node.childDenom += node.childPhi[c] * node.childUsages[c];
+
+    node.children.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c)
+        node.children.push_back(solveRange(
+            samples, bounds[c], bounds[c + 1], level + 1, out));
+    return node;
+}
+
+IncrementalTemporalEngine::PeriodSolve
+IncrementalTemporalEngine::solvePeriod(
+    const std::vector<double> &samples) const
+{
+    PeriodSolve solve;
+    double best = 0.0;
+    double sum = 0.0;
+    for (const double v : samples) {
+        best = std::max(best, v);
+        sum += v;
+    }
+    solve.peak = best;
+    solve.usage = sum * config_.stepSeconds;
+    solve.root = solveRange(samples, 0, samples.size(), 0, solve);
+    return solve;
+}
+
+const IncrementalTemporalEngine::PeriodSolve &
+IncrementalTemporalEngine::periodSolveFor(std::uint64_t period)
+{
+    const std::vector<std::uint64_t> members{period};
+    const std::uint64_t key =
+        coalitionHash(EntryKind::PeriodSolve, members);
+    if (CacheEntry *entry =
+            lookup(key, EntryKind::PeriodSolve, members))
+        return entry->solve;
+
+    CacheEntry fresh;
+    fresh.key = key;
+    fresh.kind = EntryKind::PeriodSolve;
+    fresh.members = members;
+    fresh.solve = solvePeriod(
+        windowSamples_[static_cast<std::size_t>(period -
+                                                firstPeriod_)]);
+    if (config_.cacheCapacity == 0) {
+        scratch_ = std::move(fresh);
+        return scratch_.solve;
+    }
+    return insert(std::move(fresh)).solve;
+}
+
+std::vector<double>
+IncrementalTemporalEngine::solveTopPhi(
+    const std::vector<double> &peaks) const
+{
+    if (config_.sampledPermutations == 0)
+        return peakGameShapley(peaks);
+
+    const std::size_t n = peaks.size();
+    const std::size_t perms = config_.sampledPermutations;
+    // Marginal sweep over the reused permutation table. The running
+    // maximum is the peak game's v(S) along the permutation prefix,
+    // so each pass costs O(W) with no coalition re-enumeration.
+    auto phi = parallel::parallelMapReduce(
+        0, perms, kPermChunk, std::vector<double>(n, 0.0),
+        [&](std::size_t lo, std::size_t hi) {
+            std::vector<double> partial(n, 0.0);
+            for (std::size_t p = lo; p < hi; ++p) {
+                const auto &order = permutations_[p];
+                double prev = 0.0;
+                double best = 0.0;
+                for (std::size_t k = 0; k < n; ++k) {
+                    const std::size_t player = order[k];
+                    best = std::max(best, peaks[player]);
+                    partial[player] += best - prev;
+                    prev = best;
+                }
+            }
+            return partial;
+        },
+        [n](std::vector<double> &acc,
+            const std::vector<double> &partial) {
+            for (std::size_t i = 0; i < n; ++i)
+                acc[i] += partial[i];
+        });
+    for (double &x : phi)
+        x /= static_cast<double>(perms);
+    return phi;
+}
+
+std::vector<double>
+IncrementalTemporalEngine::windowPhiFor(
+    const std::vector<double> &peaks)
+{
+    if (config_.sampledPermutations > 0 &&
+        permutations_.size() < config_.sampledPermutations) {
+        // Permutation p is forked from the seed counter-style, so
+        // the table is pure in (seed, p) and shared by every window
+        // — the "permutation prefix reuse" of sampled mode.
+        permutations_.reserve(config_.sampledPermutations);
+        for (std::size_t p = permutations_.size();
+             p < config_.sampledPermutations; ++p)
+            permutations_.push_back(
+                rngBase_.fork(p).permutation(
+                    config_.windowPeriods));
+    }
+
+    std::vector<std::uint64_t> members(config_.windowPeriods);
+    for (std::size_t i = 0; i < members.size(); ++i)
+        members[i] = firstPeriod_ + i;
+    const std::uint64_t key =
+        coalitionHash(EntryKind::WindowPhi, members);
+    if (CacheEntry *entry = lookup(key, EntryKind::WindowPhi, members))
+        return entry->phi;
+
+    CacheEntry fresh;
+    fresh.key = key;
+    fresh.kind = EntryKind::WindowPhi;
+    fresh.members = std::move(members);
+    fresh.phi = solveTopPhi(peaks);
+    if (config_.cacheCapacity == 0)
+        return fresh.phi;
+    return insert(std::move(fresh)).phi;
+}
+
+void
+IncrementalTemporalEngine::applyCarbon(
+    const SolveNode &node, double carbon, std::vector<double> &values,
+    std::size_t offset, double &attributed,
+    double &unattributed) const
+{
+    if (node.children.empty()) {
+        // Leaf period: constant intensity carbon / resource-time,
+        // mirroring attributeRange's leaf branch.
+        if (node.usage <= 0.0) {
+            unattributed += carbon;
+            return;
+        }
+        const double intensity = carbon / node.usage;
+        for (std::size_t i = node.begin; i < node.end; ++i)
+            values[offset + i] = intensity;
+        attributed += carbon;
+        return;
+    }
+
+    // Mirrors periodIntensities: y_c = phi_c * C / sum_k phi_k q_k,
+    // all zero when the usage-weighted Shapley mass vanishes.
+    const std::size_t chunks = node.children.size();
+    std::vector<double> intensities(chunks, 0.0);
+    if (node.childDenom > 0.0) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            intensities[c] =
+                node.childPhi[c] * carbon / node.childDenom;
+    }
+
+    double assigned = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const double chunk_carbon =
+            intensities[c] * node.childUsages[c];
+        assigned += chunk_carbon;
+        applyCarbon(node.children[c], chunk_carbon, values, offset,
+                    attributed, unattributed);
+    }
+    unattributed += carbon - assigned;
+}
+
+IncrementalTemporalEngine::WindowResult
+IncrementalTemporalEngine::computeWindow(double pool_grams)
+{
+    if (!windowReady())
+        throw std::logic_error(
+            "incremental attribution: window queried before "
+            "windowPeriods periods closed");
+    if (!std::isfinite(pool_grams))
+        throw FatalDataError(
+            "incremental attribution: total grams is not finite");
+    FAIRCO2_SPAN("shapley.incremental.window");
+    FAIRCO2_COUNT("shapley.incremental.windows", 1);
+
+    const std::size_t W = config_.windowPeriods;
+    const std::size_t M = config_.periodSamples;
+
+    // Gather the W carbon-independent sub-game solves (cache hits
+    // for every period the window shares with its predecessor) and
+    // copy them out: later inserts may evict earlier entries when
+    // the capacity is tight, so references into the LRU list are
+    // not stable across this loop.
+    std::vector<PeriodSolve> solves;
+    solves.reserve(W);
+    std::vector<double> peaks(W), usages(W);
+    for (std::size_t c = 0; c < W; ++c) {
+        solves.push_back(periodSolveFor(firstPeriod_ + c));
+        peaks[c] = solves[c].peak;
+        usages[c] = solves[c].usage;
+    }
+
+    const auto phi = windowPhiFor(peaks);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < W; ++c)
+        denom += phi[c] * usages[c];
+
+    std::vector<double> intensities(W, 0.0);
+    if (denom > 0.0) {
+        for (std::size_t c = 0; c < W; ++c)
+            intensities[c] = phi[c] * pool_grams / denom;
+    }
+
+    WindowResult result;
+    result.firstPeriod = firstPeriod_;
+    result.operations =
+        static_cast<std::uint64_t>(W) * W;
+    std::vector<double> values(W * M, 0.0);
+    double assigned = 0.0;
+    for (std::size_t c = 0; c < W; ++c) {
+        const double chunk_carbon = intensities[c] * usages[c];
+        assigned += chunk_carbon;
+        applyCarbon(solves[c].root, chunk_carbon, values, c * M,
+                    result.attributedGrams,
+                    result.unattributedGrams);
+        result.leafPeriods += solves[c].leafCount;
+        result.operations += solves[c].operations;
+    }
+    result.unattributedGrams += pool_grams - assigned;
+    result.intensity =
+        trace::TimeSeries(std::move(values), config_.stepSeconds);
+    return result;
+}
+
+IncrementalTemporalEngine::PeriodResult
+IncrementalTemporalEngine::computeNewestPeriod(double pool_grams)
+{
+    if (!windowReady())
+        throw std::logic_error(
+            "incremental attribution: window queried before "
+            "windowPeriods periods closed");
+    if (!std::isfinite(pool_grams))
+        throw FatalDataError(
+            "incremental attribution: total grams is not finite");
+    FAIRCO2_SPAN("shapley.incremental.advance");
+    FAIRCO2_COUNT("shapley.incremental.advances", 1);
+
+    const std::size_t W = config_.windowPeriods;
+    const std::size_t M = config_.periodSamples;
+
+    // The top-level game still needs every period's peak and usage,
+    // but with a warm cache only the newest period solves fresh.
+    PeriodSolve newest;
+    std::vector<double> peaks(W), usages(W);
+    for (std::size_t c = 0; c < W; ++c) {
+        const PeriodSolve &solve =
+            periodSolveFor(firstPeriod_ + c);
+        peaks[c] = solve.peak;
+        usages[c] = solve.usage;
+        if (c + 1 == W)
+            newest = solve;
+    }
+
+    const auto phi = windowPhiFor(peaks);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < W; ++c)
+        denom += phi[c] * usages[c];
+
+    double intensity = 0.0;
+    if (denom > 0.0)
+        intensity = phi[W - 1] * pool_grams / denom;
+
+    PeriodResult result;
+    result.period = firstPeriod_ + W - 1;
+    result.periodGrams = intensity * usages[W - 1];
+    result.leafPeriods = newest.leafCount;
+    result.operations =
+        static_cast<std::uint64_t>(W) * W + newest.operations;
+    result.intensity.assign(M, 0.0);
+    applyCarbon(newest.root, result.periodGrams, result.intensity, 0,
+                result.attributedGrams, result.unattributedGrams);
+    return result;
+}
+
+bool
+IncrementalTemporalEngine::corruptCacheEntryForTest()
+{
+    if (lru_.empty())
+        return false;
+    CacheEntry &entry = lru_.front();
+    // Flip one payload bit without refreshing the stored checksum;
+    // the next hit on this entry fails verification.
+    if (entry.kind == EntryKind::WindowPhi && !entry.phi.empty()) {
+        entry.phi[0] = std::bit_cast<double>(
+            std::bit_cast<std::uint64_t>(entry.phi[0]) ^ 1ULL);
+    } else {
+        entry.solve.peak = std::bit_cast<double>(
+            std::bit_cast<std::uint64_t>(entry.solve.peak) ^ 1ULL);
+    }
+    return true;
+}
+
+} // namespace fairco2::shapley

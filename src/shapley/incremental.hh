@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Incremental sliding-window Temporal Shapley with sub-game
+ * memoization.
+ *
+ * The live deployment shape of the paper's signal recomputes a
+ * hierarchical Temporal Shapley attribution every time the demand
+ * window slides forward by one period — yet consecutive windows share
+ * W-1 of their W period sub-games. IncrementalTemporalEngine memoizes
+ * the carbon-independent part of each sub-game (peaks, usages,
+ * per-node Shapley weights of the inner hierarchy) in an LRU-bounded
+ * cache keyed by a canonical coalition hash over *absolute* period
+ * indices, so advancing the window by one period costs one fresh
+ * period solve plus a W-player top-level peak game instead of W full
+ * solves.
+ *
+ * Correctness contract (the strongest oracle in the repo):
+ *
+ *  - With memoization on (any capacity) or off (capacity 0), the
+ *    engine's output is **byte-identical**: cached values are pure
+ *    functions of the immutable period samples, and the carbon
+ *    application pass mirrors core::TemporalShapley::attributeRange
+ *    expression for expression.
+ *  - A single full window equals TemporalShapley::attribute over the
+ *    same samples with split counts {windowPeriods, innerSplits...},
+ *    bit for bit.
+ *  - In sampled mode the permutation table is derived once from
+ *    Rng::fork streams and reused across windows, and the marginal
+ *    sweep folds fixed-size chunks in ascending order, so results are
+ *    bit-identical at any `--threads N`.
+ *
+ * Every cache entry carries an FNV-1a checksum over its payload; a
+ * mismatch on hit throws CacheIntegrityError, which the pipeline
+ * supervisor treats as a stage crash and answers by descending to the
+ * full-recompute rung. Cache behavior is observable through the
+ * `shapley.cache.{hit,miss,evict,invalidate}` obs counters and the
+ * per-engine CacheStats.
+ */
+
+#ifndef FAIRCO2_SHAPLEY_INCREMENTAL_HH
+#define FAIRCO2_SHAPLEY_INCREMENTAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2::shapley
+{
+
+/**
+ * A memoized sub-game entry failed its payload checksum — the cache
+ * no longer reflects the period samples it was solved from. Callers
+ * should drop the engine and recompute from scratch; the pipeline
+ * supervisor maps this onto the degradation ladder.
+ */
+class CacheIntegrityError : public std::runtime_error
+{
+  public:
+    explicit CacheIntegrityError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Monotonic counters describing one engine's cache behavior. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;          //!< entry found and verified
+    std::uint64_t misses = 0;        //!< entry absent, solved fresh
+    std::uint64_t evictions = 0;     //!< removed by LRU capacity
+    std::uint64_t invalidations = 0; //!< removed by window advance
+};
+
+/**
+ * Sliding-window Temporal Shapley evaluator with memoized sub-games.
+ *
+ * Telemetry samples stream in through pushSample(); every
+ * Config::periodSamples samples close one *period*, and the engine's
+ * window is the last Config::windowPeriods closed periods. Once
+ * windowReady(), computeWindow() attributes a carbon pool over the
+ * whole window and computeNewestPeriod() attributes just the newest
+ * period's share — the O(1)-ish streaming publication step.
+ */
+class IncrementalTemporalEngine
+{
+  public:
+    struct Config
+    {
+        /** Players W in the top-level peak game (>= 1). */
+        std::size_t windowPeriods = 24;
+        /** Samples M per period (>= 1). */
+        std::size_t periodSamples = 12;
+        /** Telemetry sample width, seconds. */
+        double stepSeconds = 300.0;
+        /** Hierarchical split counts *below* each period; a window
+         *  compute equals TemporalShapley::attribute with splits
+         *  {windowPeriods, innerSplits...}. Empty = periods are
+         *  leaves. */
+        std::vector<std::size_t> innerSplits{};
+        /** LRU capacity in entries; 0 disables memoization (the
+         *  from-scratch reference engine). */
+        std::size_t cacheCapacity = 64;
+        /** Permutations for the sampled top-level game; 0 uses the
+         *  exact O(W log W) closed form. */
+        std::size_t sampledPermutations = 0;
+        /** Seed for the sampled-mode permutation streams. */
+        std::uint64_t seed = 42;
+    };
+
+    /** Full-window attribution result (windowPeriods*periodSamples
+     *  samples). */
+    struct WindowResult
+    {
+        /** Intensity per window sample, g per resource-second. */
+        trace::TimeSeries intensity;
+        double attributedGrams = 0.0;
+        double unattributedGrams = 0.0;
+        std::size_t leafPeriods = 0;
+        std::uint64_t operations = 0;
+        /** Absolute index of the window's first period. */
+        std::uint64_t firstPeriod = 0;
+    };
+
+    /** Newest-period attribution result (periodSamples samples). */
+    struct PeriodResult
+    {
+        /** Intensity per sample of the newest period. */
+        std::vector<double> intensity;
+        /** Carbon the top-level game assigned to this period. */
+        double periodGrams = 0.0;
+        double attributedGrams = 0.0;
+        double unattributedGrams = 0.0;
+        /** Leaf ranges visited while solving this period. */
+        std::size_t leafPeriods = 0;
+        /** Shapley sub-game evaluations this advance cost. */
+        std::uint64_t operations = 0;
+        /** Absolute index of the period. */
+        std::uint64_t period = 0;
+    };
+
+    explicit IncrementalTemporalEngine(const Config &config);
+
+    /** Feed one demand sample; throws FatalDataError when it is not
+     *  finite or negative-infinite garbage. */
+    void pushSample(double demand);
+
+    /** True once windowPeriods periods have closed. */
+    bool windowReady() const;
+
+    /** Samples pushed so far. */
+    std::uint64_t samplesSeen() const { return samplesSeen_; }
+
+    /** Periods closed so far (absolute period index of the next
+     *  period to close). */
+    std::uint64_t periodsClosed() const { return periodsClosed_; }
+
+    /** Absolute index of the window's first (oldest) period. */
+    std::uint64_t firstWindowPeriod() const { return firstPeriod_; }
+
+    /**
+     * Attribute @p pool_grams over the whole current window.
+     * Requires windowReady(); throws FatalDataError on a non-finite
+     * pool and CacheIntegrityError on a corrupted cache entry.
+     */
+    WindowResult computeWindow(double pool_grams);
+
+    /**
+     * Attribute the newest period's share of @p pool_grams — the
+     * streaming publication step, which touches one fresh sub-game
+     * plus the top-level peak game when the cache is warm.
+     */
+    PeriodResult computeNewestPeriod(double pool_grams);
+
+    /** This engine's cache counters (also mirrored into the
+     *  `shapley.cache.*` obs counters). */
+    const CacheStats &cacheStats() const { return stats_; }
+
+    /** Live entries in the sub-game cache. */
+    std::size_t cacheSize() const { return lru_.size(); }
+
+    /**
+     * Flip one payload bit of the most-recently-used cache entry so
+     * its checksum no longer verifies — the hook the fault plan's
+     * `cache-corrupt` key and the integrity tests use. Returns false
+     * (and does nothing) when the cache is empty.
+     */
+    bool corruptCacheEntryForTest();
+
+    const Config &config() const { return config_; }
+
+  private:
+    /** Carbon-independent solve of one node of a period's inner
+     *  hierarchy; mirrors TemporalShapley::attributeRange. */
+    struct SolveNode
+    {
+        std::size_t begin = 0; //!< sample offset within the period
+        std::size_t end = 0;
+        double usage = 0.0;    //!< leaf only: integral over [begin,end)
+        std::vector<double> childUsages;
+        std::vector<double> childPhi;
+        double childDenom = 0.0;
+        std::vector<SolveNode> children; //!< empty == leaf
+    };
+
+    /** Everything carbon-independent about one period. */
+    struct PeriodSolve
+    {
+        double peak = 0.0;  //!< player value in the top-level game
+        double usage = 0.0; //!< q_i in the Eq. 5 normalization
+        SolveNode root;
+        std::size_t leafCount = 0;
+        std::uint64_t operations = 0;
+    };
+
+    enum class EntryKind : std::uint8_t
+    {
+        PeriodSolve = 1, //!< singleton coalition {p}
+        WindowPhi = 2,   //!< coalition {first..first+W-1}
+    };
+
+    struct CacheEntry
+    {
+        std::uint64_t key = 0;
+        EntryKind kind = EntryKind::PeriodSolve;
+        std::vector<std::uint64_t> members;
+        PeriodSolve solve;       //!< kind == PeriodSolve
+        std::vector<double> phi; //!< kind == WindowPhi
+        std::uint64_t checksum = 0;
+    };
+
+    using LruList = std::list<CacheEntry>;
+
+    void closePeriod();
+    void invalidatePeriod(std::uint64_t period);
+    PeriodSolve solvePeriod(const std::vector<double> &samples) const;
+    SolveNode solveRange(const std::vector<double> &samples,
+                         std::size_t begin, std::size_t end,
+                         std::size_t level, PeriodSolve &out) const;
+    const PeriodSolve &periodSolveFor(std::uint64_t period);
+    std::vector<double>
+    windowPhiFor(const std::vector<double> &peaks);
+    std::vector<double>
+    solveTopPhi(const std::vector<double> &peaks) const;
+    void applyCarbon(const SolveNode &node, double carbon,
+                     std::vector<double> &values, std::size_t offset,
+                     double &attributed, double &unattributed) const;
+    CacheEntry *lookup(std::uint64_t key, EntryKind kind,
+                       const std::vector<std::uint64_t> &members);
+    CacheEntry &insert(CacheEntry entry);
+    static std::uint64_t
+    coalitionHash(EntryKind kind,
+                  const std::vector<std::uint64_t> &members);
+    static std::uint64_t payloadChecksum(const CacheEntry &entry);
+
+    Config config_;
+    Rng rngBase_;
+    std::uint64_t samplesSeen_ = 0;
+    std::uint64_t periodsClosed_ = 0;
+    std::uint64_t firstPeriod_ = 0;
+    std::vector<double> partialPeriod_;
+    /** Raw samples of the in-window periods; front() is
+     *  firstPeriod_. Kept so evicted cache entries can always be
+     *  re-solved. */
+    std::deque<std::vector<double>> windowSamples_;
+    /** Sampled mode: permutation p of [0, W), forked once from the
+     *  seed and reused across every window. */
+    std::vector<std::vector<std::size_t>> permutations_;
+    LruList lru_; //!< front = most recently used
+    std::unordered_map<std::uint64_t, LruList::iterator> index_;
+    /** Holds the latest fresh solve when cacheCapacity is 0, so
+     *  periodSolveFor can hand back a reference either way. */
+    CacheEntry scratch_;
+    CacheStats stats_;
+};
+
+} // namespace fairco2::shapley
+
+#endif // FAIRCO2_SHAPLEY_INCREMENTAL_HH

@@ -5,7 +5,9 @@
  *
  *   fairco2 signal   --demand demand.csv --pool-grams 1e6
  *                    [--column demand] [--step-seconds 300]
- *                    [--splits 10,9,8,12] --out signal.csv
+ *                    [--splits 10,9,8,12] [--incremental
+ *                    --window 24 --period-samples 0
+ *                    --cache-capacity 64] --out signal.csv
  *   fairco2 bill     --signal signal.csv --usage usage.csv
  *                    --out bills.csv
  *   fairco2 forecast --demand demand.csv --horizon-steps 2592
@@ -18,7 +20,10 @@
  *                    --out signal.csv [--bills-out bills.csv]
  *
  * `signal` turns a demand series into a Temporal Shapley intensity
- * signal; `bill` integrates per-consumer usage columns against a
+ * signal — classically in one full solve, or with `--incremental`
+ * through the sliding-window engine whose memoized sub-games are
+ * observable via the `shapley.cache.*` counters in `--metrics-out`;
+ * `bill` integrates per-consumer usage columns against a
  * signal; `forecast` extends a demand series Prophet-style. `run`
  * drives the whole flow (ingest -> forecast -> Shapley ->
  * interference billing -> report) under the fairco2::pipeline
@@ -117,6 +122,10 @@ runSignal(int argc, char **argv)
     std::string splits_text = "10,9,8,12";
     double step_seconds = 300.0;
     double pool_grams = 0.0;
+    bool incremental = false;
+    std::int64_t window_periods = 24;
+    std::int64_t period_samples = 0;
+    std::int64_t cache_capacity = 64;
     FlagSet flags("fairco2 signal: demand CSV -> Temporal Shapley "
                   "intensity CSV");
     flags.addString("demand", &demand_path, "input demand CSV");
@@ -127,6 +136,17 @@ runSignal(int argc, char **argv)
                     "fixed carbon to attribute over the window");
     flags.addString("splits", &splits_text,
                     "hierarchical split counts, comma-separated");
+    flags.addBool("incremental", &incremental,
+                  "attribute via the sliding-window incremental "
+                  "engine instead of one full solve");
+    flags.addInt("window", &window_periods,
+                 "incremental: sliding-window size in periods");
+    flags.addInt("period-samples", &period_samples,
+                 "incremental: samples per period (0: derive so the "
+                 "window spans half the trace)");
+    flags.addInt("cache-capacity", &cache_capacity,
+                 "incremental: sub-game LRU entries (0: memoization "
+                 "off)");
     flags.addString("out", &out_path, "output CSV path");
     std::int64_t threads = 0;
     parallel::addThreadsFlag(flags, &threads);
@@ -147,11 +167,45 @@ runSignal(int argc, char **argv)
         return 2;
     }
 
+    if (incremental &&
+        (window_periods <= 0 || period_samples < 0 ||
+         cache_capacity < 0)) {
+        std::fprintf(stderr,
+                     "error: --window must be positive; "
+                     "--period-samples and --cache-capacity must "
+                     "be non-negative\n");
+        return 2;
+    }
+
     const auto demand =
         loadColumn(demand_path, column, step_seconds, res);
     res.note();
-    const auto result = core::TemporalShapley().attribute(
-        demand, pool_grams, parseSplits(splits_text));
+    const auto splits = parseSplits(splits_text);
+
+    trace::TimeSeries intensity;
+    double attributed_grams = 0.0;
+    double unattributed_grams = 0.0;
+    if (incremental) {
+        // The --window flag replaces the top-level split count; the
+        // remaining splits shape each period's inner hierarchy.
+        std::vector<std::size_t> inner_splits;
+        if (splits.size() > 1)
+            inner_splits.assign(splits.begin() + 1, splits.end());
+        auto result = pipeline::attributeIncremental(
+            demand, pool_grams,
+            static_cast<std::size_t>(window_periods),
+            static_cast<std::size_t>(period_samples), inner_splits,
+            static_cast<std::size_t>(cache_capacity), &res.plan);
+        intensity = std::move(result.intensity);
+        attributed_grams = result.attributedGrams;
+        unattributed_grams = result.unattributedGrams;
+    } else {
+        auto result = core::TemporalShapley().attribute(
+            demand, pool_grams, splits);
+        intensity = std::move(result.intensity);
+        attributed_grams = result.attributedGrams;
+        unattributed_grams = result.unattributedGrams;
+    }
 
     CsvWriter csv(out_path);
     csv.writeRow({"step", "time_s", "demand",
@@ -159,12 +213,12 @@ runSignal(int argc, char **argv)
     for (std::size_t i = 0; i < demand.size(); ++i) {
         csv.writeNumericRow({static_cast<double>(i),
                              i * step_seconds, demand[i],
-                             result.intensity[i]});
+                             intensity[i]});
     }
     std::printf("signal: %zu samples, %.6g g attributed "
                 "(%.6g g dropped) -> %s\n",
-                demand.size(), result.attributedGrams,
-                result.unattributedGrams, out_path.c_str());
+                demand.size(), attributed_grams,
+                unattributed_grams, out_path.c_str());
     return 0;
 }
 
@@ -306,6 +360,7 @@ runPipeline(int argc, char **argv)
     std::int64_t deadline_ms = 2000;
     std::int64_t max_retries = 3;
     std::int64_t seed = 42;
+    std::int64_t incremental_window = 0;
     FlagSet flags("fairco2 run: supervised end-to-end attribution "
                   "(ingest -> forecast -> Shapley -> billing -> "
                   "report)");
@@ -329,6 +384,9 @@ runPipeline(int argc, char **argv)
                  "extra attempts per degradation-ladder rung");
     flags.addInt("seed", &seed,
                  "run seed (backoff jitter, sampled attribution)");
+    flags.addInt("incremental-window", &incremental_window,
+                 "sliding-window periods for the incremental "
+                 "Shapley rung (0: classic exact-first ladder)");
     flags.addString("out", &config.signalOutPath,
                     "signal output CSV path");
     flags.addString("bills-out", &config.billsOutPath,
@@ -354,11 +412,11 @@ runPipeline(int argc, char **argv)
         return 2;
     }
     if (deadline_ms <= 0 || max_retries < 0 || horizon_steps < 0 ||
-        seed < 0) {
+        seed < 0 || incremental_window < 0) {
         std::fprintf(stderr,
                      "error: --deadline-ms must be positive; "
-                     "--max-retries, --horizon-steps, and --seed "
-                     "must be non-negative\n");
+                     "--max-retries, --horizon-steps, --seed, and "
+                     "--incremental-window must be non-negative\n");
         return 2;
     }
     // Fail fast on unwritable outputs — before any stage runs, not
@@ -369,6 +427,8 @@ runPipeline(int argc, char **argv)
 
     config.splits = parseSplits(splits_text);
     config.horizonSteps = static_cast<std::size_t>(horizon_steps);
+    config.incrementalWindowPeriods =
+        static_cast<std::size_t>(incremental_window);
     config.badRowPolicy = res.policy;
     config.supervisor.stageDeadlineMs =
         static_cast<std::uint64_t>(deadline_ms);
