@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -225,6 +226,11 @@ recordPerf(const std::string &bench, std::size_t trials,
            const std::string &extra = "")
 {
     const std::size_t threads = parallel::threadCount();
+
+    // Benches that write no per-series CSV still owe the trajectory
+    // files, so make sure the output directory exists.
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
 
     // Merge into perf_summary.json: drop any stale entry for this
     // (bench, threads) key, keep everything else.

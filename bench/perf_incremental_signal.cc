@@ -10,6 +10,11 @@
  * period on each advance from both, asserts the two streams are
  * byte-identical, and records the per-advance speedup into
  * bench_out/perf_summary.json as `"speedup_x"`.
+ *
+ * A second pass sweeps the sub-game LRU capacity and records the
+ * resulting `shapley.cache.*` hit/miss/eviction counts as a
+ * `"cache_curve"` block in the same summary entry, so hit rate vs
+ * capacity is a single-file read when sizing the cache.
  */
 
 #include <cstdio>
@@ -32,6 +37,7 @@ struct StreamOutcome
     std::vector<double> published; //!< newest-period intensities
     double wallSeconds = 0.0;
     std::size_t advances = 0;
+    shapley::CacheStats stats; //!< final engine cache counters
 };
 
 /** Drive one engine over the whole trace, timing only the window
@@ -61,6 +67,7 @@ streamTrace(const trace::TimeSeries &demand,
         ++outcome.advances;
     }
     outcome.wallSeconds = advance_seconds;
+    outcome.stats = engine.cacheStats();
     return outcome;
 }
 
@@ -160,8 +167,53 @@ main(int argc, char **argv)
                 "samples\n",
                 incremental.published.size());
 
+    // Hit-rate-vs-capacity sweep: rerun the stream at a ladder of
+    // LRU capacities and keep each run's final shapley.cache.*
+    // counters. Every capacity must publish the same byte-identical
+    // stream — the cache only ever changes cost, never output.
+    constexpr std::size_t kCurveCapacities[] = {4, 16, 64, 256};
+    std::ostringstream curve;
+    curve << "\"cache_curve\": [";
+    bool first_point = true;
+    for (const std::size_t capacity : kCurveCapacities) {
+        const auto point = best(capacity);
+        if (point.published != full.published) {
+            std::fprintf(stderr,
+                         "FAIL: capacity-%zu engine diverged from "
+                         "the from-scratch stream\n",
+                         capacity);
+            return 1;
+        }
+        const std::uint64_t lookups =
+            point.stats.hits + point.stats.misses;
+        const double hit_rate = lookups > 0
+            ? static_cast<double>(point.stats.hits) /
+                static_cast<double>(lookups)
+            : 0.0;
+        std::printf("  cache %4zu: hits %6llu  misses %6llu  "
+                    "evictions %6llu  hit-rate %.3f  %.4f s\n",
+                    capacity,
+                    static_cast<unsigned long long>(
+                        point.stats.hits),
+                    static_cast<unsigned long long>(
+                        point.stats.misses),
+                    static_cast<unsigned long long>(
+                        point.stats.evictions),
+                    hit_rate, point.wallSeconds);
+        if (!first_point)
+            curve << ", ";
+        first_point = false;
+        curve << "{\"capacity\": " << capacity
+              << ", \"hits\": " << point.stats.hits
+              << ", \"misses\": " << point.stats.misses
+              << ", \"evictions\": " << point.stats.evictions
+              << ", \"hit_rate\": " << hit_rate
+              << ", \"wall_s\": " << point.wallSeconds << "}";
+    }
+    curve << "]";
+
     std::ostringstream extra;
-    extra << "\"speedup_x\": " << speedup;
+    extra << "\"speedup_x\": " << speedup << ", " << curve.str();
     bench::recordPerf("perf_incremental_signal.incremental",
                       incremental.advances,
                       incremental.wallSeconds, 0, extra.str());

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Sharded live-signal server under load: drives a SignalServer over
+ * a large Zipf-skewed tenant population while reader threads hammer
+ * the wait-free snapshot cell, and records pushes/sec, reads/sec,
+ * and the p99 read latency into bench_out/perf_summary.json (plus a
+ * row in bench_out/perf_trajectory.csv).
+ *
+ * The default configuration sustains 100k simulated tenants; CI runs
+ * `--smoke`, which shrinks the population and duration to a
+ * seconds-scale check that the bench (and the reader/writer overlap)
+ * still works.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/flags.hh"
+#include "server/signalserver.hh"
+
+using namespace fairco2;
+
+namespace
+{
+
+/** One reader thread's tally: latencies are recorded per read until
+ *  the reservation fills, counts keep going regardless. */
+struct ReaderTally
+{
+    std::vector<double> latenciesUs;
+    std::uint64_t reads = 0;
+    std::uint64_t versionsSeen = 0; //!< distinct snapshot versions
+};
+
+/** Spin on snapshot() until @p stop, timing every read. */
+void
+readLoop(const server::SignalServer &srv,
+         const std::atomic<bool> &stop, ReaderTally &tally)
+{
+    constexpr std::size_t kMaxSamples = 1u << 22;
+    tally.latenciesUs.reserve(1u << 20);
+    std::uint64_t last_version = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+        const bench::WallTimer timer;
+        const server::ServerSnapshot snap = srv.snapshot();
+        const double micros = timer.seconds() * 1e6;
+        ++tally.reads;
+        if (snap.version != last_version) {
+            last_version = snap.version;
+            ++tally.versionsSeen;
+        }
+        if (tally.latenciesUs.size() < kMaxSamples)
+            tally.latenciesUs.push_back(micros);
+    }
+}
+
+double
+percentile(std::vector<double> &values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(values.size() - 1));
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(rank),
+                     values.end());
+    return values[rank];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t tenants = 100000;
+    std::int64_t shards = 8;
+    double zipf_s = 1.1;
+    std::int64_t admission_rate = 0;
+    std::int64_t duration_periods = 24;
+    std::int64_t readers = 2;
+    std::int64_t seed = 42;
+    bool smoke = false;
+    FlagSet flags("perf_livesignal_server: sharded live-signal "
+                  "server throughput and wait-free read latency");
+    flags.addInt("tenants", &tenants, "simulated tenant count");
+    flags.addInt("shards", &shards, "engine shards (1..64)");
+    flags.addDouble("zipf-s", &zipf_s, "Zipf skew exponent");
+    flags.addInt("admission-rate", &admission_rate,
+                 "admitted batches per period (0: unlimited)");
+    flags.addInt("duration-periods", &duration_periods,
+                 "arrival periods to simulate");
+    flags.addInt("readers", &readers,
+                 "snapshot reader threads run alongside the server");
+    flags.addInt("seed", &seed, "population seed");
+    flags.addBool("smoke", &smoke,
+                  "CI mode: shrink to a seconds-scale check");
+    std::int64_t threads = 0;
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+    bench::applyCommonFlags(threads, obs_flags);
+    if (smoke) {
+        tenants = std::min<std::int64_t>(tenants, 5000);
+        duration_periods = std::min<std::int64_t>(duration_periods,
+                                                  12);
+        readers = std::min<std::int64_t>(readers, 1);
+    }
+    if (tenants <= 0 || shards <= 0 ||
+        shards > static_cast<std::int64_t>(server::kMaxShards) ||
+        duration_periods <= 0 || readers < 0 ||
+        admission_rate < 0) {
+        std::fprintf(stderr,
+                     "error: --tenants/--duration-periods must be "
+                     "positive, --shards in 1..%zu, --readers and "
+                     "--admission-rate >= 0\n",
+                     server::kMaxShards);
+        return 2;
+    }
+
+    server::ServerConfig config;
+    config.tenants = static_cast<std::size_t>(tenants);
+    config.shards = static_cast<std::size_t>(shards);
+    config.zipfS = zipf_s;
+    config.admissionRate =
+        static_cast<std::uint64_t>(admission_rate);
+    config.durationPeriods =
+        static_cast<std::uint64_t>(duration_periods);
+    config.seed = static_cast<std::uint64_t>(seed);
+    server::SignalServer srv(config);
+
+    std::atomic<bool> stop{false};
+    std::vector<ReaderTally> tallies(
+        static_cast<std::size_t>(readers));
+    std::vector<std::thread> reader_threads;
+    reader_threads.reserve(tallies.size());
+    for (auto &tally : tallies)
+        reader_threads.emplace_back(
+            [&srv, &stop, &tally] { readLoop(srv, stop, tally); });
+
+    const bench::WallTimer timer;
+    const server::ServerReport report = srv.run();
+    const double wall_seconds = timer.seconds();
+
+    stop.store(true, std::memory_order_release);
+    for (auto &thread : reader_threads)
+        thread.join();
+
+    std::vector<double> latencies;
+    std::uint64_t reads = 0;
+    for (auto &tally : tallies) {
+        reads += tally.reads;
+        latencies.insert(latencies.end(),
+                         tally.latenciesUs.begin(),
+                         tally.latenciesUs.end());
+    }
+    const double pushes_per_sec = wall_seconds > 0.0
+        ? static_cast<double>(report.samplesIngested) / wall_seconds
+        : 0.0;
+    const double reads_per_sec = wall_seconds > 0.0
+        ? static_cast<double>(reads) / wall_seconds
+        : 0.0;
+    const double p50_us = percentile(latencies, 0.50);
+    const double p99_us = percentile(latencies, 0.99);
+
+    std::printf("perf_livesignal_server: %lld tenants, %lld shards, "
+                "%llu periods closed, %llu publishes\n",
+                static_cast<long long>(tenants),
+                static_cast<long long>(shards),
+                static_cast<unsigned long long>(
+                    report.periodsClosed),
+                static_cast<unsigned long long>(report.publishes));
+    std::printf("  ingest: %llu samples in %.3f s (%.0f pushes/s)\n",
+                static_cast<unsigned long long>(
+                    report.samplesIngested),
+                wall_seconds, pushes_per_sec);
+    std::printf("  readers: %lld threads, %llu reads (%.0f reads/s) "
+                " p50 %.3f us  p99 %.3f us\n",
+                static_cast<long long>(readers),
+                static_cast<unsigned long long>(reads),
+                reads_per_sec, p50_us, p99_us);
+    std::printf("  signal signature: %016llx\n",
+                static_cast<unsigned long long>(
+                    report.signalSignature()));
+
+    std::ostringstream extra;
+    extra << "\"tenants\": " << tenants
+          << ", \"shards\": " << shards
+          << ", \"pushes_per_sec\": " << pushes_per_sec
+          << ", \"reads_per_sec\": " << reads_per_sec
+          << ", \"read_p50_us\": " << p50_us
+          << ", \"read_p99_us\": " << p99_us;
+    bench::recordPerf("perf_livesignal_server",
+                      report.samplesIngested, wall_seconds,
+                      report.faultsInjected, extra.str());
+    return 0;
+}

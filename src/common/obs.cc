@@ -39,6 +39,7 @@ struct Registry
 {
     std::mutex mutex;
     std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
 
     std::mutex spanMutex;
@@ -270,6 +271,17 @@ counter(const std::string &name)
     return *slot;
 }
 
+Gauge &
+gauge(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>(name);
+    return *slot;
+}
+
 Histogram &
 histogram(const std::string &name)
 {
@@ -306,6 +318,8 @@ resetForTest()
         std::lock_guard<std::mutex> lock(reg.mutex);
         for (auto &[name, c] : reg.counters)
             c->reset();
+        for (auto &[name, g] : reg.gauges)
+            g->reset();
         for (auto &[name, h] : reg.histograms)
             h->reset();
     }
@@ -327,6 +341,14 @@ metricsJson()
     for (const auto &[name, c] : reg.counters) {
         out << (first ? "\n" : ",\n") << "    \""
             << escapeJson(name) << "\": " << c->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : reg.gauges) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << escapeJson(name)
+            << "\": " << formatNumber(g->value());
         first = false;
     }
     out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
@@ -360,6 +382,9 @@ metricsCsv()
     for (const auto &[name, c] : reg.counters)
         out << "counter," << name << ",value," << c->value()
             << "\n";
+    for (const auto &[name, g] : reg.gauges)
+        out << "gauge," << name << ",value,"
+            << formatNumber(g->value()) << "\n";
     for (const auto &[name, h] : reg.histograms) {
         const auto row = [&](const char *stat, double v) {
             out << "histogram," << name << ',' << stat << ','

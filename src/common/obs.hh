@@ -90,6 +90,45 @@ class Counter
 };
 
 /**
+ * Last-write-wins level metric (e.g. the live-signal server's
+ * current overload rung or newest published period). Unlike a
+ * Counter, a Gauge can move in both directions; like every other
+ * value metric, it must only ever be set from values the program
+ * computed, never from wall-clock readings, so exports stay
+ * deterministic.
+ */
+class Gauge
+{
+  public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    set(double value)
+    {
+        if (enabled())
+            value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Zero the gauge (test support). */
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::string name_;
+    std::atomic<double> value_{0.0};
+};
+
+/**
  * Log-bucketed histogram over non-negative values.
  *
  * Values are binned into 8 logarithmic sub-buckets per octave (power
@@ -164,6 +203,7 @@ class Histogram
  * event sites cache them in a function-local static.
  */
 Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
 Histogram &histogram(const std::string &name);
 
 /**
@@ -224,6 +264,7 @@ class ScopedTimer
  * Flat metrics dump with keys in sorted order:
  *
  *     {"counters": {name: value, ...},
+ *      "gauges": {name: value, ...},
  *      "histograms": {name: {"count": ..., "sum": ..., "min": ...,
  *                            "max": ..., "mean": ..., "p50": ...,
  *                            "p95": ..., "p99": ...}, ...}}
@@ -286,6 +327,7 @@ void applyObsFlags(const ObsFlags &values);
 #if defined(FAIRCO2_OBS_OFF)
 
 #define FAIRCO2_COUNT(name, n) ((void)0)
+#define FAIRCO2_GAUGE_SET(name, value) ((void)0)
 #define FAIRCO2_OBSERVE(name, value) ((void)0)
 #define FAIRCO2_TIME_NS(name) ((void)0)
 #define FAIRCO2_SPAN(name) ((void)0)
@@ -299,6 +341,14 @@ void applyObsFlags(const ObsFlags &values);
             ::fairco2::obs::counter(name);                           \
         fairco2_obs_counter.add(                                     \
             static_cast<std::uint64_t>(n));                          \
+    } while (0)
+
+/** Set the gauge @p name (a string literal) to @p value. */
+#define FAIRCO2_GAUGE_SET(name, value)                               \
+    do {                                                             \
+        static ::fairco2::obs::Gauge &fairco2_obs_gauge =            \
+            ::fairco2::obs::gauge(name);                             \
+        fairco2_obs_gauge.set(static_cast<double>(value));           \
     } while (0)
 
 /** Record @p value into the histogram @p name. */

@@ -24,20 +24,20 @@ LiveIntensityService::LiveIntensityService(const Config &config)
     assert(config.refitIntervalSteps > 0);
     assert(config.poolGramsPerSecond >= 0.0);
     if (config_.incrementalWindowPeriods > 0) {
-        shapley::IncrementalTemporalEngine::Config engine_config;
-        engine_config.windowPeriods =
+        IncrementalSignalCore::Config core_config;
+        core_config.windowPeriods =
             config_.incrementalWindowPeriods;
-        engine_config.periodSamples =
+        core_config.periodSamples =
             config_.incrementalPeriodSamples;
-        engine_config.stepSeconds = config_.stepSeconds;
+        core_config.stepSeconds = config_.stepSeconds;
         if (config_.splits.size() > 1)
-            engine_config.innerSplits.assign(
+            core_config.innerSplits.assign(
                 config_.splits.begin() + 1, config_.splits.end());
-        engine_config.cacheCapacity =
+        core_config.cacheCapacity =
             config_.incrementalCacheCapacity;
-        engine_ =
-            std::make_unique<shapley::IncrementalTemporalEngine>(
-                engine_config);
+        core_config.poolGramsPerSecond =
+            config_.poolGramsPerSecond;
+        core_ = std::make_unique<IncrementalSignalCore>(core_config);
     } else {
         history_.reserve(config.historySteps);
     }
@@ -46,8 +46,8 @@ LiveIntensityService::LiveIntensityService(const Config &config)
 bool
 LiveIntensityService::ready() const
 {
-    if (engine_)
-        return engine_->windowReady();
+    if (core_)
+        return core_->ready();
     return samplesSeen_ >= config_.warmupSteps;
 }
 
@@ -100,28 +100,24 @@ LiveIntensityService::recompute()
 void
 LiveIntensityService::pushIncremental(double demand_sample)
 {
-    engine_->pushSample(demand_sample);
+    core_->push(demand_sample);
     ++samplesSeen_;
-    if (!engine_->windowReady())
+    if (!core_->ready())
         return;
     // Publish the full window on every push: with a warm cache this
     // is one period solve at most (all other sub-games hit), so the
-    // classic "recompute per push" contract stays affordable.
-    const std::size_t window_samples =
-        config_.incrementalWindowPeriods *
-        config_.incrementalPeriodSamples;
-    const double pool = config_.poolGramsPerSecond *
-        static_cast<double>(window_samples) * config_.stepSeconds;
-    auto result = engine_->computeWindow(pool);
+    // classic "recompute per push" contract stays affordable. The
+    // core supplies the pool policy and recovers from cache faults.
+    auto result = core_->computeWindow(core_->windowPoolGrams());
     windowIntensity_ = std::move(result.intensity);
-    historyLenAtCompute_ = window_samples;
+    historyLenAtCompute_ = core_->windowSamples();
 }
 
 void
 LiveIntensityService::push(double demand_sample)
 {
     assert(demand_sample >= 0.0);
-    if (engine_) {
+    if (core_) {
         pushIncremental(demand_sample);
         return;
     }

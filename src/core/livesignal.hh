@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/signalcore.hh"
 #include "forecast/forecaster.hh"
 #include "shapley/incremental.hh"
 #include "trace/timeseries.hh"
@@ -112,7 +113,14 @@ class LiveIntensityService
      *  classic mode. */
     const shapley::CacheStats *cacheStats() const
     {
-        return engine_ ? &engine_->cacheStats() : nullptr;
+        return core_ ? &core_->cacheStats() : nullptr;
+    }
+
+    /** Incremental mode only: the shared engine-ownership core (for
+     *  health/fault reporting); null in classic mode. */
+    const IncrementalSignalCore *signalCore() const
+    {
+        return core_.get();
     }
 
   private:
@@ -132,8 +140,9 @@ class LiveIntensityService
     std::size_t fitStartGlobal_;
     trace::TimeSeries windowIntensity_;
     std::size_t historyLenAtCompute_;
-    /** Engaged only in incremental mode. */
-    std::unique_ptr<shapley::IncrementalTemporalEngine> engine_;
+    /** Engaged only in incremental mode: engine ownership, pool
+     *  policy, and cache-fault recovery live in the shared core. */
+    std::unique_ptr<IncrementalSignalCore> core_;
 };
 
 } // namespace fairco2::core

@@ -1,0 +1,81 @@
+#include "overload.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/obs.hh"
+
+namespace fairco2::pipeline
+{
+
+const char *
+overloadLevelName(OverloadLevel level)
+{
+    switch (level) {
+    case OverloadLevel::Normal:
+        return "normal";
+    case OverloadLevel::ShedFree:
+        return "shed-free";
+    case OverloadLevel::Proportional:
+        return "proportional";
+    }
+    return "unknown";
+}
+
+OverloadGovernor::OverloadGovernor(const Config &config)
+    : config_(config)
+{
+    if (config_.lowWatermarkPercent > config_.highWatermarkPercent)
+        throw std::invalid_argument(
+            "OverloadGovernor: low watermark above high watermark");
+    config_.escalatePeriods = std::max(1u, config_.escalatePeriods);
+    config_.recoverPeriods = std::max(1u, config_.recoverPeriods);
+}
+
+OverloadLevel
+OverloadGovernor::observe(std::uint64_t offered,
+                          std::uint64_t deferred,
+                          std::uint64_t rejected)
+{
+    // pressure > watermark%  <=>  blocked * 100 > offered * watermark
+    // — exact integer comparison, no floating point.
+    const std::uint64_t blocked = deferred + rejected;
+    const bool high =
+        offered > 0 &&
+        blocked * 100 > offered * config_.highWatermarkPercent;
+    const bool low =
+        offered == 0 ||
+        blocked * 100 <= offered * config_.lowWatermarkPercent;
+
+    if (high) {
+        lowStreak_ = 0;
+        if (++highStreak_ >= config_.escalatePeriods &&
+            level_ != OverloadLevel::Proportional) {
+            level_ = static_cast<OverloadLevel>(
+                static_cast<std::uint8_t>(level_) + 1);
+            ++escalations_;
+            highStreak_ = 0;
+            FAIRCO2_COUNT("server.overload.escalations", 1);
+        }
+    } else if (low) {
+        highStreak_ = 0;
+        if (++lowStreak_ >= config_.recoverPeriods &&
+            level_ != OverloadLevel::Normal) {
+            level_ = static_cast<OverloadLevel>(
+                static_cast<std::uint8_t>(level_) - 1);
+            ++recoveries_;
+            lowStreak_ = 0;
+            FAIRCO2_COUNT("server.overload.recoveries", 1);
+        }
+    } else {
+        // Between the watermarks: hold the level, reset both dwells.
+        highStreak_ = 0;
+        lowStreak_ = 0;
+    }
+    FAIRCO2_GAUGE_SET("server.overload.level",
+                      static_cast<double>(
+                          static_cast<std::uint8_t>(level_)));
+    return level_;
+}
+
+} // namespace fairco2::pipeline

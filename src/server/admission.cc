@@ -1,0 +1,80 @@
+#include "admission.hh"
+
+#include <algorithm>
+
+#include "common/obs.hh"
+
+namespace fairco2::server
+{
+
+const char *
+admissionDecisionName(AdmissionDecision decision)
+{
+    switch (decision) {
+    case AdmissionDecision::Admitted:
+        return "admitted";
+    case AdmissionDecision::Deferred:
+        return "deferred";
+    case AdmissionDecision::Rejected:
+        return "rejected";
+    }
+    return "unknown";
+}
+
+AdmissionController::AdmissionController(const Config &config)
+    : config_(config), unlimited_(config.ratePerPeriod == 0)
+{
+    if (unlimited_)
+        return;
+    const std::uint64_t rate = config_.ratePerPeriod;
+    const std::uint64_t burst = std::max<std::uint64_t>(
+        1, config_.burstPeriods);
+    // Class split: Reserved 50%, Standard 35%, Free the remainder —
+    // every class keeps at least one token per period so no tier
+    // starves outright.
+    const std::uint64_t reserved = std::max<std::uint64_t>(
+        1, rate / 2);
+    const std::uint64_t standard = std::max<std::uint64_t>(
+        1, (rate * 35) / 100);
+    const std::uint64_t free = std::max<std::uint64_t>(
+        1, rate - std::min(rate, reserved + standard));
+    buckets_[static_cast<std::size_t>(TenantClass::Reserved)] =
+        TokenBucket(reserved, reserved * burst);
+    buckets_[static_cast<std::size_t>(TenantClass::Standard)] =
+        TokenBucket(standard, standard * burst);
+    buckets_[static_cast<std::size_t>(TenantClass::Free)] =
+        TokenBucket(free, free * burst);
+}
+
+void
+AdmissionController::beginPeriod()
+{
+    if (unlimited_)
+        return;
+    for (TokenBucket &bucket : buckets_)
+        bucket.refill();
+}
+
+AdmissionDecision
+AdmissionController::offer(TenantClass cls, bool deferred)
+{
+    ++totals_.offered;
+    const bool taken =
+        unlimited_ ||
+        buckets_[static_cast<std::size_t>(cls)].tryTake();
+    if (taken) {
+        ++totals_.admitted;
+        FAIRCO2_COUNT("server.admission.admitted", 1);
+        return AdmissionDecision::Admitted;
+    }
+    if (!deferred) {
+        ++totals_.deferred;
+        FAIRCO2_COUNT("server.admission.deferred", 1);
+        return AdmissionDecision::Deferred;
+    }
+    ++totals_.rejected;
+    FAIRCO2_COUNT("server.admission.rejected", 1);
+    return AdmissionDecision::Rejected;
+}
+
+} // namespace fairco2::server

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Token-bucket admission control for telemetry batches.
+ *
+ * Every tenant class owns an integer token bucket; admitting one
+ * batch costs one token. Buckets refill once per period (refill
+ * amount and burst cap are integers, so admission decisions are a
+ * pure function of the arrival order — never of floating point or
+ * timing). The per-class split favors paid tiers: Reserved gets half
+ * the global admission rate, Standard 35%, Free the remainder, with
+ * every class guaranteed at least one token per period.
+ *
+ * A batch that finds its bucket empty is *deferred* — re-offered at
+ * the next period's arrival tick, once; a second failure rejects it.
+ * Rejected and deferred batches are counted in the
+ * `server.admission.{admitted,deferred,rejected}` obs counters and
+ * in the controller's own totals. The server's close watermark
+ * leaves room for one deferral, so a deferred-then-admitted batch
+ * still lands before its periods close and admission never changes
+ * the fleet demand aggregate — only *whether* a tenant's telemetry
+ * makes it in.
+ *
+ * Admission runs serially inside the arrival event (the event loop
+ * is single-threaded), so the controller needs no synchronization
+ * and its decisions are shard-count independent by construction.
+ */
+
+#ifndef FAIRCO2_SERVER_ADMISSION_HH
+#define FAIRCO2_SERVER_ADMISSION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "server/tenants.hh"
+
+namespace fairco2::server
+{
+
+/** Integer token bucket: refill per period, capped burst. */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+
+    TokenBucket(std::uint64_t rate_per_period, std::uint64_t burst)
+        : rate_(rate_per_period), burst_(burst), tokens_(burst)
+    {
+    }
+
+    /** Add one period's tokens, clamped to the burst cap. */
+    void
+    refill()
+    {
+        tokens_ = std::min(burst_, tokens_ + rate_);
+    }
+
+    /** Take one token; false when the bucket is empty. */
+    bool
+    tryTake()
+    {
+        if (tokens_ == 0)
+            return false;
+        --tokens_;
+        return true;
+    }
+
+    std::uint64_t tokens() const { return tokens_; }
+    std::uint64_t ratePerPeriod() const { return rate_; }
+    std::uint64_t burst() const { return burst_; }
+
+  private:
+    std::uint64_t rate_ = 0;
+    std::uint64_t burst_ = 0;
+    std::uint64_t tokens_ = 0;
+};
+
+/** What the controller decided for one offered batch. */
+enum class AdmissionDecision : std::uint8_t
+{
+    Admitted = 0, //!< token taken; batch goes to its shard
+    Deferred = 1, //!< re-offer at the next period (once)
+    Rejected = 2, //!< dropped; telemetry lost for those periods
+};
+
+/** Stable lower-case label, for counters and reports. */
+const char *admissionDecisionName(AdmissionDecision decision);
+
+/** Per-class token buckets with a defer-once overflow policy. */
+class AdmissionController
+{
+  public:
+    struct Config
+    {
+        /** Global admitted batches per period across all classes
+         *  (0 = unlimited: every offer admitted). */
+        std::uint64_t ratePerPeriod = 0;
+        /** Burst multiplier: each bucket holds burstPeriods x its
+         *  per-period rate. */
+        std::uint64_t burstPeriods = 2;
+    };
+
+    struct Totals
+    {
+        std::uint64_t offered = 0;
+        std::uint64_t admitted = 0;
+        std::uint64_t deferred = 0;
+        std::uint64_t rejected = 0;
+    };
+
+    explicit AdmissionController(const Config &config);
+
+    /** Refill every class bucket — call once per period, before that
+     *  period's arrivals. */
+    void beginPeriod();
+
+    /**
+     * Decide one offered batch. @p deferred marks a batch already
+     * deferred once — it is admitted or rejected, never re-deferred.
+     * Updates totals and the server.admission.* obs counters.
+     */
+    AdmissionDecision offer(TenantClass cls, bool deferred);
+
+    const Totals &totals() const { return totals_; }
+
+    const TokenBucket &bucket(TenantClass cls) const
+    {
+        return buckets_[static_cast<std::size_t>(cls)];
+    }
+
+    bool unlimited() const { return unlimited_; }
+
+  private:
+    Config config_;
+    bool unlimited_ = false;
+    std::array<TokenBucket, kTenantClasses> buckets_;
+    Totals totals_;
+};
+
+} // namespace fairco2::server
+
+#endif // FAIRCO2_SERVER_ADMISSION_HH

@@ -1,0 +1,391 @@
+#include "signalserver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/obs.hh"
+
+namespace fairco2::server
+{
+
+namespace
+{
+
+/** FNV-1a over raw bytes. */
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes, std::uint64_t hash)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::uint64_t
+ServerReport::signalSignature() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    if (!publishedIntensity.empty())
+        hash = fnv1a(publishedIntensity.data(),
+                     publishedIntensity.size() * sizeof(double), hash);
+    return hash;
+}
+
+SignalServer::SignalServer(const ServerConfig &config)
+    : config_(config),
+      population_([&] {
+          TenantPopulation::Config pc;
+          pc.tenants = config.tenants;
+          pc.zipfS = config.zipfS;
+          pc.seed = config.seed;
+          pc.periodSamples = config.periodSamples;
+          pc.maxBatchPeriods = config.maxBatchPeriods;
+          pc.meanDemandUnits = config.meanDemandUnits;
+          return pc;
+      }()),
+      admission_([&] {
+          AdmissionController::Config ac;
+          ac.ratePerPeriod = config.admissionRate;
+          return ac;
+      }()),
+      governor_(config.overload)
+{
+    if (config_.shards == 0 || config_.shards > kMaxShards)
+        throw std::invalid_argument(
+            "SignalServer: shards must be in [1, 64]");
+    if (config_.durationPeriods == 0)
+        throw std::invalid_argument(
+            "SignalServer: duration must be > 0 periods");
+    if (config_.windowPeriods == 0 || config_.periodSamples == 0)
+        throw std::invalid_argument(
+            "SignalServer: window and period sizes must be > 0");
+    if (config_.stepSeconds <= 0.0 ||
+        !std::isfinite(config_.stepSeconds))
+        throw std::invalid_argument(
+            "SignalServer: step seconds must be positive");
+    if (config_.poolGramsPerSecond < 0.0 ||
+        !std::isfinite(config_.poolGramsPerSecond))
+        throw std::invalid_argument(
+            "SignalServer: pool rate must be finite and >= 0");
+
+    // Period q closes once every batch covering it — including one
+    // admission deferral — must have arrived.
+    watermark_ = config_.maxBatchPeriods + 1;
+
+    core::IncrementalSignalCore::Config cc;
+    cc.windowPeriods = config_.windowPeriods;
+    cc.periodSamples = config_.periodSamples;
+    cc.stepSeconds = config_.stepSeconds;
+    cc.innerSplits = config_.innerSplits;
+    cc.cacheCapacity = config_.cacheCapacity;
+    cc.poolGramsPerSecond = config_.poolGramsPerSecond;
+    cc.seed = config_.seed;
+
+    shards_.resize(config_.shards);
+    for (Shard &shard : shards_)
+        shard.core =
+            std::make_unique<core::IncrementalSignalCore>(cc);
+    fleet_ = std::make_unique<core::IncrementalSignalCore>(cc);
+}
+
+SignalServer::~SignalServer() = default;
+
+std::vector<std::uint64_t> &
+SignalServer::pendingFor(Shard &shard, std::uint64_t period,
+                         std::size_t period_samples)
+{
+    for (std::size_t i = 0; i < shard.pendingPeriods.size(); ++i)
+        if (shard.pendingPeriods[i] == period)
+            return shard.pending[i];
+    shard.pendingPeriods.push_back(period);
+    shard.pending.emplace_back(period_samples, 0);
+    return shard.pending.back();
+}
+
+void
+SignalServer::offerBatch(const BatchRef &batch)
+{
+    const TenantClass cls = population_.classOf(batch.tenant);
+    // Overload levels >= ShedFree reject Free-tier batches before
+    // they can drain the token buckets.
+    if (governor_.level() != pipeline::OverloadLevel::Normal &&
+        cls == TenantClass::Free) {
+        ++report_.batchesShed;
+        FAIRCO2_COUNT("server.admission.shed", 1);
+        return;
+    }
+    const AdmissionDecision decision =
+        admission_.offer(cls, batch.deferred);
+    switch (decision) {
+    case AdmissionDecision::Admitted:
+        shards_[batch.tenant % config_.shards].inbox.push_back(batch);
+        break;
+    case AdmissionDecision::Deferred: {
+        BatchRef retry = batch;
+        retry.deferred = true;
+        deferred_.push_back(retry);
+        break;
+    }
+    case AdmissionDecision::Rejected:
+        break;
+    }
+}
+
+void
+SignalServer::handleArrivals(std::uint64_t period)
+{
+    admission_.beginPeriod();
+    const AdmissionController::Totals before = admission_.totals();
+
+    // Batches deferred at the previous period go first — they have
+    // already waited one period and the watermark only covers one
+    // deferral.
+    std::vector<BatchRef> retries;
+    retries.swap(deferred_);
+    for (const BatchRef &batch : retries)
+        offerBatch(batch);
+
+    // Fresh offers in tenant-rank order (the Zipf head pushes
+    // first). Serial and shard-agnostic: this order is part of the
+    // determinism contract.
+    if (period < config_.durationPeriods) {
+        for (std::uint64_t t = 0; t < population_.size(); ++t) {
+            if (!population_.pushesAt(t, period))
+                continue;
+            const BatchRef batch = population_.batchAt(t, period);
+            if (batch.coveredPeriods == 0)
+                continue; // first push before any period closed
+            offerBatch(batch);
+        }
+    }
+
+    const AdmissionController::Totals after = admission_.totals();
+    governor_.observe(after.offered - before.offered,
+                      after.deferred - before.deferred,
+                      after.rejected - before.rejected);
+}
+
+void
+SignalServer::handleClose(std::uint64_t period)
+{
+    const std::size_t S = config_.shards;
+    const std::size_t M = config_.periodSamples;
+
+    // Materialize this period's admitted batches into shard-local
+    // pending accumulators; when a period is closing, extract its
+    // samples. One chunk per shard: all mutation is shard-local, so
+    // the region is race-free and — because materialization is pure
+    // in (seed, tenant, period) — thread-count independent.
+    const bool closing = period >= watermark_;
+    const std::uint64_t q = closing ? period - watermark_ : 0;
+    parallel::parallelFor(0, S, 1, [&](std::size_t lo,
+                                       std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+            Shard &shard = shards_[s];
+            for (const BatchRef &batch : shard.inbox) {
+                for (std::uint32_t p = 0; p < batch.coveredPeriods;
+                     ++p) {
+                    const std::uint64_t covered =
+                        batch.period - batch.coveredPeriods + p;
+                    const std::vector<std::uint64_t> units =
+                        population_.materializePeriod(batch.tenant,
+                                                      covered);
+                    std::vector<std::uint64_t> &pending =
+                        pendingFor(shard, covered, M);
+                    for (std::size_t i = 0; i < M; ++i)
+                        pending[i] += units[i];
+                }
+                shard.samplesIngested +=
+                    static_cast<std::uint64_t>(
+                        batch.coveredPeriods) *
+                    M;
+            }
+            shard.inbox.clear();
+            if (!closing)
+                continue;
+            shard.closedUnits.assign(M, 0);
+            for (std::size_t i = 0; i < shard.pendingPeriods.size();
+                 ++i) {
+                if (shard.pendingPeriods[i] != q)
+                    continue;
+                shard.closedUnits = std::move(shard.pending[i]);
+                shard.pending.erase(
+                    shard.pending.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+                shard.pendingPeriods.erase(
+                    shard.pendingPeriods.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+    });
+
+    if (closing)
+        closePeriod(q);
+}
+
+void
+SignalServer::closePeriod(std::uint64_t period)
+{
+    const std::size_t S = config_.shards;
+    const std::size_t M = config_.periodSamples;
+    const std::size_t W = config_.windowPeriods;
+    const double pool_window = config_.poolGramsPerSecond *
+                               config_.stepSeconds *
+                               static_cast<double>(M) *
+                               static_cast<double>(W);
+
+    // Fleet aggregate: an associative integer sum over shards, so it
+    // is identical for any shard partition — the keystone of the
+    // bit-identity contract.
+    std::vector<std::uint64_t> fleet_units(M, 0);
+    for (std::size_t s = 0; s < S; ++s) {
+        std::uint64_t shard_sum = 0;
+        for (std::size_t i = 0; i < M; ++i) {
+            fleet_units[i] += shards_[s].closedUnits[i];
+            shard_sum += shards_[s].closedUnits[i];
+        }
+        shards_[s].windowUnitSums.push_back(shard_sum);
+        if (shards_[s].windowUnitSums.size() > W)
+            shards_[s].windowUnitSums.pop_front();
+    }
+    std::uint64_t fleet_sum = 0;
+    for (std::size_t i = 0; i < M; ++i)
+        fleet_sum += fleet_units[i];
+    fleetWindowSums_.push_back(fleet_sum);
+    if (fleetWindowSums_.size() > W)
+        fleetWindowSums_.pop_front();
+    std::uint64_t fleet_window_units = 0;
+    for (std::uint64_t sum : fleetWindowSums_)
+        fleet_window_units += sum;
+
+    // Per-shard attribution (observability only — shard signals
+    // depend on the partition by identity). Each shard's slice of
+    // the window pool is its integer usage share.
+    parallel::parallelFor(0, S, 1, [&](std::size_t lo,
+                                       std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+            Shard &shard = shards_[s];
+            for (std::size_t i = 0; i < M; ++i)
+                shard.core->push(
+                    static_cast<double>(shard.closedUnits[i]));
+            shard.newestIntensityMean = 0.0;
+            if (!shard.core->ready())
+                continue;
+            std::uint64_t shard_window_units = 0;
+            for (std::uint64_t sum : shard.windowUnitSums)
+                shard_window_units += sum;
+            const double shard_pool =
+                fleet_window_units == 0
+                    ? 0.0
+                    : pool_window *
+                          (static_cast<double>(shard_window_units) /
+                           static_cast<double>(fleet_window_units));
+            shard.newestIntensityMean =
+                shard.core->publishNewest(shard_pool)
+                    .newestMeanIntensity;
+        }
+    });
+
+    // Fleet attribution — the published signal. Serial, fed by the
+    // shard-independent aggregate. The core recovers from injected
+    // cache corruption by rebuilding its engine from the retained
+    // window samples; the engine's cache-state-independence contract
+    // makes the republished signal identical to a fault-free run.
+    for (std::size_t i = 0; i < M; ++i)
+        fleet_->push(static_cast<double>(fleet_units[i]));
+    ++periodsClosed_;
+
+    if (!fleet_->ready())
+        return;
+
+    if (config_.faultPlan.active() &&
+        config_.faultPlan.fires(resilience::FaultSite::CacheCorrupt,
+                                period) &&
+        fleet_->corruptCacheEntryForTest()) {
+        config_.faultPlan.noteInjected();
+        ++report_.faultsInjected;
+        FAIRCO2_COUNT("resilience.fault.cache_corrupt", 1);
+    }
+    const auto publication = fleet_->publishNewest(pool_window);
+    double fleet_mean = publication.newestMeanIntensity;
+    const double attributed = publication.attributedGrams;
+    report_.engineRebuilds = fleet_->rebuilds();
+
+    // Overload level Proportional degrades the *published* value to
+    // the RUP baseline's constant intensity while the engines keep
+    // ingesting, so recovery republishes exact values immediately.
+    if (governor_.level() == pipeline::OverloadLevel::Proportional &&
+        fleet_window_units > 0) {
+        fleet_mean = pool_window /
+                     (static_cast<double>(fleet_window_units) *
+                      config_.stepSeconds);
+        FAIRCO2_COUNT("server.publish.proportional", 1);
+    }
+
+    const AdmissionController::Totals &totals = admission_.totals();
+    ServerSnapshot snap;
+    snap.version = cell_.publishes() + 1;
+    snap.period = period;
+    snap.fleetIntensity = fleet_mean;
+    snap.fleetDemandUnits = static_cast<double>(fleet_sum);
+    snap.admitted = totals.admitted;
+    snap.deferred = totals.deferred;
+    snap.rejected = totals.rejected;
+    snap.overloadLevel =
+        static_cast<std::uint32_t>(governor_.level());
+    snap.shards = static_cast<std::uint32_t>(S);
+    for (std::size_t s = 0; s < S; ++s)
+        snap.shardIntensity[s] = shards_[s].newestIntensityMean;
+    cell_.publish(snap);
+
+    report_.attributedGrams += attributed;
+    report_.publishedIntensity.push_back(fleet_mean);
+    report_.publishedPeriods.push_back(period);
+    FAIRCO2_COUNT("server.publishes", 1);
+    FAIRCO2_GAUGE_SET("server.fleet.intensity", fleet_mean);
+    FAIRCO2_GAUGE_SET("server.fleet.demand_units",
+                      static_cast<double>(fleet_sum));
+}
+
+ServerReport
+SignalServer::run()
+{
+    if (ran_)
+        throw std::logic_error("SignalServer::run: already ran");
+    ran_ = true;
+
+    // Two ticks per period: arrivals at 2p, close at 2p+1. Arrival
+    // ticks keep firing through the drain tail so deferred batches
+    // are still decided and the governor keeps observing.
+    const std::uint64_t horizon =
+        config_.durationPeriods + watermark_;
+    for (std::uint64_t p = 0; p < horizon; ++p) {
+        loop_.at(2 * p, [this, p] { handleArrivals(p); });
+        loop_.at(2 * p + 1, [this, p] { handleClose(p); });
+    }
+    loop_.run();
+
+    report_.periodsClosed = periodsClosed_;
+    report_.publishes = cell_.publishes();
+    report_.admission = admission_.totals();
+    report_.eventsExecuted = loop_.executed();
+    report_.overloadEscalations = governor_.escalations();
+    report_.overloadRecoveries = governor_.recoveries();
+    report_.finalOverloadLevel =
+        static_cast<std::uint32_t>(governor_.level());
+    report_.samplesIngested = 0;
+    for (const Shard &shard : shards_)
+        report_.samplesIngested += shard.samplesIngested;
+    FAIRCO2_COUNT("server.samples.ingested",
+                  report_.samplesIngested);
+    return report_;
+}
+
+} // namespace fairco2::server

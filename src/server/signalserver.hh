@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Sharded multi-tenant live-signal server.
+ *
+ * SignalServer is the deployment shape of the paper's live carbon
+ * signal: N simulated tenants (server::TenantPopulation) push
+ * telemetry batches through token-bucket admission
+ * (server::AdmissionController) into S shards, each shard owns an
+ * IncrementalTemporalEngine for its tenants' demand, and a fleet
+ * engine attributes the aggregate. Every closed period publishes a
+ * snapshot through parallel::SnapshotCell, so currentIntensity()
+ * readers are wait-free while the writer streams.
+ *
+ * ## Determinism contract
+ *
+ * The published fleet signal is **bit-identical** for any
+ * `--shards S` and `--threads N` at the same seed:
+ *
+ *  - Tenant demand is materialized in *integer* demand units, pure
+ *    in (seed, tenant, period) via counter-derived Rng streams.
+ *  - Per-shard accumulation sums uint64; the fleet aggregate is the
+ *    associative integer sum over shards, so it cannot depend on the
+ *    shard partition or summation order.
+ *  - Admission runs serially inside the (single-threaded) event
+ *    loop's arrival event, in tenant-rank order, before any shard
+ *    assignment — decisions are shard-independent by construction.
+ *  - The fleet engine consumes the shard-independent aggregate, so
+ *    its published intensity is too. Parallelism (materialization
+ *    and per-shard engine computes via fairco2::parallel) only
+ *    touches shard-local state.
+ *
+ * Per-*shard* signals are attributed for observability (each shard's
+ * slice of the window pool, split by integer usage share); they
+ * depend on the shard partition by identity — at S=1 the shard
+ * signal equals the fleet signal, which the tests pin down.
+ *
+ * ## Timing
+ *
+ * Each period p takes two event-loop ticks: arrivals at tick 2p
+ * (admission + shard inbox routing), close at tick 2p+1
+ * (materialize, ingest, attribute, publish). The close watermark is
+ * maxBatchPeriods + 1 periods: period q closes at p = q + watermark,
+ * by which time every batch covering q — including one admission
+ * deferral — has arrived, so admission can only *drop* telemetry,
+ * never reorder it.
+ *
+ * ## Degradation
+ *
+ * A pipeline::OverloadGovernor watches per-period admission pressure
+ * and walks Normal -> ShedFree (Free-tier batches rejected up front)
+ * -> Proportional (published intensity degrades to the RUP baseline
+ * while engines keep ingesting, so recovery is instant). The fault
+ * plan's `cache-corrupt` key flips fleet-engine cache entries; the
+ * resulting CacheIntegrityError is answered by rebuilding the fleet
+ * engine from the retained window samples, and the republished
+ * signal is identical to a fault-free run — memoization is an
+ * optimization, never an input.
+ */
+
+#ifndef FAIRCO2_SERVER_SIGNALSERVER_HH
+#define FAIRCO2_SERVER_SIGNALSERVER_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "core/signalcore.hh"
+#include "pipeline/overload.hh"
+#include "resilience/faultplan.hh"
+#include "server/admission.hh"
+#include "server/eventloop.hh"
+#include "server/tenants.hh"
+#include "shapley/incremental.hh"
+
+namespace fairco2::server
+{
+
+/** Hard cap on shards — the snapshot POD embeds one intensity slot
+ *  per shard, and SnapshotCell payloads must be fixed-size. */
+constexpr std::size_t kMaxShards = 64;
+
+/**
+ * One published snapshot of the live signal. Trivially copyable on
+ * purpose: this is the SnapshotCell payload wait-free readers copy.
+ */
+struct ServerSnapshot
+{
+    std::uint64_t version = 0; //!< publish count, starts at 1
+    std::uint64_t period = 0;  //!< newest attributed period
+    double fleetIntensity = 0.0;  //!< newest-period mean, g/res-s
+    double fleetDemandUnits = 0.0; //!< newest period, total units
+    std::uint64_t admitted = 0;   //!< running admission totals
+    std::uint64_t deferred = 0;
+    std::uint64_t rejected = 0;
+    std::uint32_t overloadLevel = 0; //!< pipeline::OverloadLevel
+    std::uint32_t shards = 0;
+    /** Newest-period mean intensity per shard (slots >= shards are
+     *  zero). */
+    std::array<double, kMaxShards> shardIntensity{};
+};
+
+/** Everything `fairco2 serve` configures. */
+struct ServerConfig
+{
+    std::size_t tenants = 1000;
+    std::size_t shards = 4;     //!< 1..kMaxShards
+    double zipfS = 1.1;
+    /** Admitted batches per period across all classes (0 = no
+     *  admission limit). */
+    std::uint64_t admissionRate = 0;
+    /** Periods of tenant arrivals to simulate (the tail is drained
+     *  so exactly this many periods close). */
+    std::uint64_t durationPeriods = 48;
+    std::size_t windowPeriods = 8;   //!< engine window W
+    std::size_t periodSamples = 12;  //!< samples per period M
+    std::size_t cacheCapacity = 64;  //!< engine sub-game LRU
+    std::vector<std::size_t> innerSplits{}; //!< periods' inner tree
+    double stepSeconds = 300.0;
+    double poolGramsPerSecond = 0.35;
+    std::uint64_t seed = 42;
+    std::size_t maxBatchPeriods = 8;
+    std::uint64_t meanDemandUnits = 1u << 20;
+    resilience::FaultPlan faultPlan;
+    pipeline::OverloadGovernor::Config overload;
+};
+
+/** What one run produced, for reports and tests. */
+struct ServerReport
+{
+    std::uint64_t periodsClosed = 0;
+    std::uint64_t publishes = 0;
+    AdmissionController::Totals admission;
+    std::uint64_t batchesShed = 0;   //!< rejected by overload level
+    std::uint64_t samplesIngested = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t engineRebuilds = 0;
+    std::uint64_t overloadEscalations = 0;
+    std::uint64_t overloadRecoveries = 0;
+    std::uint32_t finalOverloadLevel = 0;
+    double attributedGrams = 0.0; //!< fleet, summed over publishes
+    /** Fleet newest-period mean intensity per publish — THE signal;
+     *  the determinism golden compares this bit for bit. */
+    std::vector<double> publishedIntensity;
+    /** Absolute period index per publish. */
+    std::vector<std::uint64_t> publishedPeriods;
+
+    /** FNV-1a over the raw bytes of publishedIntensity — a compact
+     *  bit-exactness fingerprint for goldens and CLI output. */
+    std::uint64_t signalSignature() const;
+};
+
+/** The sharded live-signal server. */
+class SignalServer
+{
+  public:
+    /** Validates the config; throws std::invalid_argument on
+     *  out-of-range values (front ends map that to exit 2). */
+    explicit SignalServer(const ServerConfig &config);
+    ~SignalServer();
+
+    SignalServer(const SignalServer &) = delete;
+    SignalServer &operator=(const SignalServer &) = delete;
+
+    /**
+     * Drive the event loop to completion: durationPeriods arrival
+     * periods plus the drain tail. Call at most once per instance.
+     * Readers may call snapshot()/currentIntensity() concurrently
+     * from any thread while this runs.
+     */
+    ServerReport run();
+
+    /** Wait-free copy of the latest published snapshot. */
+    ServerSnapshot snapshot() const { return cell_.read(); }
+
+    /** Wait-free read of the latest fleet intensity (0 until the
+     *  first window publishes). */
+    double currentIntensity() const
+    {
+        return cell_.read().fleetIntensity;
+    }
+
+    const ServerConfig &config() const { return config_; }
+
+    const TenantPopulation &population() const { return population_; }
+
+    /** Snapshot publications so far. */
+    std::uint64_t publishes() const { return cell_.publishes(); }
+
+  private:
+    /** Shard-local mutable state; only its owning chunk touches it
+     *  inside a parallel region. */
+    struct Shard
+    {
+        /** Engine ownership + fault recovery via the shared core. */
+        std::unique_ptr<core::IncrementalSignalCore> core;
+        /** Materialized-but-unclosed demand: absolute period ->
+         *  per-sample units. */
+        std::vector<std::vector<std::uint64_t>> pending;
+        std::vector<std::uint64_t> pendingPeriods;
+        /** Per-period unit sums of the in-window periods (deque
+         *  parallel to the engine's window). */
+        std::deque<std::uint64_t> windowUnitSums;
+        /** Batches admitted this period, awaiting materialization. */
+        std::vector<BatchRef> inbox;
+        /** Scratch: the closed period's samples / newest intensity. */
+        std::vector<std::uint64_t> closedUnits;
+        double newestIntensityMean = 0.0;
+        std::uint64_t samplesIngested = 0;
+    };
+
+    void handleArrivals(std::uint64_t period);
+    void handleClose(std::uint64_t period);
+    void closePeriod(std::uint64_t period);
+    void offerBatch(const BatchRef &batch);
+    static std::vector<std::uint64_t> &
+    pendingFor(Shard &shard, std::uint64_t period,
+               std::size_t period_samples);
+
+    ServerConfig config_;
+    TenantPopulation population_;
+    AdmissionController admission_;
+    pipeline::OverloadGovernor governor_;
+    EventLoop loop_;
+    std::vector<Shard> shards_;
+    std::unique_ptr<core::IncrementalSignalCore> fleet_;
+    /** Fleet per-period unit sums of the in-window periods — the
+     *  integer usage shares behind shard pools and the proportional
+     *  fallback intensity. */
+    std::deque<std::uint64_t> fleetWindowSums_;
+    /** Batches deferred at the previous arrival tick. */
+    std::vector<BatchRef> deferred_;
+    std::uint64_t watermark_ = 0;
+    std::uint64_t periodsClosed_ = 0;
+    parallel::SnapshotCell<ServerSnapshot> cell_;
+    ServerReport report_;
+    bool ran_ = false;
+};
+
+} // namespace fairco2::server
+
+#endif // FAIRCO2_SERVER_SIGNALSERVER_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Simulated multi-tenant telemetry population.
+ *
+ * The live-signal server is driven by N simulated tenants whose
+ * arrival weights follow a Zipf(s) law over their rank: tenant 0 is
+ * the fleet's heaviest pusher, the long tail barely registers. Three
+ * service classes fall out of the same ranking — the top 1% of ranks
+ * are Reserved capacity, the next 9% Standard, the rest Free tier —
+ * and the admission controller gives each class its own token
+ * bucket.
+ *
+ * Tenants push telemetry in *batches*: tenant t pushes every
+ * batchPeriods(t) periods (heavy tenants push every period, tail
+ * tenants accumulate up to Config::maxBatchPeriods periods before
+ * pushing), and a batch offered at period p covers the closed
+ * periods [p - batchPeriods(t), p). Per-tenant phase offsets stagger
+ * the pushes so arrivals do not synchronize.
+ *
+ * Everything here is a pure function of (Config, tenant, period):
+ * demand samples are materialized on demand from
+ * `Rng(seed).fork(tenant).fork(period)` and expressed in **integer
+ * demand units**. Integer units are the keystone of the server's
+ * cross-shard determinism contract — per-shard sums are uint64 and
+ * the fleet aggregate is an associative integer sum, so the fleet
+ * demand series (and hence the published signal) is bit-identical
+ * for any shard and thread count.
+ */
+
+#ifndef FAIRCO2_SERVER_TENANTS_HH
+#define FAIRCO2_SERVER_TENANTS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "server/zipf.hh"
+
+namespace fairco2::server
+{
+
+/** Service class of a tenant, by popularity rank tier. */
+enum class TenantClass : std::uint8_t
+{
+    Reserved = 0, //!< top 1% of ranks (at least one tenant)
+    Standard = 1, //!< next 9% of ranks
+    Free = 2,     //!< the long tail
+};
+
+/** Number of TenantClass values (bucket array size). */
+constexpr std::size_t kTenantClasses = 3;
+
+/** Stable lower-case label, for counters and reports. */
+const char *tenantClassName(TenantClass cls);
+
+/**
+ * One offered telemetry batch: tenant @p tenant pushing the closed
+ * periods [period - coveredPeriods, period) at period @p period.
+ */
+struct BatchRef
+{
+    std::uint64_t tenant = 0;
+    std::uint64_t period = 0;
+    std::uint32_t coveredPeriods = 1;
+    bool deferred = false; //!< retried after a Deferred decision
+};
+
+/** Deterministic Zipf-weighted tenant population. */
+class TenantPopulation
+{
+  public:
+    struct Config
+    {
+        std::size_t tenants = 1000; //!< population size N (>= 1)
+        double zipfS = 1.1;         //!< Zipf skew exponent (>= 0)
+        std::uint64_t seed = 42;    //!< root of all tenant streams
+        std::size_t periodSamples = 12; //!< samples per period
+        /** Cap on batchPeriods(t); also bounds how late a batch can
+         *  arrive, which sets the server's close watermark. */
+        std::size_t maxBatchPeriods = 8;
+        /** Mean fleet-wide demand units per sample, split over
+         *  tenants by Zipf weight. */
+        std::uint64_t meanDemandUnits = 1u << 20;
+    };
+
+    explicit TenantPopulation(const Config &config);
+
+    const Config &config() const { return config_; }
+
+    std::size_t size() const { return config_.tenants; }
+
+    /** Normalized Zipf arrival weight of @p tenant. */
+    double weight(std::uint64_t tenant) const
+    {
+        return zipf_.weight(static_cast<std::size_t>(tenant));
+    }
+
+    /** Service class of @p tenant (by rank tier). */
+    TenantClass classOf(std::uint64_t tenant) const;
+
+    /** Periods between pushes for @p tenant: 1 for heavy ranks,
+     *  growing with rank, clamped to Config::maxBatchPeriods. */
+    std::uint32_t batchPeriods(std::uint64_t tenant) const;
+
+    /** Deterministic phase offset in [0, batchPeriods(t)). */
+    std::uint32_t phaseOffset(std::uint64_t tenant) const;
+
+    /** True when @p tenant offers a batch at period @p period. */
+    bool pushesAt(std::uint64_t tenant, std::uint64_t period) const;
+
+    /** The batch @p tenant offers at @p period (requires
+     *  pushesAt(tenant, period)). Covered periods are clipped at
+     *  period 0 for the first push. */
+    BatchRef batchAt(std::uint64_t tenant, std::uint64_t period) const;
+
+    /**
+     * Materialize @p tenant's demand for @p period: periodSamples
+     * integer demand units, pure in (seed, tenant, period). The
+     * shape is a diurnal sinusoid over a 24-period day plus
+     * per-sample jitter, scaled by the tenant's Zipf weight.
+     */
+    std::vector<std::uint64_t>
+    materializePeriod(std::uint64_t tenant, std::uint64_t period) const;
+
+    /** Sum of materializePeriod over a batch's covered periods,
+     *  per sample offset — what a shard ingests per batch. */
+    std::vector<std::uint64_t> materializeBatch(const BatchRef &batch) const;
+
+    /** Mean demand units per sample for @p tenant (the diurnal
+     *  carrier's midline before jitter). */
+    std::uint64_t baseUnits(std::uint64_t tenant) const;
+
+  private:
+    Config config_;
+    Zipf zipf_;
+    Rng base_;
+    std::size_t reservedRanks_; //!< ranks [0, reservedRanks_)
+    std::size_t standardRanks_; //!< ranks [reserved, standardRanks_)
+};
+
+} // namespace fairco2::server
+
+#endif // FAIRCO2_SERVER_TENANTS_HH

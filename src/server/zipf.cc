@@ -1,0 +1,45 @@
+#include "zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fairco2::server
+{
+
+Zipf::Zipf(std::size_t n, double s) : s_(s)
+{
+    if (n == 0)
+        throw std::invalid_argument("Zipf: population must be > 0");
+    if (s < 0.0 || !std::isfinite(s))
+        throw std::invalid_argument(
+            "Zipf: exponent must be finite and >= 0");
+
+    weights_.resize(n);
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        weights_[r] = std::pow(static_cast<double>(r + 1), -s);
+        total += weights_[r];
+    }
+    double running = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        weights_[r] /= total;
+        running += weights_[r];
+        cdf_[r] = running;
+    }
+    cdf_[n - 1] = 1.0; // absorb rounding so sample(u<1) never falls off
+}
+
+std::size_t
+Zipf::sample(double u) const
+{
+    if (u < 0.0)
+        u = 0.0;
+    if (u >= 1.0)
+        return cdf_.size() - 1;
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace fairco2::server

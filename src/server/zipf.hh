@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Zipf-distributed popularity weights for the tenant population.
+ *
+ * Fair-CO2's live-signal workload is dominated by a small number of
+ * heavy tenants: a handful of large services push most of the
+ * telemetry while a long tail of small tenants barely registers.
+ * Zipf(s) over ranks 0..n-1 captures that skew with one parameter —
+ * weight(r) ∝ 1/(r+1)^s — and is the standard shape for cloud
+ * multi-tenancy studies (s ≈ 0.9–1.2 matches production traces).
+ *
+ * The class precomputes the normalized weights and their cumulative
+ * sums once, so weight lookup is O(1) and inverse-CDF sampling is a
+ * binary search. Everything is a pure function of (n, s); no RNG
+ * state lives here — callers feed their own uniform variates into
+ * sample(), which keeps all randomness in counter-derived Rng
+ * streams and the weights bit-identical across thread/shard counts.
+ */
+
+#ifndef FAIRCO2_SERVER_ZIPF_HH
+#define FAIRCO2_SERVER_ZIPF_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fairco2::server
+{
+
+/** Normalized Zipf(s) weights over ranks 0..n-1. */
+class Zipf
+{
+  public:
+    /**
+     * Build the distribution. Throws std::invalid_argument when
+     * @p n == 0 or @p s < 0.
+     */
+    Zipf(std::size_t n, double s);
+
+    std::size_t size() const { return weights_.size(); }
+
+    double exponent() const { return s_; }
+
+    /** Normalized weight of @p rank (weights sum to 1). */
+    double weight(std::size_t rank) const { return weights_[rank]; }
+
+    /**
+     * Inverse-CDF sample: smallest rank whose cumulative weight
+     * exceeds @p u, for u in [0, 1). Out-of-range u is clamped.
+     */
+    std::size_t sample(double u) const;
+
+  private:
+    double s_;
+    std::vector<double> weights_;
+    std::vector<double> cdf_;
+};
+
+} // namespace fairco2::server
+
+#endif // FAIRCO2_SERVER_ZIPF_HH

@@ -290,6 +290,46 @@ TEST_F(ObsTest, ConcurrentSpansAllRecorded)
               static_cast<std::size_t>(kThreads) * kPerThread);
 }
 
+TEST_F(ObsTest, GaugeIsLastWriteWins)
+{
+    setEnabled(true);
+    Gauge &g = gauge("obs.test.gauge");
+    g.set(3.0);
+    g.set(1.5); // gauges move both directions
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+    // Same name resolves to the same gauge.
+    EXPECT_EQ(&gauge("obs.test.gauge"), &g);
+}
+
+TEST_F(ObsTest, GaugeIgnoresWritesWhileDisabled)
+{
+    Gauge &g = gauge("obs.test.gauge_off");
+    g.set(7.0);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(ObsTest, GaugeExportsInJsonAndCsv)
+{
+    setEnabled(true);
+    gauge("obs.test.gauge_export").set(2.0);
+    const std::string json = metricsJson();
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"obs.test.gauge_export\": 2"),
+              std::string::npos);
+    const std::string csv = metricsCsv();
+    EXPECT_NE(csv.find("gauge,obs.test.gauge_export,value,2"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, ResetForTestClearsGauges)
+{
+    setEnabled(true);
+    gauge("obs.test.gauge_reset").set(9.0);
+    resetForTest();
+    setEnabled(true);
+    EXPECT_DOUBLE_EQ(gauge("obs.test.gauge_reset").value(), 0.0);
+}
+
 #if !defined(FAIRCO2_OBS_OFF)
 
 TEST_F(ObsTest, MacrosRecordThroughCachedSites)
@@ -298,6 +338,7 @@ TEST_F(ObsTest, MacrosRecordThroughCachedSites)
     for (int i = 0; i < 10; ++i) {
         FAIRCO2_COUNT("obs.test.macro_counter", 2);
         FAIRCO2_OBSERVE("obs.test.macro_hist", i);
+        FAIRCO2_GAUGE_SET("obs.test.macro_gauge", i);
     }
     {
         FAIRCO2_TIME_NS("obs.test.macro_timer_ns");
@@ -305,6 +346,7 @@ TEST_F(ObsTest, MacrosRecordThroughCachedSites)
     }
     EXPECT_EQ(counter("obs.test.macro_counter").value(), 20u);
     EXPECT_EQ(histogram("obs.test.macro_hist").count(), 10u);
+    EXPECT_DOUBLE_EQ(gauge("obs.test.macro_gauge").value(), 9.0);
     EXPECT_EQ(histogram("obs.test.macro_timer_ns").count(), 1u);
     EXPECT_NE(traceJson().find("obs.test.macro_span"),
               std::string::npos);

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "pipeline/backoff.hh"
 #include "pipeline/breaker.hh"
 #include "pipeline/health.hh"
+#include "pipeline/overload.hh"
 #include "pipeline/runner.hh"
 #include "pipeline/supervisor.hh"
 #include "trace/timeseries.hh"
@@ -347,6 +349,91 @@ TEST(Supervisor, FloorRungIsDeadlineExempt)
     const auto *stage = supervisor.health().find("stage");
     ASSERT_NE(stage, nullptr);
     EXPECT_EQ(stage->status, StageStatus::Ok);
+}
+
+TEST(Overload, EscalatesOnlyAfterConsecutiveHighPeriods)
+{
+    OverloadGovernor governor(OverloadGovernor::Config{});
+    // 60% blocked > the 50% high watermark; the default dwell is 2
+    // consecutive periods.
+    EXPECT_EQ(governor.observe(10, 6, 0), OverloadLevel::Normal);
+    EXPECT_EQ(governor.observe(10, 0, 6), OverloadLevel::ShedFree);
+    EXPECT_EQ(governor.escalations(), 1u);
+    // Two more high periods walk the second rung.
+    EXPECT_EQ(governor.observe(10, 3, 4), OverloadLevel::ShedFree);
+    EXPECT_EQ(governor.observe(10, 7, 0),
+              OverloadLevel::Proportional);
+    // Proportional is the top rung: further pressure holds it.
+    EXPECT_EQ(governor.observe(10, 10, 0),
+              OverloadLevel::Proportional);
+    EXPECT_EQ(governor.observe(10, 10, 0),
+              OverloadLevel::Proportional);
+    EXPECT_EQ(governor.escalations(), 2u);
+}
+
+TEST(Overload, MidPressureResetsTheDwellStreaks)
+{
+    OverloadGovernor governor(OverloadGovernor::Config{});
+    EXPECT_EQ(governor.observe(10, 6, 0), OverloadLevel::Normal);
+    // 30% is between the watermarks: hold, reset both streaks.
+    EXPECT_EQ(governor.observe(10, 3, 0), OverloadLevel::Normal);
+    EXPECT_EQ(governor.observe(10, 6, 0), OverloadLevel::Normal);
+    EXPECT_EQ(governor.observe(10, 6, 0), OverloadLevel::ShedFree);
+}
+
+TEST(Overload, RecoversAfterConsecutiveLowPeriods)
+{
+    OverloadGovernor::Config config;
+    config.escalatePeriods = 1;
+    config.recoverPeriods = 2;
+    OverloadGovernor governor(config);
+    EXPECT_EQ(governor.observe(10, 10, 0), OverloadLevel::ShedFree);
+    EXPECT_EQ(governor.observe(10, 10, 0),
+              OverloadLevel::Proportional);
+    // Zero offered counts as a low-pressure period.
+    EXPECT_EQ(governor.observe(0, 0, 0),
+              OverloadLevel::Proportional);
+    EXPECT_EQ(governor.observe(10, 1, 0), OverloadLevel::ShedFree);
+    EXPECT_EQ(governor.observe(10, 0, 0), OverloadLevel::ShedFree);
+    EXPECT_EQ(governor.observe(10, 0, 1), OverloadLevel::Normal);
+    EXPECT_EQ(governor.recoveries(), 2u);
+    // Normal is the bottom rung: quiet periods keep it there.
+    EXPECT_EQ(governor.observe(10, 0, 0), OverloadLevel::Normal);
+    EXPECT_EQ(governor.observe(10, 0, 0), OverloadLevel::Normal);
+}
+
+TEST(Overload, WatermarkComparisonsAreExact)
+{
+    OverloadGovernor::Config config;
+    config.escalatePeriods = 1;
+    OverloadGovernor governor(config);
+    // Exactly 50% is NOT above the high watermark.
+    EXPECT_EQ(governor.observe(10, 5, 0), OverloadLevel::Normal);
+    // One more blocked batch is.
+    EXPECT_EQ(governor.observe(10, 6, 0), OverloadLevel::ShedFree);
+    // Exactly 10% counts as low pressure (<=).
+    OverloadGovernor recover(config);
+    EXPECT_EQ(recover.observe(10, 6, 0), OverloadLevel::ShedFree);
+    for (int p = 0; p < 4; ++p)
+        recover.observe(10, 1, 0);
+    EXPECT_EQ(recover.level(), OverloadLevel::Normal);
+}
+
+TEST(Overload, RejectsInvertedWatermarks)
+{
+    OverloadGovernor::Config config;
+    config.highWatermarkPercent = 5;
+    config.lowWatermarkPercent = 50;
+    EXPECT_THROW(OverloadGovernor{config}, std::invalid_argument);
+}
+
+TEST(Overload, LevelNamesAreStable)
+{
+    EXPECT_STREQ(overloadLevelName(OverloadLevel::Normal), "normal");
+    EXPECT_STREQ(overloadLevelName(OverloadLevel::ShedFree),
+                 "shed-free");
+    EXPECT_STREQ(overloadLevelName(OverloadLevel::Proportional),
+                 "proportional");
 }
 
 } // namespace

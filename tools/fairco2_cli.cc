@@ -18,6 +18,11 @@
  *                    [--deadline-ms 2000] [--max-retries 3]
  *                    [--health-out health.json] [--seed 42]
  *                    --out signal.csv [--bills-out bills.csv]
+ *   fairco2 serve    [--tenants 1000] [--shards 4] [--zipf-s 1.1]
+ *                    [--admission-rate 0] [--duration-periods 48]
+ *                    [--window 8] [--period-samples 12]
+ *                    [--cache-capacity 64] [--seed 42]
+ *                    [--out served.csv]
  *
  * `signal` turns a demand series into a Temporal Shapley intensity
  * signal — classically in one full solve, or with `--incremental`
@@ -30,6 +35,12 @@
  * supervisor: per-stage deadlines on a simulated clock, bounded
  * deterministic retries, circuit breakers, and the degradation
  * ladder, with an honest RunHealth JSON written to `--health-out`.
+ * `serve` drives the sharded multi-tenant live-signal server: a
+ * deterministic discrete-event loop pushes Zipf-skewed tenant
+ * telemetry through token-bucket admission into per-shard
+ * incremental engines; the published fleet signal is bit-identical
+ * for any `--shards`/`--threads` at the same seed, and the summary
+ * line prints its FNV-1a signature.
  *
  * All commands accept `--on-bad-row={fail,skip,interpolate}` for
  * defective telemetry rows and `--fault-plan <spec>` for
@@ -52,10 +63,12 @@
 #include "core/temporal.hh"
 #include "forecast/forecaster.hh"
 #include "pipeline/health.hh"
+#include "pipeline/overload.hh"
 #include "pipeline/runner.hh"
 #include "resilience/faultplan.hh"
 #include "resilience/ingest.hh"
 #include "resilience/signals.hh"
+#include "server/signalserver.hh"
 #include "trace/timeseries.hh"
 
 using namespace fairco2;
@@ -123,6 +136,7 @@ runSignal(int argc, char **argv)
     double step_seconds = 300.0;
     double pool_grams = 0.0;
     bool incremental = false;
+    std::int64_t horizon_steps = 0;
     std::int64_t window_periods = 24;
     std::int64_t period_samples = 0;
     std::int64_t cache_capacity = 64;
@@ -136,9 +150,13 @@ runSignal(int argc, char **argv)
                     "fixed carbon to attribute over the window");
     flags.addString("splits", &splits_text,
                     "hierarchical split counts, comma-separated");
+    flags.addInt("horizon-steps", &horizon_steps,
+                 "forecast steps appended to the window before "
+                 "attribution (0: none; classic mode only)");
     flags.addBool("incremental", &incremental,
                   "attribute via the sliding-window incremental "
-                  "engine instead of one full solve");
+                  "engine instead of one full solve (attributes "
+                  "measured demand only: no projected intensity)");
     flags.addInt("window", &window_periods,
                  "incremental: sliding-window size in periods");
     flags.addInt("period-samples", &period_samples,
@@ -176,10 +194,42 @@ runSignal(int argc, char **argv)
                      "be non-negative\n");
         return 2;
     }
+    if (horizon_steps < 0) {
+        std::fprintf(stderr,
+                     "error: --horizon-steps must be "
+                     "non-negative\n");
+        return 2;
+    }
+    // The incremental engine attributes measured demand only — a
+    // forecast horizon would silently be dropped, so combining the
+    // flags is a contract violation, not a no-op.
+    if (incremental && horizon_steps > 0) {
+        std::fprintf(stderr,
+                     "error: --horizon-steps cannot be combined "
+                     "with --incremental (the incremental engine "
+                     "attributes measured demand only; use "
+                     "`fairco2 run --incremental-window` for a "
+                     "supervised horizon blend)\n");
+        return 2;
+    }
 
-    const auto demand =
+    auto demand =
         loadColumn(demand_path, column, step_seconds, res);
     res.note();
+    const std::size_t history_len = demand.size();
+    if (horizon_steps > 0) {
+        try {
+            demand = forecast::SeasonalForecaster()
+                         .extendWithForecast(
+                             demand, static_cast<std::size_t>(
+                                         horizon_steps));
+        } catch (const std::invalid_argument &error) {
+            std::fprintf(stderr,
+                         "error: --horizon-steps: %s\n",
+                         error.what());
+            return 2;
+        }
+    }
     const auto splits = parseSplits(splits_text);
 
     trace::TimeSeries intensity;
@@ -219,6 +269,17 @@ runSignal(int argc, char **argv)
                 "(%.6g g dropped) -> %s\n",
                 demand.size(), attributed_grams,
                 unattributed_grams, out_path.c_str());
+    if (horizon_steps > 0)
+        std::printf("signal: %zu measured + %lld forecast steps "
+                    "attributed together\n",
+                    history_len,
+                    static_cast<long long>(horizon_steps));
+    if (incremental)
+        // Honest reporting: in incremental mode there is no
+        // projected tail (LiveIntensityService::projectedIntensity
+        // is empty by contract), so say so instead of implying one.
+        std::printf("signal: projected intensity n/a in "
+                    "--incremental mode (measured demand only)\n");
     return 0;
 }
 
@@ -461,6 +522,156 @@ runPipeline(int argc, char **argv)
     return health.exitCode;
 }
 
+int
+runServe(int argc, char **argv)
+{
+    std::string out_path;
+    std::int64_t tenants = 1000;
+    std::int64_t shards = 4;
+    double zipf_s = 1.1;
+    std::int64_t admission_rate = 0;
+    std::int64_t duration_periods = 48;
+    std::int64_t window_periods = 8;
+    std::int64_t period_samples = 12;
+    std::int64_t cache_capacity = 64;
+    std::int64_t max_batch_periods = 8;
+    double pool_rate = 0.35;
+    double step_seconds = 300.0;
+    std::int64_t seed = 42;
+    FlagSet flags("fairco2 serve: sharded multi-tenant live-signal "
+                  "server (deterministic simulation)");
+    flags.addInt("tenants", &tenants,
+                 "simulated tenant population size");
+    flags.addInt("shards", &shards,
+                 "engine shards (1..64); the published fleet signal "
+                 "is bit-identical for any value");
+    flags.addDouble("zipf-s", &zipf_s,
+                    "Zipf skew of tenant arrival weights");
+    flags.addInt("admission-rate", &admission_rate,
+                 "admitted batches per period across all classes "
+                 "(0: unlimited)");
+    flags.addInt("duration-periods", &duration_periods,
+                 "periods of tenant arrivals to simulate");
+    flags.addInt("window", &window_periods,
+                 "sliding attribution window, periods");
+    flags.addInt("period-samples", &period_samples,
+                 "telemetry samples per period");
+    flags.addInt("cache-capacity", &cache_capacity,
+                 "per-engine sub-game LRU entries (0: memoization "
+                 "off)");
+    flags.addInt("max-batch-periods", &max_batch_periods,
+                 "most periods one tenant batch may cover (sets the "
+                 "close watermark)");
+    flags.addDouble("pool-grams-per-second", &pool_rate,
+                    "fleet fixed-carbon rate amortized over the "
+                    "window");
+    flags.addDouble("step-seconds", &step_seconds,
+                    "telemetry sample width, seconds");
+    flags.addInt("seed", &seed, "root seed for all tenant streams");
+    flags.addString("out", &out_path,
+                    "optional published-signal CSV path");
+    std::int64_t threads = 0;
+    parallel::addThreadsFlag(flags, &threads);
+    obs::ObsFlags obs_flags;
+    obs::addObsFlags(flags, &obs_flags);
+    ResilienceFlags res;
+    res.add(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+    parallel::applyThreadsFlag(threads);
+    obs::applyObsFlags(obs_flags);
+    res.apply();
+    FAIRCO2_SPAN("cli.serve");
+    if (tenants <= 0 || shards <= 0 ||
+        shards > static_cast<std::int64_t>(server::kMaxShards) ||
+        duration_periods <= 0 || window_periods <= 0 ||
+        period_samples <= 0 || max_batch_periods <= 0 ||
+        cache_capacity < 0 || admission_rate < 0 || seed < 0 ||
+        zipf_s < 0.0 || pool_rate < 0.0 || step_seconds <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --tenants, --shards (<= 64), "
+                     "--duration-periods, --window, "
+                     "--period-samples, --max-batch-periods, and "
+                     "--step-seconds must be positive; --zipf-s, "
+                     "--admission-rate, --cache-capacity, --seed, "
+                     "and --pool-grams-per-second must be "
+                     "non-negative\n");
+        return 2;
+    }
+    requireWritableFlagPath("out", out_path);
+
+    server::ServerConfig config;
+    config.tenants = static_cast<std::size_t>(tenants);
+    config.shards = static_cast<std::size_t>(shards);
+    config.zipfS = zipf_s;
+    config.admissionRate =
+        static_cast<std::uint64_t>(admission_rate);
+    config.durationPeriods =
+        static_cast<std::uint64_t>(duration_periods);
+    config.windowPeriods = static_cast<std::size_t>(window_periods);
+    config.periodSamples = static_cast<std::size_t>(period_samples);
+    config.cacheCapacity = static_cast<std::size_t>(cache_capacity);
+    config.maxBatchPeriods =
+        static_cast<std::size_t>(max_batch_periods);
+    config.poolGramsPerSecond = pool_rate;
+    config.stepSeconds = step_seconds;
+    config.seed = static_cast<std::uint64_t>(seed);
+    config.faultPlan = res.plan;
+
+    server::SignalServer srv(config);
+    const auto report = srv.run();
+
+    if (!out_path.empty()) {
+        CsvWriter csv(out_path);
+        csv.writeRow({"period", "time_s",
+                      "fleet_intensity_g_per_unit_s"});
+        for (std::size_t i = 0;
+             i < report.publishedIntensity.size(); ++i) {
+            csv.writeNumericRow(
+                {static_cast<double>(report.publishedPeriods[i]),
+                 static_cast<double>(report.publishedPeriods[i]) *
+                     step_seconds *
+                     static_cast<double>(period_samples),
+                 report.publishedIntensity[i]});
+        }
+    }
+
+    std::printf("serve: %lld tenants x %lld shards, %llu periods "
+                "closed, %llu publishes, signature %016llx\n",
+                static_cast<long long>(tenants),
+                static_cast<long long>(shards),
+                static_cast<unsigned long long>(
+                    report.periodsClosed),
+                static_cast<unsigned long long>(report.publishes),
+                static_cast<unsigned long long>(
+                    report.signalSignature()));
+    std::printf("serve: admission offered %llu admitted %llu "
+                "deferred %llu rejected %llu shed %llu | "
+                "overload=%s (up %llu, down %llu) | rebuilds %llu\n",
+                static_cast<unsigned long long>(
+                    report.admission.offered),
+                static_cast<unsigned long long>(
+                    report.admission.admitted),
+                static_cast<unsigned long long>(
+                    report.admission.deferred),
+                static_cast<unsigned long long>(
+                    report.admission.rejected),
+                static_cast<unsigned long long>(report.batchesShed),
+                pipeline::overloadLevelName(
+                    static_cast<pipeline::OverloadLevel>(
+                        report.finalOverloadLevel)),
+                static_cast<unsigned long long>(
+                    report.overloadEscalations),
+                static_cast<unsigned long long>(
+                    report.overloadRecoveries),
+                static_cast<unsigned long long>(
+                    report.engineRebuilds));
+    if (!out_path.empty())
+        std::printf("serve: published signal -> %s\n",
+                    out_path.c_str());
+    return 0;
+}
+
 void
 usage()
 {
@@ -473,6 +684,9 @@ usage()
         "  forecast  extend a demand CSV with a seasonal forecast\n"
         "  run       supervised end-to-end pipeline with deadlines,\n"
         "            retries, breakers, and a degradation ladder\n"
+        "  serve     sharded multi-tenant live-signal server\n"
+        "            (deterministic simulation; bit-identical for\n"
+        "            any --shards/--threads at the same seed)\n"
         "\nRun `fairco2 <command> --help` for command flags.\n");
 }
 
@@ -497,6 +711,8 @@ main(int argc, char **argv)
             return runForecast(argc - 1, argv + 1);
         if (command == "run")
             return runPipeline(argc - 1, argv + 1);
+        if (command == "serve")
+            return runServe(argc - 1, argv + 1);
         if (command == "--help" || command == "-h") {
             usage();
             return 0;
