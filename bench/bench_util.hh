@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/backend.hh"
 #include "common/flags.hh"
 #include "common/obs.hh"
 #include "common/parallel.hh"
@@ -60,6 +61,8 @@ struct CheckpointFlags
 {
     std::string checkpoint;
     std::string resume;
+    std::string compress =
+        cache::codecName(cache::defaultBackend().codec);
     std::int64_t chunkTrials = 0;
     std::int64_t stopAfterChunks = 0;
 };
@@ -72,6 +75,9 @@ addCheckpointFlags(FlagSet &flags, CheckpointFlags *values)
                     "write chunk snapshots to this file");
     flags.addString("resume", &values->resume,
                     "restore completed chunks from this file");
+    flags.addString("checkpoint-compress", &values->compress,
+                    "snapshot payload codec: identity | lz "
+                    "(resume auto-detects)");
     flags.addInt("chunk-trials", &values->chunkTrials,
                  "trials per checkpoint chunk (0: one chunk)");
     flags.addInt("stop-after-chunks", &values->stopAfterChunks,
@@ -97,6 +103,13 @@ applyCheckpointFlags(const CheckpointFlags &values)
     resilience::CheckpointOptions options;
     options.checkpointPath = values.checkpoint;
     options.resumePath = values.resume;
+    try {
+        options.codec = cache::parseCodec(values.compress);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "error: --checkpoint-compress: %s\n",
+                     e.what());
+        std::exit(2);
+    }
     options.chunkTrials =
         static_cast<std::uint64_t>(values.chunkTrials);
     options.stopAfterChunks =

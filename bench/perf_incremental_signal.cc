@@ -11,17 +11,25 @@
  * byte-identical, and records the per-advance speedup into
  * bench_out/perf_summary.json as `"speedup_x"`.
  *
- * A second pass sweeps the sub-game LRU capacity and records the
+ * A second pass sweeps the sub-game cache capacity and records the
  * resulting `shapley.cache.*` hit/miss/eviction counts as a
  * `"cache_curve"` block in the same summary entry, so hit rate vs
- * capacity is a single-file read when sizing the cache.
+ * capacity is a single-file read when sizing the cache. Each sweep
+ * point runs the identity and lz blob codecs back to back (same key
+ * stream, so the hit rate is equal by construction) and records raw
+ * vs compressed resident bytes as windows-per-MiB; the summary's
+ * `"compressed_windows_per_mib_ratio"` is the lz-over-raw density
+ * ratio at the flag capacity.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include "bench_util.hh"
+#include "cache/backend.hh"
 #include "common/flags.hh"
 #include "common/rng.hh"
 #include "shapley/incremental.hh"
@@ -37,8 +45,21 @@ struct StreamOutcome
     std::vector<double> published; //!< newest-period intensities
     double wallSeconds = 0.0;
     std::size_t advances = 0;
+    std::size_t entries = 0;   //!< resident cache entries at the end
     shapley::CacheStats stats; //!< final engine cache counters
 };
+
+/** Resident sliding windows per MiB of cache memory: every advance
+ *  keeps one period-solve and one window-phi entry, so entry pairs
+ *  per stored byte is the cache's window density. */
+double
+windowsPerMib(std::size_t entries, std::uint64_t stored_bytes)
+{
+    if (stored_bytes == 0)
+        return 0.0;
+    return (static_cast<double>(entries) / 2.0) * 1048576.0 /
+        static_cast<double>(stored_bytes);
+}
 
 /** Drive one engine over the whole trace, timing only the window
  *  advances (the steady-state cost of a live deployment). */
@@ -67,6 +88,7 @@ streamTrace(const trace::TimeSeries &demand,
         ++outcome.advances;
     }
     outcome.wallSeconds = advance_seconds;
+    outcome.entries = engine.cacheSize();
     outcome.stats = engine.cacheStats();
     return outcome;
 }
@@ -81,6 +103,10 @@ main(int argc, char **argv)
     std::int64_t period_samples = 720;
     std::int64_t cache_capacity = 64;
     double days = 7.0;
+    std::string backend_text =
+        cache::backendSpec(cache::defaultBackend());
+    std::string compress_text =
+        cache::codecName(cache::defaultBackend().codec);
     FlagSet flags("perf_incremental_signal: incremental vs "
                   "from-scratch sliding-window Temporal Shapley "
                   "over a week-long trace");
@@ -90,7 +116,13 @@ main(int argc, char **argv)
     flags.addInt("period-samples", &period_samples,
                  "telemetry samples per period");
     flags.addInt("cache-capacity", &cache_capacity,
-                 "sub-game LRU entries for the memoizing engine");
+                 "sub-game memo entries for the memoizing engine");
+    flags.addString("cache-backend", &backend_text,
+                    "memo-cache backend spec policy[,alloc[,lock]] "
+                    "for the measured engine");
+    flags.addString("cache-compress", &compress_text,
+                    "memo-cache blob codec for the measured engine: "
+                    "identity | lz");
     flags.addDouble("days", &days, "trace length in days");
     std::int64_t threads = 0;
     obs::ObsFlags obs_flags;
@@ -106,6 +138,17 @@ main(int argc, char **argv)
                      "positive\n");
         return 2;
     }
+    cache::BackendConfig backend;
+    try {
+        backend = cache::parseBackendSpec(backend_text);
+        backend.codec = cache::parseCodec(compress_text);
+    } catch (const std::invalid_argument &error) {
+        std::fprintf(stderr,
+                     "error: --cache-backend/--cache-compress: "
+                     "%s\n",
+                     error.what());
+        return 2;
+    }
 
     // Week-long trace at a 5 s step: one-hour periods of 720
     // samples, a one-day 24-period window, hourly window advances.
@@ -113,8 +156,21 @@ main(int argc, char **argv)
     trace::AzureLikeGenerator::Config azure_config;
     azure_config.days = days;
     azure_config.stepSeconds = 5.0;
-    const auto demand =
+    auto generated =
         trace::AzureLikeGenerator(azure_config).generate(rng);
+
+    // Materialize the trace in integer demand units, matching the
+    // live server's telemetry contract (src/server/tenants.hh:
+    // demand is integer units so the fleet aggregate is an
+    // associative integer sum). The sub-game tables a production
+    // cache holds are built from these quantized samples, so the
+    // density sweep below measures the deployed representation, not
+    // the generator's continuous intermediate.
+    std::vector<double> quantized(generated.size());
+    for (std::size_t i = 0; i < generated.size(); ++i)
+        quantized[i] = std::round(generated[i]);
+    const trace::TimeSeries demand(std::move(quantized),
+                                   azure_config.stepSeconds);
 
     shapley::IncrementalTemporalEngine::Config config;
     config.windowPeriods =
@@ -123,6 +179,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(period_samples);
     config.stepSeconds = azure_config.stepSeconds;
     config.innerSplits = {12};
+    config.backend = backend;
     const double pool_grams = 1.0e6;
 
     // Best of three repetitions per engine: the timed region is a
@@ -168,19 +225,36 @@ main(int argc, char **argv)
                 incremental.published.size());
 
     // Hit-rate-vs-capacity sweep: rerun the stream at a ladder of
-    // LRU capacities and keep each run's final shapley.cache.*
+    // capacities and keep each run's final shapley.cache.*
     // counters. Every capacity must publish the same byte-identical
-    // stream — the cache only ever changes cost, never output.
+    // stream — the cache only ever changes cost, never output. Each
+    // point also reruns with the lz codec (identical key stream, so
+    // identical hit rate) to measure compressed vs raw density.
     constexpr std::size_t kCurveCapacities[] = {4, 16, 64, 256};
+    double ratio_at_flag_capacity = 0.0;
     std::ostringstream curve;
     curve << "\"cache_curve\": [";
     bool first_point = true;
     for (const std::size_t capacity : kCurveCapacities) {
+        config.backend.codec = cache::Codec::Identity;
         const auto point = best(capacity);
-        if (point.published != full.published) {
+        config.backend.codec = cache::Codec::Lz;
+        const auto lz_point = best(capacity);
+        config.backend.codec = backend.codec;
+        if (point.published != full.published ||
+            lz_point.published != full.published) {
             std::fprintf(stderr,
                          "FAIL: capacity-%zu engine diverged from "
                          "the from-scratch stream\n",
+                         capacity);
+            return 1;
+        }
+        if (lz_point.stats.hits != point.stats.hits ||
+            lz_point.entries != point.entries) {
+            std::fprintf(stderr,
+                         "FAIL: capacity-%zu codecs disagree on "
+                         "hits/entries — density ratio would not "
+                         "be at equal hit rate\n",
                          capacity);
             return 1;
         }
@@ -190,8 +264,18 @@ main(int argc, char **argv)
             ? static_cast<double>(point.stats.hits) /
                 static_cast<double>(lookups)
             : 0.0;
+        const double raw_density =
+            windowsPerMib(point.entries, point.stats.storedBytes);
+        const double lz_density = windowsPerMib(
+            lz_point.entries, lz_point.stats.storedBytes);
+        const double density_ratio =
+            raw_density > 0.0 ? lz_density / raw_density : 0.0;
+        if (capacity ==
+            static_cast<std::size_t>(cache_capacity))
+            ratio_at_flag_capacity = density_ratio;
         std::printf("  cache %4zu: hits %6llu  misses %6llu  "
-                    "evictions %6llu  hit-rate %.3f  %.4f s\n",
+                    "evictions %6llu  hit-rate %.3f  %.4f s  "
+                    "win/MiB raw %.0f lz %.0f (%.2fx)\n",
                     capacity,
                     static_cast<unsigned long long>(
                         point.stats.hits),
@@ -199,7 +283,8 @@ main(int argc, char **argv)
                         point.stats.misses),
                     static_cast<unsigned long long>(
                         point.stats.evictions),
-                    hit_rate, point.wallSeconds);
+                    hit_rate, point.wallSeconds, raw_density,
+                    lz_density, density_ratio);
         if (!first_point)
             curve << ", ";
         first_point = false;
@@ -208,12 +293,41 @@ main(int argc, char **argv)
               << ", \"misses\": " << point.stats.misses
               << ", \"evictions\": " << point.stats.evictions
               << ", \"hit_rate\": " << hit_rate
-              << ", \"wall_s\": " << point.wallSeconds << "}";
+              << ", \"wall_s\": " << point.wallSeconds
+              << ", \"raw_bytes\": " << point.stats.rawBytes
+              << ", \"compressed_bytes\": "
+              << lz_point.stats.storedBytes
+              << ", \"windows_per_mib_raw\": " << raw_density
+              << ", \"windows_per_mib_lz\": " << lz_density << "}";
     }
     curve << "]";
 
+    // A --cache-capacity outside the sweep ladder still owes the
+    // summary its density ratio: measure that capacity directly.
+    if (ratio_at_flag_capacity == 0.0) {
+        config.backend.codec = cache::Codec::Identity;
+        const auto raw_point =
+            best(static_cast<std::size_t>(cache_capacity));
+        config.backend.codec = cache::Codec::Lz;
+        const auto lz_point =
+            best(static_cast<std::size_t>(cache_capacity));
+        config.backend.codec = backend.codec;
+        const double raw_density = windowsPerMib(
+            raw_point.entries, raw_point.stats.storedBytes);
+        const double lz_density = windowsPerMib(
+            lz_point.entries, lz_point.stats.storedBytes);
+        ratio_at_flag_capacity =
+            raw_density > 0.0 ? lz_density / raw_density : 0.0;
+    }
+    std::printf("  compressed windows-per-MiB ratio at capacity "
+                "%lld: %.2fx\n",
+                static_cast<long long>(cache_capacity),
+                ratio_at_flag_capacity);
+
     std::ostringstream extra;
-    extra << "\"speedup_x\": " << speedup << ", " << curve.str();
+    extra << "\"speedup_x\": " << speedup
+          << ", \"compressed_windows_per_mib_ratio\": "
+          << ratio_at_flag_capacity << ", " << curve.str();
     bench::recordPerf("perf_incremental_signal.incremental",
                       incremental.advances,
                       incremental.wallSeconds, 0, extra.str());

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Allocator plug-in API for the blob stores, after the uszram
+ * `alloc-api.h` pattern: an allocator hands out Block spans for the
+ * stored (possibly compressed) bytes of one cache entry and takes
+ * them back on eviction. Allocators are owned one-per-shard and are
+ * only touched under that shard's write lock, so they need no
+ * internal synchronization. Two backends ship:
+ *
+ *  - MallocAlloc: one heap allocation per block (the reference
+ *    build);
+ *  - ArenaAlloc: bump-allocates 64-byte size classes out of 256 KiB
+ *    chunks and recycles freed blocks through per-class free lists,
+ *    so steady-state eviction churn allocates nothing.
+ */
+
+#ifndef FAIRCO2_CACHE_ALLOC_API_HH
+#define FAIRCO2_CACHE_ALLOC_API_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fairco2::cache
+{
+
+/** One allocated span. @c sizeClass is allocator bookkeeping (the
+ *  rounded size class for ArenaAlloc, unused by MallocAlloc). */
+struct Block
+{
+    std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+    std::size_t sizeClass = 0;
+};
+
+/** Reference allocator: one new[]/delete[] pair per block. */
+class MallocAlloc
+{
+  public:
+    static constexpr const char *kName = "malloc";
+
+    Block
+    allocate(std::size_t n)
+    {
+        Block block;
+        block.size = n;
+        block.data = n > 0 ? new std::uint8_t[n] : nullptr;
+        return block;
+    }
+
+    void
+    deallocate(Block &block)
+    {
+        delete[] block.data;
+        block = Block{};
+    }
+};
+
+/** Chunked bump allocator with size-class free lists. Freed blocks
+ *  are recycled exactly-by-class; chunk memory is only released when
+ *  the allocator itself is destroyed (with its shard). */
+class ArenaAlloc
+{
+  public:
+    static constexpr const char *kName = "arena";
+    static constexpr std::size_t kGranule = 64;
+    static constexpr std::size_t kChunkBytes = 256 * 1024;
+
+    Block
+    allocate(std::size_t n)
+    {
+        Block block;
+        block.size = n;
+        if (n == 0)
+            return block;
+        const std::size_t cls = (n + kGranule - 1) / kGranule;
+        const std::size_t bytes = cls * kGranule;
+        block.sizeClass = cls;
+        if (cls < freeLists_.size() && !freeLists_[cls].empty()) {
+            block.data = freeLists_[cls].back();
+            freeLists_[cls].pop_back();
+            return block;
+        }
+        if (chunkUsed_ + bytes > chunkCap_) {
+            chunkCap_ = std::max(kChunkBytes, bytes);
+            chunks_.push_back(
+                std::make_unique<std::uint8_t[]>(chunkCap_));
+            chunkUsed_ = 0;
+        }
+        block.data = chunks_.back().get() + chunkUsed_;
+        chunkUsed_ += bytes;
+        return block;
+    }
+
+    void
+    deallocate(Block &block)
+    {
+        if (block.data != nullptr) {
+            if (freeLists_.size() <= block.sizeClass)
+                freeLists_.resize(block.sizeClass + 1);
+            freeLists_[block.sizeClass].push_back(block.data);
+        }
+        block = Block{};
+    }
+
+  private:
+    std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+    std::size_t chunkUsed_ = 0;
+    std::size_t chunkCap_ = 0;
+    std::vector<std::vector<std::uint8_t *>> freeLists_;
+};
+
+} // namespace fairco2::cache
+
+#endif // FAIRCO2_CACHE_ALLOC_API_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Backend parsing/formatting and the 16-way BasicBlobStore factory.
+ * The compile-time default comes from the FAIRCO2_CACHE_DEFAULT_*
+ * macros that src/cache/CMakeLists.txt derives from the
+ * FAIRCO2_CACHE_{POLICY,ALLOC,LOCK,COMPRESS} options.
+ */
+
+#include "cache/backend.hh"
+
+#include <stdexcept>
+
+#include "cache/blobstore.hh"
+
+#ifndef FAIRCO2_CACHE_DEFAULT_POLICY
+#define FAIRCO2_CACHE_DEFAULT_POLICY "lru"
+#endif
+#ifndef FAIRCO2_CACHE_DEFAULT_ALLOC
+#define FAIRCO2_CACHE_DEFAULT_ALLOC "malloc"
+#endif
+#ifndef FAIRCO2_CACHE_DEFAULT_LOCK
+#define FAIRCO2_CACHE_DEFAULT_LOCK "mutex"
+#endif
+#ifndef FAIRCO2_CACHE_DEFAULT_COMPRESS
+#define FAIRCO2_CACHE_DEFAULT_COMPRESS "identity"
+#endif
+
+namespace fairco2::cache
+{
+
+const char *
+policyName(EvictPolicy policy)
+{
+    return policy == EvictPolicy::Lru ? LruPolicy::kName
+                                      : ClockPolicy::kName;
+}
+
+const char *
+allocName(AllocKind alloc)
+{
+    return alloc == AllocKind::Malloc ? MallocAlloc::kName
+                                      : ArenaAlloc::kName;
+}
+
+const char *
+lockName(LockKind lock)
+{
+    return lock == LockKind::Mutex ? MutexLockApi::kName
+                                   : ShardedRwLockApi::kName;
+}
+
+const char *
+codecName(Codec codec)
+{
+    return codec == Codec::Identity ? IdentityCompr::kName
+                                    : LzCompr::kName;
+}
+
+EvictPolicy
+parsePolicy(const std::string &name)
+{
+    if (name == LruPolicy::kName)
+        return EvictPolicy::Lru;
+    if (name == ClockPolicy::kName)
+        return EvictPolicy::Clock;
+    throw std::invalid_argument("unknown cache policy '" + name +
+                                "' (valid: lru, clock)");
+}
+
+AllocKind
+parseAlloc(const std::string &name)
+{
+    if (name == MallocAlloc::kName)
+        return AllocKind::Malloc;
+    if (name == ArenaAlloc::kName)
+        return AllocKind::Arena;
+    throw std::invalid_argument("unknown cache allocator '" + name +
+                                "' (valid: malloc, arena)");
+}
+
+LockKind
+parseLock(const std::string &name)
+{
+    if (name == MutexLockApi::kName)
+        return LockKind::Mutex;
+    if (name == ShardedRwLockApi::kName)
+        return LockKind::Sharded;
+    throw std::invalid_argument("unknown cache lock '" + name +
+                                "' (valid: mutex, sharded)");
+}
+
+Codec
+parseCodec(const std::string &name)
+{
+    if (name == IdentityCompr::kName)
+        return Codec::Identity;
+    if (name == LzCompr::kName)
+        return Codec::Lz;
+    throw std::invalid_argument("unknown cache codec '" + name +
+                                "' (valid: identity, lz)");
+}
+
+BackendConfig
+parseBackendSpec(const std::string &spec)
+{
+    BackendConfig config = defaultBackend();
+    if (spec.empty())
+        return config;
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = spec.find(',', start);
+        parts.push_back(spec.substr(start, comma - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (parts.size() > 3)
+        throw std::invalid_argument(
+            "cache backend spec '" + spec +
+            "' has too many components (expected "
+            "policy[,alloc[,lock]])");
+    config.policy = parsePolicy(parts[0]);
+    if (parts.size() > 1)
+        config.alloc = parseAlloc(parts[1]);
+    if (parts.size() > 2)
+        config.lock = parseLock(parts[2]);
+    return config;
+}
+
+std::string
+backendSpec(const BackendConfig &config)
+{
+    return std::string(policyName(config.policy)) + "," +
+        allocName(config.alloc) + "," + lockName(config.lock);
+}
+
+const BackendConfig &
+defaultBackend()
+{
+    static const BackendConfig config = [] {
+        BackendConfig built;
+        built.policy = parsePolicy(FAIRCO2_CACHE_DEFAULT_POLICY);
+        built.alloc = parseAlloc(FAIRCO2_CACHE_DEFAULT_ALLOC);
+        built.lock = parseLock(FAIRCO2_CACHE_DEFAULT_LOCK);
+        built.codec = parseCodec(FAIRCO2_CACHE_DEFAULT_COMPRESS);
+        return built;
+    }();
+    return config;
+}
+
+std::vector<BackendConfig>
+allBackendCombinations()
+{
+    std::vector<BackendConfig> combos;
+    combos.reserve(16);
+    for (const Codec codec : {Codec::Identity, Codec::Lz})
+        for (const LockKind lock :
+             {LockKind::Mutex, LockKind::Sharded})
+            for (const AllocKind alloc :
+                 {AllocKind::Malloc, AllocKind::Arena})
+                for (const EvictPolicy policy :
+                     {EvictPolicy::Lru, EvictPolicy::Clock}) {
+                    BackendConfig config;
+                    config.policy = policy;
+                    config.alloc = alloc;
+                    config.lock = lock;
+                    config.codec = codec;
+                    combos.push_back(config);
+                }
+    return combos;
+}
+
+namespace
+{
+
+template <class AllocApi, class PolicyApi, class LockApi>
+std::unique_ptr<BlobStore>
+makeWithCodec(const BackendConfig &config, std::size_t capacity)
+{
+    if (config.codec == Codec::Identity)
+        return std::make_unique<BasicBlobStore<
+            AllocApi, PolicyApi, LockApi, IdentityCompr>>(config,
+                                                          capacity);
+    return std::make_unique<
+        BasicBlobStore<AllocApi, PolicyApi, LockApi, LzCompr>>(
+        config, capacity);
+}
+
+template <class AllocApi, class PolicyApi>
+std::unique_ptr<BlobStore>
+makeWithLock(const BackendConfig &config, std::size_t capacity)
+{
+    if (config.lock == LockKind::Mutex)
+        return makeWithCodec<AllocApi, PolicyApi, MutexLockApi>(
+            config, capacity);
+    return makeWithCodec<AllocApi, PolicyApi, ShardedRwLockApi>(
+        config, capacity);
+}
+
+template <class AllocApi>
+std::unique_ptr<BlobStore>
+makeWithPolicy(const BackendConfig &config, std::size_t capacity)
+{
+    if (config.policy == EvictPolicy::Lru)
+        return makeWithLock<AllocApi, LruPolicy>(config, capacity);
+    return makeWithLock<AllocApi, ClockPolicy>(config, capacity);
+}
+
+} // namespace
+
+std::unique_ptr<BlobStore>
+makeBlobStore(const BackendConfig &config, std::size_t capacity)
+{
+    if (capacity == 0)
+        throw std::invalid_argument(
+            "makeBlobStore: capacity must be > 0 (callers disable "
+            "memoization by not building a store)");
+    if (config.alloc == AllocKind::Malloc)
+        return makeWithPolicy<MallocAlloc>(config, capacity);
+    return makeWithPolicy<ArenaAlloc>(config, capacity);
+}
+
+} // namespace fairco2::cache

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime description of a blob-store backend: which allocator,
+ * eviction policy, lock strategy, and compressor a store should use,
+ * plus the parse/format helpers behind `--cache-backend` and
+ * `--cache-compress` and the compile-time default selected by the
+ * CMake options FAIRCO2_CACHE_{ALLOC,POLICY,LOCK,COMPRESS}.
+ *
+ * Every combination is always compiled in (the differential matrix
+ * suite exercises all 16 in one build); the CMake options only move
+ * the default that the engines, CLI, and benches start from.
+ */
+
+#ifndef FAIRCO2_CACHE_BACKEND_HH
+#define FAIRCO2_CACHE_BACKEND_HH
+
+#include <string>
+#include <vector>
+
+namespace fairco2::cache
+{
+
+enum class EvictPolicy
+{
+    Lru,
+    Clock,
+};
+
+enum class AllocKind
+{
+    Malloc,
+    Arena,
+};
+
+enum class LockKind
+{
+    Mutex,
+    Sharded,
+};
+
+enum class Codec
+{
+    Identity,
+    Lz,
+};
+
+/** One point in the allocator x policy x lock x codec matrix. */
+struct BackendConfig
+{
+    EvictPolicy policy = EvictPolicy::Lru;
+    AllocKind alloc = AllocKind::Malloc;
+    LockKind lock = LockKind::Mutex;
+    Codec codec = Codec::Identity;
+
+    bool
+    operator==(const BackendConfig &other) const
+    {
+        return policy == other.policy && alloc == other.alloc &&
+            lock == other.lock && codec == other.codec;
+    }
+};
+
+const char *policyName(EvictPolicy policy);
+const char *allocName(AllocKind alloc);
+const char *lockName(LockKind lock);
+const char *codecName(Codec codec);
+
+/** Parse one component name; throws std::invalid_argument with the
+ *  valid spellings on anything else. */
+EvictPolicy parsePolicy(const std::string &name);
+AllocKind parseAlloc(const std::string &name);
+LockKind parseLock(const std::string &name);
+Codec parseCodec(const std::string &name);
+
+/**
+ * Parse a `--cache-backend` spec: `policy[,alloc[,lock]]` with
+ * components `lru|clock`, `malloc|arena`, `mutex|sharded`. Omitted
+ * components keep the build default. The codec is not part of the
+ * spec (it has its own `--cache-compress` flag) and is copied from
+ * the build default. Throws std::invalid_argument on a malformed
+ * spec.
+ */
+BackendConfig parseBackendSpec(const std::string &spec);
+
+/** Format @p config as the canonical `policy,alloc,lock` spec. */
+std::string backendSpec(const BackendConfig &config);
+
+/** The build-default backend, from the FAIRCO2_CACHE_* options. */
+const BackendConfig &defaultBackend();
+
+/** All 16 allocator x policy x lock x codec combinations, reference
+ *  (lru,malloc,mutex,identity) first — the matrix the differential
+ *  suite iterates. */
+std::vector<BackendConfig> allBackendCombinations();
+
+} // namespace fairco2::cache
+
+#endif // FAIRCO2_CACHE_BACKEND_HH

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * The blob store the memo caches sit on: an entry-capped key→bytes
+ * map assembled from the four plug-in APIs (alloc_api.hh,
+ * cache_api.hh, lock_api.hh, compr_api.hh). Callers hand in raw
+ * serialized bytes; the store compresses, allocates, shards, and
+ * evicts; `get` hands back the exact raw bytes or throws
+ * CorruptBlockError when the stored block no longer decodes.
+ *
+ * The store is an optimization layer, never an input: whichever
+ * backend combination is plugged in, a hit returns bytes identical
+ * to what was put, so computations built on top publish
+ * byte-identical results across the whole backend matrix (enforced
+ * by tests/test_cache_backends.cc).
+ *
+ * BasicBlobStore is the single template implementation; makeBlobStore
+ * (backend.cc) instantiates it for all 16 combinations so the matrix
+ * is runtime-selectable in one build.
+ */
+
+#ifndef FAIRCO2_CACHE_BLOBSTORE_HH
+#define FAIRCO2_CACHE_BLOBSTORE_HH
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/alloc_api.hh"
+#include "cache/backend.hh"
+#include "cache/cache_api.hh"
+#include "cache/compr_api.hh"
+#include "cache/lock_api.hh"
+
+namespace fairco2::cache
+{
+
+/** Monotonic/instantaneous store counters. @c storedBytes and
+ *  @c rawBytes are the current resident compressed and uncompressed
+ *  footprints; @c evictions is cumulative. */
+struct StoreCounters
+{
+    std::uint64_t entries = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t storedBytes = 0;
+    std::uint64_t rawBytes = 0;
+};
+
+/** Runtime interface over one BasicBlobStore instantiation. */
+class BlobStore
+{
+  public:
+    virtual ~BlobStore() = default;
+
+    /** Copy the raw bytes stored under @p key into @p out. Returns
+     *  false on a miss; throws CorruptBlockError when the stored
+     *  block fails to decode. */
+    virtual bool get(std::uint64_t key,
+                     std::vector<std::uint8_t> &out) = 0;
+
+    /** Store @p size raw bytes under @p key, evicting per policy to
+     *  stay within the entry capacity. Overwrites any prior entry. */
+    virtual void put(std::uint64_t key, const std::uint8_t *data,
+                     std::size_t size) = 0;
+
+    /** Drop @p key; returns true when it was resident. */
+    virtual bool erase(std::uint64_t key) = 0;
+
+    virtual StoreCounters counters() const = 0;
+
+    virtual const BackendConfig &backend() const = 0;
+
+    /** Test hook: flip one bit of one resident entry's stored bytes
+     *  at @p byte_offset (modulo that entry's stored size). Returns
+     *  false when the store is empty. */
+    virtual bool corruptOneForTest(std::size_t byte_offset) = 0;
+};
+
+/** The one concrete store, parameterized over the four plug-ins. */
+template <class AllocApi, class PolicyApi, class LockApi,
+          class ComprApi>
+class BasicBlobStore final : public BlobStore
+{
+  public:
+    BasicBlobStore(const BackendConfig &backend, std::size_t capacity)
+        : backend_(backend),
+          perShardCapacity_(std::max<std::size_t>(
+              1,
+              (capacity + LockApi::kShards - 1) / LockApi::kShards))
+    {
+    }
+
+    ~BasicBlobStore() override
+    {
+        for (Shard &shard : shards_)
+            for (auto &[key, entry] : shard.table)
+                shard.alloc.deallocate(entry.block);
+    }
+
+    bool
+    get(std::uint64_t key, std::vector<std::uint8_t> &out) override
+    {
+        Shard &shard = shards_[shardOf(key)];
+        if constexpr (PolicyApi::kHitNeedsExclusive) {
+            typename LockApi::WriteGuard guard(shard.lock);
+            return getLocked(shard, key, out);
+        } else {
+            typename LockApi::ReadGuard guard(shard.lock);
+            return getLocked(shard, key, out);
+        }
+    }
+
+    void
+    put(std::uint64_t key, const std::uint8_t *data,
+        std::size_t size) override
+    {
+        // Compress outside the lock: deterministic and read-only.
+        const std::vector<std::uint8_t> stored =
+            ComprApi::compress(data, size);
+        Shard &shard = shards_[shardOf(key)];
+        typename LockApi::WriteGuard guard(shard.lock);
+        const auto prior = shard.table.find(key);
+        if (prior != shard.table.end())
+            removeLocked(shard, prior);
+        while (shard.table.size() >= perShardCapacity_) {
+            std::uint64_t victim = 0;
+            if (!shard.policy.victim(&victim))
+                break;
+            const auto vit = shard.table.find(victim);
+            if (vit == shard.table.end())
+                break;
+            removeLocked(shard, vit);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        Entry entry;
+        entry.rawSize = size;
+        entry.block = shard.alloc.allocate(stored.size());
+        if (!stored.empty())
+            std::memcpy(entry.block.data, stored.data(),
+                        stored.size());
+        shard.table.emplace(key, entry);
+        shard.policy.insert(key);
+        shard.lastKey.store(key, std::memory_order_relaxed);
+        entries_.fetch_add(1, std::memory_order_relaxed);
+        storedBytes_.fetch_add(stored.size(),
+                               std::memory_order_relaxed);
+        rawBytes_.fetch_add(size, std::memory_order_relaxed);
+    }
+
+    bool
+    erase(std::uint64_t key) override
+    {
+        Shard &shard = shards_[shardOf(key)];
+        typename LockApi::WriteGuard guard(shard.lock);
+        const auto it = shard.table.find(key);
+        if (it == shard.table.end())
+            return false;
+        removeLocked(shard, it);
+        return true;
+    }
+
+    StoreCounters
+    counters() const override
+    {
+        StoreCounters counters;
+        counters.entries = entries_.load(std::memory_order_relaxed);
+        counters.evictions =
+            evictions_.load(std::memory_order_relaxed);
+        counters.storedBytes =
+            storedBytes_.load(std::memory_order_relaxed);
+        counters.rawBytes = rawBytes_.load(std::memory_order_relaxed);
+        return counters;
+    }
+
+    const BackendConfig &
+    backend() const override
+    {
+        return backend_;
+    }
+
+    bool
+    corruptOneForTest(std::size_t byte_offset) override
+    {
+        for (Shard &shard : shards_) {
+            typename LockApi::WriteGuard guard(shard.lock);
+            if (shard.table.empty())
+                continue;
+            auto it = shard.table.find(
+                shard.lastKey.load(std::memory_order_relaxed));
+            if (it == shard.table.end())
+                it = shard.table.begin();
+            Entry &entry = it->second;
+            if (entry.block.size == 0)
+                continue;
+            entry.block.data[byte_offset % entry.block.size] ^= 0x01;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Entry
+    {
+        Block block;
+        std::size_t rawSize = 0;
+    };
+
+    struct Shard
+    {
+        typename LockApi::Lock lock;
+        AllocApi alloc;
+        PolicyApi policy;
+        std::unordered_map<std::uint64_t, Entry> table;
+        // Most recently inserted key, for the corruption test hook;
+        // atomic because hits update it under a shared lock.
+        std::atomic<std::uint64_t> lastKey{0};
+    };
+
+    static std::size_t
+    shardOf(std::uint64_t key)
+    {
+        if constexpr (LockApi::kShards == 1)
+            return 0;
+        // Fibonacci mix so keys that share low bits still spread.
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ull) >> 32) %
+            LockApi::kShards;
+    }
+
+    bool
+    getLocked(Shard &shard, std::uint64_t key,
+              std::vector<std::uint8_t> &out)
+    {
+        const auto it = shard.table.find(key);
+        if (it == shard.table.end())
+            return false;
+        const Entry &entry = it->second;
+        out.resize(entry.rawSize);
+        ComprApi::decompress(entry.block.data, entry.block.size,
+                             out.data(), entry.rawSize);
+        shard.policy.touch(key);
+        shard.lastKey.store(key, std::memory_order_relaxed);
+        return true;
+    }
+
+    void
+    removeLocked(Shard &shard,
+                 typename std::unordered_map<std::uint64_t,
+                                             Entry>::iterator it)
+    {
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        storedBytes_.fetch_sub(it->second.block.size,
+                               std::memory_order_relaxed);
+        rawBytes_.fetch_sub(it->second.rawSize,
+                            std::memory_order_relaxed);
+        shard.policy.erase(it->first);
+        shard.alloc.deallocate(it->second.block);
+        shard.table.erase(it);
+    }
+
+    BackendConfig backend_;
+    std::size_t perShardCapacity_;
+    std::array<Shard, LockApi::kShards> shards_{};
+    std::atomic<std::uint64_t> entries_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> storedBytes_{0};
+    std::atomic<std::uint64_t> rawBytes_{0};
+};
+
+/** Build the store for @p config with a total capacity of
+ *  @p capacity entries (split across the lock API's shards, at
+ *  least one per shard). @p capacity must be > 0; stores do not
+ *  model the "memoization off" case — callers skip the store
+ *  entirely for that. */
+std::unique_ptr<BlobStore> makeBlobStore(const BackendConfig &config,
+                                         std::size_t capacity);
+
+} // namespace fairco2::cache
+
+#endif // FAIRCO2_CACHE_BLOBSTORE_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Eviction-policy plug-in API for the blob stores, after the uszram
+ * `cache-api.h` pattern: a policy tracks resident keys and nominates
+ * victims; the store owns the key→bytes table and calls back into
+ * the policy on insert/hit/erase. Two backends ship:
+ *
+ *  - LruPolicy: exact least-recently-used via an intrusive list.
+ *    Hits reorder the list, so `kHitNeedsExclusive` is true and the
+ *    store takes the shard's write lock even on reads.
+ *  - ClockPolicy: second-chance CLOCK over a slotted ring. Hits only
+ *    set an atomic reference bit, so `kHitNeedsExclusive` is false
+ *    and concurrent readers proceed under the shard's shared lock.
+ */
+
+#ifndef FAIRCO2_CACHE_CACHE_API_HH
+#define FAIRCO2_CACHE_CACHE_API_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace fairco2::cache
+{
+
+/** Exact LRU: most-recent at the front, victim at the back. */
+class LruPolicy
+{
+  public:
+    static constexpr const char *kName = "lru";
+    static constexpr bool kHitNeedsExclusive = true;
+
+    void
+    insert(std::uint64_t key)
+    {
+        order_.push_front(key);
+        pos_[key] = order_.begin();
+    }
+
+    void
+    touch(std::uint64_t key)
+    {
+        const auto it = pos_.find(key);
+        if (it != pos_.end())
+            order_.splice(order_.begin(), order_, it->second);
+    }
+
+    void
+    erase(std::uint64_t key)
+    {
+        const auto it = pos_.find(key);
+        if (it != pos_.end()) {
+            order_.erase(it->second);
+            pos_.erase(it);
+        }
+    }
+
+    bool
+    victim(std::uint64_t *out) const
+    {
+        if (order_.empty())
+            return false;
+        *out = order_.back();
+        return true;
+    }
+
+  private:
+    std::list<std::uint64_t> order_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        pos_;
+};
+
+/** Second-chance CLOCK. Frames live in a deque (stable addresses for
+ *  the atomic reference bits); erased frames go on a free list and
+ *  are reused by later inserts. touch() is safe under a shared lock:
+ *  it only reads the position map and stores the atomic bit. */
+class ClockPolicy
+{
+  public:
+    static constexpr const char *kName = "clock";
+    static constexpr bool kHitNeedsExclusive = false;
+
+    void
+    insert(std::uint64_t key)
+    {
+        std::size_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+        } else {
+            slot = frames_.size();
+            frames_.emplace_back();
+        }
+        frames_[slot].key = key;
+        frames_[slot].ref.store(1, std::memory_order_relaxed);
+        frames_[slot].live = true;
+        pos_[key] = slot;
+    }
+
+    void
+    touch(std::uint64_t key)
+    {
+        const auto it = pos_.find(key);
+        if (it != pos_.end())
+            frames_[it->second].ref.store(
+                1, std::memory_order_relaxed);
+    }
+
+    void
+    erase(std::uint64_t key)
+    {
+        const auto it = pos_.find(key);
+        if (it != pos_.end()) {
+            frames_[it->second].live = false;
+            free_.push_back(it->second);
+            pos_.erase(it);
+        }
+    }
+
+    bool
+    victim(std::uint64_t *out)
+    {
+        if (pos_.empty())
+            return false;
+        // At most two sweeps: the first clears reference bits, the
+        // second then finds an unreferenced live frame.
+        for (std::size_t step = 0; step < 2 * frames_.size() + 1;
+             ++step) {
+            if (hand_ >= frames_.size())
+                hand_ = 0;
+            Frame &frame = frames_[hand_];
+            ++hand_;
+            if (!frame.live)
+                continue;
+            if (frame.ref.exchange(0, std::memory_order_relaxed) ==
+                0) {
+                *out = frame.key;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    struct Frame
+    {
+        std::uint64_t key = 0;
+        std::atomic<std::uint8_t> ref{0};
+        bool live = false;
+    };
+
+    std::deque<Frame> frames_;
+    std::vector<std::size_t> free_;
+    std::unordered_map<std::uint64_t, std::size_t> pos_;
+    std::size_t hand_ = 0;
+};
+
+} // namespace fairco2::cache
+
+#endif // FAIRCO2_CACHE_CACHE_API_HH

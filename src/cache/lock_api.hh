@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Lock plug-in API for the blob stores, after the uszram `locks/`
+ * family: a lock API names the per-shard lock type, its read/write
+ * guards, and how many shards the store should split its table into.
+ * Two backends ship:
+ *
+ *  - MutexLockApi: one shard under one std::mutex (the reference
+ *    build; read and write guards are the same exclusive lock);
+ *  - ShardedRwLockApi: eight shards, each under a std::shared_mutex,
+ *    so concurrent readers of different keys never contend and
+ *    readers of the same shard share the lock (with a policy whose
+ *    `kHitNeedsExclusive` is false, e.g. CLOCK).
+ */
+
+#ifndef FAIRCO2_CACHE_LOCK_API_HH
+#define FAIRCO2_CACHE_LOCK_API_HH
+
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
+
+namespace fairco2::cache
+{
+
+/** Reference locking: a single exclusive mutex over one shard. */
+struct MutexLockApi
+{
+    static constexpr const char *kName = "mutex";
+    static constexpr std::size_t kShards = 1;
+    using Lock = std::mutex;
+    using ReadGuard = std::lock_guard<std::mutex>;
+    using WriteGuard = std::lock_guard<std::mutex>;
+};
+
+/** Eight shards, each under a reader-writer lock. */
+struct ShardedRwLockApi
+{
+    static constexpr const char *kName = "sharded";
+    static constexpr std::size_t kShards = 8;
+    using Lock = std::shared_mutex;
+    using ReadGuard = std::shared_lock<std::shared_mutex>;
+    using WriteGuard = std::unique_lock<std::shared_mutex>;
+};
+
+} // namespace fairco2::cache
+
+#endif // FAIRCO2_CACHE_LOCK_API_HH

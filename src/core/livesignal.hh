@@ -60,9 +60,12 @@ class LiveIntensityService
         std::size_t incrementalWindowPeriods = 0;
         /** Samples per period in incremental mode. */
         std::size_t incrementalPeriodSamples = 12;
-        /** Sub-game LRU capacity in incremental mode (0 disables
+        /** Sub-game cache capacity in incremental mode (0 disables
          *  memoization). */
         std::size_t incrementalCacheCapacity = 64;
+        /** Memo-cache blob-store backend in incremental mode. */
+        cache::BackendConfig incrementalCacheBackend =
+            cache::defaultBackend();
     };
 
     LiveIntensityService();

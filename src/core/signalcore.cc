@@ -19,6 +19,7 @@ engineConfigFor(const IncrementalSignalCore::Config &config)
     ec.stepSeconds = config.stepSeconds;
     ec.innerSplits = config.innerSplits;
     ec.cacheCapacity = config.cacheCapacity;
+    ec.backend = config.cacheBackend;
     ec.seed = config.seed;
     return ec;
 }

@@ -48,8 +48,11 @@ class IncrementalSignalCore
         double stepSeconds = 300.0;
         /** Inner hierarchy below each period. */
         std::vector<std::size_t> innerSplits{};
-        /** Sub-game LRU capacity (0 = memoization off). */
+        /** Sub-game cache capacity (0 = memoization off). */
         std::size_t cacheCapacity = 64;
+        /** Blob-store backend for the memo cache; every combination
+         *  publishes byte-identical signals. */
+        cache::BackendConfig cacheBackend = cache::defaultBackend();
         /** Pool policy: grams per wall-clock second, amortized over
          *  the window — windowPoolGrams() applies it. */
         double poolGramsPerSecond = 1.0;

@@ -102,7 +102,8 @@ attributeIncremental(const trace::TimeSeries &window,
                      std::size_t period_samples,
                      const std::vector<std::size_t> &inner_splits,
                      std::size_t cache_capacity,
-                     const resilience::FaultPlan *plan)
+                     const resilience::FaultPlan *plan,
+                     const cache::BackendConfig &backend)
 {
     FAIRCO2_SPAN("pipeline.attribute.incremental");
     AttributionOutput out;
@@ -130,6 +131,7 @@ attributeIncremental(const trace::TimeSeries &window,
     config.stepSeconds = window.stepSeconds();
     config.innerSplits = inner_splits;
     config.cacheCapacity = cache_capacity;
+    config.backend = backend;
     shapley::IncrementalTemporalEngine engine(config);
 
     // Each sliding window spans W*M of the n samples; its pool share

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/backend.hh"
 #include "common/rng.hh"
 #include "trace/timeseries.hh"
 
@@ -99,8 +100,10 @@ attributeProportional(const trace::TimeSeries &window,
  * (a multiple of the period size); the pool share of any tail samples
  * stays unattributed, so attributed + unattributed == pool by
  * construction. @p inner_splits shape each period's inner hierarchy
- * and @p cache_capacity bounds the sub-game LRU (0 = memoization
- * off). When @p plan carries a nonzero `cache-corrupt` probability,
+ * and @p cache_capacity bounds the sub-game cache (0 = memoization
+ * off); @p backend picks the blob-store combination holding it —
+ * every combination yields byte-identical output. When @p plan
+ * carries a nonzero `cache-corrupt` probability,
  * cache entries are deterministically corrupted before some advances;
  * the resulting CacheIntegrityError propagates to the caller (the
  * supervisor turns it into a stage crash and falls back to
@@ -112,7 +115,9 @@ attributeIncremental(const trace::TimeSeries &window,
                      std::size_t period_samples,
                      const std::vector<std::size_t> &inner_splits,
                      std::size_t cache_capacity,
-                     const resilience::FaultPlan *plan = nullptr);
+                     const resilience::FaultPlan *plan = nullptr,
+                     const cache::BackendConfig &backend =
+                         cache::defaultBackend());
 
 } // namespace fairco2::pipeline
 

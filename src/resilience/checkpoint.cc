@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "cache/compr_api.hh"
+
 namespace fairco2::resilience
 {
 
@@ -12,6 +14,16 @@ namespace
 constexpr char kMagic[4] = {'F', 'C', '2', 'K'};
 constexpr std::size_t kHeaderBytes =
     sizeof(kMagic) + sizeof(std::uint32_t) + 5 * sizeof(std::uint64_t);
+// v2 inserts a u32 codec id after the version and a u64
+// stored-payload size after record_bytes.
+constexpr std::size_t kHeaderBytesV2 =
+    kHeaderBytes + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+std::uint32_t
+codecId(cache::Codec codec)
+{
+    return codec == cache::Codec::Lz ? 1u : 0u;
+}
 
 void
 appendBytes(std::vector<std::uint8_t> &out, const void *data,
@@ -85,15 +97,36 @@ readCheckpointFile(const std::string &path)
     std::uint32_t version = 0;
     std::memcpy(&version, bytes.data() + sizeof(kMagic),
                 sizeof(version));
-    if (version != kCheckpointVersion)
+    if (version != kCheckpointVersion &&
+        version != kCheckpointVersionCompressed)
         throw CheckpointError(
             "unsupported checkpoint version " +
             std::to_string(version) + " (expected " +
-            std::to_string(kCheckpointVersion) + "): " + path);
+            std::to_string(kCheckpointVersion) + " or " +
+            std::to_string(kCheckpointVersionCompressed) + "): " +
+            path);
+    const bool compressed = version == kCheckpointVersionCompressed;
+    const std::size_t header_bytes =
+        compressed ? kHeaderBytesV2 : kHeaderBytes;
+    if (bytes.size() < header_bytes + sizeof(std::uint64_t))
+        throw CheckpointError("truncated checkpoint: " + path);
 
     const std::uint8_t *cursor =
         bytes.data() + sizeof(kMagic) + sizeof(version);
     CheckpointImage image;
+    if (compressed) {
+        std::uint32_t codec_id = 0;
+        std::memcpy(&codec_id, cursor, sizeof(codec_id));
+        cursor += sizeof(codec_id);
+        if (codec_id == 0)
+            image.codec = cache::Codec::Identity;
+        else if (codec_id == 1)
+            image.codec = cache::Codec::Lz;
+        else
+            throw CheckpointError("unknown checkpoint codec id " +
+                                  std::to_string(codec_id) + ": " +
+                                  path);
+    }
     image.fingerprint = readU64(cursor);
     image.configHash = readU64(cursor + 8);
     image.trials = readU64(cursor + 16);
@@ -108,8 +141,10 @@ readCheckpointFile(const std::string &path)
     const std::uint64_t bitmap_bytes = (chunks + 7) / 8;
     const std::uint64_t payload_bytes =
         image.trials * image.recordBytes;
-    const std::uint64_t expected = kHeaderBytes + bitmap_bytes +
-        payload_bytes + sizeof(std::uint64_t);
+    const std::uint64_t stored_payload_bytes =
+        compressed ? readU64(cursor + 40) : payload_bytes;
+    const std::uint64_t expected = header_bytes + bitmap_bytes +
+        stored_payload_bytes + sizeof(std::uint64_t);
     if (bytes.size() != expected)
         throw CheckpointError("truncated checkpoint: " + path);
 
@@ -120,10 +155,29 @@ readCheckpointFile(const std::string &path)
     if (stored != actual)
         throw CheckpointError("checkpoint checksum mismatch: " + path);
 
-    const std::uint8_t *body = bytes.data() + kHeaderBytes;
+    const std::uint8_t *body = bytes.data() + header_bytes;
     image.bitmap.assign(body, body + bitmap_bytes);
-    image.payload.assign(body + bitmap_bytes,
-                         body + bitmap_bytes + payload_bytes);
+    const std::uint8_t *stored_payload = body + bitmap_bytes;
+    if (!compressed) {
+        image.payload.assign(stored_payload,
+                             stored_payload + payload_bytes);
+        return image;
+    }
+    image.payload.resize(payload_bytes);
+    try {
+        if (image.codec == cache::Codec::Lz)
+            cache::LzCompr::decompress(
+                stored_payload, stored_payload_bytes,
+                image.payload.data(), payload_bytes);
+        else
+            cache::IdentityCompr::decompress(
+                stored_payload, stored_payload_bytes,
+                image.payload.data(), payload_bytes);
+    } catch (const cache::CorruptBlockError &e) {
+        throw CheckpointError(
+            std::string("checkpoint payload does not decompress (") +
+            e.what() + "): " + path);
+    }
     return image;
 }
 
@@ -131,19 +185,47 @@ void
 writeCheckpointFile(const std::string &path,
                     const CheckpointImage &image)
 {
+    // Identity keeps emitting the exact v1 byte stream; only a real
+    // compressor switches the file to v2.
+    const bool compressed = image.codec != cache::Codec::Identity;
+    std::vector<std::uint8_t> stored_payload;
+    if (compressed)
+        stored_payload = cache::LzCompr::compress(
+            image.payload.data(), image.payload.size());
+
     std::vector<std::uint8_t> bytes;
-    bytes.reserve(kHeaderBytes + image.bitmap.size() +
-                  image.payload.size() + sizeof(std::uint64_t));
+    bytes.reserve((compressed ? kHeaderBytesV2 : kHeaderBytes) +
+                  image.bitmap.size() +
+                  (compressed ? stored_payload.size()
+                              : image.payload.size()) +
+                  sizeof(std::uint64_t));
     appendBytes(bytes, kMagic, sizeof(kMagic));
-    appendBytes(bytes, &kCheckpointVersion,
-                sizeof(kCheckpointVersion));
+    const std::uint32_t version = compressed
+        ? kCheckpointVersionCompressed
+        : kCheckpointVersion;
+    appendBytes(bytes, &version, sizeof(version));
+    if (compressed) {
+        const std::uint32_t codec_id = codecId(image.codec);
+        appendBytes(bytes, &codec_id, sizeof(codec_id));
+    }
     appendBytes(bytes, &image.fingerprint, sizeof(std::uint64_t));
     appendBytes(bytes, &image.configHash, sizeof(std::uint64_t));
     appendBytes(bytes, &image.trials, sizeof(std::uint64_t));
     appendBytes(bytes, &image.chunkTrials, sizeof(std::uint64_t));
     appendBytes(bytes, &image.recordBytes, sizeof(std::uint64_t));
+    if (compressed) {
+        const std::uint64_t stored_payload_bytes =
+            stored_payload.size();
+        appendBytes(bytes, &stored_payload_bytes,
+                    sizeof(stored_payload_bytes));
+    }
     appendBytes(bytes, image.bitmap.data(), image.bitmap.size());
-    appendBytes(bytes, image.payload.data(), image.payload.size());
+    if (compressed)
+        appendBytes(bytes, stored_payload.data(),
+                    stored_payload.size());
+    else
+        appendBytes(bytes, image.payload.data(),
+                    image.payload.size());
     const std::uint64_t checksum =
         fnv1a64(bytes.data(), bytes.size());
     appendBytes(bytes, &checksum, sizeof(checksum));

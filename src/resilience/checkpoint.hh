@@ -14,16 +14,26 @@
  * platforms we build for):
  *
  *     magic      4 bytes  "FC2K"
- *     version    u32      currently 1
+ *     version    u32      1 (raw payload) or 2 (compressed payload)
+ *     codec      u32      version 2 only: cache::Codec id
  *     fingerprint u64     first draw of base.fork(2^63) — ties the
  *                         file to the RNG seed of the run
  *     config_hash u64     FNV-1a over every config field
  *     trials     u64
  *     chunk_trials u64
  *     record_bytes u64    sizeof(Record)
+ *     stored_bytes u64    version 2 only: compressed payload size
  *     bitmap     ceil(chunks/8) bytes, bit c = chunk c complete
- *     payload    trials * record_bytes
+ *     payload    trials * record_bytes (v1) / stored_bytes (v2)
  *     checksum   u64      FNV-1a over all preceding bytes
+ *
+ * Version 1 is written when CheckpointOptions::codec is identity —
+ * the exact bytes of the pre-codec format, so identity builds stay
+ * file-compatible. Version 2 stores the payload through a
+ * `cache::` compressor (see src/cache/compr_api.hh); the reader
+ * accepts both and always hands back the raw payload, so resuming a
+ * v1 file into a compressing run (or vice versa) reproduces the
+ * same records.
  *
  * A checkpoint that is truncated, corrupted, version-mismatched, or
  * from a different configuration is rejected with a CheckpointError
@@ -42,6 +52,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "cache/backend.hh"
 #include "common/errors.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
@@ -60,8 +71,11 @@ class CheckpointError : public FatalDataError
     }
 };
 
-/** Current checkpoint format version. */
+/** Raw-payload checkpoint format version. */
 constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** Compressed-payload checkpoint format version. */
+constexpr std::uint32_t kCheckpointVersionCompressed = 2;
 
 /** FNV-1a 64-bit offset basis / prime, shared by hash helpers. */
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
@@ -93,6 +107,11 @@ struct CheckpointOptions
     std::string checkpointPath; //!< write snapshots here (empty: off)
     std::string resumePath;     //!< restore from here first (empty: off)
     std::uint64_t chunkTrials = 0; //!< trials per chunk (0: one chunk)
+    /** Payload codec for *written* snapshots (identity keeps the v1
+     *  file format byte for byte); resumes auto-detect from the
+     *  file, so any codec resumes any file. Defaults to the build's
+     *  FAIRCO2_CACHE_COMPRESS selection. */
+    cache::Codec codec = cache::defaultBackend().codec;
 
     /**
      * Test hook: stop after computing this many chunks this run,
@@ -115,7 +134,9 @@ struct CheckpointRunResult
 namespace detail
 {
 
-/** Raw checkpoint contents, independent of the record type. */
+/** Raw checkpoint contents, independent of the record type. The
+ *  payload is always the *decoded* bytes; @c codec records how the
+ *  file stores (or should store) it on disk. */
 struct CheckpointImage
 {
     std::uint64_t fingerprint = 0;
@@ -123,6 +144,7 @@ struct CheckpointImage
     std::uint64_t trials = 0;
     std::uint64_t chunkTrials = 0;
     std::uint64_t recordBytes = 0;
+    cache::Codec codec = cache::Codec::Identity;
     std::vector<std::uint8_t> bitmap;
     std::vector<std::uint8_t> payload;
 };
@@ -221,6 +243,7 @@ runCheckpointedTrials(const CheckpointOptions &options, const Rng &base,
     std::vector<std::uint8_t> done = resumed;
     detail::CheckpointImage image;
     if (!options.checkpointPath.empty()) {
+        image.codec = options.codec;
         image.fingerprint = fingerprint;
         image.configHash = config_hash;
         image.trials = trials;

@@ -117,7 +117,10 @@ struct ServerConfig
     std::uint64_t durationPeriods = 48;
     std::size_t windowPeriods = 8;   //!< engine window W
     std::size_t periodSamples = 12;  //!< samples per period M
-    std::size_t cacheCapacity = 64;  //!< engine sub-game LRU
+    std::size_t cacheCapacity = 64;  //!< engine sub-game cache
+    /** Memo-cache blob-store backend for every shard engine and the
+     *  fleet engine. */
+    cache::BackendConfig cacheBackend = cache::defaultBackend();
     std::vector<std::size_t> innerSplits{}; //!< periods' inner tree
     double stepSeconds = 300.0;
     double poolGramsPerSecond = 0.35;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/errors.hh"
@@ -20,9 +22,12 @@ namespace
  *  the chunk grid and fold order never depend on `--threads N`. */
 constexpr std::size_t kPermChunk = 16;
 
+/** Bytes of the leading checksum word in a serialized blob. */
+constexpr std::size_t kBlobChecksumBytes = 8;
+
 /** FNV-1a-style accumulator (64-bit words per step, so verifying a
  *  cached payload stays much cheaper than re-solving it) used for
- *  both the canonical coalition hash and the payload checksums. */
+ *  both the canonical coalition hash and the blob checksums. */
 struct Fnv1a
 {
     std::uint64_t state = 14695981039346656037ULL;
@@ -36,6 +41,82 @@ struct Fnv1a
 
     void feed(double value) { feed(std::bit_cast<std::uint64_t>(value)); }
 };
+
+/** Checksum of a serialized payload: word-granular FNV-1a with a
+ *  zero-padded tail word plus the length, so blobs of different
+ *  sizes never collide on padding alone. */
+std::uint64_t
+blobChecksum(const std::uint8_t *data, std::size_t size)
+{
+    Fnv1a hash;
+    std::size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data + i, 8);
+        hash.feed(word);
+    }
+    if (i < size) {
+        std::uint64_t word = 0;
+        std::memcpy(&word, data + i, size - i);
+        hash.feed(word);
+    }
+    hash.feed(static_cast<std::uint64_t>(size));
+    return hash.state;
+}
+
+void
+putWord(std::vector<std::uint8_t> &out, std::uint64_t word)
+{
+    const std::size_t at = out.size();
+    out.resize(at + 8);
+    std::memcpy(out.data() + at, &word, 8);
+}
+
+void
+putDouble(std::vector<std::uint8_t> &out, double value)
+{
+    putWord(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/** Bounds-checked word cursor over one section of a serialized
+ *  blob ([pos, end) within the byte vector). */
+struct WordReader
+{
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t pos = 0;
+    std::size_t end = 0;
+
+    std::size_t remaining() const { return end - pos; }
+
+    bool
+    u64(std::uint64_t &out)
+    {
+        if (pos + 8 > end)
+            return false;
+        std::memcpy(&out, bytes.data() + pos, 8);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    f64(double &out)
+    {
+        std::uint64_t word;
+        if (!u64(word))
+            return false;
+        out = std::bit_cast<double>(word);
+        return true;
+    }
+};
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buf);
+}
 
 } // namespace
 
@@ -58,6 +139,9 @@ IncrementalTemporalEngine::IncrementalTemporalEngine(
                 "incremental engine: inner split counts must be "
                 ">= 1");
     }
+    if (config_.cacheCapacity > 0)
+        store_ = cache::makeBlobStore(config_.backend,
+                                      config_.cacheCapacity);
     partialPeriod_.reserve(config_.periodSamples);
 }
 
@@ -101,22 +185,28 @@ IncrementalTemporalEngine::windowReady() const
 void
 IncrementalTemporalEngine::invalidatePeriod(std::uint64_t period)
 {
-    // Exact invalidation: only entries whose coalition involves the
-    // period that just slid out of the window. The newly added
-    // period has no entry yet, so it simply misses on next use.
-    for (auto it = lru_.begin(); it != lru_.end();) {
-        const bool involved =
-            std::find(it->members.begin(), it->members.end(),
-                      period) != it->members.end();
-        if (!involved) {
-            ++it;
-            continue;
-        }
-        index_.erase(it->key);
-        it = lru_.erase(it);
+    // Exact invalidation: the only live entries whose coalition can
+    // involve the period that just slid out are its singleton solve
+    // and the window-phi of the window that *started* at it (older
+    // window-phi entries were invalidated on earlier advances), so
+    // two keyed erases replace a full scan. The newly added period
+    // has no entry yet and simply misses on next use.
+    if (!store_)
+        return;
+    const std::vector<std::uint64_t> single{period};
+    if (store_->erase(
+            coalitionHash(EntryKind::PeriodSolve, single))) {
         ++stats_.invalidations;
         FAIRCO2_COUNT("shapley.cache.invalidate", 1);
     }
+    std::vector<std::uint64_t> span(config_.windowPeriods);
+    for (std::size_t i = 0; i < span.size(); ++i)
+        span[i] = period + i;
+    if (store_->erase(coalitionHash(EntryKind::WindowPhi, span))) {
+        ++stats_.invalidations;
+        FAIRCO2_COUNT("shapley.cache.invalidate", 1);
+    }
+    syncCacheObs();
 }
 
 std::uint64_t
@@ -131,88 +221,253 @@ IncrementalTemporalEngine::coalitionHash(
     return hash.state;
 }
 
-std::uint64_t
-IncrementalTemporalEngine::payloadChecksum(const CacheEntry &entry)
+std::string
+IncrementalTemporalEngine::describeEntry(
+    EntryKind kind, const std::vector<std::uint64_t> &members)
 {
-    Fnv1a hash;
-    hash.feed(static_cast<std::uint64_t>(entry.kind));
-    hash.feed(static_cast<std::uint64_t>(entry.members.size()));
-    for (const std::uint64_t member : entry.members)
-        hash.feed(member);
-    if (entry.kind == EntryKind::WindowPhi) {
-        hash.feed(static_cast<std::uint64_t>(entry.phi.size()));
-        for (const double v : entry.phi)
-            hash.feed(v);
-        return hash.state;
-    }
-    hash.feed(entry.solve.peak);
-    hash.feed(entry.solve.usage);
-    hash.feed(static_cast<std::uint64_t>(entry.solve.leafCount));
-    hash.feed(entry.solve.operations);
-    // Allocation-free preorder walk over the solve tree — this runs
-    // on every cache hit, so it must stay much cheaper than the
-    // solve it verifies.
-    const auto walk = [&hash](const SolveNode &node,
-                              const auto &self) -> void {
-        hash.feed(static_cast<std::uint64_t>(node.begin));
-        hash.feed(static_cast<std::uint64_t>(node.end));
-        hash.feed(node.usage);
-        hash.feed(node.childDenom);
-        hash.feed(static_cast<std::uint64_t>(node.childPhi.size()));
-        for (const double v : node.childPhi)
-            hash.feed(v);
-        for (const double v : node.childUsages)
-            hash.feed(v);
-        for (const SolveNode &child : node.children)
-            self(child, self);
-    };
-    walk(entry.solve.root, walk);
-    return hash.state;
+    if (kind == EntryKind::WindowPhi && !members.empty())
+        return "window-phi cache entry for periods [" +
+            std::to_string(members.front()) + ".." +
+            std::to_string(members.back()) + "]";
+    if (!members.empty())
+        return "sub-game cache entry for window period " +
+            std::to_string(members.front());
+    return "sub-game cache entry with no coalition";
 }
 
-IncrementalTemporalEngine::CacheEntry *
-IncrementalTemporalEngine::lookup(
-    std::uint64_t key, EntryKind kind,
-    const std::vector<std::uint64_t> &members)
+void
+IncrementalTemporalEngine::serializeEntry(
+    const CacheEntry &entry, std::vector<std::uint8_t> &out)
 {
-    if (config_.cacheCapacity == 0) {
+    // The blob is two typed sections behind a word-count header:
+    // every u64 structure word in traversal order, then every IEEE
+    // double in the same order. Homogeneous sections are what makes
+    // the lz codec's delta transform effective — small integers
+    // delta to zero runs and neighboring doubles share exponent and
+    // top-mantissa bytes, which interleaved words would destroy.
+    out.clear();
+    std::vector<std::uint8_t> words;
+    std::vector<std::uint8_t> doubles;
+    putWord(words, static_cast<std::uint64_t>(entry.kind));
+    putWord(words,
+            static_cast<std::uint64_t>(entry.members.size()));
+    for (const std::uint64_t member : entry.members)
+        putWord(words, member);
+    if (entry.kind == EntryKind::WindowPhi) {
+        putWord(words,
+                static_cast<std::uint64_t>(entry.phi.size()));
+        for (const double v : entry.phi)
+            putDouble(doubles, v);
+    } else {
+        putWord(words,
+                static_cast<std::uint64_t>(entry.solve.leafCount));
+        putWord(words, entry.solve.operations);
+        putDouble(doubles, entry.solve.peak);
+        putDouble(doubles, entry.solve.usage);
+        const auto walk = [&words, &doubles](const SolveNode &node,
+                                             const auto &self)
+            -> void {
+            putWord(words, static_cast<std::uint64_t>(node.begin));
+            putWord(words, static_cast<std::uint64_t>(node.end));
+            putWord(words, static_cast<std::uint64_t>(
+                               node.children.size()));
+            putDouble(doubles, node.usage);
+            putDouble(doubles, node.childDenom);
+            for (const double v : node.childPhi)
+                putDouble(doubles, v);
+            for (const double v : node.childUsages)
+                putDouble(doubles, v);
+            for (const SolveNode &child : node.children)
+                self(child, self);
+        };
+        walk(entry.solve.root, walk);
+    }
+    putWord(out, 0); // checksum placeholder, filled below
+    putWord(out, static_cast<std::uint64_t>(words.size() / 8));
+    out.insert(out.end(), words.begin(), words.end());
+    out.insert(out.end(), doubles.begin(), doubles.end());
+    const std::uint64_t checksum =
+        blobChecksum(out.data() + kBlobChecksumBytes,
+                     out.size() - kBlobChecksumBytes);
+    std::memcpy(out.data(), &checksum, kBlobChecksumBytes);
+}
+
+bool
+IncrementalTemporalEngine::deserializeEntry(
+    const std::vector<std::uint8_t> &in, CacheEntry &out)
+{
+    if (in.size() < kBlobChecksumBytes + 8 ||
+        (in.size() % 8) != 0)
+        return false;
+    std::uint64_t word_count = 0;
+    {
+        std::memcpy(&word_count, in.data() + kBlobChecksumBytes, 8);
+    }
+    const std::size_t words_begin = kBlobChecksumBytes + 8;
+    if (word_count > (in.size() - words_begin) / 8)
+        return false;
+    const std::size_t doubles_begin =
+        words_begin + static_cast<std::size_t>(word_count) * 8;
+    WordReader words{in, words_begin, doubles_begin};
+    WordReader doubles{in, doubles_begin, in.size()};
+    std::uint64_t kind_word = 0;
+    std::uint64_t count = 0;
+    if (!words.u64(kind_word) || !words.u64(count))
+        return false;
+    if (kind_word !=
+            static_cast<std::uint64_t>(EntryKind::PeriodSolve) &&
+        kind_word != static_cast<std::uint64_t>(EntryKind::WindowPhi))
+        return false;
+    out.kind = static_cast<EntryKind>(kind_word);
+    if (count > words.remaining() / 8)
+        return false;
+    out.members.resize(static_cast<std::size_t>(count));
+    for (std::uint64_t &member : out.members)
+        if (!words.u64(member))
+            return false;
+    out.phi.clear();
+    out.solve = PeriodSolve{};
+    if (out.kind == EntryKind::WindowPhi) {
+        if (!words.u64(count))
+            return false;
+        if (count > doubles.remaining() / 8)
+            return false;
+        out.phi.resize(static_cast<std::size_t>(count));
+        for (double &v : out.phi)
+            if (!doubles.f64(v))
+                return false;
+        return words.remaining() == 0 && doubles.remaining() == 0;
+    }
+    std::uint64_t leaves = 0;
+    if (!words.u64(leaves) || !words.u64(out.solve.operations) ||
+        !doubles.f64(out.solve.peak) ||
+        !doubles.f64(out.solve.usage))
+        return false;
+    out.solve.leafCount = static_cast<std::size_t>(leaves);
+    const auto walk = [&words, &doubles](SolveNode &node,
+                                         const auto &self) -> bool {
+        std::uint64_t begin = 0;
+        std::uint64_t end = 0;
+        std::uint64_t chunks = 0;
+        if (!words.u64(begin) || !words.u64(end) ||
+            !words.u64(chunks) || !doubles.f64(node.usage) ||
+            !doubles.f64(node.childDenom))
+            return false;
+        node.begin = static_cast<std::size_t>(begin);
+        node.end = static_cast<std::size_t>(end);
+        // A corrupt count would drive the recursion far past the
+        // blob; the per-word bounds checks below stop it, but cap it
+        // against the remaining bytes anyway.
+        if (chunks > doubles.remaining() / 16)
+            return false;
+        node.childPhi.resize(static_cast<std::size_t>(chunks));
+        for (double &v : node.childPhi)
+            if (!doubles.f64(v))
+                return false;
+        node.childUsages.resize(static_cast<std::size_t>(chunks));
+        for (double &v : node.childUsages)
+            if (!doubles.f64(v))
+                return false;
+        node.children.resize(static_cast<std::size_t>(chunks));
+        for (SolveNode &child : node.children)
+            if (!self(child, self))
+                return false;
+        return true;
+    };
+    if (!walk(out.solve.root, walk))
+        return false;
+    return words.remaining() == 0 && doubles.remaining() == 0;
+}
+
+bool
+IncrementalTemporalEngine::fetchEntry(
+    std::uint64_t key, EntryKind kind,
+    const std::vector<std::uint64_t> &members, CacheEntry &out)
+{
+    if (!store_) {
         ++stats_.misses;
         FAIRCO2_COUNT("shapley.cache.miss", 1);
-        return nullptr;
+        return false;
     }
-    const auto it = index_.find(key);
-    if (it == index_.end() || it->second->kind != kind ||
-        it->second->members != members) {
-        ++stats_.misses;
-        FAIRCO2_COUNT("shapley.cache.miss", 1);
-        return nullptr;
-    }
-    CacheEntry &entry = *it->second;
-    if (payloadChecksum(entry) != entry.checksum)
+    bool found = false;
+    try {
+        found = store_->get(key, blobBuffer_);
+    } catch (const cache::CorruptBlockError &error) {
         throw CacheIntegrityError(
-            "incremental attribution: sub-game cache entry for "
-            "coalition hash " + std::to_string(key) +
-            " failed its checksum");
-    lru_.splice(lru_.begin(), lru_, it->second);
-    it->second = lru_.begin();
+            "incremental attribution: " +
+            describeEntry(kind, members) +
+            " no longer decompresses (" + error.what() + ")");
+    }
+    if (!found) {
+        ++stats_.misses;
+        FAIRCO2_COUNT("shapley.cache.miss", 1);
+        return false;
+    }
+    if (blobBuffer_.size() < kBlobChecksumBytes)
+        throw CacheIntegrityError(
+            "incremental attribution: " +
+            describeEntry(kind, members) + " is truncated (" +
+            std::to_string(blobBuffer_.size()) + " bytes)");
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, blobBuffer_.data(), kBlobChecksumBytes);
+    const std::uint64_t computed =
+        blobChecksum(blobBuffer_.data() + kBlobChecksumBytes,
+                     blobBuffer_.size() - kBlobChecksumBytes);
+    if (stored != computed)
+        throw CacheIntegrityError(
+            "incremental attribution: " +
+            describeEntry(kind, members) +
+            " failed its checksum (stored " + hex16(stored) +
+            ", computed " + hex16(computed) + ")");
+    // A verified blob that decodes to a different coalition is a
+    // key collision, not corruption: treat it as a miss and let the
+    // fresh solve overwrite it.
+    if (!deserializeEntry(blobBuffer_, out) || out.kind != kind ||
+        out.members != members) {
+        ++stats_.misses;
+        FAIRCO2_COUNT("shapley.cache.miss", 1);
+        return false;
+    }
+    out.key = key;
     ++stats_.hits;
     FAIRCO2_COUNT("shapley.cache.hit", 1);
-    return &entry;
+    return true;
 }
 
-IncrementalTemporalEngine::CacheEntry &
-IncrementalTemporalEngine::insert(CacheEntry entry)
+void
+IncrementalTemporalEngine::storeEntry(const CacheEntry &entry)
 {
-    while (lru_.size() >= config_.cacheCapacity) {
-        index_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++stats_.evictions;
-        FAIRCO2_COUNT("shapley.cache.evict", 1);
+    if (!store_)
+        return;
+    serializeEntry(entry, blobBuffer_);
+    store_->put(entry.key, blobBuffer_.data(), blobBuffer_.size());
+    syncCacheObs();
+}
+
+void
+IncrementalTemporalEngine::syncCacheObs()
+{
+    const cache::StoreCounters counters = store_->counters();
+    if (counters.evictions > stats_.evictions) {
+        const std::uint64_t delta =
+            counters.evictions - stats_.evictions;
+        stats_.evictions = counters.evictions;
+        FAIRCO2_COUNT("shapley.cache.evict", delta);
+        switch (config_.backend.policy) {
+        case cache::EvictPolicy::Lru:
+            FAIRCO2_COUNT("shapley.cache.evict.lru", delta);
+            break;
+        case cache::EvictPolicy::Clock:
+            FAIRCO2_COUNT("shapley.cache.evict.clock", delta);
+            break;
+        }
     }
-    entry.checksum = payloadChecksum(entry);
-    lru_.push_front(std::move(entry));
-    index_[lru_.front().key] = lru_.begin();
-    return lru_.front();
+    stats_.storedBytes = counters.storedBytes;
+    stats_.rawBytes = counters.rawBytes;
+    FAIRCO2_GAUGE_SET("shapley.cache.compressed_bytes",
+                      static_cast<double>(counters.storedBytes));
+    FAIRCO2_GAUGE_SET("shapley.cache.raw_bytes",
+                      static_cast<double>(counters.rawBytes));
 }
 
 IncrementalTemporalEngine::SolveNode
@@ -295,22 +550,18 @@ IncrementalTemporalEngine::periodSolveFor(std::uint64_t period)
     const std::vector<std::uint64_t> members{period};
     const std::uint64_t key =
         coalitionHash(EntryKind::PeriodSolve, members);
-    if (CacheEntry *entry =
-            lookup(key, EntryKind::PeriodSolve, members))
-        return entry->solve;
+    if (fetchEntry(key, EntryKind::PeriodSolve, members, hitEntry_))
+        return hitEntry_.solve;
 
-    CacheEntry fresh;
-    fresh.key = key;
-    fresh.kind = EntryKind::PeriodSolve;
-    fresh.members = members;
-    fresh.solve = solvePeriod(
+    scratch_ = CacheEntry{};
+    scratch_.key = key;
+    scratch_.kind = EntryKind::PeriodSolve;
+    scratch_.members = members;
+    scratch_.solve = solvePeriod(
         windowSamples_[static_cast<std::size_t>(period -
                                                 firstPeriod_)]);
-    if (config_.cacheCapacity == 0) {
-        scratch_ = std::move(fresh);
-        return scratch_.solve;
-    }
-    return insert(std::move(fresh)).solve;
+    storeEntry(scratch_);
+    return scratch_.solve;
 }
 
 std::vector<double>
@@ -374,17 +625,16 @@ IncrementalTemporalEngine::windowPhiFor(
         members[i] = firstPeriod_ + i;
     const std::uint64_t key =
         coalitionHash(EntryKind::WindowPhi, members);
-    if (CacheEntry *entry = lookup(key, EntryKind::WindowPhi, members))
-        return entry->phi;
+    if (fetchEntry(key, EntryKind::WindowPhi, members, hitEntry_))
+        return hitEntry_.phi;
 
     CacheEntry fresh;
     fresh.key = key;
     fresh.kind = EntryKind::WindowPhi;
     fresh.members = std::move(members);
     fresh.phi = solveTopPhi(peaks);
-    if (config_.cacheCapacity == 0)
-        return fresh.phi;
-    return insert(std::move(fresh)).phi;
+    storeEntry(fresh);
+    return std::move(fresh.phi);
 }
 
 void
@@ -446,9 +696,9 @@ IncrementalTemporalEngine::computeWindow(double pool_grams)
 
     // Gather the W carbon-independent sub-game solves (cache hits
     // for every period the window shares with its predecessor) and
-    // copy them out: later inserts may evict earlier entries when
-    // the capacity is tight, so references into the LRU list are
-    // not stable across this loop.
+    // copy them out: later fetches decode into the same hit buffer
+    // and later inserts may evict earlier entries when the capacity
+    // is tight, so references are not stable across this loop.
     std::vector<PeriodSolve> solves;
     solves.reserve(W);
     std::vector<double> peaks(W), usages(W);
@@ -541,21 +791,13 @@ IncrementalTemporalEngine::computeNewestPeriod(double pool_grams)
 }
 
 bool
-IncrementalTemporalEngine::corruptCacheEntryForTest()
+IncrementalTemporalEngine::corruptCacheEntryForTest(
+    std::size_t byte_offset)
 {
-    if (lru_.empty())
-        return false;
-    CacheEntry &entry = lru_.front();
-    // Flip one payload bit without refreshing the stored checksum;
-    // the next hit on this entry fails verification.
-    if (entry.kind == EntryKind::WindowPhi && !entry.phi.empty()) {
-        entry.phi[0] = std::bit_cast<double>(
-            std::bit_cast<std::uint64_t>(entry.phi[0]) ^ 1ULL);
-    } else {
-        entry.solve.peak = std::bit_cast<double>(
-            std::bit_cast<std::uint64_t>(entry.solve.peak) ^ 1ULL);
-    }
-    return true;
+    // Flip one stored bit without refreshing the blob checksum; the
+    // next hit on that entry fails verification (or, under a
+    // compressing codec, may fail to decode at all).
+    return store_ && store_->corruptOneForTest(byte_offset);
 }
 
 } // namespace fairco2::shapley

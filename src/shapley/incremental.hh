@@ -8,19 +8,27 @@
  * window slides forward by one period — yet consecutive windows share
  * W-1 of their W period sub-games. IncrementalTemporalEngine memoizes
  * the carbon-independent part of each sub-game (peaks, usages,
- * per-node Shapley weights of the inner hierarchy) in an LRU-bounded
- * cache keyed by a canonical coalition hash over *absolute* period
- * indices, so advancing the window by one period costs one fresh
- * period solve plus a W-player top-level peak game instead of W full
- * solves.
+ * per-node Shapley weights of the inner hierarchy), serialized to a
+ * checksummed byte blob and held in a pluggable `cache::BlobStore`
+ * keyed by a canonical coalition hash over *absolute* period indices,
+ * so advancing the window by one period costs one fresh period solve
+ * plus a W-player top-level peak game instead of W full solves.
+ *
+ * The store backend — allocator (malloc/arena), eviction policy
+ * (LRU/CLOCK), lock strategy (mutex/sharded rwlock), and transparent
+ * compression (identity/lz) — is selected per engine through
+ * Config::backend (see src/cache/). The cache is an optimization,
+ * never an input, so every backend combination publishes
+ * byte-identical signals (enforced by tests/test_cache_backends.cc).
  *
  * Correctness contract (the strongest oracle in the repo):
  *
- *  - With memoization on (any capacity) or off (capacity 0), the
- *    engine's output is **byte-identical**: cached values are pure
- *    functions of the immutable period samples, and the carbon
- *    application pass mirrors core::TemporalShapley::attributeRange
- *    expression for expression.
+ *  - With memoization on (any capacity, any backend) or off
+ *    (capacity 0), the engine's output is **byte-identical**: cached
+ *    values are pure functions of the immutable period samples, and
+ *    the carbon application pass mirrors
+ *    core::TemporalShapley::attributeRange expression for
+ *    expression.
  *  - A single full window equals TemporalShapley::attribute over the
  *    same samples with split counts {windowPeriods, innerSplits...},
  *    bit for bit.
@@ -29,11 +37,15 @@
  *    sweep folds fixed-size chunks in ascending order, so results are
  *    bit-identical at any `--threads N`.
  *
- * Every cache entry carries an FNV-1a checksum over its payload; a
- * mismatch on hit throws CacheIntegrityError, which the pipeline
- * supervisor treats as a stage crash and answers by descending to the
- * full-recompute rung. Cache behavior is observable through the
- * `shapley.cache.{hit,miss,evict,invalidate}` obs counters and the
+ * Every cache blob leads with an FNV-1a checksum over its serialized
+ * payload; a mismatch on hit — or a stored block that no longer
+ * decompresses — throws CacheIntegrityError naming the offending
+ * window period and the stored-vs-computed checksums, which the
+ * pipeline supervisor treats as a stage crash and answers by
+ * descending to the full-recompute rung. Cache behavior is observable
+ * through the `shapley.cache.{hit,miss,evict,invalidate}` counters,
+ * the per-policy `shapley.cache.evict.{lru,clock}` counters, the
+ * `shapley.cache.{compressed_bytes,raw_bytes}` gauges, and the
  * per-engine CacheStats.
  */
 
@@ -43,12 +55,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <list>
+#include <memory>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "cache/backend.hh"
+#include "cache/blobstore.hh"
 #include "common/rng.hh"
 #include "trace/timeseries.hh"
 
@@ -56,10 +69,13 @@ namespace fairco2::shapley
 {
 
 /**
- * A memoized sub-game entry failed its payload checksum — the cache
- * no longer reflects the period samples it was solved from. Callers
- * should drop the engine and recompute from scratch; the pipeline
- * supervisor maps this onto the degradation ladder.
+ * A memoized sub-game entry failed its payload checksum or no longer
+ * decompresses — the cache no longer reflects the period samples it
+ * was solved from. The message names the offending window period (or
+ * period range) and, for checksum failures, the stored-vs-computed
+ * checksum pair. Callers should drop the engine and recompute from
+ * scratch; the pipeline supervisor maps this onto the degradation
+ * ladder.
  */
 class CacheIntegrityError : public std::runtime_error
 {
@@ -70,13 +86,17 @@ class CacheIntegrityError : public std::runtime_error
     }
 };
 
-/** Monotonic counters describing one engine's cache behavior. */
+/** Counters describing one engine's cache behavior. The first four
+ *  are monotonic; the byte fields are snapshots of the store's
+ *  current resident footprint (equal when the codec is identity). */
 struct CacheStats
 {
     std::uint64_t hits = 0;          //!< entry found and verified
     std::uint64_t misses = 0;        //!< entry absent, solved fresh
-    std::uint64_t evictions = 0;     //!< removed by LRU capacity
+    std::uint64_t evictions = 0;     //!< removed by capacity policy
     std::uint64_t invalidations = 0; //!< removed by window advance
+    std::uint64_t storedBytes = 0;   //!< resident compressed bytes
+    std::uint64_t rawBytes = 0;      //!< resident uncompressed bytes
 };
 
 /**
@@ -105,9 +125,13 @@ class IncrementalTemporalEngine
          *  {windowPeriods, innerSplits...}. Empty = periods are
          *  leaves. */
         std::vector<std::size_t> innerSplits{};
-        /** LRU capacity in entries; 0 disables memoization (the
-         *  from-scratch reference engine). */
+        /** Sub-game cache capacity in entries; 0 disables
+         *  memoization (the from-scratch reference engine). */
         std::size_t cacheCapacity = 64;
+        /** Which blob-store backend holds the memoized sub-games;
+         *  defaults to the build's FAIRCO2_CACHE_* selection. Every
+         *  combination publishes byte-identical results. */
+        cache::BackendConfig backend = cache::defaultBackend();
         /** Permutations for the sampled top-level game; 0 uses the
          *  exact O(W log W) closed form. */
         std::size_t sampledPermutations = 0;
@@ -180,19 +204,26 @@ class IncrementalTemporalEngine
     PeriodResult computeNewestPeriod(double pool_grams);
 
     /** This engine's cache counters (also mirrored into the
-     *  `shapley.cache.*` obs counters). */
+     *  `shapley.cache.*` obs counters and gauges). */
     const CacheStats &cacheStats() const { return stats_; }
 
     /** Live entries in the sub-game cache. */
-    std::size_t cacheSize() const { return lru_.size(); }
+    std::size_t
+    cacheSize() const
+    {
+        return store_ ? static_cast<std::size_t>(
+                            store_->counters().entries)
+                      : 0;
+    }
 
     /**
-     * Flip one payload bit of the most-recently-used cache entry so
-     * its checksum no longer verifies — the hook the fault plan's
+     * Flip one stored bit of a resident cache entry (at
+     * @p byte_offset into its stored — possibly compressed — bytes)
+     * so it no longer verifies — the hook the fault plan's
      * `cache-corrupt` key and the integrity tests use. Returns false
      * (and does nothing) when the cache is empty.
      */
-    bool corruptCacheEntryForTest();
+    bool corruptCacheEntryForTest(std::size_t byte_offset = 0);
 
     const Config &config() const { return config_; }
 
@@ -226,6 +257,9 @@ class IncrementalTemporalEngine
         WindowPhi = 2,   //!< coalition {first..first+W-1}
     };
 
+    /** In-memory (decoded) form of one memoized entry; the store
+     *  holds its serialized, checksummed, possibly compressed
+     *  bytes. */
     struct CacheEntry
     {
         std::uint64_t key = 0;
@@ -233,10 +267,7 @@ class IncrementalTemporalEngine
         std::vector<std::uint64_t> members;
         PeriodSolve solve;       //!< kind == PeriodSolve
         std::vector<double> phi; //!< kind == WindowPhi
-        std::uint64_t checksum = 0;
     };
-
-    using LruList = std::list<CacheEntry>;
 
     void closePeriod();
     void invalidatePeriod(std::uint64_t period);
@@ -252,13 +283,27 @@ class IncrementalTemporalEngine
     void applyCarbon(const SolveNode &node, double carbon,
                      std::vector<double> &values, std::size_t offset,
                      double &attributed, double &unattributed) const;
-    CacheEntry *lookup(std::uint64_t key, EntryKind kind,
-                       const std::vector<std::uint64_t> &members);
-    CacheEntry &insert(CacheEntry entry);
+
+    /** Fetch + verify + decode the entry for @p key into @p out.
+     *  Returns false on a miss (also counting it); throws
+     *  CacheIntegrityError on decode or checksum failure. */
+    bool fetchEntry(std::uint64_t key, EntryKind kind,
+                    const std::vector<std::uint64_t> &members,
+                    CacheEntry &out);
+    /** Serialize @p entry (checksum first) into the store, then
+     *  refresh eviction/byte counters and obs. */
+    void storeEntry(const CacheEntry &entry);
+    void syncCacheObs();
     static std::uint64_t
     coalitionHash(EntryKind kind,
                   const std::vector<std::uint64_t> &members);
-    static std::uint64_t payloadChecksum(const CacheEntry &entry);
+    static void serializeEntry(const CacheEntry &entry,
+                               std::vector<std::uint8_t> &out);
+    static bool deserializeEntry(const std::vector<std::uint8_t> &in,
+                                 CacheEntry &out);
+    static std::string
+    describeEntry(EntryKind kind,
+                  const std::vector<std::uint64_t> &members);
 
     Config config_;
     Rng rngBase_;
@@ -273,10 +318,15 @@ class IncrementalTemporalEngine
     /** Sampled mode: permutation p of [0, W), forked once from the
      *  seed and reused across every window. */
     std::vector<std::vector<std::size_t>> permutations_;
-    LruList lru_; //!< front = most recently used
-    std::unordered_map<std::uint64_t, LruList::iterator> index_;
-    /** Holds the latest fresh solve when cacheCapacity is 0, so
-     *  periodSolveFor can hand back a reference either way. */
+    /** The pluggable memo store; null when cacheCapacity is 0. */
+    std::unique_ptr<cache::BlobStore> store_;
+    /** Reused buffer for serialized blobs (both directions). */
+    std::vector<std::uint8_t> blobBuffer_;
+    /** Decode target for cache hits, so periodSolveFor can hand back
+     *  a reference that stays valid until the next fetch. */
+    CacheEntry hitEntry_;
+    /** Holds the latest fresh solve, so periodSolveFor can hand back
+     *  a reference whether or not a store exists. */
     CacheEntry scratch_;
     CacheStats stats_;
 };

@@ -1,0 +1,757 @@
+/**
+ * @file
+ * Backend-matrix differential suite for the pluggable memo/checkpoint
+ * backends (src/cache/). The contract under test: the cache is an
+ * optimization, never an input. For every allocator x policy x lock
+ * x codec combination, the same seeded window stream must publish
+ * byte-identical signals, a killed-and-resumed checkpointed run must
+ * reproduce the uninterrupted file byte for byte across codecs, and a
+ * corrupted stored block must raise CacheIntegrityError /
+ * CheckpointError — never a silently wrong value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/alloc_api.hh"
+#include "cache/backend.hh"
+#include "cache/blobstore.hh"
+#include "cache/cache_api.hh"
+#include "cache/compr_api.hh"
+#include "common/obs.hh"
+#include "common/rng.hh"
+#include "resilience/checkpoint.hh"
+#include "shapley/incremental.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+std::vector<double>
+syntheticDemand(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> values(n);
+    for (auto &v : values)
+        v = rng.uniform(0.0, 100.0);
+    return values;
+}
+
+shapley::IncrementalTemporalEngine::Config
+engineConfig(std::size_t cache_capacity,
+             const cache::BackendConfig &backend)
+{
+    shapley::IncrementalTemporalEngine::Config config;
+    config.windowPeriods = 6;
+    config.periodSamples = 8;
+    config.stepSeconds = 300.0;
+    config.innerSplits = {4};
+    config.cacheCapacity = cache_capacity;
+    config.backend = backend;
+    return config;
+}
+
+/** Stream @p samples through one engine and collect everything it
+ *  publishes: the first full window, then every newest period. */
+std::vector<double>
+publishedStream(const shapley::IncrementalTemporalEngine::Config &config,
+                const std::vector<double> &samples, double pool)
+{
+    shapley::IncrementalTemporalEngine engine(config);
+    std::vector<double> published;
+    std::uint64_t closed = 0;
+    for (const double sample : samples) {
+        engine.pushSample(sample);
+        if (engine.periodsClosed() == closed)
+            continue;
+        closed = engine.periodsClosed();
+        if (!engine.windowReady())
+            continue;
+        if (closed == config.windowPeriods) {
+            const auto full = engine.computeWindow(pool);
+            const auto &values = full.intensity.values();
+            published.insert(published.end(), values.begin(),
+                             values.end());
+        } else {
+            const auto advance = engine.computeNewestPeriod(pool);
+            published.insert(published.end(),
+                             advance.intensity.begin(),
+                             advance.intensity.end());
+        }
+    }
+    return published;
+}
+
+/** Bitwise equality over published doubles — the oracle everywhere
+ *  here is *byte* identity, not tolerance. */
+bool
+bitIdentical(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) ==
+        0;
+}
+
+TEST(BackendMatrix, SixteenCombinationsReferenceFirst)
+{
+    const auto matrix = cache::allBackendCombinations();
+    ASSERT_EQ(matrix.size(), 16u);
+    EXPECT_EQ(matrix.front().policy, cache::EvictPolicy::Lru);
+    EXPECT_EQ(matrix.front().alloc, cache::AllocKind::Malloc);
+    EXPECT_EQ(matrix.front().lock, cache::LockKind::Mutex);
+    EXPECT_EQ(matrix.front().codec, cache::Codec::Identity);
+    for (std::size_t i = 0; i < matrix.size(); ++i)
+        for (std::size_t j = i + 1; j < matrix.size(); ++j)
+            EXPECT_FALSE(matrix[i] == matrix[j])
+                << "duplicate combination at " << i << "," << j;
+}
+
+TEST(BackendMatrix, SpecParsingRoundTripsAndRejectsGarbage)
+{
+    for (const auto &backend : cache::allBackendCombinations()) {
+        auto parsed =
+            cache::parseBackendSpec(cache::backendSpec(backend));
+        // The spec excludes the codec (it has its own flag).
+        parsed.codec = backend.codec;
+        EXPECT_TRUE(parsed == backend);
+    }
+    EXPECT_THROW(cache::parseBackendSpec("fifo"),
+                 std::invalid_argument);
+    EXPECT_THROW(cache::parseBackendSpec("lru,tcmalloc"),
+                 std::invalid_argument);
+    EXPECT_THROW(cache::parseBackendSpec("lru,malloc,mutex,extra"),
+                 std::invalid_argument);
+    EXPECT_THROW(cache::parseCodec("zstd"), std::invalid_argument);
+}
+
+// The tentpole oracle: every backend combination replays the same
+// seeded window stream and publishes bytes identical to the
+// reference (lru,malloc,mutex,identity) build and to the cache-off
+// engine — at a capacity small enough to force evictions and at one
+// large enough to keep every sub-game resident.
+TEST(BackendMatrix, PublishedStreamByteIdenticalAcrossAllCombinations)
+{
+    const auto matrix = cache::allBackendCombinations();
+    const auto samples = syntheticDemand(16 * 8, 2026);
+    const double pool = 31337.0;
+
+    const auto uncached =
+        publishedStream(engineConfig(0, matrix.front()), samples,
+                        pool);
+    ASSERT_FALSE(uncached.empty());
+
+    for (const std::size_t capacity : {3u, 64u}) {
+        const auto reference = publishedStream(
+            engineConfig(capacity, matrix.front()), samples, pool);
+        EXPECT_TRUE(bitIdentical(reference, uncached))
+            << "reference backend diverged from the cache-off "
+               "engine at capacity "
+            << capacity;
+        for (const auto &backend : matrix) {
+            const auto stream = publishedStream(
+                engineConfig(capacity, backend), samples, pool);
+            EXPECT_TRUE(bitIdentical(stream, reference))
+                << "backend " << cache::backendSpec(backend) << "+"
+                << cache::codecName(backend.codec)
+                << " diverged at capacity " << capacity;
+        }
+    }
+}
+
+// Equal hit rate across codecs at equal capacity: the codec changes
+// stored bytes, never the key stream, so the density comparison the
+// bench records really is at equal hit rate.
+TEST(BackendMatrix, CodecsAgreeOnHitsMissesAndEvictions)
+{
+    const auto samples = syntheticDemand(14 * 8, 7);
+    for (const std::size_t capacity : {2u, 64u}) {
+        cache::BackendConfig raw;
+        cache::BackendConfig lz = raw;
+        lz.codec = cache::Codec::Lz;
+
+        shapley::CacheStats raw_stats;
+        shapley::CacheStats lz_stats;
+        for (const auto *backend : {&raw, &lz}) {
+            shapley::IncrementalTemporalEngine engine(
+                engineConfig(capacity, *backend));
+            std::uint64_t closed = 0;
+            for (const double s : samples) {
+                engine.pushSample(s);
+                if (engine.periodsClosed() != closed &&
+                    engine.windowReady()) {
+                    closed = engine.periodsClosed();
+                    (void)engine.computeWindow(1000.0);
+                }
+            }
+            (backend == &raw ? raw_stats : lz_stats) =
+                engine.cacheStats();
+        }
+        EXPECT_EQ(raw_stats.hits, lz_stats.hits);
+        EXPECT_EQ(raw_stats.misses, lz_stats.misses);
+        EXPECT_EQ(raw_stats.evictions, lz_stats.evictions);
+        EXPECT_EQ(raw_stats.rawBytes, lz_stats.rawBytes);
+        EXPECT_EQ(raw_stats.storedBytes, raw_stats.rawBytes);
+        EXPECT_LT(lz_stats.storedBytes, lz_stats.rawBytes);
+    }
+}
+
+TEST(BlobStore, RoundTripsAndCapsEntriesForEveryCombination)
+{
+    for (const auto &backend : cache::allBackendCombinations()) {
+        const auto store = cache::makeBlobStore(backend, 16);
+        // Deterministic per-key payload so any cross-entry mixup is
+        // visible.
+        const auto payloadFor = [](std::uint64_t key) {
+            Rng rng(key * 977 + 11);
+            std::vector<std::uint8_t> bytes(64 + key % 100);
+            for (auto &b : bytes)
+                b = static_cast<std::uint8_t>(rng.next());
+            return bytes;
+        };
+        for (std::uint64_t key = 0; key < 100; ++key) {
+            const auto bytes = payloadFor(key);
+            store->put(key, bytes.data(), bytes.size());
+        }
+        const auto counters = store->counters();
+        EXPECT_LE(counters.entries, 16u)
+            << cache::backendSpec(backend);
+        EXPECT_GT(counters.evictions, 0u);
+        std::vector<std::uint8_t> out;
+        std::size_t resident = 0;
+        for (std::uint64_t key = 0; key < 100; ++key) {
+            if (!store->get(key, out))
+                continue;
+            ++resident;
+            EXPECT_EQ(out, payloadFor(key))
+                << cache::backendSpec(backend) << " key " << key;
+        }
+        EXPECT_EQ(resident, counters.entries);
+    }
+}
+
+TEST(BlobStore, LruEvictsExactlyTheLeastRecentlyUsedKey)
+{
+    cache::BackendConfig backend; // lru,malloc,mutex → one shard
+    const auto store = cache::makeBlobStore(backend, 2);
+    const std::uint8_t byte = 0xab;
+    store->put(1, &byte, 1);
+    store->put(2, &byte, 1);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store->get(1, out)); // 2 is now least recent
+    store->put(3, &byte, 1);
+    EXPECT_TRUE(store->get(1, out));
+    EXPECT_FALSE(store->get(2, out));
+    EXPECT_TRUE(store->get(3, out));
+}
+
+TEST(BlobStore, ClockGivesTouchedFramesASecondChance)
+{
+    cache::ClockPolicy policy;
+    for (std::uint64_t key = 1; key <= 4; ++key)
+        policy.insert(key);
+    std::uint64_t victim = 0;
+    // All reference bits are set, so the first sweep clears them and
+    // the second returns the oldest frame.
+    ASSERT_TRUE(policy.victim(&victim));
+    EXPECT_EQ(victim, 1u);
+    policy.erase(victim);
+    // 3 is re-referenced after the clearing sweep: it must survive
+    // the next two evictions while the unreferenced 2 and 4 go.
+    policy.touch(3);
+    ASSERT_TRUE(policy.victim(&victim));
+    EXPECT_EQ(victim, 2u);
+    policy.erase(victim);
+    ASSERT_TRUE(policy.victim(&victim));
+    EXPECT_EQ(victim, 4u);
+    policy.erase(victim);
+    ASSERT_TRUE(policy.victim(&victim));
+    EXPECT_EQ(victim, 3u);
+}
+
+TEST(BlobStore, ArenaRecyclesFreedBlocksBySizeClass)
+{
+    cache::ArenaAlloc arena;
+    cache::Block a = arena.allocate(100);
+    ASSERT_NE(a.data, nullptr);
+    std::uint8_t *const first = a.data;
+    arena.deallocate(a);
+    EXPECT_EQ(a.data, nullptr);
+    // Same size class (64-byte granules) → the freed block comes
+    // back instead of fresh chunk space.
+    cache::Block b = arena.allocate(90);
+    EXPECT_EQ(b.data, first);
+    arena.deallocate(b);
+    cache::Block zero = arena.allocate(0);
+    EXPECT_EQ(zero.data, nullptr);
+    EXPECT_EQ(zero.size, 0u);
+    arena.deallocate(zero);
+}
+
+TEST(BlobStore, ShardedLockSplitsCapacityAcrossShards)
+{
+    cache::BackendConfig backend;
+    backend.lock = cache::LockKind::Sharded;
+    // Total capacity 16 over 8 shards → 2 per shard; the store may
+    // hold fewer when keys hash unevenly, never more.
+    const auto store = cache::makeBlobStore(backend, 16);
+    const std::uint8_t byte = 0x5a;
+    for (std::uint64_t key = 0; key < 200; ++key)
+        store->put(key, &byte, 1);
+    EXPECT_LE(store->counters().entries, 16u);
+    EXPECT_GT(store->counters().evictions, 0u);
+}
+
+// ---------------------------------------------------------------
+// Compression properties
+// ---------------------------------------------------------------
+
+/** Blob-shaped test vector: a words section of small integers, then
+ *  a doubles section with occasional exact duplicates — the layout
+ *  serializeEntry emits. */
+std::vector<std::uint8_t>
+syntheticBlob(Rng &rng, std::size_t words, std::size_t doubles)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve((words + doubles) * 8);
+    const auto pushWord = [&](std::uint64_t w) {
+        for (int b = 0; b < 8; ++b)
+            bytes.push_back(
+                static_cast<std::uint8_t>(w >> (8 * b)));
+    };
+    for (std::size_t i = 0; i < words; ++i)
+        pushWord(rng.next() % 4096);
+    double last = 0.0;
+    for (std::size_t i = 0; i < doubles; ++i) {
+        const double value = (rng.next() % 8 == 0)
+            ? last
+            : rng.uniform(0.0, 1.0e6);
+        last = value;
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &value, 8);
+        pushWord(bits);
+    }
+    return bytes;
+}
+
+TEST(LzCodec, RandomTablesRoundTripBitIdentical)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t words = rng.next() % 64;
+        const std::size_t doubles = rng.next() % 64;
+        const auto raw = syntheticBlob(rng, words, doubles);
+        const auto stored =
+            cache::LzCompr::compress(raw.data(), raw.size());
+        std::vector<std::uint8_t> back(raw.size());
+        cache::LzCompr::decompress(stored.data(), stored.size(),
+                                   back.data(), back.size());
+        ASSERT_EQ(back, raw) << "trial " << trial;
+    }
+}
+
+TEST(LzCodec, EdgeSizesRoundTrip)
+{
+    Rng rng(77);
+    for (const std::size_t size :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7},
+          std::size_t{8}, std::size_t{9}, std::size_t{4096}}) {
+        std::vector<std::uint8_t> raw(size);
+        for (auto &b : raw)
+            b = static_cast<std::uint8_t>(rng.next());
+        const auto stored =
+            cache::LzCompr::compress(raw.data(), raw.size());
+        std::vector<std::uint8_t> back(size);
+        cache::LzCompr::decompress(stored.data(), stored.size(),
+                                   back.data(), back.size());
+        EXPECT_EQ(back, raw) << "size " << size;
+        // All-zero blocks of the same size must also survive — the
+        // long-run match path.
+        std::vector<std::uint8_t> zeros(size, 0);
+        const auto zstored =
+            cache::LzCompr::compress(zeros.data(), zeros.size());
+        std::vector<std::uint8_t> zback(size);
+        cache::LzCompr::decompress(zstored.data(), zstored.size(),
+                                   zback.data(), zback.size());
+        EXPECT_EQ(zback, zeros) << "size " << size;
+    }
+}
+
+TEST(LzCodec, TruncatedOrPaddedBlocksAreRejected)
+{
+    Rng rng(13);
+    const auto raw = syntheticBlob(rng, 20, 20);
+    const auto stored =
+        cache::LzCompr::compress(raw.data(), raw.size());
+    std::vector<std::uint8_t> out(raw.size());
+    EXPECT_THROW(
+        cache::LzCompr::decompress(stored.data(), 0, out.data(),
+                                   out.size()),
+        cache::CorruptBlockError);
+    EXPECT_THROW(
+        cache::LzCompr::decompress(stored.data(), stored.size() - 1,
+                                   out.data(), out.size()),
+        cache::CorruptBlockError);
+    auto padded = stored;
+    padded.push_back(0);
+    EXPECT_THROW(
+        cache::LzCompr::decompress(padded.data(), padded.size(),
+                                   out.data(), out.size()),
+        cache::CorruptBlockError);
+    auto bad_mode = stored;
+    bad_mode[0] = 0x7f;
+    EXPECT_THROW(
+        cache::LzCompr::decompress(bad_mode.data(), bad_mode.size(),
+                                   out.data(), out.size()),
+        cache::CorruptBlockError);
+}
+
+// The satellite property, at the engine level where the blob
+// checksum backs the codec up: flipping any single stored byte of a
+// compressed cache entry either raises CacheIntegrityError or leaves
+// the published result bitwise-correct (the flip landed somewhere
+// the decoder proves equivalent) — never a silently wrong value.
+TEST(LzCodec, FlippedStoredByteNeverPublishesAWrongValue)
+{
+    const auto matrix = cache::allBackendCombinations();
+    const auto samples = syntheticDemand(4 * 6, 47);
+    shapley::IncrementalTemporalEngine::Config config;
+    config.windowPeriods = 4;
+    config.periodSamples = 6;
+    config.innerSplits = {3};
+    config.cacheCapacity = 64;
+    config.backend.codec = cache::Codec::Lz;
+
+    // The uncorrupted result every surviving compute must match.
+    shapley::IncrementalTemporalEngine clean(config);
+    for (const double s : samples)
+        clean.pushSample(s);
+    const auto expected = clean.computeWindow(1000.0);
+
+    int rejected = 0;
+    for (std::size_t offset = 0; offset < 48; ++offset) {
+        shapley::IncrementalTemporalEngine engine(config);
+        for (const double s : samples)
+            engine.pushSample(s);
+        (void)engine.computeWindow(1000.0); // warm the cache
+        ASSERT_TRUE(engine.corruptCacheEntryForTest(offset));
+        try {
+            const auto result = engine.computeWindow(1000.0);
+            EXPECT_TRUE(
+                bitIdentical(result.intensity.values(),
+                             expected.intensity.values()))
+                << "offset " << offset
+                << " published a wrong value";
+        } catch (const shapley::CacheIntegrityError &) {
+            ++rejected;
+        }
+    }
+    EXPECT_GT(rejected, 0)
+        << "no flip was ever detected — the integrity path is dead";
+}
+
+TEST(CacheIntegrity, ErrorNamesWindowPeriodAndChecksums)
+{
+    const auto samples = syntheticDemand(4 * 6, 51);
+    shapley::IncrementalTemporalEngine::Config config;
+    config.windowPeriods = 4;
+    config.periodSamples = 6;
+    config.innerSplits = {3};
+    config.cacheCapacity = 64; // identity codec: the flip always
+                               // lands in checksummed plaintext
+    shapley::IncrementalTemporalEngine engine(config);
+    for (const double s : samples)
+        engine.pushSample(s);
+    (void)engine.computeWindow(1000.0);
+    ASSERT_TRUE(engine.corruptCacheEntryForTest(9));
+    try {
+        (void)engine.computeWindow(1000.0);
+        FAIL() << "corrupted cache entry went undetected";
+    } catch (const shapley::CacheIntegrityError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("period"), std::string::npos) << what;
+        EXPECT_NE(what.find("stored 0x"), std::string::npos) << what;
+        EXPECT_NE(what.find("computed 0x"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(ObsCounters, PerPolicyEvictionCountersAndByteGauges)
+{
+    obs::resetForTest();
+    obs::setEnabled(true);
+    const auto samples = syntheticDemand(10 * 8, 19);
+    const auto run = [&](cache::EvictPolicy policy,
+                         cache::Codec codec) {
+        cache::BackendConfig backend;
+        backend.policy = policy;
+        backend.codec = codec;
+        shapley::IncrementalTemporalEngine engine(
+            engineConfig(2, backend)); // tiny: force evictions
+        std::uint64_t closed = 0;
+        for (const double s : samples) {
+            engine.pushSample(s);
+            if (engine.periodsClosed() != closed &&
+                engine.windowReady()) {
+                closed = engine.periodsClosed();
+                (void)engine.computeWindow(500.0);
+            }
+        }
+        return engine.cacheStats();
+    };
+
+    const auto clock_stats =
+        run(cache::EvictPolicy::Clock, cache::Codec::Lz);
+    EXPECT_GT(clock_stats.evictions, 0u);
+    EXPECT_EQ(obs::counter("shapley.cache.evict.clock").value(),
+              clock_stats.evictions);
+    EXPECT_EQ(obs::counter("shapley.cache.evict.lru").value(), 0u);
+    EXPECT_GT(clock_stats.rawBytes, clock_stats.storedBytes);
+    EXPECT_EQ(obs::gauge("shapley.cache.compressed_bytes").value(),
+              static_cast<double>(clock_stats.storedBytes));
+    EXPECT_EQ(obs::gauge("shapley.cache.raw_bytes").value(),
+              static_cast<double>(clock_stats.rawBytes));
+
+    const auto lru_stats =
+        run(cache::EvictPolicy::Lru, cache::Codec::Identity);
+    EXPECT_GT(lru_stats.evictions, 0u);
+    EXPECT_EQ(obs::counter("shapley.cache.evict.lru").value(),
+              lru_stats.evictions);
+    obs::resetForTest();
+}
+
+// ---------------------------------------------------------------
+// Checkpoint codec matrix
+// ---------------------------------------------------------------
+
+struct TrialRecord
+{
+    std::uint64_t trial = 0;
+    double value = 0.0;
+};
+
+TrialRecord
+makeTrial(const Rng &base, std::uint64_t t)
+{
+    Rng rng = base.fork(t);
+    return {t, rng.uniform(0.0, 1.0) + static_cast<double>(t)};
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "fairco2_backend_" + name + ".ckpt";
+}
+
+std::vector<std::uint8_t>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+resilience::CheckpointOptions
+checkpointOptions(const std::string &path, cache::Codec codec,
+                  std::uint64_t stop_after = 0)
+{
+    resilience::CheckpointOptions options;
+    options.checkpointPath = path;
+    options.codec = codec;
+    options.chunkTrials = 8;
+    options.stopAfterChunks = stop_after;
+    return options;
+}
+
+std::vector<TrialRecord>
+referenceRun(std::uint64_t trials)
+{
+    const Rng base(123);
+    std::vector<TrialRecord> records;
+    resilience::runCheckpointedTrials<TrialRecord>(
+        resilience::CheckpointOptions{}, base, 0xfeed, trials,
+        records, [&](std::uint64_t t) { return makeTrial(base, t); });
+    return records;
+}
+
+TEST(CheckpointCodecs, KilledRunResumesIdenticalAcrossCodecMatrix)
+{
+    const std::uint64_t trials = 40;
+    const auto expected = referenceRun(trials);
+    const Rng base(123);
+    const cache::Codec codecs[] = {cache::Codec::Identity,
+                                   cache::Codec::Lz};
+    for (const cache::Codec write_codec : codecs) {
+        for (const cache::Codec resume_codec : codecs) {
+            const std::string path = tempPath(
+                std::string(cache::codecName(write_codec)) + "_" +
+                cache::codecName(resume_codec));
+            std::remove(path.c_str());
+
+            // Phase 1: killed after two chunks, written with
+            // write_codec.
+            std::vector<TrialRecord> records;
+            auto killed = resilience::runCheckpointedTrials<
+                TrialRecord>(
+                checkpointOptions(path, write_codec, 2), base,
+                0xfeed, trials, records,
+                [&](std::uint64_t t) { return makeTrial(base, t); });
+            ASSERT_FALSE(killed.complete);
+
+            // Phase 2: resume the file with resume_codec — the
+            // reader auto-detects, the writer re-encodes.
+            auto options = checkpointOptions(path, resume_codec);
+            options.resumePath = path;
+            records.clear();
+            auto resumed = resilience::runCheckpointedTrials<
+                TrialRecord>(
+                options, base, 0xfeed, trials, records,
+                [&](std::uint64_t t) { return makeTrial(base, t); });
+            ASSERT_TRUE(resumed.complete);
+            EXPECT_EQ(resumed.resumedChunks, 2u);
+            ASSERT_EQ(records.size(), expected.size());
+            EXPECT_EQ(std::memcmp(records.data(), expected.data(),
+                                  records.size() *
+                                      sizeof(TrialRecord)),
+                      0)
+                << cache::codecName(write_codec) << " -> "
+                << cache::codecName(resume_codec);
+
+            // The resumed run's final file must be byte-identical
+            // to an uninterrupted run writing the same codec.
+            const std::string clean_path = tempPath(
+                std::string("clean_") +
+                cache::codecName(resume_codec));
+            std::remove(clean_path.c_str());
+            std::vector<TrialRecord> clean_records;
+            resilience::runCheckpointedTrials<TrialRecord>(
+                checkpointOptions(clean_path, resume_codec), base,
+                0xfeed, trials, clean_records,
+                [&](std::uint64_t t) { return makeTrial(base, t); });
+            EXPECT_EQ(fileBytes(path), fileBytes(clean_path))
+                << cache::codecName(write_codec) << " -> "
+                << cache::codecName(resume_codec);
+            std::remove(path.c_str());
+            std::remove(clean_path.c_str());
+        }
+    }
+}
+
+TEST(CheckpointCodecs, IdentityWritesTheV1FormatLzWritesV2)
+{
+    const Rng base(123);
+    for (const cache::Codec codec :
+         {cache::Codec::Identity, cache::Codec::Lz}) {
+        const std::string path = tempPath(
+            std::string("version_") + cache::codecName(codec));
+        std::remove(path.c_str());
+        std::vector<TrialRecord> records;
+        resilience::runCheckpointedTrials<TrialRecord>(
+            checkpointOptions(path, codec), base, 0xfeed, 40,
+            records,
+            [&](std::uint64_t t) { return makeTrial(base, t); });
+        const auto bytes = fileBytes(path);
+        ASSERT_GE(bytes.size(), 8u);
+        EXPECT_EQ(std::memcmp(bytes.data(), "FC2K", 4), 0);
+        std::uint32_t version = 0;
+        std::memcpy(&version, bytes.data() + 4, 4);
+        EXPECT_EQ(version,
+                  codec == cache::Codec::Identity ? 1u : 2u);
+        if (codec == cache::Codec::Lz) {
+            // The compressed payload must actually be smaller than
+            // the raw records it encodes.
+            const std::size_t raw_bytes =
+                40 * sizeof(TrialRecord);
+            EXPECT_LT(bytes.size(),
+                      raw_bytes + 128 /* header + bitmap slack */);
+        }
+        std::remove(path.c_str());
+    }
+}
+
+TEST(CheckpointCodecs, CorruptCompressedPayloadIsRejected)
+{
+    const Rng base(123);
+    const std::string path = tempPath("corrupt");
+    std::remove(path.c_str());
+    std::vector<TrialRecord> records;
+    resilience::runCheckpointedTrials<TrialRecord>(
+        checkpointOptions(path, cache::Codec::Lz), base, 0xfeed, 40,
+        records, [&](std::uint64_t t) { return makeTrial(base, t); });
+
+    // A flipped payload byte breaks the trailing file checksum.
+    auto bytes = fileBytes(path);
+    ASSERT_GT(bytes.size(), 80u);
+    auto flipped = bytes;
+    flipped[70] ^= 0x01;
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(flipped.data()),
+                  static_cast<std::streamsize>(flipped.size()));
+    }
+    EXPECT_THROW((void)resilience::detail::readCheckpointFile(path),
+                 resilience::CheckpointError);
+
+    // A payload that checksums cleanly but no longer decompresses
+    // (first stored byte forced to an invalid transform mode) must
+    // be rejected too, not silently decoded into wrong records.
+    auto forged = bytes;
+    const std::size_t header = 4 + 4 + 4 + 5 * 8 + 8; // v2 header
+    const std::size_t bitmap = 1;                     // 5 chunks
+    forged[header + bitmap] = 0x7f;
+    std::uint64_t checksum = resilience::fnv1a64(
+        forged.data(), forged.size() - 8);
+    std::memcpy(forged.data() + forged.size() - 8, &checksum, 8);
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(forged.data()),
+                  static_cast<std::streamsize>(forged.size()));
+    }
+    EXPECT_THROW((void)resilience::detail::readCheckpointFile(path),
+                 resilience::CheckpointError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointCodecs, UnknownVersionOrCodecIdIsRejected)
+{
+    const Rng base(123);
+    const std::string path = tempPath("fields");
+    std::remove(path.c_str());
+    std::vector<TrialRecord> records;
+    resilience::runCheckpointedTrials<TrialRecord>(
+        checkpointOptions(path, cache::Codec::Lz), base, 0xfeed, 40,
+        records, [&](std::uint64_t t) { return makeTrial(base, t); });
+    const auto bytes = fileBytes(path);
+
+    const auto rewrite = [&](std::size_t offset,
+                             std::uint32_t value) {
+        auto forged = bytes;
+        std::memcpy(forged.data() + offset, &value, 4);
+        std::uint64_t checksum = resilience::fnv1a64(
+            forged.data(), forged.size() - 8);
+        std::memcpy(forged.data() + forged.size() - 8, &checksum,
+                    8);
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(forged.data()),
+                  static_cast<std::streamsize>(forged.size()));
+    };
+
+    rewrite(4, 3u); // unsupported version
+    EXPECT_THROW((void)resilience::detail::readCheckpointFile(path),
+                 resilience::CheckpointError);
+    rewrite(8, 9u); // unknown codec id
+    EXPECT_THROW((void)resilience::detail::readCheckpointFile(path),
+                 resilience::CheckpointError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace fairco2

@@ -7,7 +7,9 @@
  *                    [--column demand] [--step-seconds 300]
  *                    [--splits 10,9,8,12] [--incremental
  *                    --window 24 --period-samples 0
- *                    --cache-capacity 64] --out signal.csv
+ *                    --cache-capacity 64
+ *                    --cache-backend lru,malloc,mutex
+ *                    --cache-compress identity] --out signal.csv
  *   fairco2 bill     --signal signal.csv --usage usage.csv
  *                    --out bills.csv
  *   fairco2 forecast --demand demand.csv --horizon-steps 2592
@@ -22,6 +24,8 @@
  *                    [--admission-rate 0] [--duration-periods 48]
  *                    [--window 8] [--period-samples 12]
  *                    [--cache-capacity 64] [--seed 42]
+ *                    [--cache-backend lru,malloc,mutex]
+ *                    [--cache-compress identity]
  *                    [--out served.csv]
  *
  * `signal` turns a demand series into a Temporal Shapley intensity
@@ -54,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/backend.hh"
 #include "common/csv.hh"
 #include "common/errors.hh"
 #include "common/flags.hh"
@@ -87,6 +92,51 @@ parseSplits(const std::string &text)
         std::exit(2);
     }
 }
+
+/** Shared `--cache-backend`/`--cache-compress` flag plumbing for the
+ *  commands that own an incremental engine. Every backend combination
+ *  publishes byte-identical signals (ctest -L backends proves it), so
+ *  these are pure capacity/CPU trade-offs, never correctness knobs. */
+struct CacheBackendFlags
+{
+    std::string backendText =
+        cache::backendSpec(cache::defaultBackend());
+    std::string compressText =
+        cache::codecName(cache::defaultBackend().codec);
+
+    void add(FlagSet &flags)
+    {
+        flags.addString("cache-backend", &backendText,
+                        "memo-cache backend spec "
+                        "policy[,alloc[,lock]] from lru|clock, "
+                        "malloc|arena, mutex|sharded (results are "
+                        "byte-identical for every combination)");
+        flags.addString("cache-compress", &compressText,
+                        "memo-cache blob codec: identity | lz "
+                        "(lz trades CPU for more windows per MiB)");
+    }
+
+    /** Parse both flags; malformed specs exit 2 like any bad flag. */
+    cache::BackendConfig apply() const
+    {
+        cache::BackendConfig backend;
+        try {
+            backend = cache::parseBackendSpec(backendText);
+        } catch (const std::invalid_argument &error) {
+            std::fprintf(stderr, "error: --cache-backend: %s\n",
+                         error.what());
+            std::exit(2);
+        }
+        try {
+            backend.codec = cache::parseCodec(compressText);
+        } catch (const std::invalid_argument &error) {
+            std::fprintf(stderr, "error: --cache-compress: %s\n",
+                         error.what());
+            std::exit(2);
+        }
+        return backend;
+    }
+};
 
 /** Shared ingestion/fault flags and their parsed forms. */
 struct ResilienceFlags
@@ -163,8 +213,10 @@ runSignal(int argc, char **argv)
                  "incremental: samples per period (0: derive so the "
                  "window spans half the trace)");
     flags.addInt("cache-capacity", &cache_capacity,
-                 "incremental: sub-game LRU entries (0: memoization "
-                 "off)");
+                 "incremental: sub-game memo entries (must be "
+                 ">= 1)");
+    CacheBackendFlags cache_flags;
+    cache_flags.add(flags);
     flags.addString("out", &out_path, "output CSV path");
     std::int64_t threads = 0;
     parallel::addThreadsFlag(flags, &threads);
@@ -177,6 +229,7 @@ runSignal(int argc, char **argv)
     parallel::applyThreadsFlag(threads);
     obs::applyObsFlags(obs_flags);
     res.apply();
+    const cache::BackendConfig cache_backend = cache_flags.apply();
     FAIRCO2_SPAN("cli.signal");
     if (demand_path.empty() || pool_grams <= 0.0) {
         std::fprintf(stderr,
@@ -186,12 +239,22 @@ runSignal(int argc, char **argv)
     }
 
     if (incremental &&
-        (window_periods <= 0 || period_samples < 0 ||
-         cache_capacity < 0)) {
+        (window_periods <= 0 || period_samples < 0)) {
         std::fprintf(stderr,
                      "error: --window must be positive; "
-                     "--period-samples and --cache-capacity must "
-                     "be non-negative\n");
+                     "--period-samples must be non-negative\n");
+        return 2;
+    }
+    // A capacity of 0 would silently disable memoization — the whole
+    // point of --incremental — so it is a flag error, not a mode.
+    if (incremental && cache_capacity <= 0) {
+        std::fprintf(stderr,
+                     "error: --cache-capacity must be >= 1 with "
+                     "--incremental (got %lld): the sliding engine "
+                     "needs a live sub-game memo cache; capacity "
+                     "only changes solve cost, never the published "
+                     "signal\n",
+                     static_cast<long long>(cache_capacity));
         return 2;
     }
     if (horizon_steps < 0) {
@@ -245,7 +308,8 @@ runSignal(int argc, char **argv)
             demand, pool_grams,
             static_cast<std::size_t>(window_periods),
             static_cast<std::size_t>(period_samples), inner_splits,
-            static_cast<std::size_t>(cache_capacity), &res.plan);
+            static_cast<std::size_t>(cache_capacity), &res.plan,
+            cache_backend);
         intensity = std::move(result.intensity);
         attributed_grams = result.attributedGrams;
         unattributed_grams = result.unattributedGrams;
@@ -557,8 +621,10 @@ runServe(int argc, char **argv)
     flags.addInt("period-samples", &period_samples,
                  "telemetry samples per period");
     flags.addInt("cache-capacity", &cache_capacity,
-                 "per-engine sub-game LRU entries (0: memoization "
+                 "per-engine sub-game memo entries (0: memoization "
                  "off)");
+    CacheBackendFlags cache_flags;
+    cache_flags.add(flags);
     flags.addInt("max-batch-periods", &max_batch_periods,
                  "most periods one tenant batch may cover (sets the "
                  "close watermark)");
@@ -581,6 +647,7 @@ runServe(int argc, char **argv)
     parallel::applyThreadsFlag(threads);
     obs::applyObsFlags(obs_flags);
     res.apply();
+    const cache::BackendConfig cache_backend = cache_flags.apply();
     FAIRCO2_SPAN("cli.serve");
     if (tenants <= 0 || shards <= 0 ||
         shards > static_cast<std::int64_t>(server::kMaxShards) ||
@@ -611,6 +678,7 @@ runServe(int argc, char **argv)
     config.windowPeriods = static_cast<std::size_t>(window_periods);
     config.periodSamples = static_cast<std::size_t>(period_samples);
     config.cacheCapacity = static_cast<std::size_t>(cache_capacity);
+    config.cacheBackend = cache_backend;
     config.maxBatchPeriods =
         static_cast<std::size_t>(max_batch_periods);
     config.poolGramsPerSecond = pool_rate;
