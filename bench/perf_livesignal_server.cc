@@ -16,11 +16,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hh"
 #include "common/flags.hh"
+#include "durability/wal.hh"
 #include "server/signalserver.hh"
 
 using namespace fairco2;
@@ -84,6 +87,8 @@ main(int argc, char **argv)
     std::int64_t duration_periods = 24;
     std::int64_t readers = 2;
     std::int64_t seed = 42;
+    std::string wal_dir;
+    bool wal_compress = false;
     bool smoke = false;
     FlagSet flags("perf_livesignal_server: sharded live-signal "
                   "server throughput and wait-free read latency");
@@ -97,6 +102,11 @@ main(int argc, char **argv)
     flags.addInt("readers", &readers,
                  "snapshot reader threads run alongside the server");
     flags.addInt("seed", &seed, "population seed");
+    flags.addString("wal-dir", &wal_dir,
+                    "also time a WAL-enabled run (in <dir>/run, "
+                    "recreated) and record the durability overhead");
+    flags.addBool("wal-compress", &wal_compress,
+                  "use the LZ codec for the WAL run's records");
     flags.addBool("smoke", &smoke,
                   "CI mode: shrink to a seconds-scale check");
     std::int64_t threads = 0;
@@ -195,6 +205,67 @@ main(int argc, char **argv)
           << ", \"reads_per_sec\": " << reads_per_sec
           << ", \"read_p50_us\": " << p50_us
           << ", \"read_p99_us\": " << p99_us;
+
+    if (!wal_dir.empty()) {
+        // Durability overhead: the identical run with group-committed
+        // WAL appends (no reader threads — this isolates the write
+        // path). The published signal must not move; the ratio and
+        // the per-tick log volume are what perf_summary tracks.
+        namespace fs = std::filesystem;
+        const std::string run_dir =
+            (fs::path(wal_dir) / "run").string();
+        fs::remove_all(run_dir);
+        const std::string problem =
+            durability::walDirError(run_dir);
+        if (!problem.empty()) {
+            std::fprintf(stderr, "error: --wal-dir: %s\n",
+                         problem.c_str());
+            return 2;
+        }
+        server::ServerConfig wal_config = config;
+        wal_config.durability.walDir = run_dir;
+        wal_config.durability.walCodec = wal_compress
+            ? cache::Codec::Lz
+            : cache::Codec::Identity;
+        wal_config.durability.scrubPeriods = 0;
+        server::SignalServer wal_srv(wal_config);
+        const bench::WallTimer wal_timer;
+        const server::ServerReport wal_report = wal_srv.run();
+        const double wal_seconds = wal_timer.seconds();
+        if (wal_report.signalSignature() !=
+            report.signalSignature()) {
+            std::fprintf(stderr,
+                         "error: WAL run changed the published "
+                         "signal signature\n");
+            return 1;
+        }
+        const double wal_pushes_per_sec = wal_seconds > 0.0
+            ? static_cast<double>(wal_report.samplesIngested) /
+                wal_seconds
+            : 0.0;
+        const double ratio = pushes_per_sec > 0.0
+            ? wal_pushes_per_sec / pushes_per_sec
+            : 0.0;
+        const double ticks = wal_report.walRecords > 0
+            ? static_cast<double>(wal_report.walRecords)
+            : 1.0;
+        const double raw_per_tick =
+            static_cast<double>(wal_report.walRawBytes) / ticks;
+        const double stored_per_tick =
+            static_cast<double>(wal_report.walStoredBytes) / ticks;
+        std::printf("  wal: %.0f pushes/s (%.3fx of plain), "
+                    "%.0f raw B/tick -> %.0f stored B/tick (%s)\n",
+                    wal_pushes_per_sec, ratio, raw_per_tick,
+                    stored_per_tick,
+                    wal_compress ? "lz" : "identity");
+        extra << ", \"wal_pushes_per_sec\": " << wal_pushes_per_sec
+              << ", \"wal_pushes_per_sec_ratio\": " << ratio
+              << ", \"wal_raw_bytes_per_tick\": " << raw_per_tick
+              << ", \"wal_stored_bytes_per_tick\": "
+              << stored_per_tick
+              << ", \"wal_compress\": "
+              << (wal_compress ? "true" : "false");
+    }
     bench::recordPerf("perf_livesignal_server",
                       report.samplesIngested, wall_seconds,
                       report.faultsInjected, extra.str());

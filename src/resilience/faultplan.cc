@@ -67,6 +67,7 @@ FaultPlan::operator=(const FaultPlan &other)
     stageStall_ = other.stageStall_;
     stageTimeout_ = other.stageTimeout_;
     cacheCorrupt_ = other.cacheCorrupt_;
+    primaryCrash_ = other.primaryCrash_;
     injected_.store(other.injected_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
     return *this;
@@ -124,12 +125,14 @@ FaultPlan::parse(const std::string &spec)
             plan.stageTimeout_ = probability(key, value);
         } else if (key == "cache-corrupt") {
             plan.cacheCorrupt_ = probability(key, value);
+        } else if (key == "primary-crash") {
+            plan.primaryCrash_ = probability(key, value);
         } else {
             throw std::invalid_argument(
                 "unknown fault-plan key '" + key +
                 "' (known: seed, drop, corrupt, nan, node-fail, "
                 "vm-preempt, stage-crash, stage-stall, "
-                "stage-timeout, cache-corrupt)");
+                "stage-timeout, cache-corrupt, primary-crash)");
         }
     }
 
@@ -139,7 +142,7 @@ FaultPlan::parse(const std::string &spec)
         plan.nan_ > 0.0 || plan.nodeFail_ > 0.0 ||
         plan.vmPreempt_ > 0.0 || plan.stageCrash_ > 0.0 ||
         plan.stageStall_ > 0.0 || plan.stageTimeout_ > 0.0 ||
-        plan.cacheCorrupt_ > 0.0;
+        plan.cacheCorrupt_ > 0.0 || plan.primaryCrash_ > 0.0;
     return plan;
 }
 
@@ -167,6 +170,8 @@ FaultPlan::probabilityFor(FaultSite site) const
         return stageTimeout_;
       case FaultSite::CacheCorrupt:
         return cacheCorrupt_;
+      case FaultSite::PrimaryCrash:
+        return primaryCrash_;
       default:
         return 0.0;
     }

@@ -17,7 +17,7 @@
  *     seed=42,drop=0.01,corrupt=0.005,nan=0.001,
  *     node-fail=0.02,vm-preempt=0.01,
  *     stage-crash=0.1,stage-stall=0.1,stage-timeout=0.05,
- *     cache-corrupt=0.1
+ *     cache-corrupt=0.1,primary-crash=0.1
  *
  * `drop`/`corrupt` poison telemetry samples and ingested CSV rows,
  * `nan` perturbs values at module boundaries, `node-fail` is the
@@ -31,7 +31,10 @@
  * `cache-corrupt` flips one payload bit in the incremental Shapley
  * engine's sub-game cache before a window advance, so the engine's
  * checksum verification trips and the supervisor exercises the
- * incremental -> full-recompute degradation rung.
+ * incremental -> full-recompute degradation rung. `primary-crash`
+ * is evaluated per arrival period by `fairco2 serve --standby`: the
+ * first period it fires, the primary replica "dies" and the hot
+ * standby fails over (fairco2::durability).
  * Probabilities must be in [0, 1]; a malformed spec throws
  * std::invalid_argument (front ends turn that into exit 2).
  */
@@ -73,6 +76,7 @@ enum class FaultSite : std::uint64_t
     StageTimeout = 13,    //!< stage attempt burns its whole budget
     StageStallMs = 14,    //!< stall length (fraction of deadline)
     CacheCorrupt = 15,    //!< incremental sub-game cache entry flips
+    PrimaryCrash = 16,    //!< serve primary dies; standby fails over
 };
 
 /** Deterministic, thread-safe fault decision source. */
@@ -134,6 +138,7 @@ class FaultPlan
     double stageStallProbability() const { return stageStall_; }
     double stageTimeoutProbability() const { return stageTimeout_; }
     double cacheCorruptProbability() const { return cacheCorrupt_; }
+    double primaryCrashProbability() const { return primaryCrash_; }
 
     FaultPlan(const FaultPlan &other) { *this = other; }
     FaultPlan &operator=(const FaultPlan &other);
@@ -153,6 +158,7 @@ class FaultPlan
     double stageStall_ = 0.0;
     double stageTimeout_ = 0.0;
     double cacheCorrupt_ = 0.0;
+    double primaryCrash_ = 0.0;
     mutable std::atomic<std::uint64_t> injected_{0};
 };
 

@@ -77,4 +77,27 @@ AdmissionController::offer(TenantClass cls, bool deferred)
     return AdmissionDecision::Rejected;
 }
 
+bool
+AdmissionController::replayAdmit(TenantClass cls)
+{
+    if (!unlimited_ &&
+        !buckets_[static_cast<std::size_t>(cls)].tryTake())
+        return false;
+    ++totals_.offered;
+    ++totals_.admitted;
+    FAIRCO2_COUNT("server.admission.admitted", 1);
+    return true;
+}
+
+void
+AdmissionController::replayNonAdmitted(std::uint64_t deferred,
+                                       std::uint64_t rejected)
+{
+    totals_.offered += deferred + rejected;
+    totals_.deferred += deferred;
+    totals_.rejected += rejected;
+    FAIRCO2_COUNT("server.admission.deferred", deferred);
+    FAIRCO2_COUNT("server.admission.rejected", rejected);
+}
+
 } // namespace fairco2::server

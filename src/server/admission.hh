@@ -120,6 +120,21 @@ class AdmissionController
      */
     AdmissionDecision offer(TenantClass cls, bool deferred);
 
+    /**
+     * WAL replay: re-apply one logged Admitted decision — take the
+     * class token and bump offered/admitted, exactly what offer()
+     * did on the primary. Returns false when the bucket is empty,
+     * which can only mean the log does not match this controller's
+     * state (the caller raises WalIntegrityError).
+     */
+    bool replayAdmit(TenantClass cls);
+
+    /** WAL replay: re-apply one tick's non-admitted outcomes in
+     *  aggregate (deferred/rejected offers touch totals only, never
+     *  the buckets, so counts are sufficient). */
+    void replayNonAdmitted(std::uint64_t deferred,
+                           std::uint64_t rejected);
+
     const Totals &totals() const { return totals_; }
 
     const TokenBucket &bucket(TenantClass cls) const

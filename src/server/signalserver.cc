@@ -2,44 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
 #include "common/obs.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/signals.hh"
 
 namespace fairco2::server
 {
-
-namespace
-{
-
-/** FNV-1a over raw bytes. */
-std::uint64_t
-fnv1a(const void *data, std::size_t bytes, std::uint64_t hash)
-{
-    const auto *p = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-        hash ^= p[i];
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
-
-} // namespace
 
 std::uint64_t
 ServerReport::signalSignature() const
 {
     std::uint64_t hash = 0xcbf29ce484222325ULL;
     if (!publishedIntensity.empty())
-        hash = fnv1a(publishedIntensity.data(),
-                     publishedIntensity.size() * sizeof(double), hash);
+        hash = resilience::fnv1a64(
+            publishedIntensity.data(),
+            publishedIntensity.size() * sizeof(double), hash);
     return hash;
 }
 
 SignalServer::SignalServer(const ServerConfig &config)
-    : config_(config),
-      population_([&] {
+    : config_(config), population_([&] {
           TenantPopulation::Config pc;
           pc.tenants = config.tenants;
           pc.zipfS = config.zipfS;
@@ -48,13 +36,7 @@ SignalServer::SignalServer(const ServerConfig &config)
           pc.maxBatchPeriods = config.maxBatchPeriods;
           pc.meanDemandUnits = config.meanDemandUnits;
           return pc;
-      }()),
-      admission_([&] {
-          AdmissionController::Config ac;
-          ac.ratePerPeriod = config.admissionRate;
-          return ac;
-      }()),
-      governor_(config.overload)
+      }())
 {
     if (config_.shards == 0 || config_.shards > kMaxShards)
         throw std::invalid_argument(
@@ -73,286 +55,309 @@ SignalServer::SignalServer(const ServerConfig &config)
         !std::isfinite(config_.poolGramsPerSecond))
         throw std::invalid_argument(
             "SignalServer: pool rate must be finite and >= 0");
+    const DurabilityOptions &dur = config_.durability;
+    if (dur.walDir.empty()) {
+        if (dur.recover)
+            throw std::invalid_argument(
+                "SignalServer: recovery requires a wal directory");
+        if (dur.standby)
+            throw std::invalid_argument(
+                "SignalServer: a hot standby requires a wal "
+                "directory");
+        if (dur.killTorn)
+            throw std::invalid_argument(
+                "SignalServer: a torn kill requires a wal "
+                "directory");
+    }
+    if (dur.walSegmentRecords == 0)
+        throw std::invalid_argument(
+            "SignalServer: wal segment capacity must be >= 1");
 
     // Period q closes once every batch covering it — including one
     // admission deferral — must have arrived.
     watermark_ = config_.maxBatchPeriods + 1;
-
-    core::IncrementalSignalCore::Config cc;
-    cc.windowPeriods = config_.windowPeriods;
-    cc.periodSamples = config_.periodSamples;
-    cc.stepSeconds = config_.stepSeconds;
-    cc.innerSplits = config_.innerSplits;
-    cc.cacheCapacity = config_.cacheCapacity;
-    cc.cacheBackend = config_.cacheBackend;
-    cc.poolGramsPerSecond = config_.poolGramsPerSecond;
-    cc.seed = config_.seed;
-
-    shards_.resize(config_.shards);
-    for (Shard &shard : shards_)
-        shard.core =
-            std::make_unique<core::IncrementalSignalCore>(cc);
-    fleet_ = std::make_unique<core::IncrementalSignalCore>(cc);
 }
 
 SignalServer::~SignalServer() = default;
 
-std::vector<std::uint64_t> &
-SignalServer::pendingFor(Shard &shard, std::uint64_t period,
-                         std::size_t period_samples)
+Replica &
+SignalServer::active()
 {
-    for (std::size_t i = 0; i < shard.pendingPeriods.size(); ++i)
-        if (shard.pendingPeriods[i] == period)
-            return shard.pending[i];
-    shard.pendingPeriods.push_back(period);
-    shard.pending.emplace_back(period_samples, 0);
-    return shard.pending.back();
+    return crashed_ ? *standby_ : *primary_;
 }
 
 void
-SignalServer::offerBatch(const BatchRef &batch)
+SignalServer::setupDurability()
 {
-    const TenantClass cls = population_.classOf(batch.tenant);
-    // Overload levels >= ShedFree reject Free-tier batches before
-    // they can drain the token buckets.
-    if (governor_.level() != pipeline::OverloadLevel::Normal &&
-        cls == TenantClass::Free) {
-        ++report_.batchesShed;
-        FAIRCO2_COUNT("server.admission.shed", 1);
+    const DurabilityOptions &dur = config_.durability;
+    if (dur.walDir.empty())
         return;
+    configHash_ = serverConfigHash(config_);
+
+    durability::WalWriter::Options wo;
+    wo.dir = dur.walDir;
+    wo.configHash = configHash_;
+    wo.codec = dur.walCodec;
+    wo.segmentRecords = dur.walSegmentRecords;
+    wo.onSeal = [this](std::uint64_t) {
+        // Ship the sealed segment: the standby replays from disk one
+        // tick later (after this tick's close), never from the
+        // primary's memory.
+        if (standby_ == nullptr || crashed_)
+            return;
+        loop_.after(1, [this] {
+            if (!crashed_)
+                syncStandbyFromDisk(true);
+        });
+    };
+
+    std::vector<durability::WalTickRecord> tail;
+    if (dur.recover) {
+        durability::WalLoadResult load =
+            durability::loadWal(dur.walDir, configHash_);
+        report_.recovered = true;
+        report_.droppedWalTail = load.droppedTail;
+        report_.walTailDiagnostic = load.tailDiagnostic;
+        wo.firstSegmentIndex = load.nextSegmentIndex;
+        wo.firstRecordIndex = load.records.size() - load.tailRecords;
+        tail.assign(load.records.end() -
+                        static_cast<std::ptrdiff_t>(load.tailRecords),
+                    load.records.end());
+        replay_ = std::move(load.records);
+        FAIRCO2_COUNT("durability.recover.records",
+                      replay_.size());
+    } else {
+        // A fresh run must not silently clobber (or interleave with)
+        // an existing log.
+        namespace fs = std::filesystem;
+        for (const auto &entry : fs::directory_iterator(dur.walDir))
+            if (entry.path().filename().string().rfind("wal-", 0) ==
+                0)
+                throw durability::WalIntegrityError(
+                    "wal directory '" + dur.walDir +
+                    "' already holds a log; pass --recover to "
+                    "replay it or point --wal-dir at a fresh "
+                    "directory");
     }
-    const AdmissionDecision decision =
-        admission_.offer(cls, batch.deferred);
-    switch (decision) {
-    case AdmissionDecision::Admitted:
-        shards_[batch.tenant % config_.shards].inbox.push_back(batch);
-        break;
-    case AdmissionDecision::Deferred: {
-        BatchRef retry = batch;
-        retry.deferred = true;
-        deferred_.push_back(retry);
-        break;
-    }
-    case AdmissionDecision::Rejected:
-        break;
-    }
+    wal_ = std::make_unique<durability::WalWriter>(wo);
+    if (!tail.empty())
+        wal_->adoptTail(tail);
+}
+
+void
+SignalServer::killNow()
+{
+    // Simulate kill -9 as the shell reports it (128 + SIGKILL):
+    // no stdio flush, no destructors, no WAL seal.
+    std::_Exit(137);
+}
+
+void
+SignalServer::publishOutcome(const Replica::CloseOutcome &outcome)
+{
+    Replica &rep = active();
+    const AdmissionController::Totals &totals =
+        rep.admission().totals();
+    ServerSnapshot snap;
+    snap.version = cell_.publishes() + 1;
+    snap.period = outcome.period;
+    snap.fleetIntensity = outcome.fleetIntensity;
+    snap.fleetDemandUnits = static_cast<double>(outcome.fleetUnits);
+    snap.admitted = totals.admitted;
+    snap.deferred = totals.deferred;
+    snap.rejected = totals.rejected;
+    snap.overloadLevel =
+        static_cast<std::uint32_t>(rep.governor().level());
+    snap.shards = static_cast<std::uint32_t>(config_.shards);
+    snap.shardIntensity = outcome.shardIntensity;
+    cell_.publish(snap);
+
+    report_.attributedGrams += outcome.attributedGrams;
+    report_.publishedIntensity.push_back(outcome.fleetIntensity);
+    report_.publishedPeriods.push_back(outcome.period);
+    FAIRCO2_COUNT("server.publishes", 1);
+    FAIRCO2_GAUGE_SET("server.fleet.intensity",
+                      outcome.fleetIntensity);
+    FAIRCO2_GAUGE_SET("server.fleet.demand_units",
+                      static_cast<double>(outcome.fleetUnits));
+}
+
+void
+SignalServer::replayIntoStandby(
+    const durability::WalTickRecord &record)
+{
+    standby_->applyArrivalsReplay(record);
+    ++standbyConsumed_;
+    ++report_.standbyReplayedRecords;
+    const Replica::CloseOutcome outcome =
+        standby_->applyClose(record.period);
+    if (!outcome.published)
+        return;
+    // Zero-divergence contract: every publish the standby reproduces
+    // must match the primary's bit for bit.
+    if (standbyPublishIndex_ >= report_.publishedIntensity.size())
+        throw durability::WalIntegrityError(
+            "standby replay of period " +
+            std::to_string(record.period) +
+            " published ahead of the primary");
+    const double expect =
+        report_.publishedIntensity[standbyPublishIndex_];
+    if (std::memcmp(&outcome.fleetIntensity, &expect,
+                    sizeof(double)) != 0)
+        throw durability::WalIntegrityError(
+            "standby diverged from the primary at publish " +
+            std::to_string(standbyPublishIndex_) + " (period " +
+            std::to_string(outcome.period) + ")");
+    ++standbyPublishIndex_;
+    ++report_.standbyPublishChecks;
+}
+
+void
+SignalServer::syncStandbyFromDisk(bool sealed_only)
+{
+    const durability::WalLoadResult load =
+        durability::loadWal(config_.durability.walDir, configHash_);
+    std::size_t limit = load.records.size();
+    if (sealed_only)
+        limit -= static_cast<std::size_t>(load.tailRecords);
+    // Never replay past the primary: during recovery the log already
+    // holds ticks the primary has not re-driven yet.
+    limit = std::min<std::size_t>(limit, primaryRecords_);
+    for (std::size_t i = standbyConsumed_; i < limit; ++i)
+        replayIntoStandby(load.records[i]);
+}
+
+void
+SignalServer::failover(std::uint64_t period)
+{
+    crashed_ = true;
+    config_.faultPlan.noteInjected();
+    report_.failedOver = true;
+    report_.failoverPeriod = period;
+    FAIRCO2_COUNT("durability.failover", 1);
+    // Catch up from the log on disk — tail segment included; the
+    // dead primary's memory is gone by definition.
+    syncStandbyFromDisk(false);
+    // No-missing-period contract: after catch-up the standby's next
+    // publish continues the primary's stream exactly.
+    if (standbyPublishIndex_ != report_.publishedIntensity.size())
+        throw durability::WalIntegrityError(
+            "failover at period " + std::to_string(period) +
+            " left a publish gap: standby reproduced " +
+            std::to_string(standbyPublishIndex_) + " of " +
+            std::to_string(report_.publishedIntensity.size()) +
+            " publishes");
 }
 
 void
 SignalServer::handleArrivals(std::uint64_t period)
 {
-    admission_.beginPeriod();
-    const AdmissionController::Totals before = admission_.totals();
+    const DurabilityOptions &dur = config_.durability;
 
-    // Batches deferred at the previous period go first — they have
-    // already waited one period and the watermark only covers one
-    // deferral.
-    std::vector<BatchRef> retries;
-    retries.swap(deferred_);
-    for (const BatchRef &batch : retries)
-        offerBatch(batch);
-
-    // Fresh offers in tenant-rank order (the Zipf head pushes
-    // first). Serial and shard-agnostic: this order is part of the
-    // determinism contract.
-    if (period < config_.durationPeriods) {
-        for (std::uint64_t t = 0; t < population_.size(); ++t) {
-            if (!population_.pushesAt(t, period))
-                continue;
-            const BatchRef batch = population_.batchAt(t, period);
-            if (batch.coveredPeriods == 0)
-                continue; // first push before any period closed
-            offerBatch(batch);
-        }
+    // Graceful drain: stop at a tick boundary, seal the WAL tail so
+    // a later --recover resumes from a clean log, and report the
+    // interruption (the CLI exits 130).
+    if (resilience::shutdownRequested()) {
+        report_.interrupted = true;
+        if (wal_ != nullptr)
+            wal_->seal();
+        loop_.stop();
+        return;
     }
 
-    const AdmissionController::Totals after = admission_.totals();
-    governor_.observe(after.offered - before.offered,
-                      after.deferred - before.deferred,
-                      after.rejected - before.rejected);
+    if (standby_ != nullptr && !crashed_ &&
+        config_.faultPlan.active() &&
+        config_.faultPlan.fires(resilience::FaultSite::PrimaryCrash,
+                                period))
+        failover(period);
+
+    const std::uint64_t tick = loop_.now(); // == 2 * period
+    const bool kill_here = dur.killAtTick == tick;
+    Replica &rep = active();
+
+    if (replayNext_ < replay_.size()) {
+        // Recovery: re-drive the logged tick (already in the WAL —
+        // nothing is appended).
+        const durability::WalTickRecord &record = replay_[replayNext_];
+        if (record.period != period)
+            throw durability::WalIntegrityError(
+                "wal record " + std::to_string(replayNext_) +
+                " is for period " + std::to_string(record.period) +
+                ", expected " + std::to_string(period));
+        rep.applyArrivalsReplay(record);
+        ++replayNext_;
+        ++report_.replayedRecords;
+    } else {
+        const durability::WalTickRecord record =
+            rep.applyArrivalsLive(period);
+        if (wal_ != nullptr) {
+            if (kill_here && dur.killTorn) {
+                wal_->appendTorn(record);
+                killNow();
+            }
+            wal_->append(record);
+        }
+    }
+    ++primaryRecords_;
+
+    if (kill_here)
+        killNow();
+    if (dur.haltAtTick == tick) {
+        halted_ = true;
+        loop_.stop();
+    }
 }
 
 void
 SignalServer::handleClose(std::uint64_t period)
 {
-    const std::size_t S = config_.shards;
-    const std::size_t M = config_.periodSamples;
+    const Replica::CloseOutcome outcome = active().applyClose(period);
+    if (outcome.published)
+        publishOutcome(outcome);
 
-    // Materialize this period's admitted batches into shard-local
-    // pending accumulators; when a period is closing, extract its
-    // samples. One chunk per shard: all mutation is shard-local, so
-    // the region is race-free and — because materialization is pure
-    // in (seed, tenant, period) — thread-count independent.
-    const bool closing = period >= watermark_;
-    const std::uint64_t q = closing ? period - watermark_ : 0;
-    parallel::parallelFor(0, S, 1, [&](std::size_t lo,
-                                       std::size_t hi) {
-        for (std::size_t s = lo; s < hi; ++s) {
-            Shard &shard = shards_[s];
-            for (const BatchRef &batch : shard.inbox) {
-                for (std::uint32_t p = 0; p < batch.coveredPeriods;
-                     ++p) {
-                    const std::uint64_t covered =
-                        batch.period - batch.coveredPeriods + p;
-                    const std::vector<std::uint64_t> units =
-                        population_.materializePeriod(batch.tenant,
-                                                      covered);
-                    std::vector<std::uint64_t> &pending =
-                        pendingFor(shard, covered, M);
-                    for (std::size_t i = 0; i < M; ++i)
-                        pending[i] += units[i];
-                }
-                shard.samplesIngested +=
-                    static_cast<std::uint64_t>(
-                        batch.coveredPeriods) *
-                    M;
-            }
-            shard.inbox.clear();
-            if (!closing)
-                continue;
-            shard.closedUnits.assign(M, 0);
-            for (std::size_t i = 0; i < shard.pendingPeriods.size();
-                 ++i) {
-                if (shard.pendingPeriods[i] != q)
-                    continue;
-                shard.closedUnits = std::move(shard.pending[i]);
-                shard.pending.erase(
-                    shard.pending.begin() +
-                    static_cast<std::ptrdiff_t>(i));
-                shard.pendingPeriods.erase(
-                    shard.pendingPeriods.begin() +
-                    static_cast<std::ptrdiff_t>(i));
-                break;
-            }
-        }
-    });
-
-    if (closing)
-        closePeriod(q);
+    const DurabilityOptions &dur = config_.durability;
+    if (dur.killAtTick == loop_.now())
+        killNow();
+    if (dur.haltAtTick == loop_.now()) {
+        halted_ = true;
+        loop_.stop();
+    }
 }
 
 void
-SignalServer::closePeriod(std::uint64_t period)
+SignalServer::runScrub(std::uint64_t period)
 {
-    const std::size_t S = config_.shards;
-    const std::size_t M = config_.periodSamples;
-    const std::size_t W = config_.windowPeriods;
-    const double pool_window = config_.poolGramsPerSecond *
-                               config_.stepSeconds *
-                               static_cast<double>(M) *
-                               static_cast<double>(W);
-
-    // Fleet aggregate: an associative integer sum over shards, so it
-    // is identical for any shard partition — the keystone of the
-    // bit-identity contract.
-    std::vector<std::uint64_t> fleet_units(M, 0);
-    for (std::size_t s = 0; s < S; ++s) {
-        std::uint64_t shard_sum = 0;
-        for (std::size_t i = 0; i < M; ++i) {
-            fleet_units[i] += shards_[s].closedUnits[i];
-            shard_sum += shards_[s].closedUnits[i];
-        }
-        shards_[s].windowUnitSums.push_back(shard_sum);
-        if (shards_[s].windowUnitSums.size() > W)
-            shards_[s].windowUnitSums.pop_front();
+    // Anti-entropy: re-derive the window digests purely from the log
+    // on disk and compare them to the serving replica's live state.
+    durability::WalLoadResult load =
+        durability::loadWal(config_.durability.walDir, configHash_);
+    // During recovery the log extends past the loop's progress; only
+    // ticks up to this period have been applied.
+    if (load.records.size() > period + 1)
+        load.records.resize(period + 1);
+    const durability::WindowDigests derived =
+        durability::deriveWindowDigests(
+            load.records, config_.shards, config_.windowPeriods,
+            watermark_,
+            [this](std::uint64_t tenant, std::uint64_t p) {
+                std::uint64_t units = 0;
+                for (std::uint64_t sample :
+                     population_.materializePeriod(tenant, p))
+                    units += sample;
+                return units;
+            });
+    const durability::WindowDigests live = active().windowDigests();
+    ++report_.scrubRuns;
+    FAIRCO2_COUNT("durability.scrub.runs", 1);
+    if (!(derived == live)) {
+        ++report_.scrubMismatches;
+        FAIRCO2_COUNT("durability.scrub.mismatches", 1);
+        throw durability::WalIntegrityError(
+            "anti-entropy scrub mismatch at period " +
+            std::to_string(period) +
+            ": wal-derived window digests disagree with the live "
+            "replica");
     }
-    std::uint64_t fleet_sum = 0;
-    for (std::size_t i = 0; i < M; ++i)
-        fleet_sum += fleet_units[i];
-    fleetWindowSums_.push_back(fleet_sum);
-    if (fleetWindowSums_.size() > W)
-        fleetWindowSums_.pop_front();
-    std::uint64_t fleet_window_units = 0;
-    for (std::uint64_t sum : fleetWindowSums_)
-        fleet_window_units += sum;
-
-    // Per-shard attribution (observability only — shard signals
-    // depend on the partition by identity). Each shard's slice of
-    // the window pool is its integer usage share.
-    parallel::parallelFor(0, S, 1, [&](std::size_t lo,
-                                       std::size_t hi) {
-        for (std::size_t s = lo; s < hi; ++s) {
-            Shard &shard = shards_[s];
-            for (std::size_t i = 0; i < M; ++i)
-                shard.core->push(
-                    static_cast<double>(shard.closedUnits[i]));
-            shard.newestIntensityMean = 0.0;
-            if (!shard.core->ready())
-                continue;
-            std::uint64_t shard_window_units = 0;
-            for (std::uint64_t sum : shard.windowUnitSums)
-                shard_window_units += sum;
-            const double shard_pool =
-                fleet_window_units == 0
-                    ? 0.0
-                    : pool_window *
-                          (static_cast<double>(shard_window_units) /
-                           static_cast<double>(fleet_window_units));
-            shard.newestIntensityMean =
-                shard.core->publishNewest(shard_pool)
-                    .newestMeanIntensity;
-        }
-    });
-
-    // Fleet attribution — the published signal. Serial, fed by the
-    // shard-independent aggregate. The core recovers from injected
-    // cache corruption by rebuilding its engine from the retained
-    // window samples; the engine's cache-state-independence contract
-    // makes the republished signal identical to a fault-free run.
-    for (std::size_t i = 0; i < M; ++i)
-        fleet_->push(static_cast<double>(fleet_units[i]));
-    ++periodsClosed_;
-
-    if (!fleet_->ready())
-        return;
-
-    if (config_.faultPlan.active() &&
-        config_.faultPlan.fires(resilience::FaultSite::CacheCorrupt,
-                                period) &&
-        fleet_->corruptCacheEntryForTest()) {
-        config_.faultPlan.noteInjected();
-        ++report_.faultsInjected;
-        FAIRCO2_COUNT("resilience.fault.cache_corrupt", 1);
-    }
-    const auto publication = fleet_->publishNewest(pool_window);
-    double fleet_mean = publication.newestMeanIntensity;
-    const double attributed = publication.attributedGrams;
-    report_.engineRebuilds = fleet_->rebuilds();
-
-    // Overload level Proportional degrades the *published* value to
-    // the RUP baseline's constant intensity while the engines keep
-    // ingesting, so recovery republishes exact values immediately.
-    if (governor_.level() == pipeline::OverloadLevel::Proportional &&
-        fleet_window_units > 0) {
-        fleet_mean = pool_window /
-                     (static_cast<double>(fleet_window_units) *
-                      config_.stepSeconds);
-        FAIRCO2_COUNT("server.publish.proportional", 1);
-    }
-
-    const AdmissionController::Totals &totals = admission_.totals();
-    ServerSnapshot snap;
-    snap.version = cell_.publishes() + 1;
-    snap.period = period;
-    snap.fleetIntensity = fleet_mean;
-    snap.fleetDemandUnits = static_cast<double>(fleet_sum);
-    snap.admitted = totals.admitted;
-    snap.deferred = totals.deferred;
-    snap.rejected = totals.rejected;
-    snap.overloadLevel =
-        static_cast<std::uint32_t>(governor_.level());
-    snap.shards = static_cast<std::uint32_t>(S);
-    for (std::size_t s = 0; s < S; ++s)
-        snap.shardIntensity[s] = shards_[s].newestIntensityMean;
-    cell_.publish(snap);
-
-    report_.attributedGrams += attributed;
-    report_.publishedIntensity.push_back(fleet_mean);
-    report_.publishedPeriods.push_back(period);
-    FAIRCO2_COUNT("server.publishes", 1);
-    FAIRCO2_GAUGE_SET("server.fleet.intensity", fleet_mean);
-    FAIRCO2_GAUGE_SET("server.fleet.demand_units",
-                      static_cast<double>(fleet_sum));
 }
 
 ServerReport
@@ -361,6 +366,11 @@ SignalServer::run()
     if (ran_)
         throw std::logic_error("SignalServer::run: already ran");
     ran_ = true;
+
+    primary_ = std::make_unique<Replica>(config_, population_);
+    if (config_.durability.standby)
+        standby_ = std::make_unique<Replica>(config_, population_);
+    setupDurability();
 
     // Two ticks per period: arrivals at 2p, close at 2p+1. Arrival
     // ticks keep firing through the drain tail so deferred batches
@@ -371,19 +381,48 @@ SignalServer::run()
         loop_.at(2 * p, [this, p] { handleArrivals(p); });
         loop_.at(2 * p + 1, [this, p] { handleClose(p); });
     }
+    // Scrub events land after the close at the same tick (scheduled
+    // later at the same tick number => higher insertion seq).
+    const std::uint64_t scrub_every =
+        config_.durability.scrubPeriods;
+    if (wal_ != nullptr && scrub_every > 0)
+        for (std::uint64_t p = scrub_every; p < horizon;
+             p += scrub_every)
+            loop_.at(2 * p + 1, [this, p] { runScrub(p); });
     loop_.run();
 
-    report_.periodsClosed = periodsClosed_;
+    // Clean finish (not a simulated crash): seal the tail so the log
+    // is all-sealed, then let the standby drain it completely — the
+    // lockstep check covers every publish of the run.
+    if (wal_ != nullptr && !halted_ && !report_.interrupted) {
+        wal_->seal();
+        if (standby_ != nullptr && !crashed_)
+            syncStandbyFromDisk(false);
+    }
+    if (wal_ != nullptr && report_.interrupted && standby_ != nullptr &&
+        !crashed_)
+        syncStandbyFromDisk(false);
+
+    Replica &rep = active();
+    report_.periodsClosed = rep.periodsClosed();
     report_.publishes = cell_.publishes();
-    report_.admission = admission_.totals();
+    report_.admission = rep.admission().totals();
+    report_.batchesShed = rep.batchesShed();
     report_.eventsExecuted = loop_.executed();
-    report_.overloadEscalations = governor_.escalations();
-    report_.overloadRecoveries = governor_.recoveries();
+    report_.faultsInjected =
+        rep.faultsInjected() + (report_.failedOver ? 1 : 0);
+    report_.engineRebuilds = rep.engineRebuilds();
+    report_.overloadEscalations = rep.governor().escalations();
+    report_.overloadRecoveries = rep.governor().recoveries();
     report_.finalOverloadLevel =
-        static_cast<std::uint32_t>(governor_.level());
-    report_.samplesIngested = 0;
-    for (const Shard &shard : shards_)
-        report_.samplesIngested += shard.samplesIngested;
+        static_cast<std::uint32_t>(rep.governor().level());
+    report_.samplesIngested = rep.samplesIngested();
+    if (wal_ != nullptr) {
+        report_.walRecords = wal_->recordsAppended();
+        report_.walSegmentsSealed = wal_->segmentsSealed();
+        report_.walRawBytes = wal_->rawBytes();
+        report_.walStoredBytes = wal_->storedBytes();
+    }
     FAIRCO2_COUNT("server.samples.ingested",
                   report_.samplesIngested);
     return report_;

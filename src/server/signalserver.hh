@@ -9,7 +9,10 @@
  * IncrementalTemporalEngine for its tenants' demand, and a fleet
  * engine attributes the aggregate. Every closed period publishes a
  * snapshot through parallel::SnapshotCell, so currentIntensity()
- * readers are wait-free while the writer streams.
+ * readers are wait-free while the writer streams. The per-tick state
+ * machine itself lives in server::Replica; SignalServer drives one
+ * (or two) replicas through the deterministic event loop and owns
+ * everything around them: publication, reporting, and durability.
  *
  * ## Determinism contract
  *
@@ -44,6 +47,26 @@
  * deferral — has arrived, so admission can only *drop* telemetry,
  * never reorder it.
  *
+ * ## Durability (`--wal-dir`)
+ *
+ * With a WAL directory configured, every arrival tick appends one
+ * durability::WalTickRecord — admitted batches, deferrals, and the
+ * admission/governor outcome — in a single flushed write (group
+ * commit per tick), sealing fixed-capacity segments with an atomic
+ * tmp+rename. `--recover` replays an existing log by re-driving the
+ * event loop from it: logged ticks are applied through
+ * Replica::applyArrivalsReplay (with cross-checks that raise
+ * WalIntegrityError on any divergence), so a server killed at any
+ * tick republishes byte-identical signals. A torn tail is dropped at
+ * the first bad checksum with a named diagnostic; damage to sealed
+ * history is always an error. `--standby` keeps a second Replica in
+ * lockstep by replaying sealed segments as they ship; the fault
+ * plan's `primary-crash` site kills the primary at a deterministic
+ * arrival tick and the standby finishes catch-up from disk and takes
+ * over publishing with no missing period and zero divergence. A
+ * periodic anti-entropy scrub re-derives the window digests from the
+ * log and compares them to the live replica's.
+ *
  * ## Degradation
  *
  * A pipeline::OverloadGovernor watches per-period admission pressure
@@ -63,25 +86,18 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/parallel.hh"
-#include "core/signalcore.hh"
-#include "pipeline/overload.hh"
-#include "resilience/faultplan.hh"
-#include "server/admission.hh"
+#include "durability/wal.hh"
 #include "server/eventloop.hh"
+#include "server/replica.hh"
 #include "server/tenants.hh"
-#include "shapley/incremental.hh"
 
 namespace fairco2::server
 {
-
-/** Hard cap on shards — the snapshot POD embeds one intensity slot
- *  per shard, and SnapshotCell payloads must be fixed-size. */
-constexpr std::size_t kMaxShards = 64;
 
 /**
  * One published snapshot of the live signal. Trivially copyable on
@@ -101,34 +117,6 @@ struct ServerSnapshot
     /** Newest-period mean intensity per shard (slots >= shards are
      *  zero). */
     std::array<double, kMaxShards> shardIntensity{};
-};
-
-/** Everything `fairco2 serve` configures. */
-struct ServerConfig
-{
-    std::size_t tenants = 1000;
-    std::size_t shards = 4;     //!< 1..kMaxShards
-    double zipfS = 1.1;
-    /** Admitted batches per period across all classes (0 = no
-     *  admission limit). */
-    std::uint64_t admissionRate = 0;
-    /** Periods of tenant arrivals to simulate (the tail is drained
-     *  so exactly this many periods close). */
-    std::uint64_t durationPeriods = 48;
-    std::size_t windowPeriods = 8;   //!< engine window W
-    std::size_t periodSamples = 12;  //!< samples per period M
-    std::size_t cacheCapacity = 64;  //!< engine sub-game cache
-    /** Memo-cache blob-store backend for every shard engine and the
-     *  fleet engine. */
-    cache::BackendConfig cacheBackend = cache::defaultBackend();
-    std::vector<std::size_t> innerSplits{}; //!< periods' inner tree
-    double stepSeconds = 300.0;
-    double poolGramsPerSecond = 0.35;
-    std::uint64_t seed = 42;
-    std::size_t maxBatchPeriods = 8;
-    std::uint64_t meanDemandUnits = 1u << 20;
-    resilience::FaultPlan faultPlan;
-    pipeline::OverloadGovernor::Config overload;
 };
 
 /** What one run produced, for reports and tests. */
@@ -152,6 +140,25 @@ struct ServerReport
     /** Absolute period index per publish. */
     std::vector<std::uint64_t> publishedPeriods;
 
+    // --- durability (all zero/false when --wal-dir is off) ---
+    std::uint64_t walRecords = 0;        //!< appended this run
+    std::uint64_t walSegmentsSealed = 0; //!< sealed this run
+    std::uint64_t walRawBytes = 0;       //!< record bytes pre-codec
+    std::uint64_t walStoredBytes = 0;    //!< frame bytes on disk
+    bool recovered = false;          //!< --recover replay happened
+    std::uint64_t replayedRecords = 0; //!< log ticks re-driven
+    bool droppedWalTail = false;     //!< torn tail suffix dropped
+    std::string walTailDiagnostic;   //!< names the drop point
+    std::uint64_t scrubRuns = 0;
+    std::uint64_t scrubMismatches = 0;
+    bool failedOver = false;         //!< primary-crash fired
+    std::uint64_t failoverPeriod = 0; //!< arrival period it fired at
+    std::uint64_t standbyReplayedRecords = 0;
+    /** Publishes the standby reproduced and compared bitwise against
+     *  the primary's (every one must match or the run aborts). */
+    std::uint64_t standbyPublishChecks = 0;
+    bool interrupted = false;        //!< SIGINT/SIGTERM drain
+
     /** FNV-1a over the raw bytes of publishedIntensity — a compact
      *  bit-exactness fingerprint for goldens and CLI output. */
     std::uint64_t signalSignature() const;
@@ -173,7 +180,9 @@ class SignalServer
      * Drive the event loop to completion: durationPeriods arrival
      * periods plus the drain tail. Call at most once per instance.
      * Readers may call snapshot()/currentIntensity() concurrently
-     * from any thread while this runs.
+     * from any thread while this runs. Throws
+     * durability::WalIntegrityError on unusable or divergent WAL
+     * state (front ends map that to exit 2 like any FatalDataError).
      */
     ServerReport run();
 
@@ -195,50 +204,37 @@ class SignalServer
     std::uint64_t publishes() const { return cell_.publishes(); }
 
   private:
-    /** Shard-local mutable state; only its owning chunk touches it
-     *  inside a parallel region. */
-    struct Shard
-    {
-        /** Engine ownership + fault recovery via the shared core. */
-        std::unique_ptr<core::IncrementalSignalCore> core;
-        /** Materialized-but-unclosed demand: absolute period ->
-         *  per-sample units. */
-        std::vector<std::vector<std::uint64_t>> pending;
-        std::vector<std::uint64_t> pendingPeriods;
-        /** Per-period unit sums of the in-window periods (deque
-         *  parallel to the engine's window). */
-        std::deque<std::uint64_t> windowUnitSums;
-        /** Batches admitted this period, awaiting materialization. */
-        std::vector<BatchRef> inbox;
-        /** Scratch: the closed period's samples / newest intensity. */
-        std::vector<std::uint64_t> closedUnits;
-        double newestIntensityMean = 0.0;
-        std::uint64_t samplesIngested = 0;
-    };
-
+    Replica &active();
+    void setupDurability();
     void handleArrivals(std::uint64_t period);
     void handleClose(std::uint64_t period);
-    void closePeriod(std::uint64_t period);
-    void offerBatch(const BatchRef &batch);
-    static std::vector<std::uint64_t> &
-    pendingFor(Shard &shard, std::uint64_t period,
-               std::size_t period_samples);
+    void publishOutcome(const Replica::CloseOutcome &outcome);
+    void failover(std::uint64_t period);
+    void syncStandbyFromDisk(bool sealed_only);
+    void replayIntoStandby(const durability::WalTickRecord &record);
+    void runScrub(std::uint64_t period);
+    [[noreturn]] void killNow();
 
     ServerConfig config_;
     TenantPopulation population_;
-    AdmissionController admission_;
-    pipeline::OverloadGovernor governor_;
     EventLoop loop_;
-    std::vector<Shard> shards_;
-    std::unique_ptr<core::IncrementalSignalCore> fleet_;
-    /** Fleet per-period unit sums of the in-window periods — the
-     *  integer usage shares behind shard pools and the proportional
-     *  fallback intensity. */
-    std::deque<std::uint64_t> fleetWindowSums_;
-    /** Batches deferred at the previous arrival tick. */
-    std::vector<BatchRef> deferred_;
+    std::unique_ptr<Replica> primary_;
+    std::unique_ptr<Replica> standby_;
+    std::unique_ptr<durability::WalWriter> wal_;
+    std::uint64_t configHash_ = 0;
+    /** Recovery: logged ticks to re-drive before live serving. */
+    std::vector<durability::WalTickRecord> replay_;
+    std::size_t replayNext_ = 0;
+    /** Arrival ticks the primary has processed (replayed or live);
+     *  the standby never replays past this. */
+    std::uint64_t primaryRecords_ = 0;
+    /** Records the standby has replayed (global record index). */
+    std::uint64_t standbyConsumed_ = 0;
+    /** Next primary publish index the standby must reproduce. */
+    std::size_t standbyPublishIndex_ = 0;
+    bool crashed_ = false; //!< primary-crash fired; standby serves
+    bool halted_ = false;  //!< haltAtTick stopped the loop abruptly
     std::uint64_t watermark_ = 0;
-    std::uint64_t periodsClosed_ = 0;
     parallel::SnapshotCell<ServerSnapshot> cell_;
     ServerReport report_;
     bool ran_ = false;

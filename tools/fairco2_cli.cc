@@ -26,6 +26,9 @@
  *                    [--cache-capacity 64] [--seed 42]
  *                    [--cache-backend lru,malloc,mutex]
  *                    [--cache-compress identity]
+ *                    [--wal-dir wal/ [--recover] [--standby]
+ *                     [--wal-compress] [--wal-segment-records 16]
+ *                     [--scrub-periods 8]]
  *                    [--out served.csv]
  *
  * `signal` turns a demand series into a Temporal Shapley intensity
@@ -44,7 +47,11 @@
  * telemetry through token-bucket admission into per-shard
  * incremental engines; the published fleet signal is bit-identical
  * for any `--shards`/`--threads` at the same seed, and the summary
- * line prints its FNV-1a signature.
+ * line prints its FNV-1a signature. With `--wal-dir` every arrival
+ * tick is group-committed to a checksummed write-ahead log;
+ * `--recover` replays it byte-identically after a kill at any tick,
+ * and `--standby` keeps a hot replica in lockstep that fails over on
+ * the fault plan's `primary-crash` with no missing period.
  *
  * All commands accept `--on-bad-row={fail,skip,interpolate}` for
  * defective telemetry rows and `--fault-plan <spec>` for
@@ -66,6 +73,7 @@
 #include "common/parallel.hh"
 #include "core/baselines.hh"
 #include "core/temporal.hh"
+#include "durability/wal.hh"
 #include "forecast/forecaster.hh"
 #include "pipeline/health.hh"
 #include "pipeline/overload.hh"
@@ -602,6 +610,14 @@ runServe(int argc, char **argv)
     double pool_rate = 0.35;
     double step_seconds = 300.0;
     std::int64_t seed = 42;
+    std::string wal_dir;
+    bool recover = false;
+    bool standby = false;
+    bool wal_compress = false;
+    std::int64_t wal_segment_records = 16;
+    std::int64_t scrub_periods = 8;
+    std::int64_t kill_at_tick = -1;
+    bool kill_torn = false;
     FlagSet flags("fairco2 serve: sharded multi-tenant live-signal "
                   "server (deterministic simulation)");
     flags.addInt("tenants", &tenants,
@@ -636,6 +652,33 @@ runServe(int argc, char **argv)
     flags.addInt("seed", &seed, "root seed for all tenant streams");
     flags.addString("out", &out_path,
                     "optional published-signal CSV path");
+    flags.addString("wal-dir", &wal_dir,
+                    "write-ahead-log directory: every arrival tick "
+                    "is group-committed so a killed run replays "
+                    "byte-identically (empty: durability off)");
+    flags.addBool("recover", &recover,
+                  "replay the existing log in --wal-dir before "
+                  "serving new periods");
+    flags.addBool("standby", &standby,
+                  "run a hot-standby replica that replays sealed "
+                  "segments and takes over on the fault plan's "
+                  "primary-crash");
+    flags.addBool("wal-compress", &wal_compress,
+                  "lz-compress WAL record payloads (per record, "
+                  "falls back to raw when not smaller)");
+    flags.addInt("wal-segment-records", &wal_segment_records,
+                 "records per WAL segment before the seal + rotate");
+    flags.addInt("scrub-periods", &scrub_periods,
+                 "anti-entropy scrub cadence in periods: re-derive "
+                 "window digests from the WAL and compare to live "
+                 "state (0: never)");
+    flags.addInt("kill-at-tick", &kill_at_tick,
+                 "test hook: _exit(137) after this event-loop tick, "
+                 "simulating kill -9 (-1: off)");
+    flags.addBool("kill-torn", &kill_torn,
+                  "test hook: with --kill-at-tick on an arrival "
+                  "tick, tear that tick's WAL frame mid-write "
+                  "first");
     std::int64_t threads = 0;
     parallel::addThreadsFlag(flags, &threads);
     obs::ObsFlags obs_flags;
@@ -665,7 +708,31 @@ runServe(int argc, char **argv)
                      "non-negative\n");
         return 2;
     }
+    if (wal_segment_records <= 0 || scrub_periods < 0 ||
+        kill_at_tick < -1) {
+        std::fprintf(stderr,
+                     "error: --wal-segment-records must be positive; "
+                     "--scrub-periods must be non-negative; "
+                     "--kill-at-tick must be >= -1\n");
+        return 2;
+    }
+    if (wal_dir.empty() && (recover || standby || kill_torn)) {
+        std::fprintf(stderr,
+                     "error: --recover, --standby, and --kill-torn "
+                     "require --wal-dir\n");
+        return 2;
+    }
     requireWritableFlagPath("out", out_path);
+    if (!wal_dir.empty()) {
+        // Preflight before the event loop ever starts: an unwritable
+        // or non-directory --wal-dir is bad input, not a crash.
+        const std::string problem = durability::walDirError(wal_dir);
+        if (!problem.empty()) {
+            std::fprintf(stderr, "error: --wal-dir: %s\n",
+                         problem.c_str());
+            return 2;
+        }
+    }
 
     server::ServerConfig config;
     config.tenants = static_cast<std::size_t>(tenants);
@@ -685,7 +752,21 @@ runServe(int argc, char **argv)
     config.stepSeconds = step_seconds;
     config.seed = static_cast<std::uint64_t>(seed);
     config.faultPlan = res.plan;
+    config.durability.walDir = wal_dir;
+    config.durability.recover = recover;
+    config.durability.standby = standby;
+    config.durability.walCodec =
+        wal_compress ? cache::Codec::Lz : cache::Codec::Identity;
+    config.durability.walSegmentRecords =
+        static_cast<std::uint64_t>(wal_segment_records);
+    config.durability.scrubPeriods =
+        static_cast<std::uint64_t>(scrub_periods);
+    if (kill_at_tick >= 0)
+        config.durability.killAtTick =
+            static_cast<std::uint64_t>(kill_at_tick);
+    config.durability.killTorn = kill_torn;
 
+    resilience::installShutdownHandler();
     server::SignalServer srv(config);
     const auto report = srv.run();
 
@@ -734,9 +815,48 @@ runServe(int argc, char **argv)
                     report.overloadRecoveries),
                 static_cast<unsigned long long>(
                     report.engineRebuilds));
+    if (!wal_dir.empty()) {
+        if (report.droppedWalTail)
+            std::fprintf(stderr, "serve: %s\n",
+                         report.walTailDiagnostic.c_str());
+        std::printf(
+            "serve: wal %llu records in %llu sealed segments "
+            "(%llu raw -> %llu stored bytes)%s | replayed %llu | "
+            "scrubs %llu\n",
+            static_cast<unsigned long long>(report.walRecords),
+            static_cast<unsigned long long>(
+                report.walSegmentsSealed),
+            static_cast<unsigned long long>(report.walRawBytes),
+            static_cast<unsigned long long>(report.walStoredBytes),
+            report.recovered ? " (recovered)" : "",
+            static_cast<unsigned long long>(report.replayedRecords),
+            static_cast<unsigned long long>(report.scrubRuns));
+        if (standby) {
+            std::string failover_note;
+            if (report.failedOver)
+                failover_note =
+                    " | failover at period " +
+                    std::to_string(report.failoverPeriod);
+            std::printf(
+                "serve: standby replayed %llu records, matched "
+                "%llu publishes%s\n",
+                static_cast<unsigned long long>(
+                    report.standbyReplayedRecords),
+                static_cast<unsigned long long>(
+                    report.standbyPublishChecks),
+                failover_note.c_str());
+        }
+    }
     if (!out_path.empty())
         std::printf("serve: published signal -> %s\n",
                     out_path.c_str());
+    if (report.interrupted) {
+        std::fprintf(stderr,
+                     "serve: interrupted by signal %d; wal tail "
+                     "sealed\n",
+                     resilience::shutdownSignal());
+        return resilience::kInterruptExitCode;
+    }
     return 0;
 }
 
