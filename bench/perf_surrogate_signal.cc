@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Guardrailed learned surrogate vs cache-cold exact sliding-window
+ * Temporal Shapley.
+ *
+ * Trains the ridge surrogate in-process on one Azure-like demand
+ * trace (trainSurrogateModelOnSeries), then streams a *different*
+ * seed's trace through two engines that publish the same sliding
+ * window with memoization off (cache capacity 0, the cache-cold
+ * worst case the surrogate exists to beat):
+ *
+ *  - the bare IncrementalTemporalEngine — every advance re-solves
+ *    the window from its samples;
+ *  - a SurrogateTemporalEngine over an identical inner engine —
+ *    accepted advances publish model predictions from the streaming
+ *    sketches without touching a sample.
+ *
+ * Times only the computeNewestPeriod advances (best of three runs),
+ * asserts the published signal's mean absolute percentage error
+ * against the exact stream stays under 1%, asserts conservation
+ * (attributed + unattributed == the advance's pool share) on every
+ * surrogate advance, and records speedup_x / mape_pct / accept_rate
+ * into bench_out/perf_summary.json. The full run additionally
+ * enforces the >= 7.7x per-advance speedup target; `--smoke` shrinks
+ * the trace to a seconds-scale CI check that keeps the error and
+ * conservation assertions but only reports the measured speedup.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/flags.hh"
+#include "common/rng.hh"
+#include "shapley/incremental.hh"
+#include "shapley/surrogate.hh"
+#include "trace/generators.hh"
+
+using namespace fairco2;
+
+namespace
+{
+
+struct AdvanceRecord
+{
+    std::vector<double> intensity; //!< flat per-sample values
+    double periodGrams = 0.0;
+    double attributedGrams = 0.0;
+    double unattributedGrams = 0.0;
+};
+
+struct StreamOutcome
+{
+    std::vector<AdvanceRecord> advances;
+    double wallSeconds = 0.0;
+};
+
+/** Integer-quantized Azure-like trace, matching the live server's
+ *  telemetry contract (src/server/tenants.hh). */
+trace::TimeSeries
+makeTrace(std::uint64_t seed, double days, double step_seconds)
+{
+    Rng rng(seed);
+    trace::AzureLikeGenerator::Config config;
+    config.days = days;
+    config.stepSeconds = step_seconds;
+    auto generated = trace::AzureLikeGenerator(config).generate(rng);
+    std::vector<double> quantized(generated.size());
+    for (std::size_t i = 0; i < generated.size(); ++i)
+        quantized[i] = std::round(generated[i]);
+    return trace::TimeSeries(std::move(quantized), step_seconds);
+}
+
+/** Drive one engine over the trace, timing only the window advances
+ *  (the steady-state cost of a live deployment). Works for the bare
+ *  IncrementalTemporalEngine and its surrogate wrapper. */
+template <typename Engine>
+StreamOutcome
+streamTrace(Engine &engine, const trace::TimeSeries &demand,
+            double pool_grams)
+{
+    StreamOutcome outcome;
+    std::uint64_t closed = 0;
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        engine.pushSample(demand[i]);
+        if (engine.periodsClosed() == closed)
+            continue;
+        closed = engine.periodsClosed();
+        if (!engine.windowReady())
+            continue;
+        const bench::WallTimer timer;
+        const auto result = engine.computeNewestPeriod(pool_grams);
+        outcome.wallSeconds += timer.seconds();
+        AdvanceRecord record;
+        record.intensity.assign(result.intensity.begin(),
+                                result.intensity.end());
+        record.periodGrams = result.periodGrams;
+        record.attributedGrams = result.attributedGrams;
+        record.unattributedGrams = result.unattributedGrams;
+        outcome.advances.push_back(std::move(record));
+    }
+    return outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t seed = 42;
+    std::int64_t window_periods = 24;
+    std::int64_t period_samples = 720;
+    double days = 7.0;
+    double tolerance = 0.01;
+    bool smoke = false;
+    FlagSet flags("perf_surrogate_signal: guardrailed learned "
+                  "surrogate vs cache-cold exact sliding-window "
+                  "Temporal Shapley");
+    flags.addInt("seed", &seed,
+                 "measurement-trace seed (training uses seed + 1)");
+    flags.addInt("window", &window_periods,
+                 "sliding-window size in periods");
+    flags.addInt("period-samples", &period_samples,
+                 "telemetry samples per period");
+    flags.addDouble("days", &days, "trace length in days");
+    flags.addDouble("surrogate-tol", &tolerance,
+                    "residual-guardrail share tolerance");
+    flags.addBool("smoke", &smoke,
+                  "CI mode: shrink to a seconds-scale check (keeps "
+                  "the error/conservation assertions, reports but "
+                  "does not enforce the speedup target)");
+    std::int64_t threads = 0;
+    obs::ObsFlags obs_flags;
+    bench::addCommonFlags(flags, &threads, &obs_flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+    bench::applyCommonFlags(threads, obs_flags);
+    if (smoke) {
+        days = std::min(days, 2.0);
+        period_samples =
+            std::min<std::int64_t>(period_samples, 180);
+    }
+    if (window_periods < 2 || period_samples <= 0 || days <= 0.0 ||
+        !(tolerance > 0.0) || !std::isfinite(tolerance)) {
+        std::fprintf(stderr,
+                     "error: --window must be >= 2; "
+                     "--period-samples and --days must be positive; "
+                     "--surrogate-tol must be a positive finite "
+                     "share tolerance\n");
+        return 2;
+    }
+
+    const double step_seconds = 5.0;
+    const auto W = static_cast<std::size_t>(window_periods);
+    const auto M = static_cast<std::size_t>(period_samples);
+    const double pool_grams = 1.0e6;
+
+    // Train on one trace, measure on another: the bench's accept
+    // rate is an out-of-sample number, not training-set recall.
+    const auto training = makeTrace(
+        static_cast<std::uint64_t>(seed) + 1, days, step_seconds);
+    shapley::SurrogateTrainConfig train_config;
+    train_config.windowPeriods = W;
+    train_config.periodSamples = M;
+    train_config.stepSeconds = step_seconds;
+    train_config.seed = static_cast<std::uint64_t>(seed);
+    const auto model = std::make_shared<
+        const surrogate::SurrogateModel>(
+        shapley::trainSurrogateModelOnSeries(training,
+                                             train_config));
+    const auto demand =
+        makeTrace(static_cast<std::uint64_t>(seed), days,
+                  step_seconds);
+
+    // Cache capacity 0 on both sides: the cache-cold worst case,
+    // where every exact advance pays the full window re-solve.
+    shapley::IncrementalTemporalEngine::Config inner_config;
+    inner_config.windowPeriods = W;
+    inner_config.periodSamples = M;
+    inner_config.stepSeconds = step_seconds;
+    inner_config.cacheCapacity = 0;
+
+    // Best of three repetitions per engine: the timed region is
+    // small, so one cold run would otherwise dominate the ratio.
+    constexpr int kRepetitions = 3;
+    StreamOutcome exact;
+    for (int r = 0; r < kRepetitions; ++r) {
+        shapley::IncrementalTemporalEngine engine(inner_config);
+        auto rerun = streamTrace(engine, demand, pool_grams);
+        if (r == 0 || rerun.wallSeconds < exact.wallSeconds)
+            exact = std::move(rerun);
+    }
+    StreamOutcome surrogate;
+    std::uint64_t accepts = 0, rejects = 0;
+    for (int r = 0; r < kRepetitions; ++r) {
+        shapley::SurrogateTemporalEngine::Config config;
+        config.engine = inner_config;
+        config.model = model;
+        config.tolerance = tolerance;
+        shapley::SurrogateTemporalEngine engine(config);
+        auto rerun = streamTrace(engine, demand, pool_grams);
+        if (r == 0 || rerun.wallSeconds < surrogate.wallSeconds) {
+            surrogate = std::move(rerun);
+            accepts = engine.counters().accepts;
+            rejects = engine.counters().rejects;
+        }
+    }
+
+    if (surrogate.advances.size() != exact.advances.size() ||
+        surrogate.advances.empty()) {
+        std::fprintf(stderr,
+                     "FAIL: advance counts diverged (%zu surrogate "
+                     "vs %zu exact)\n",
+                     surrogate.advances.size(),
+                     exact.advances.size());
+        return 1;
+    }
+
+    // Signal error: mean absolute percentage deviation of the
+    // published newest-period intensity from the exact stream.
+    double mape_sum = 0.0;
+    std::size_t mape_points = 0;
+    for (std::size_t a = 0; a < exact.advances.size(); ++a) {
+        const auto &sv = surrogate.advances[a].intensity;
+        const auto &ev = exact.advances[a].intensity;
+        if (sv.size() != ev.size()) {
+            std::fprintf(stderr,
+                         "FAIL: advance %zu published %zu vs %zu "
+                         "samples\n",
+                         a, sv.size(), ev.size());
+            return 1;
+        }
+        for (std::size_t i = 0; i < ev.size(); ++i) {
+            if (ev[i] <= 0.0)
+                continue;
+            mape_sum += std::abs(sv[i] - ev[i]) / ev[i];
+            ++mape_points;
+        }
+        // Conservation on every surrogate advance: the published
+        // period's pool share splits exactly into attributed +
+        // unattributed mass.
+        const auto &adv = surrogate.advances[a];
+        const double drift = std::abs(
+            adv.attributedGrams + adv.unattributedGrams -
+            adv.periodGrams);
+        if (drift > 1e-9 * pool_grams) {
+            std::fprintf(stderr,
+                         "FAIL: advance %zu conservation drift "
+                         "%.3e g\n",
+                         a, drift);
+            return 1;
+        }
+    }
+    const double mape_pct = mape_points > 0
+        ? 100.0 * mape_sum / static_cast<double>(mape_points)
+        : 0.0;
+    const double accept_rate = accepts + rejects > 0
+        ? static_cast<double>(accepts) /
+            static_cast<double>(accepts + rejects)
+        : 0.0;
+    const double speedup = surrogate.wallSeconds > 0.0
+        ? exact.wallSeconds / surrogate.wallSeconds
+        : 0.0;
+
+    std::printf("perf_surrogate_signal: %zu samples, %zu window "
+                "advances\n",
+                demand.size(), surrogate.advances.size());
+    std::printf("  surrogate: %.4f s  exact (cache-cold): %.4f s  "
+                "speedup: %.2fx\n",
+                surrogate.wallSeconds, exact.wallSeconds, speedup);
+    std::printf("  accepted %llu / rejected %llu (accept rate "
+                "%.3f)  signal MAPE %.4f%%\n",
+                static_cast<unsigned long long>(accepts),
+                static_cast<unsigned long long>(rejects),
+                accept_rate, mape_pct);
+
+    if (mape_pct >= 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: signal MAPE %.4f%% >= 1%%\n", mape_pct);
+        return 1;
+    }
+    if (accepts == 0) {
+        std::fprintf(stderr,
+                     "FAIL: the surrogate accepted nothing — the "
+                     "measured stream is pure exact fallback\n");
+        return 1;
+    }
+    if (!smoke && speedup < 7.7) {
+        std::fprintf(stderr,
+                     "FAIL: per-advance speedup %.2fx < 7.7x "
+                     "target\n",
+                     speedup);
+        return 1;
+    }
+
+    std::ostringstream extra;
+    extra << "\"speedup_x\": " << speedup
+          << ", \"mape_pct\": " << mape_pct
+          << ", \"accept_rate\": " << accept_rate;
+    bench::recordPerf("perf_surrogate_signal.surrogate",
+                      surrogate.advances.size(),
+                      surrogate.wallSeconds, 0, extra.str());
+    bench::recordPerf("perf_surrogate_signal.exact",
+                      exact.advances.size(), exact.wallSeconds);
+    return 0;
+}

@@ -1,0 +1,386 @@
+#include "common/surrogate.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "common/errors.hh"
+
+namespace fairco2::surrogate
+{
+
+namespace
+{
+
+/** File magic for a serialized model ("FC2S"). */
+constexpr std::uint32_t kModelMagic = 0x53324346u;
+/** Model format version. */
+constexpr std::uint32_t kModelVersion = 1;
+
+/** FNV-1a over 64-bit words (the repo's blob-checksum idiom). */
+struct Fnv1a
+{
+    std::uint64_t state = 14695981039346656037ULL;
+
+    void
+    feed(std::uint64_t word)
+    {
+        state ^= word;
+        state *= 1099511628211ULL;
+    }
+
+    void feed(double value)
+    {
+        feed(std::bit_cast<std::uint64_t>(value));
+    }
+};
+
+void
+putWord(std::vector<std::uint8_t> &out, std::uint64_t word)
+{
+    const std::size_t at = out.size();
+    out.resize(at + 8);
+    std::memcpy(out.data() + at, &word, 8);
+}
+
+void
+putDouble(std::vector<std::uint8_t> &out, double value)
+{
+    putWord(out, std::bit_cast<std::uint64_t>(value));
+}
+
+bool
+readWord(const std::vector<std::uint8_t> &in, std::size_t &pos,
+         std::uint64_t &out)
+{
+    if (pos + 8 > in.size())
+        return false;
+    std::memcpy(&out, in.data() + pos, 8);
+    pos += 8;
+    return true;
+}
+
+bool
+readDouble(const std::vector<std::uint8_t> &in, std::size_t &pos,
+           double &out)
+{
+    std::uint64_t word;
+    if (!readWord(in, pos, word))
+        return false;
+    out = std::bit_cast<double>(word);
+    return true;
+}
+
+/** Payload of a model (everything after the leading checksum). */
+std::vector<std::uint8_t>
+encodePayload(const SurrogateModel &model)
+{
+    std::vector<std::uint8_t> out;
+    putWord(out,
+            (static_cast<std::uint64_t>(kModelVersion) << 32) |
+                kModelMagic);
+    putWord(out, static_cast<std::uint64_t>(kFeatureCount));
+    for (const double w : model.weights)
+        putDouble(out, w);
+    for (const double v : model.featureMin)
+        putDouble(out, v);
+    for (const double v : model.featureMax)
+        putDouble(out, v);
+    putDouble(out, model.lambda);
+    putDouble(out, model.trainRmse);
+    putDouble(out, model.heldOutP50);
+    putDouble(out, model.heldOutP95);
+    putWord(out, model.trainedOnWindows);
+    putWord(out, model.seed);
+    return out;
+}
+
+std::uint64_t
+payloadChecksum(const std::vector<std::uint8_t> &payload)
+{
+    Fnv1a hash;
+    for (std::size_t i = 0; i + 8 <= payload.size(); i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, payload.data() + i, 8);
+        hash.feed(word);
+    }
+    hash.feed(static_cast<std::uint64_t>(payload.size()));
+    return hash.state;
+}
+
+} // namespace
+
+std::vector<double>
+thresholdPhi(const std::vector<double> &peaks)
+{
+    const std::size_t n = peaks.size();
+    std::vector<double> phi(n, 0.0);
+    if (n == 0)
+        return phi;
+
+    // Sort player indices by ascending peak (ties by index, so the
+    // order — and therefore the floating-point accumulation — is
+    // deterministic). Each increment over the previous threshold is
+    // shared equally by every player whose peak reaches it.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (peaks[a] != peaks[b])
+                      return peaks[a] < peaks[b];
+                  return a < b;
+              });
+
+    double previous = 0.0;
+    double carried = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+        const double level = peaks[order[m]];
+        const double increment = level - previous;
+        carried += increment / static_cast<double>(n - m);
+        phi[order[m]] = carried;
+        previous = level;
+    }
+    return phi;
+}
+
+std::vector<FeatureRow>
+featurize(const std::vector<PeriodSketch> &window,
+          double step_seconds)
+{
+    const std::size_t n = window.size();
+    std::vector<FeatureRow> rows(n);
+    if (n == 0)
+        return rows;
+
+    std::vector<double> peaks(n), usages(n);
+    double max_peak = 0.0;
+    double second_peak = 0.0;
+    std::size_t argmax = 0;
+    double total_usage = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        peaks[i] = window[i].peak;
+        usages[i] = window[i].usage(step_seconds);
+        total_usage += usages[i];
+        if (peaks[i] > max_peak) {
+            second_peak = max_peak;
+            max_peak = peaks[i];
+            argmax = i;
+        } else if (peaks[i] > second_peak) {
+            second_peak = peaks[i];
+        }
+    }
+
+    // Ascending-peak rank per period (ties by index), matching the
+    // threshold decomposition's ordering.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (peaks[a] != peaks[b])
+                      return peaks[a] < peaks[b];
+                  return a < b;
+              });
+    std::vector<std::size_t> rank(n);
+    for (std::size_t m = 0; m < n; ++m)
+        rank[order[m]] = m;
+
+    // The physics-informed anchor: the peak game's own
+    // threshold-decomposition share t_i = phi_i q_i / sum_k phi_k q_k
+    // (Eq. 5 normalization over the sketch peaks/usages).
+    const auto phi = thresholdPhi(peaks);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        denom += phi[i] * usages[i];
+
+    double peak_usage_denom = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        peak_usage_denom += peaks[i] * usages[i];
+
+    for (std::size_t i = 0; i < n; ++i) {
+        FeatureRow &row = rows[i];
+        const double peak = peaks[i];
+        const double usage = usages[i];
+        const double samples =
+            static_cast<double>(std::max<std::size_t>(
+                1, window[i].samples));
+        const double mean = window[i].sum / samples;
+        row[0] = 1.0; // bias
+        row[1] = max_peak > 0.0 ? peak / max_peak : 0.0;
+        row[2] = total_usage > 0.0 ? usage / total_usage : 0.0;
+        row[3] = peak_usage_denom > 0.0
+            ? peak * usage / peak_usage_denom
+            : 0.0; // peak-proportional share baseline
+        row[4] = n > 1 ? static_cast<double>(rank[i]) /
+                static_cast<double>(n - 1)
+                       : 0.0;
+        row[5] = denom > 0.0 ? phi[i] * usage / denom : 0.0;
+        row[6] = peak > 0.0 ? mean / peak : 0.0; // flatness
+        row[7] = (i == argmax && max_peak > 0.0)
+            ? (max_peak - second_peak) / max_peak
+            : 0.0; // peak margin (nonzero for the argmax only)
+    }
+    return rows;
+}
+
+std::uint64_t
+SurrogateModel::checksum() const
+{
+    return payloadChecksum(encodePayload(*this));
+}
+
+double
+predictShare(const SurrogateModel &model, const FeatureRow &row)
+{
+    double share = 0.0;
+    for (std::size_t f = 0; f < kFeatureCount; ++f)
+        share += model.weights[f] * row[f];
+    return share;
+}
+
+bool
+inTrainingBox(const SurrogateModel &model, const FeatureRow &row)
+{
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+        const double lo = model.featureMin[f];
+        const double hi = model.featureMax[f];
+        const double span = hi - lo;
+        const double margin =
+            kOutOfDistributionMargin * (span > 0.0 ? span : 1.0);
+        if (row[f] < lo - margin || row[f] > hi + margin)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeModel(const SurrogateModel &model)
+{
+    const auto payload = encodePayload(model);
+    std::vector<std::uint8_t> out;
+    out.reserve(payload.size() + 8);
+    putWord(out, payloadChecksum(payload));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+SurrogateModel
+decodeModel(const std::vector<std::uint8_t> &bytes)
+{
+    std::size_t pos = 0;
+    std::uint64_t stored_checksum;
+    if (!readWord(bytes, pos, stored_checksum))
+        throw FatalDataError(
+            "surrogate model: file shorter than its checksum");
+    const std::vector<std::uint8_t> payload(bytes.begin() + 8,
+                                            bytes.end());
+    const std::uint64_t computed = payloadChecksum(payload);
+    if (computed != stored_checksum) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "stored 0x%016llx computed 0x%016llx",
+                      static_cast<unsigned long long>(
+                          stored_checksum),
+                      static_cast<unsigned long long>(computed));
+        throw FatalDataError(
+            std::string("surrogate model: checksum mismatch (") +
+            buf + ")");
+    }
+
+    SurrogateModel model;
+    std::uint64_t header, features;
+    if (!readWord(bytes, pos, header) ||
+        !readWord(bytes, pos, features))
+        throw FatalDataError("surrogate model: truncated header");
+    if (static_cast<std::uint32_t>(header) != kModelMagic)
+        throw FatalDataError(
+            "surrogate model: bad magic (not a model file)");
+    if (static_cast<std::uint32_t>(header >> 32) != kModelVersion)
+        throw FatalDataError(
+            "surrogate model: unsupported format version " +
+            std::to_string(header >> 32));
+    if (features != kFeatureCount)
+        throw FatalDataError(
+            "surrogate model: feature-count mismatch (file has " +
+            std::to_string(features) + ", this build expects " +
+            std::to_string(kFeatureCount) + ")");
+
+    bool ok = true;
+    for (double &w : model.weights)
+        ok = ok && readDouble(bytes, pos, w);
+    for (double &v : model.featureMin)
+        ok = ok && readDouble(bytes, pos, v);
+    for (double &v : model.featureMax)
+        ok = ok && readDouble(bytes, pos, v);
+    ok = ok && readDouble(bytes, pos, model.lambda);
+    ok = ok && readDouble(bytes, pos, model.trainRmse);
+    ok = ok && readDouble(bytes, pos, model.heldOutP50);
+    ok = ok && readDouble(bytes, pos, model.heldOutP95);
+    ok = ok && readWord(bytes, pos, model.trainedOnWindows);
+    ok = ok && readWord(bytes, pos, model.seed);
+    if (!ok || pos != bytes.size())
+        throw FatalDataError(
+            "surrogate model: truncated or oversized payload");
+    return model;
+}
+
+void
+saveModel(const SurrogateModel &model, const std::string &path)
+{
+    const auto bytes = encodeModel(model);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw FatalDataError(
+                "surrogate model: cannot write '" + tmp + "'");
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            throw FatalDataError(
+                "surrogate model: short write to '" + tmp + "'");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        throw FatalDataError("surrogate model: cannot rename '" +
+                             tmp + "' to '" + path + "': " +
+                             ec.message());
+}
+
+SurrogateModel
+loadModel(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw FatalDataError("surrogate model: cannot open '" +
+                             path + "'");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    try {
+        return decodeModel(bytes);
+    } catch (const FatalDataError &error) {
+        throw FatalDataError(std::string(error.what()) + " ('" +
+                             path + "')");
+    }
+}
+
+void
+requireSurrogateTol(double tol)
+{
+    if (!std::isfinite(tol) || tol <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --surrogate-tol must be a positive "
+                     "finite share tolerance (got %g)\n",
+                     tol);
+        std::exit(2);
+    }
+}
+
+} // namespace fairco2::surrogate

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Learned Shapley-share surrogate: featurization, the ridge model,
+ * and its checksummed on-disk format.
+ *
+ * Following "Deep Learning-Accelerated Shapley Value for Fair
+ * Allocation in Power Systems" (PAPERS.md), the surrogate predicts
+ * each window period's *share* of the attribution pool from cheap
+ * streaming sketches of the demand curve — peak, usage, spread, and
+ * peak position — instead of running the sub-game solves the exact
+ * engine needs. This layer holds everything below the engines:
+ *
+ *  - PeriodSketch: the O(1)-per-sample statistics a streaming
+ *    ingest can maintain for each window period;
+ *  - featurize(): the fixed kFeatureCount-wide feature map over one
+ *    window of sketches. The basis deliberately includes the peak
+ *    game's threshold-decomposition share (phi_i derived from the
+ *    sorted peak profile) — the physics-informed anchor feature.
+ *    For the *pure* peak game that basis is complete, so training
+ *    recovers it and the model interpolates near-exactly
+ *    in-distribution; for game families without a streamable closed
+ *    form the same pipeline degrades gracefully and the guardrails
+ *    (src/shapley/surrogate.hh) carry the correctness burden;
+ *  - SurrogateModel: ridge weights (fit via
+ *    fairco2::ridgeRegression) plus the training-feature bounding
+ *    box and held-out calibration stats the guardrails consult;
+ *  - save/load with a leading FNV-1a checksum, so a corrupt model
+ *    file surfaces as FatalDataError (front ends exit 2), never as
+ *    silently wrong predictions.
+ *
+ * Training itself lives one layer up (src/shapley/surrogate.hh): it
+ * needs exact peak-game solves for targets, and `common` links
+ * against nothing.
+ */
+
+#ifndef FAIRCO2_COMMON_SURROGATE_HH
+#define FAIRCO2_COMMON_SURROGATE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fairco2::surrogate
+{
+
+/** Streaming per-period statistics, updated in O(1) per sample.
+ *  `peak` and `sum` accumulate in sample order with the same
+ *  expressions as IncrementalTemporalEngine::solvePeriod, so a
+ *  sketch-derived peak/usage pair is bitwise equal to the engine's. */
+struct PeriodSketch
+{
+    double peak = 0.0;  //!< running max over the period's samples
+    double sum = 0.0;   //!< running sum (usage = sum * stepSeconds)
+    double sumSq = 0.0; //!< running sum of squares (spread feature)
+    std::size_t samples = 0;
+    std::size_t peakIndex = 0; //!< sample offset of the running max
+
+    void
+    add(double value)
+    {
+        if (value > peak) {
+            peak = value;
+            peakIndex = samples;
+        }
+        sum += value;
+        sumSq += value * value;
+        ++samples;
+    }
+
+    /** Integral over the period, matching TimeSeries::integral. */
+    double usage(double step_seconds) const
+    {
+        return sum * step_seconds;
+    }
+};
+
+/** Width of the fixed feature map (one row per window period). */
+constexpr std::size_t kFeatureCount = 8;
+
+/** One period's feature row. */
+using FeatureRow = std::array<double, kFeatureCount>;
+
+/**
+ * Shapley values of the peak game over @p peaks via the threshold
+ * decomposition: share each increment c_(m) - c_(m-1) of the sorted
+ * peaks among the n - m + 1 players reaching it. The same closed
+ * form as shapley::peakGameShapley, duplicated here because the
+ * feature map needs it and `common` cannot link the engines layer;
+ * tests/test_surrogate.cc pins the two bitwise-equal.
+ */
+std::vector<double> thresholdPhi(const std::vector<double> &peaks);
+
+/**
+ * Feature rows for every period of one window of sketches.
+ * Deterministic, pure in (sketches, step_seconds). Rows are
+ * normalized within the window (shares, ranks, ratios), so the map
+ * is scale-invariant in the demand units.
+ */
+std::vector<FeatureRow>
+featurize(const std::vector<PeriodSketch> &window,
+          double step_seconds);
+
+/** The trained surrogate: ridge weights plus the guardrail
+ *  metadata. */
+struct SurrogateModel
+{
+    /** Ridge weights over the feature map, length kFeatureCount. */
+    std::array<double, kFeatureCount> weights{};
+    /** Per-feature training bounding box; predictions outside it
+     *  (plus kOutOfDistributionMargin) are rejected as
+     *  out-of-distribution. */
+    std::array<double, kFeatureCount> featureMin{};
+    std::array<double, kFeatureCount> featureMax{};
+    double lambda = 0.0;    //!< ridge penalty the fit used
+    double trainRmse = 0.0; //!< share RMSE on the training split
+    /** Held-out newest-share relative error: median and p95. */
+    double heldOutP50 = 0.0;
+    double heldOutP95 = 0.0;
+    std::uint64_t trainedOnWindows = 0;
+    std::uint64_t seed = 0; //!< training seed (provenance)
+
+    /** FNV-1a over the serialized payload — the identity the WAL
+     *  config hash mixes in and the file format verifies. */
+    std::uint64_t checksum() const;
+};
+
+/** Box margin (relative to each feature's training span) the
+ *  out-of-distribution guardrail tolerates. */
+constexpr double kOutOfDistributionMargin = 0.05;
+
+/** Raw (unrescaled) share prediction for one feature row. */
+double predictShare(const SurrogateModel &model,
+                    const FeatureRow &row);
+
+/** True when every feature of @p row lies inside the model's
+ *  training box widened by kOutOfDistributionMargin. */
+bool inTrainingBox(const SurrogateModel &model,
+                   const FeatureRow &row);
+
+/** Serialize @p model (exact doubles; checksum first). */
+std::vector<std::uint8_t> encodeModel(const SurrogateModel &model);
+
+/** Parse a serialized model; throws FatalDataError on malformed
+ *  bytes or a checksum mismatch. */
+SurrogateModel decodeModel(const std::vector<std::uint8_t> &bytes);
+
+/** Write @p model to @p path (tmp + rename); throws FatalDataError
+ *  when the path is unwritable. */
+void saveModel(const SurrogateModel &model, const std::string &path);
+
+/** Load a model file; throws FatalDataError on a missing file,
+ *  short read, bad magic/version, or checksum mismatch. The
+ *  round-trip load(save(m)) == m is bitwise. */
+SurrogateModel loadModel(const std::string &path);
+
+/**
+ * Validate a parsed `--surrogate-tol` value: exits 2 with a named
+ * diagnostic when it is <= 0 or not finite (non-finite literals are
+ * already rejected by FlagSet::parse; this guards values that
+ * arrive programmatically). The share tolerance is relative, so 0
+ * would reject every prediction and a negative bound is
+ * meaningless.
+ */
+void requireSurrogateTol(double tol);
+
+} // namespace fairco2::surrogate
+
+#endif // FAIRCO2_COMMON_SURROGATE_HH

@@ -328,7 +328,9 @@ WalTickRecord::operator==(const WalTickRecord &other) const
         bucketTokens[0] == other.bucketTokens[0] &&
         bucketTokens[1] == other.bucketTokens[1] &&
         bucketTokens[2] == other.bucketTokens[2] &&
-        overloadLevel == other.overloadLevel;
+        overloadLevel == other.overloadLevel &&
+        surrogateAccepts == other.surrogateAccepts &&
+        surrogateRejects == other.surrogateRejects;
 }
 
 std::vector<std::uint8_t>
@@ -349,6 +351,8 @@ encodeRecord(const WalTickRecord &record)
     for (std::uint64_t tokens : record.bucketTokens)
         putU64(out, tokens);
     putU32(out, record.overloadLevel);
+    putU64(out, record.surrogateAccepts);
+    putU64(out, record.surrogateRejects);
     return out;
 }
 
@@ -371,6 +375,8 @@ decodeRecord(const std::vector<std::uint8_t> &bytes)
     for (std::uint64_t &tokens : record.bucketTokens)
         tokens = in.u64();
     record.overloadLevel = in.u32();
+    record.surrogateAccepts = in.u64();
+    record.surrogateRejects = in.u64();
     if (in.pos != bytes.size())
         throw WalIntegrityError(
             "wal record has " +

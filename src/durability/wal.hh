@@ -73,8 +73,9 @@ class WalIntegrityError : public FatalDataError
     }
 };
 
-/** WAL segment format version. */
-constexpr std::uint32_t kWalVersion = 1;
+/** WAL segment format version. Version 2 added the running
+ *  surrogate accept/reject totals to every tick record. */
+constexpr std::uint32_t kWalVersion = 2;
 
 /** One telemetry batch as logged: mirrors server::BatchRef without
  *  depending on the server layer. */
@@ -117,6 +118,12 @@ struct WalTickRecord
     std::uint64_t totalRejected = 0;
     std::uint64_t bucketTokens[3] = {0, 0, 0};
     std::uint32_t overloadLevel = 0;
+    /** Running fleet-engine surrogate decision totals *after* the
+     *  tick. Replay re-drives the same guardrail evaluations and
+     *  cross-checks these, so `--recover` provably reproduced every
+     *  accept/reject decision (zeros when `--surrogate` is off). */
+    std::uint64_t surrogateAccepts = 0;
+    std::uint64_t surrogateRejects = 0;
 
     bool operator==(const WalTickRecord &other) const;
 };

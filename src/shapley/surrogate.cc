@@ -1,0 +1,521 @@
+#include "shapley/surrogate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/errors.hh"
+#include "common/linalg.hh"
+#include "common/obs.hh"
+#include "common/rng.hh"
+#include "shapley/peak.hh"
+
+namespace fairco2::shapley
+{
+
+namespace
+{
+
+/** Shares below this floor are attribution noise: relative errors
+ *  are measured against max(share, floor), and a window whose
+ *  newest share sits under the floor is rejected as degenerate
+ *  (the exact engine publishes its near-zero intensity instead). */
+constexpr double kShareFloor = 1e-6;
+
+/** Exact per-period pool shares of one sketch window under the
+ *  peak game (Eq. 5 normalization); empty when degenerate. */
+std::vector<double>
+exactShares(const std::vector<double> &peaks,
+            const std::vector<double> &usages)
+{
+    const auto phi = peakGameShapley(peaks);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < peaks.size(); ++i)
+        denom += phi[i] * usages[i];
+    if (denom <= 0.0)
+        return {};
+    std::vector<double> shares(peaks.size());
+    for (std::size_t i = 0; i < peaks.size(); ++i)
+        shares[i] = phi[i] * usages[i] / denom;
+    return shares;
+}
+
+/** Clamp negatives and rescale to sum exactly one; empty when the
+ *  clamped mass vanishes. */
+std::vector<double>
+rescaleShares(std::vector<double> raw)
+{
+    double sum = 0.0;
+    for (double &p : raw) {
+        p = std::max(0.0, p);
+        sum += p;
+    }
+    if (sum <= 0.0)
+        return {};
+    for (double &p : raw)
+        p /= sum;
+    return raw;
+}
+
+} // namespace
+
+SurrogateTemporalEngine::SurrogateTemporalEngine(
+    const Config &config)
+    : config_(config),
+      engine_(std::make_unique<IncrementalTemporalEngine>(
+          config.engine))
+{
+    if (config_.model &&
+        (!std::isfinite(config_.tolerance) ||
+         config_.tolerance <= 0.0))
+        throw std::invalid_argument(
+            "SurrogateTemporalEngine: tolerance must be a "
+            "positive finite share tolerance");
+}
+
+void
+SurrogateTemporalEngine::pushSample(double demand)
+{
+    engine_->pushSample(demand); // validates finiteness first
+    if (!config_.model)
+        return; // pure delegation: no sketch upkeep
+    partial_.add(demand);
+    if (partial_.samples == config_.engine.periodSamples) {
+        window_.push_back(partial_);
+        partial_ = surrogate::PeriodSketch{};
+        if (window_.size() > config_.engine.windowPeriods)
+            window_.pop_front();
+    }
+}
+
+SurrogateTemporalEngine::Decision
+SurrogateTemporalEngine::evaluate() const
+{
+    Decision decision;
+    const auto &engine_config = engine_->config();
+    const std::size_t W = engine_config.windowPeriods;
+    if (window_.size() != W)
+        return decision; // Degenerate: sketches out of step
+
+    // Structure guardrail: a flat per-period share can only
+    // reproduce the exact engine's output shape when periods are
+    // leaves and the top-level game is the exact closed form.
+    if (!engine_config.innerSplits.empty() ||
+        engine_config.sampledPermutations != 0) {
+        decision.reject = SurrogateReject::Structure;
+        return decision;
+    }
+
+    const std::vector<surrogate::PeriodSketch> sketches(
+        window_.begin(), window_.end());
+    std::vector<double> peaks(W), usages(W);
+    double max_peak = 0.0;
+    double total_usage = 0.0;
+    for (std::size_t i = 0; i < W; ++i) {
+        peaks[i] = sketches[i].peak;
+        usages[i] = sketches[i].usage(engine_config.stepSeconds);
+        max_peak = std::max(max_peak, peaks[i]);
+        total_usage += usages[i];
+    }
+    if (max_peak <= 0.0 || total_usage <= 0.0)
+        return decision; // Degenerate
+    decision.usages = usages;
+
+    // In-distribution guardrail.
+    const auto rows =
+        surrogate::featurize(sketches, engine_config.stepSeconds);
+    const auto &model = *config_.model;
+    for (const auto &row : rows) {
+        if (!surrogate::inTrainingBox(model, row)) {
+            decision.reject = SurrogateReject::OutOfDistribution;
+            return decision;
+        }
+    }
+
+    std::vector<double> predicted(W);
+    for (std::size_t i = 0; i < W; ++i)
+        predicted[i] = surrogate::predictShare(model, rows[i]);
+    predicted = rescaleShares(std::move(predicted));
+    if (predicted.empty())
+        return decision; // Degenerate: no positive mass
+
+    // Residual guardrail against the streamed closed form. The
+    // sketch peaks/usages are bitwise the engine's (same
+    // accumulation order), so this oracle *is* the exact top-level
+    // solve — computed without touching a single sample again.
+    const auto exact = exactShares(peaks, usages);
+    if (exact.empty() || exact[W - 1] <= kShareFloor)
+        return decision; // Degenerate
+    double worst = 0.0;
+    for (std::size_t i = 0; i < W; ++i) {
+        const double rel = std::fabs(predicted[i] - exact[i]) /
+            std::max(exact[i], kShareFloor);
+        worst = std::max(worst, rel);
+    }
+    decision.newestError =
+        std::fabs(predicted[W - 1] - exact[W - 1]) / exact[W - 1];
+    if (worst > config_.tolerance) {
+        decision.reject = SurrogateReject::Residual;
+        return decision;
+    }
+
+    decision.reject = SurrogateReject::None;
+    decision.shares = std::move(predicted);
+    return decision;
+}
+
+void
+SurrogateTemporalEngine::recordAccept(const Decision &decision)
+{
+    ++counters_.accepts;
+    lastAccepted_ = true;
+    lastReject_ = SurrogateReject::None;
+    lastError_ = decision.newestError;
+    FAIRCO2_COUNT("surrogate.accept", 1);
+    FAIRCO2_OBSERVE("surrogate.mape_pct",
+                    100.0 * decision.newestError);
+}
+
+void
+SurrogateTemporalEngine::recordReject(SurrogateReject reason)
+{
+    ++counters_.rejects;
+    lastAccepted_ = false;
+    lastReject_ = reason;
+    FAIRCO2_COUNT("surrogate.reject", 1);
+    switch (reason) {
+    case SurrogateReject::Structure:
+        ++counters_.rejectStructure;
+        FAIRCO2_COUNT("surrogate.reject.structure", 1);
+        break;
+    case SurrogateReject::OutOfDistribution:
+        ++counters_.rejectOutOfDistribution;
+        FAIRCO2_COUNT("surrogate.reject.out_of_distribution", 1);
+        break;
+    case SurrogateReject::Residual:
+        ++counters_.rejectResidual;
+        FAIRCO2_COUNT("surrogate.reject.residual", 1);
+        break;
+    case SurrogateReject::Degenerate:
+    case SurrogateReject::None:
+        ++counters_.rejectDegenerate;
+        FAIRCO2_COUNT("surrogate.reject.degenerate", 1);
+        break;
+    }
+}
+
+IncrementalTemporalEngine::WindowResult
+SurrogateTemporalEngine::computeWindow(double pool_grams)
+{
+    if (!config_.model || !engine_->windowReady())
+        return engine_->computeWindow(pool_grams);
+    FAIRCO2_SPAN("shapley.surrogate.window");
+
+    const Decision decision = evaluate();
+    if (decision.reject != SurrogateReject::None) {
+        // Exact fallback first (it may throw CacheIntegrityError;
+        // an aborted attempt must not move the decision counters).
+        auto result = engine_->computeWindow(pool_grams);
+        recordReject(decision.reject);
+        lastError_ = decision.newestError;
+        return result;
+    }
+    if (!std::isfinite(pool_grams))
+        throw FatalDataError(
+            "surrogate attribution: total grams is not finite");
+
+    const std::size_t W = config_.engine.windowPeriods;
+    const std::size_t M = config_.engine.periodSamples;
+    IncrementalTemporalEngine::WindowResult result;
+    result.firstPeriod = engine_->firstWindowPeriod();
+    result.leafPeriods = W;
+    result.operations = W; // one top-game-equivalent, no solves
+    std::vector<double> values(W * M, 0.0);
+    double assigned = 0.0;
+    for (std::size_t c = 0; c < W; ++c) {
+        const double period_grams =
+            decision.shares[c] * pool_grams;
+        assigned += period_grams;
+        if (decision.usages[c] > 0.0) {
+            const double intensity =
+                period_grams / decision.usages[c];
+            std::fill_n(values.begin() +
+                            static_cast<std::ptrdiff_t>(c * M),
+                        M, intensity);
+            result.attributedGrams += period_grams;
+        } else {
+            result.unattributedGrams += period_grams;
+        }
+    }
+    // Same conservation discipline as the exact engine: whatever
+    // the shares did not assign stays unattributed, so
+    // attributed + unattributed lands within rounding of the pool.
+    result.unattributedGrams += pool_grams - assigned;
+    result.intensity = trace::TimeSeries(
+        std::move(values), config_.engine.stepSeconds);
+    recordAccept(decision);
+    return result;
+}
+
+IncrementalTemporalEngine::PeriodResult
+SurrogateTemporalEngine::computeNewestPeriod(double pool_grams)
+{
+    if (!config_.model || !engine_->windowReady())
+        return engine_->computeNewestPeriod(pool_grams);
+    FAIRCO2_SPAN("shapley.surrogate.advance");
+
+    const Decision decision = evaluate();
+    if (decision.reject != SurrogateReject::None) {
+        auto result = engine_->computeNewestPeriod(pool_grams);
+        recordReject(decision.reject);
+        lastError_ = decision.newestError;
+        return result;
+    }
+    if (!std::isfinite(pool_grams))
+        throw FatalDataError(
+            "surrogate attribution: total grams is not finite");
+
+    const std::size_t W = config_.engine.windowPeriods;
+    const std::size_t M = config_.engine.periodSamples;
+    IncrementalTemporalEngine::PeriodResult result;
+    result.period = engine_->firstWindowPeriod() + W - 1;
+    result.periodGrams = decision.shares[W - 1] * pool_grams;
+    result.leafPeriods = 1;
+    result.operations = W; // one top-game-equivalent, no solves
+    result.intensity.assign(M, 0.0);
+    const double usage = decision.usages[W - 1];
+    if (usage > 0.0) {
+        const double intensity = result.periodGrams / usage;
+        std::fill(result.intensity.begin(),
+                  result.intensity.end(), intensity);
+        result.attributedGrams = result.periodGrams;
+    } else {
+        result.unattributedGrams = result.periodGrams;
+    }
+    recordAccept(decision);
+    return result;
+}
+
+namespace
+{
+
+/** One training example: the sketch window plus its exact shares. */
+struct TrainingWindow
+{
+    std::vector<surrogate::PeriodSketch> sketches;
+    std::vector<double> shares;
+};
+
+/** Build the sketch window + exact-share targets for one span of
+ *  samples; returns false when the window is degenerate. */
+bool
+makeWindow(const std::vector<double> &samples, std::size_t W,
+           std::size_t M, double step_seconds,
+           TrainingWindow &out)
+{
+    out.sketches.assign(W, surrogate::PeriodSketch{});
+    for (std::size_t c = 0; c < W; ++c)
+        for (std::size_t i = 0; i < M; ++i)
+            out.sketches[c].add(samples[c * M + i]);
+    std::vector<double> peaks(W), usages(W);
+    double max_peak = 0.0;
+    for (std::size_t c = 0; c < W; ++c) {
+        peaks[c] = out.sketches[c].peak;
+        usages[c] = out.sketches[c].usage(step_seconds);
+        max_peak = std::max(max_peak, peaks[c]);
+    }
+    if (max_peak <= 0.0)
+        return false;
+    out.shares = exactShares(peaks, usages);
+    return !out.shares.empty();
+}
+
+/** Ridge fit + held-out calibration over a window corpus. */
+surrogate::SurrogateModel
+fitFromWindows(const std::vector<TrainingWindow> &windows,
+               const SurrogateTrainConfig &config)
+{
+    if (windows.empty())
+        throw FatalDataError(
+            "surrogate training: no usable training windows "
+            "(every generated window was degenerate)");
+
+    // Temporal split: the tail fraction is held out, so the
+    // calibration never sees windows the fit touched.
+    std::size_t held = static_cast<std::size_t>(
+        std::ceil(config.heldOutFraction *
+                  static_cast<double>(windows.size())));
+    if (held >= windows.size())
+        held = windows.size() > 1 ? windows.size() - 1 : 0;
+    const std::size_t train_windows = windows.size() - held;
+
+    const std::size_t W = config.windowPeriods;
+    Matrix x(train_windows * W, surrogate::kFeatureCount);
+    std::vector<double> y(train_windows * W, 0.0);
+    surrogate::SurrogateModel model;
+    model.featureMin.fill(0.0);
+    model.featureMax.fill(0.0);
+    bool first_row = true;
+    for (std::size_t w = 0; w < train_windows; ++w) {
+        const auto rows = surrogate::featurize(
+            windows[w].sketches, config.stepSeconds);
+        for (std::size_t i = 0; i < W; ++i) {
+            const std::size_t r = w * W + i;
+            for (std::size_t f = 0;
+                 f < surrogate::kFeatureCount; ++f) {
+                x(r, f) = rows[i][f];
+                if (first_row) {
+                    model.featureMin[f] = rows[i][f];
+                    model.featureMax[f] = rows[i][f];
+                } else {
+                    model.featureMin[f] = std::min(
+                        model.featureMin[f], rows[i][f]);
+                    model.featureMax[f] = std::max(
+                        model.featureMax[f], rows[i][f]);
+                }
+            }
+            first_row = false;
+            y[r] = windows[w].shares[i];
+        }
+    }
+
+    // A near-zero penalty can leave the Gram matrix numerically
+    // semidefinite when features are collinear; back off to a
+    // stiffer ridge instead of failing the fit.
+    double lambda = std::max(config.lambda, 0.0);
+    std::vector<double> weights;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        try {
+            weights = ridgeRegression(x, y, lambda);
+            break;
+        } catch (const std::runtime_error &) {
+            lambda = lambda > 0.0 ? lambda * 1e4 : 1e-6;
+        }
+    }
+    if (weights.empty())
+        throw FatalDataError(
+            "surrogate training: ridge fit failed (singular "
+            "feature Gram matrix)");
+    for (std::size_t f = 0; f < surrogate::kFeatureCount; ++f)
+        model.weights[f] = weights[f];
+    model.lambda = lambda;
+    model.trainedOnWindows = train_windows;
+    model.seed = config.seed;
+
+    const auto fitted = x.times(weights);
+    double sq = 0.0;
+    for (std::size_t r = 0; r < y.size(); ++r) {
+        const double d = fitted[r] - y[r];
+        sq += d * d;
+    }
+    model.trainRmse =
+        std::sqrt(sq / static_cast<double>(y.size()));
+
+    // Calibration: newest-share relative error on the held-out
+    // tail, end to end through the same clamp + rescale the live
+    // guardrail applies.
+    std::vector<double> errors;
+    const std::size_t calib_begin =
+        held > 0 ? train_windows : 0;
+    for (std::size_t w = calib_begin; w < windows.size(); ++w) {
+        const auto rows = surrogate::featurize(
+            windows[w].sketches, config.stepSeconds);
+        std::vector<double> predicted(W);
+        for (std::size_t i = 0; i < W; ++i)
+            predicted[i] =
+                surrogate::predictShare(model, rows[i]);
+        predicted = rescaleShares(std::move(predicted));
+        if (predicted.empty())
+            continue;
+        const double exact = windows[w].shares[W - 1];
+        if (exact <= kShareFloor)
+            continue;
+        errors.push_back(std::fabs(predicted[W - 1] - exact) /
+                         exact);
+    }
+    if (!errors.empty()) {
+        std::sort(errors.begin(), errors.end());
+        model.heldOutP50 = errors[errors.size() / 2];
+        model.heldOutP95 =
+            errors[std::min(errors.size() - 1,
+                            errors.size() * 95 / 100)];
+    }
+    return model;
+}
+
+} // namespace
+
+surrogate::SurrogateModel
+trainSurrogateModel(const SurrogateTrainConfig &config)
+{
+    if (config.windows == 0 || config.windowPeriods == 0 ||
+        config.periodSamples == 0)
+        throw FatalDataError(
+            "surrogate training: windows, window periods, and "
+            "period samples must all be positive");
+
+    const std::size_t W = config.windowPeriods;
+    const std::size_t M = config.periodSamples;
+    const Rng base(config.seed);
+    std::vector<TrainingWindow> windows;
+    windows.reserve(config.windows);
+    std::vector<double> samples(W * M);
+    for (std::size_t w = 0; w < config.windows; ++w) {
+        // Counter-RNG: window w's stream is pure in (seed, w).
+        Rng rng = base.fork(w);
+        const double level = rng.uniform(0.5, 2.0);
+        const double amplitude = rng.uniform(0.1, 0.9) * level;
+        const double phase =
+            rng.uniform(0.0, 6.283185307179586);
+        const double trend = rng.uniform(-0.2, 0.2) * level;
+        const double noise = rng.uniform(0.01, 0.15) * level;
+        const double spike_p = rng.uniform(0.0, 0.02);
+        const double span = static_cast<double>(W * M);
+        for (std::size_t t = 0; t < samples.size(); ++t) {
+            const double u = static_cast<double>(t) / span;
+            double v = level +
+                amplitude *
+                    std::sin(6.283185307179586 * u + phase) +
+                trend * u + rng.normal(0.0, noise);
+            if (rng.bernoulli(spike_p))
+                v += rng.uniform(0.5, 2.0) * level;
+            samples[t] = std::max(0.0, v);
+        }
+        TrainingWindow window;
+        if (makeWindow(samples, W, M, config.stepSeconds, window))
+            windows.push_back(std::move(window));
+    }
+    return fitFromWindows(windows, config);
+}
+
+surrogate::SurrogateModel
+trainSurrogateModelOnSeries(const trace::TimeSeries &demand,
+                            const SurrogateTrainConfig &config)
+{
+    if (config.windowPeriods == 0 || config.periodSamples == 0)
+        throw FatalDataError(
+            "surrogate training: window periods and period "
+            "samples must be positive");
+    const std::size_t W = config.windowPeriods;
+    const std::size_t M = config.periodSamples;
+    const auto &samples = demand.values();
+    if (samples.size() < W * M)
+        throw FatalDataError(
+            "surrogate training: series shorter than one window");
+
+    // One training window per period advance over the series.
+    std::vector<TrainingWindow> windows;
+    std::vector<double> span(W * M);
+    const std::size_t total_periods = samples.size() / M;
+    for (std::size_t p = 0; p + W <= total_periods; ++p) {
+        std::copy_n(samples.begin() +
+                        static_cast<std::ptrdiff_t>(p * M),
+                    W * M, span.begin());
+        TrainingWindow window;
+        if (makeWindow(span, W, M, config.stepSeconds, window))
+            windows.push_back(std::move(window));
+    }
+    return fitFromWindows(windows, config);
+}
+
+} // namespace fairco2::shapley

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Guardrailed learned-surrogate tests: the closed-form oracle pin
+ * (thresholdPhi bitwise-equals peakGameShapley), pure delegation with
+ * a null model, each guardrail forcing the exact path bitwise, the
+ * accepted-prediction error bound, conservation exact to the ULP on
+ * accepted advances, thread-count invariance, the checksummed model
+ * file round-trip (corruption -> FatalDataError), `--surrogate-tol`
+ * validation death tests, and WAL replay reproducing the serve-path
+ * accept/reject decisions byte-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/errors.hh"
+#include "common/flags.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "common/surrogate.hh"
+#include "pipeline/attribution.hh"
+#include "server/replica.hh"
+#include "server/signalserver.hh"
+#include "shapley/peak.hh"
+#include "shapley/surrogate.hh"
+#include "trace/timeseries.hh"
+
+namespace fairco2
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kWindowPeriods = 8;
+constexpr std::size_t kPeriodSamples = 12;
+constexpr double kStep = 300.0;
+constexpr double kPool = 1.0e6;
+
+/** Deterministic diurnal demand with mild noise — the
+ *  in-distribution family the surrogate trains and serves on. */
+trace::TimeSeries
+diurnalSeries(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u =
+            static_cast<double>(i % 288) / 288.0;
+        const double v = 1.0 +
+            0.6 * std::sin(6.283185307179586 * u) +
+            0.05 * rng.normal(0.0, 1.0);
+        values[i] = std::max(0.0, v);
+    }
+    return trace::TimeSeries(std::move(values), kStep);
+}
+
+shapley::IncrementalTemporalEngine::Config
+innerConfig()
+{
+    shapley::IncrementalTemporalEngine::Config config;
+    config.windowPeriods = kWindowPeriods;
+    config.periodSamples = kPeriodSamples;
+    config.stepSeconds = kStep;
+    config.cacheCapacity = 16;
+    return config;
+}
+
+/** Train the ridge model on the series itself (W x M sliding
+ *  windows), the shortest path to an in-distribution model. */
+std::shared_ptr<const surrogate::SurrogateModel>
+trainedModel(const trace::TimeSeries &demand)
+{
+    shapley::SurrogateTrainConfig config;
+    config.windowPeriods = kWindowPeriods;
+    config.periodSamples = kPeriodSamples;
+    config.stepSeconds = kStep;
+    return std::make_shared<const surrogate::SurrogateModel>(
+        shapley::trainSurrogateModelOnSeries(demand, config));
+}
+
+/** Every published result of one engine pass over @p demand: the
+ *  first full window flattened, then each newest-period advance. */
+struct Published
+{
+    std::vector<std::vector<double>> intensities;
+    std::vector<double> grams; //!< periodGrams per advance
+};
+
+template <typename Engine>
+Published
+streamPublished(Engine &engine, const trace::TimeSeries &demand)
+{
+    Published published;
+    std::uint64_t closed = 0;
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        engine.pushSample(demand[i]);
+        if (engine.periodsClosed() == closed)
+            continue;
+        closed = engine.periodsClosed();
+        if (!engine.windowReady())
+            continue;
+        if (closed == kWindowPeriods) {
+            const auto full = engine.computeWindow(kPool);
+            published.intensities.push_back(
+                full.intensity.values());
+            published.grams.push_back(full.attributedGrams);
+            continue;
+        }
+        const auto advance = engine.computeNewestPeriod(kPool);
+        published.intensities.push_back(advance.intensity);
+        published.grams.push_back(advance.periodGrams);
+    }
+    return published;
+}
+
+// ---- the streaming closed-form oracle ------------------------------
+
+TEST(SurrogateOracle, ThresholdPhiMatchesPeakGameShapleyBitwise)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + trial % 24;
+        std::vector<double> peaks(n);
+        for (auto &p : peaks)
+            p = rng.uniform(0.0, 10.0);
+        const auto via_common = surrogate::thresholdPhi(peaks);
+        const auto via_engine = shapley::peakGameShapley(peaks);
+        ASSERT_EQ(via_common.size(), via_engine.size());
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(via_common[i], via_engine[i])
+                << "trial " << trial << " player " << i;
+    }
+}
+
+// ---- delegation and guardrails -------------------------------------
+
+TEST(SurrogateEngine, NullModelIsPureDelegation)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    shapley::IncrementalTemporalEngine bare(innerConfig());
+    shapley::SurrogateTemporalEngine::Config config;
+    config.engine = innerConfig();
+    shapley::SurrogateTemporalEngine wrapped(config);
+
+    const auto want = streamPublished(bare, demand);
+    const auto got = streamPublished(wrapped, demand);
+    EXPECT_EQ(got.intensities, want.intensities);
+    EXPECT_EQ(got.grams, want.grams);
+    EXPECT_EQ(wrapped.counters().accepts, 0u);
+    EXPECT_EQ(wrapped.counters().rejects, 0u);
+}
+
+TEST(SurrogateEngine, StructureGuardrailForcesBitwiseExactPath)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    const auto model = trainedModel(demand);
+
+    auto inner = innerConfig();
+    inner.innerSplits = {3}; // periods are no longer leaves
+    shapley::IncrementalTemporalEngine bare(inner);
+    shapley::SurrogateTemporalEngine::Config config;
+    config.engine = inner;
+    config.model = model;
+    shapley::SurrogateTemporalEngine wrapped(config);
+
+    const auto want = streamPublished(bare, demand);
+    const auto got = streamPublished(wrapped, demand);
+    EXPECT_EQ(got.intensities, want.intensities);
+    EXPECT_EQ(got.grams, want.grams);
+    EXPECT_EQ(wrapped.counters().accepts, 0u);
+    EXPECT_GT(wrapped.counters().rejects, 0u);
+    EXPECT_EQ(wrapped.counters().rejects,
+              wrapped.counters().rejectStructure);
+    EXPECT_EQ(wrapped.lastReject(),
+              shapley::SurrogateReject::Structure);
+}
+
+TEST(SurrogateEngine, TinyToleranceRejectsOnResidualBitwise)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    const auto model = trainedModel(demand);
+
+    shapley::IncrementalTemporalEngine bare(innerConfig());
+    shapley::SurrogateTemporalEngine::Config config;
+    config.engine = innerConfig();
+    config.model = model;
+    config.tolerance = 1e-15; // below any real residual
+    shapley::SurrogateTemporalEngine wrapped(config);
+
+    const auto want = streamPublished(bare, demand);
+    const auto got = streamPublished(wrapped, demand);
+    EXPECT_EQ(got.intensities, want.intensities);
+    EXPECT_EQ(got.grams, want.grams);
+    EXPECT_EQ(wrapped.counters().accepts, 0u);
+    EXPECT_GT(wrapped.counters().rejectResidual, 0u);
+}
+
+TEST(SurrogateEngine, InvalidToleranceThrowsOnConstruction)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    shapley::SurrogateTemporalEngine::Config config;
+    config.engine = innerConfig();
+    config.model = trainedModel(demand);
+    config.tolerance = 0.0;
+    EXPECT_THROW(shapley::SurrogateTemporalEngine{config},
+                 std::invalid_argument);
+    config.tolerance = -1.0;
+    EXPECT_THROW(shapley::SurrogateTemporalEngine{config},
+                 std::invalid_argument);
+}
+
+// ---- accepted predictions ------------------------------------------
+
+TEST(SurrogateEngine, AcceptedAdvancesStayWithinTolerance)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    const auto model = trainedModel(demand);
+
+    shapley::IncrementalTemporalEngine bare(innerConfig());
+    shapley::SurrogateTemporalEngine::Config config;
+    config.engine = innerConfig();
+    config.model = model;
+    config.tolerance = 0.01;
+    shapley::SurrogateTemporalEngine wrapped(config);
+
+    const auto want = streamPublished(bare, demand);
+    const auto got = streamPublished(wrapped, demand);
+    ASSERT_EQ(got.intensities.size(), want.intensities.size());
+    EXPECT_GT(wrapped.counters().accepts, 0u);
+
+    // Every published sample — accepted or fallen back — deviates
+    // from the exact stream by at most the residual tolerance
+    // (relative), because that is precisely what the guardrail
+    // checked before shipping.
+    double worst = 0.0;
+    for (std::size_t a = 0; a < want.intensities.size(); ++a) {
+        ASSERT_EQ(got.intensities[a].size(),
+                  want.intensities[a].size());
+        for (std::size_t i = 0; i < want.intensities[a].size();
+             ++i) {
+            const double e = want.intensities[a][i];
+            if (e <= 0.0)
+                continue;
+            worst = std::max(
+                worst,
+                std::abs(got.intensities[a][i] - e) / e);
+        }
+    }
+    EXPECT_LE(worst, config.tolerance * (1.0 + 1e-9));
+}
+
+TEST(SurrogateEngine, AcceptedAdvancesConserveExactly)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    const auto model = trainedModel(demand);
+
+    shapley::SurrogateTemporalEngine::Config config;
+    config.engine = innerConfig();
+    config.model = model;
+    shapley::SurrogateTemporalEngine engine(config);
+
+    std::uint64_t closed = 0;
+    std::uint64_t accepted_advances = 0;
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        engine.pushSample(demand[i]);
+        if (engine.periodsClosed() == closed)
+            continue;
+        closed = engine.periodsClosed();
+        if (!engine.windowReady() || closed == kWindowPeriods)
+            continue;
+        const auto advance = engine.computeNewestPeriod(kPool);
+        if (!engine.lastAccepted())
+            continue;
+        ++accepted_advances;
+        // Bitwise, not within-epsilon: the accepted path assigns
+        // the period's whole pool share, so nothing can leak.
+        EXPECT_EQ(advance.attributedGrams, advance.periodGrams);
+        EXPECT_EQ(advance.unattributedGrams, 0.0);
+        EXPECT_LE(engine.lastRelativeError(), config.tolerance);
+    }
+    EXPECT_GT(accepted_advances, 0u);
+}
+
+TEST(SurrogatePipeline, RungConservesPoolAndCountsDecisions)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    const auto model = trainedModel(demand);
+
+    const auto out = pipeline::attributeSurrogate(
+        demand, kPool, kWindowPeriods, kPeriodSamples, {}, 16,
+        model, 0.01);
+    EXPECT_GT(out.surrogateAccepts, 0u);
+    EXPECT_NEAR(out.attributedGrams + out.unattributedGrams, kPool,
+                1e-6 * kPool);
+
+    // Null model: the rung is bitwise attributeIncremental.
+    const auto fallback = pipeline::attributeSurrogate(
+        demand, kPool, kWindowPeriods, kPeriodSamples, {}, 16,
+        nullptr, 0.01);
+    const auto incremental = pipeline::attributeIncremental(
+        demand, kPool, kWindowPeriods, kPeriodSamples, {}, 16);
+    EXPECT_EQ(fallback.intensity.values(),
+              incremental.intensity.values());
+    EXPECT_EQ(fallback.surrogateAccepts, 0u);
+    EXPECT_EQ(fallback.surrogateRejects, 0u);
+}
+
+class SurrogateThreads : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = parallel::threadCount(); }
+    void TearDown() override { parallel::setThreadCount(saved_); }
+
+  private:
+    std::size_t saved_ = 1;
+};
+
+TEST_F(SurrogateThreads, PublishedSignalIsThreadCountInvariant)
+{
+    const auto demand = diurnalSeries(11, 1152);
+    const auto model = trainedModel(demand);
+
+    std::vector<std::vector<double>> signals;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        parallel::setThreadCount(threads);
+        const auto out = pipeline::attributeSurrogate(
+            demand, kPool, kWindowPeriods, kPeriodSamples, {}, 16,
+            model, 0.01);
+        signals.push_back(out.intensity.values());
+    }
+    EXPECT_EQ(signals[0], signals[1]);
+    EXPECT_EQ(signals[0], signals[2]);
+}
+
+// ---- the model file ------------------------------------------------
+
+TEST(SurrogateModelFile, RoundTripIsBitwise)
+{
+    shapley::SurrogateTrainConfig config;
+    config.windows = 64;
+    config.windowPeriods = 6;
+    config.periodSamples = 4;
+    const auto model = shapley::trainSurrogateModel(config);
+    EXPECT_GT(model.trainedOnWindows, 0u);
+
+    const std::string path =
+        ::testing::TempDir() + "fairco2_surrogate_roundtrip.fc2s";
+    surrogate::saveModel(model, path);
+    const auto loaded = surrogate::loadModel(path);
+    EXPECT_EQ(loaded.weights, model.weights);
+    EXPECT_EQ(loaded.featureMin, model.featureMin);
+    EXPECT_EQ(loaded.featureMax, model.featureMax);
+    EXPECT_EQ(loaded.trainRmse, model.trainRmse);
+    EXPECT_EQ(loaded.heldOutP50, model.heldOutP50);
+    EXPECT_EQ(loaded.heldOutP95, model.heldOutP95);
+    EXPECT_EQ(loaded.checksum(), model.checksum());
+    fs::remove(path);
+}
+
+TEST(SurrogateModelFile, CorruptionSurfacesAsFatalDataError)
+{
+    shapley::SurrogateTrainConfig config;
+    config.windows = 64;
+    config.windowPeriods = 6;
+    config.periodSamples = 4;
+    const auto model = shapley::trainSurrogateModel(config);
+    const std::string path =
+        ::testing::TempDir() + "fairco2_surrogate_corrupt.fc2s";
+    surrogate::saveModel(model, path);
+
+    // Flip one payload byte: the leading checksum must catch it.
+    {
+        std::fstream file(path,
+                          std::ios::in | std::ios::out |
+                              std::ios::binary);
+        file.seekp(24);
+        char byte = 0;
+        file.read(&byte, 1);
+        file.seekp(24);
+        byte = static_cast<char>(byte ^ 0x40);
+        file.write(&byte, 1);
+    }
+    EXPECT_THROW(surrogate::loadModel(path), FatalDataError);
+    EXPECT_THROW(surrogate::loadModel(path + ".nosuch"),
+                 FatalDataError);
+    EXPECT_THROW(surrogate::decodeModel({1, 2, 3}), FatalDataError);
+    fs::remove(path);
+}
+
+// ---- flag validation -----------------------------------------------
+
+using SurrogateTolDeath = ::testing::Test;
+
+TEST(SurrogateTolDeath, RejectsNonPositiveAndNonFinite)
+{
+    EXPECT_EXIT(surrogate::requireSurrogateTol(0.0),
+                ::testing::ExitedWithCode(2),
+                "--surrogate-tol must be a positive finite");
+    EXPECT_EXIT(surrogate::requireSurrogateTol(-0.5),
+                ::testing::ExitedWithCode(2),
+                "--surrogate-tol must be a positive finite");
+    EXPECT_EXIT(surrogate::requireSurrogateTol(
+                    std::numeric_limits<double>::quiet_NaN()),
+                ::testing::ExitedWithCode(2),
+                "--surrogate-tol must be a positive finite");
+    EXPECT_EXIT(surrogate::requireSurrogateTol(
+                    std::numeric_limits<double>::infinity()),
+                ::testing::ExitedWithCode(2),
+                "--surrogate-tol must be a positive finite");
+}
+
+TEST(SurrogateTolDeath, ParsedFlagValueGoesThroughTheSameGate)
+{
+    // The CLI path: FlagSet parses the literal, then the shared
+    // validator rejects it with the named diagnostic.
+    double tol = 0.01;
+    FlagSet flags("test");
+    flags.addDouble("surrogate-tol", &tol, "tolerance");
+    const char *argv[] = {"test", "--surrogate-tol", "-1"};
+    ASSERT_TRUE(flags.parse(3, const_cast<char **>(argv)));
+    EXPECT_EXIT(surrogate::requireSurrogateTol(tol),
+                ::testing::ExitedWithCode(2),
+                "--surrogate-tol must be a positive finite");
+}
+
+// ---- serve-path durability -----------------------------------------
+
+std::string
+surrogateWalDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() +
+        "fairco2_surrogate_" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+server::ServerConfig
+servedConfig()
+{
+    server::ServerConfig config;
+    config.tenants = 160;
+    config.shards = 2;
+    config.durationPeriods = 16;
+    config.windowPeriods = 4;
+    config.periodSamples = 6;
+    config.maxBatchPeriods = 4;
+    config.durability.walSegmentRecords = 6;
+
+    shapley::SurrogateTrainConfig train;
+    train.windows = 128;
+    train.windowPeriods = 4;
+    train.periodSamples = 6;
+    config.surrogate.enabled = true;
+    config.surrogate.model =
+        std::make_shared<const surrogate::SurrogateModel>(
+            shapley::trainSurrogateModel(train));
+    config.surrogate.tolerance = 0.01;
+    return config;
+}
+
+TEST(SurrogateServe, WalReplayReproducesDecisionsByteIdentically)
+{
+    server::ServerConfig logged = servedConfig();
+    logged.durability.walDir = surrogateWalDir("replay");
+    server::SignalServer primary(logged);
+    const auto want = primary.run();
+    // The fleet engine took a decision on every publish; either
+    // outcome must survive the WAL round trip below.
+    EXPECT_GT(want.surrogateAccepts + want.surrogateRejects, 0u);
+
+    server::ServerConfig recover = servedConfig();
+    recover.durability.walDir = logged.durability.walDir;
+    recover.durability.recover = true;
+    server::SignalServer replayed(recover);
+    const auto got = replayed.run();
+
+    EXPECT_EQ(got.signalSignature(), want.signalSignature());
+    EXPECT_EQ(got.publishedIntensity, want.publishedIntensity);
+    EXPECT_EQ(got.surrogateAccepts, want.surrogateAccepts);
+    EXPECT_EQ(got.surrogateRejects, want.surrogateRejects);
+}
+
+TEST(SurrogateServe, HaltedRunRecoversWithTheSameDecisions)
+{
+    server::ServerConfig want_config = servedConfig();
+    const auto want =
+        server::SignalServer(want_config).run();
+
+    server::ServerConfig halted = servedConfig();
+    halted.durability.walDir = surrogateWalDir("halted");
+    halted.durability.haltAtTick = 11;
+    server::SignalServer crashed(halted);
+    crashed.run();
+
+    server::ServerConfig recover = servedConfig();
+    recover.durability.walDir = halted.durability.walDir;
+    recover.durability.recover = true;
+    const auto got = server::SignalServer(recover).run();
+
+    EXPECT_EQ(got.signalSignature(), want.signalSignature());
+    EXPECT_EQ(got.surrogateAccepts, want.surrogateAccepts);
+    EXPECT_EQ(got.surrogateRejects, want.surrogateRejects);
+}
+
+TEST(SurrogateServe, SurrogateConfigChangesTheWalIdentity)
+{
+    server::ServerConfig on = servedConfig();
+    server::ServerConfig off = servedConfig();
+    off.surrogate.enabled = false;
+    off.surrogate.model = nullptr;
+    EXPECT_NE(server::serverConfigHash(on),
+              server::serverConfigHash(off));
+
+    server::ServerConfig loose = servedConfig();
+    loose.surrogate.tolerance = 0.05;
+    EXPECT_NE(server::serverConfigHash(on),
+              server::serverConfigHash(loose));
+}
+
+} // namespace
+} // namespace fairco2

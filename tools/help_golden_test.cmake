@@ -6,7 +6,7 @@
 #
 # Regenerate after an intentional change:
 #   { fairco2 --help; echo "===="; \
-#     for c in signal bill forecast run serve; do \
+#     for c in signal bill forecast run serve train-surrogate; do \
 #       fairco2 $c --help; echo "===="; done; } \
 #     > tests/golden/help.txt
 
@@ -33,7 +33,7 @@ if(NOT rc EQUAL 0)
 endif()
 file(WRITE ${produced} "${out}====\n")
 
-foreach(cmd signal bill forecast run serve)
+foreach(cmd signal bill forecast run serve train-surrogate)
     append_help(${cmd})
 endforeach()
 
